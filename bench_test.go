@@ -1,0 +1,61 @@
+// Package hydra's root benchmarks regenerate every figure of the paper's
+// evaluation (one bench per figure, per DESIGN.md's experiment index) plus
+// the design-choice ablations. Run with:
+//
+//	go test -bench=. -benchmem -benchtime=1x
+//
+// Each iteration executes the figure's full workload (world generation,
+// feature pipeline, training, evaluation) at a reduced scale; the printed
+// figure tables come from cmd/hydra-bench.
+package hydra_test
+
+import (
+	"testing"
+
+	"hydra/internal/experiments"
+)
+
+// benchCfg is the reduced scale used for benchmarking (the full-scale suite
+// is cmd/hydra-bench).
+func benchCfg(seed int64) experiments.Config {
+	return experiments.Config{Scale: 0.4, Seed: seed}
+}
+
+func runFigure(b *testing.B, f func(experiments.Config) (*experiments.Result, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := f(benchCfg(7))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Series) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFigure2aMissingStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		stats, _, err := experiments.Figure2a(benchCfg(7))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(stats) == 0 {
+			b.Fatal("no stats")
+		}
+	}
+}
+
+func BenchmarkFigure8GammaSweep(b *testing.B)      { runFigure(b, experiments.Figure8) }
+func BenchmarkFigure9LabeledSweep(b *testing.B)    { runFigure(b, experiments.Figure9) }
+func BenchmarkFigure10PSweep(b *testing.B)         { runFigure(b, experiments.Figure10) }
+func BenchmarkFigure11UnlabeledSweep(b *testing.B) { runFigure(b, experiments.Figure11) }
+func BenchmarkFigure12CommunitySweep(b *testing.B) { runFigure(b, experiments.Figure12) }
+func BenchmarkFigure13CrossPlatform(b *testing.B)  { runFigure(b, experiments.Figure13) }
+func BenchmarkFigure14Efficiency(b *testing.B)     { runFigure(b, experiments.Figure14) }
+func BenchmarkFigure15MissingData(b *testing.B)    { runFigure(b, experiments.Figure15) }
+
+func BenchmarkAblationStructure(b *testing.B)   { runFigure(b, experiments.AblationStructure) }
+func BenchmarkAblationPooling(b *testing.B)     { runFigure(b, experiments.AblationPooling) }
+func BenchmarkAblationMultiScale(b *testing.B)  { runFigure(b, experiments.AblationMultiScale) }
+func BenchmarkAblationTopicKernel(b *testing.B) { runFigure(b, experiments.AblationTopicKernel) }

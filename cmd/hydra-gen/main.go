@@ -1,0 +1,63 @@
+// Command hydra-gen generates a synthetic multi-platform social world and
+// writes it as JSON — the stand-in for the paper's seven-platform crawl
+// (see DESIGN.md §2).
+//
+//	go run ./cmd/hydra-gen -persons 200 -dataset all -o world.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hydra/internal/platform"
+	"hydra/internal/synth"
+)
+
+func main() {
+	var (
+		persons = flag.Int("persons", 100, "number of natural persons")
+		dataset = flag.String("dataset", "english", "dataset: english, chinese or all")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("o", "", "output path (default stdout)")
+		missing = flag.Float64("missing-scale", 1, "missingness multiplier (1 = Figure 2(a) regime)")
+	)
+	flag.Parse()
+
+	var plats []platform.ID
+	switch *dataset {
+	case "english":
+		plats = platform.EnglishPlatforms
+	case "chinese":
+		plats = platform.ChinesePlatforms
+	case "all":
+		plats = platform.AllPlatforms
+	default:
+		log.Fatalf("unknown dataset %q", *dataset)
+	}
+
+	cfg := synth.DefaultConfig(*persons, plats, *seed)
+	cfg.MissingScale = *missing
+	world, err := synth.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := platform.Encode(w, world.Dataset); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d persons × %d platforms to %s\n",
+			*persons, len(plats), *out)
+	}
+}

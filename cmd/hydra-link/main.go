@@ -1,0 +1,96 @@
+// Command hydra-link reads a synthetic world previously written by
+// hydra-gen and runs the full linkage pipeline on it — the file-based
+// workflow for experimenting with fixed datasets:
+//
+//	go run ./cmd/hydra-gen  -persons 120 -dataset english -o world.json
+//	go run ./cmd/hydra-link -in world.json -pa twitter -pb facebook
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hydra/internal/blocking"
+	"hydra/internal/core"
+	"hydra/internal/features"
+	"hydra/internal/platform"
+	"hydra/internal/synth"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "input world JSON (from hydra-gen)")
+		paName    = flag.String("pa", "twitter", "first platform id")
+		pbName    = flag.String("pb", "facebook", "second platform id")
+		labelFrac = flag.Float64("label-frac", 0.3, "labeled fraction of true candidate pairs")
+		seed      = flag.Int64("seed", 1, "model seed")
+		report    = flag.Bool("report", false, "print the feature-group weight report")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "usage: hydra-link -in world.json [-pa twitter -pb facebook]")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := platform.Decode(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pa, pb := platform.ID(*paName), platform.ID(*pbName)
+	if _, err := ds.Platform(pa); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ds.Platform(pb); err != nil {
+		log.Fatal(err)
+	}
+
+	// The feature pipeline needs the genre/sentiment lexicons; they are
+	// deterministic vocabulary constructions shared with the generator.
+	lx := synth.BuildLexicons(8, 40)
+	var people []int
+	for person := range ds.PersonAccounts {
+		people = append(people, person)
+	}
+	half := people[:len(people)/2]
+	labeled := core.LabeledProfilePairs(ds, pa, pb, half)
+	sys, err := core.NewSystem(ds, labeled, features.Lexicons{
+		Genre: lx.Genre, Sentiment: lx.Sentiment,
+	}, features.DefaultConfig(*seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := core.LabelOpts{LabelFraction: *labelFrac, NegPerPos: 2, UsePreMatched: true, Seed: *seed}
+	block, err := core.BuildBlock(sys, pa, pb, blocking.DefaultRules(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	task := &core.Task{Blocks: []*core.Block{block}}
+	fmt.Printf("world: %d persons; task: %d candidates, %d labeled\n",
+		ds.NumPersons(), task.NumCandidates(), task.NumLabeled())
+
+	linker := &core.HydraLinker{Cfg: core.DefaultConfig(*seed)}
+	if err := linker.Fit(sys, task); err != nil {
+		log.Fatal(err)
+	}
+	conf, err := core.EvaluateLinker(sys, linker, task.Blocks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("linkage result: %s\n", conf)
+
+	if *report {
+		gws, err := core.FeatureGroupReport(sys, task, core.HydraM)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("\nfeature-group weight report:")
+		fmt.Print(core.FormatGroupWeights(gws))
+	}
+}

@@ -1,0 +1,74 @@
+// Cross-platform linkage over the five "Chinese" social networks — the
+// scenario that motivates the paper's introduction (Figure 1): usernames
+// diverge wildly across Sina Weibo, Tencent Weibo, Renren, Douban and
+// Kaixin, so name-based matching fails and behavior has to carry the
+// linkage. The example trains a single multi-block HYDRA model across
+// several platform pairs (the block-diagonal M of Eqn 14) and compares it
+// with the username-only MOBIUS baseline.
+//
+//	go run ./examples/crossplatform
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hydra/internal/baseline"
+	"hydra/internal/blocking"
+	"hydra/internal/core"
+	"hydra/internal/features"
+	"hydra/internal/platform"
+	"hydra/internal/synth"
+)
+
+func main() {
+	world, err := synth.Generate(synth.DefaultConfig(80, platform.ChinesePlatforms, 7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var people []int
+	for p := 0; p < 40; p++ {
+		people = append(people, p)
+	}
+	known := core.LabeledProfilePairs(world.Dataset, platform.SinaWeibo, platform.Renren, people)
+	sys, err := core.NewSystem(world.Dataset, known, features.Lexicons{
+		Genre: world.Lexicons.Genre, Sentiment: world.Lexicons.Sentiment,
+	}, features.DefaultConfig(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One block per platform pair; the model trains jointly.
+	pairs := [][2]platform.ID{
+		{platform.SinaWeibo, platform.TencentWeibo},
+		{platform.SinaWeibo, platform.Renren},
+		{platform.Douban, platform.Kaixin},
+	}
+	task := &core.Task{}
+	for i, pp := range pairs {
+		opts := core.DefaultLabelOpts(int64(7 + i))
+		block, err := core.BuildBlock(sys, pp[0], pp[1], blocking.DefaultRules(), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		task.Blocks = append(task.Blocks, block)
+		fmt.Printf("block %s × %s: %d candidates, %d labeled\n",
+			pp[0], pp[1], len(block.Cands), len(block.Labels))
+	}
+
+	for _, linker := range []core.Linker{
+		&core.HydraLinker{Cfg: core.DefaultConfig(7)},
+		&baseline.MOBIUS{},
+	} {
+		if err := linker.Fit(sys, task); err != nil {
+			log.Fatalf("%s: %v", linker.Name(), err)
+		}
+		conf, err := core.EvaluateLinker(sys, linker, task.Blocks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %s\n", linker.Name(), conf)
+	}
+	fmt.Println("\nusername-only matching cannot follow identities across Chinese")
+	fmt.Println("platforms; heterogeneous behavior modeling can.")
+}

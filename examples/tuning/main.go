@@ -1,0 +1,93 @@
+// Parameter tuning: the paper tunes (γ_L, γ_M, p) by grid search on a
+// validation set (Section 7.1) and Figure 8 maps the resulting performance
+// surface. This example runs core.GridSearch on a train/validation task
+// split, refines the decision threshold with core.TuneThreshold, and prints
+// the feature-group weight report for the tuned system.
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hydra/internal/blocking"
+	"hydra/internal/core"
+	"hydra/internal/features"
+	"hydra/internal/platform"
+	"hydra/internal/synth"
+)
+
+func main() {
+	world, err := synth.Generate(synth.DefaultConfig(70, platform.EnglishPlatforms, 17))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var people []int
+	for p := 0; p < 35; p++ {
+		people = append(people, p)
+	}
+	known := core.LabeledProfilePairs(world.Dataset, platform.Twitter, platform.Facebook, people)
+	sys, err := core.NewSystem(world.Dataset, known, features.Lexicons{
+		Genre: world.Lexicons.Genre, Sentiment: world.Lexicons.Sentiment,
+	}, features.DefaultConfig(17))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two disjointly-seeded labelings act as train and validation tasks.
+	trainTask := mustTask(sys, 18)
+	valTask := mustTask(sys, 19)
+
+	res, err := core.GridSearch(sys, trainTask, valTask, core.DefaultConfig(17),
+		[]float64{1e-4, 1e-3, 1e-2},
+		[]float64{0, 10, 30},
+		[]float64{1, 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grid search over %d points:\n", len(res.Points))
+	for _, pt := range res.Points {
+		status := fmt.Sprintf("F1=%.3f", pt.F1)
+		if pt.Err != nil {
+			status = "failed: " + pt.Err.Error()
+		}
+		fmt.Printf("  γL=%-8g γM=%-5g p=%g  %s\n", pt.GammaL, pt.GammaM, pt.P, status)
+	}
+	fmt.Printf("best: γL=%g γM=%g p=%g (validation F1 %.3f)\n\n",
+		res.Best.GammaL, res.Best.GammaM, res.Best.P, res.BestF1)
+
+	// Fit the tuned model and refine its threshold.
+	linker := &core.HydraLinker{Cfg: res.Best}
+	if err := linker.Fit(sys, trainTask); err != nil {
+		log.Fatal(err)
+	}
+	thr, err := core.TuneThreshold(sys, linker, valTask)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tuned decision threshold: %+.4f\n", thr)
+
+	conf, err := core.EvaluateLinker(sys, linker, valTask.Blocks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("validation-task linkage: %s\n\n", conf)
+
+	gws, err := core.FeatureGroupReport(sys, trainTask, core.HydraM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("feature-group weights of the tuned system:")
+	fmt.Print(core.FormatGroupWeights(gws))
+}
+
+func mustTask(sys *core.System, seed int64) *core.Task {
+	opts := core.LabelOpts{LabelFraction: 0.3, NegPerPos: 2, UsePreMatched: false, Seed: seed}
+	block, err := core.BuildBlock(sys, platform.Twitter, platform.Facebook,
+		blocking.DefaultRules(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return &core.Task{Blocks: []*core.Block{block}}
+}

@@ -1,0 +1,161 @@
+package admm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hydra/internal/linalg"
+)
+
+// directRidge solves min ‖Xw−y‖² + λ‖w‖² in closed form for verification.
+func directRidge(xs []linalg.Vector, ys []float64, lambda float64, dim int) linalg.Vector {
+	ata := linalg.NewMatrix(dim, dim)
+	atb := linalg.NewVector(dim)
+	for r, x := range xs {
+		for i := 0; i < dim; i++ {
+			atb[i] += x[i] * ys[r]
+			for j := 0; j < dim; j++ {
+				ata.Addf(i, j, x[i]*x[j])
+			}
+		}
+	}
+	ata.AddDiag(lambda)
+	w, err := ata.Solve(atb)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func ridgeData(n, dim int, seed int64) ([]linalg.Vector, []float64, linalg.Vector) {
+	rng := rand.New(rand.NewSource(seed))
+	truth := linalg.NewVector(dim)
+	for i := range truth {
+		truth[i] = rng.NormFloat64()
+	}
+	xs := make([]linalg.Vector, n)
+	ys := make([]float64, n)
+	for r := range xs {
+		x := linalg.NewVector(dim)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		xs[r] = x
+		ys[r] = truth.Dot(x) + rng.NormFloat64()*0.05
+	}
+	return xs, ys, truth
+}
+
+func TestSolveMatchesDirectRidge(t *testing.T) {
+	xs, ys, _ := ridgeData(200, 5, 1)
+	lambda := 2.0
+	shards, err := Split(xs, ys, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(shards, 5, Opts{Lambda: lambda, Rho: 2, MaxIter: 500, Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := directRidge(xs, ys, lambda, 5)
+	if res.W.Sub(direct).Norm() > 1e-4 {
+		t.Fatalf("ADMM deviates from direct ridge: %v vs %v (Δ=%v)",
+			res.W, direct, res.W.Sub(direct).Norm())
+	}
+}
+
+func TestSolveRecoversSignal(t *testing.T) {
+	xs, ys, truth := ridgeData(400, 4, 3)
+	shards, _ := Split(xs, ys, 4)
+	res, err := Solve(shards, 4, Opts{Lambda: 0.1, MaxIter: 400, Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.W.Sub(truth).Norm() > 0.15 {
+		t.Fatalf("recovered weights off: %v vs truth %v", res.W, truth)
+	}
+}
+
+func TestSolveSingleShardEqualsMultiShard(t *testing.T) {
+	xs, ys, _ := ridgeData(120, 3, 5)
+	one, _ := Split(xs, ys, 1)
+	many, _ := Split(xs, ys, 6)
+	r1, err := Solve(one, 3, Opts{Lambda: 1, MaxIter: 500, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r6, err := Solve(many, 3, Opts{Lambda: 1, MaxIter: 500, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.W.Sub(r6.W).Norm() > 1e-4 {
+		t.Fatalf("shard count changed the consensus solution: %v vs %v", r1.W, r6.W)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(nil, 3, Opts{}); err == nil {
+		t.Fatal("expected error for no shards")
+	}
+	if _, err := Solve([]Shard{{X: []linalg.Vector{{1}}, Y: []float64{1}}}, 0, Opts{}); err == nil {
+		t.Fatal("expected error for zero dim")
+	}
+	if _, err := Solve([]Shard{{}}, 2, Opts{}); err == nil {
+		t.Fatal("expected error for empty shard")
+	}
+	if _, err := Solve([]Shard{{X: []linalg.Vector{{1, 2}}, Y: []float64{1, 2}}}, 2, Opts{}); err == nil {
+		t.Fatal("expected error for row/target mismatch")
+	}
+	if _, err := Solve([]Shard{{X: []linalg.Vector{{1}}, Y: []float64{1}}}, 2, Opts{}); err == nil {
+		t.Fatal("expected error for dim mismatch")
+	}
+	if _, err := Solve([]Shard{{X: []linalg.Vector{{1}}, Y: []float64{1}}}, 1, Opts{Lambda: -1}); err == nil {
+		t.Fatal("expected error for negative lambda")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	xs := []linalg.Vector{{1}, {2}, {3}, {4}, {5}}
+	ys := []float64{1, 2, 3, 4, 5}
+	shards, err := Split(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 2 || len(shards[0].X) != 3 || len(shards[1].X) != 2 {
+		t.Fatalf("split shapes wrong: %d/%d", len(shards[0].X), len(shards[1].X))
+	}
+	// More shards than rows collapses to row count.
+	shards, err = Split(xs, ys, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 5 {
+		t.Fatalf("oversharded split = %d shards", len(shards))
+	}
+	if _, err := Split(xs, ys[:2], 2); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+	if _, err := Split(xs, ys, 0); err == nil {
+		t.Fatal("expected shard count error")
+	}
+}
+
+func TestResidualsDecrease(t *testing.T) {
+	xs, ys, _ := ridgeData(100, 3, 7)
+	shards, _ := Split(xs, ys, 3)
+	short, err := Solve(shards, 3, Opts{Lambda: 1, MaxIter: 3, Tol: 1e-14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Solve(shards, 3, Opts{Lambda: 1, MaxIter: 200, Tol: 1e-14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(long.PrimalResidual < short.PrimalResidual || long.PrimalResidual < 1e-10) {
+		t.Fatalf("primal residual did not decrease: %v -> %v", short.PrimalResidual, long.PrimalResidual)
+	}
+	if math.IsNaN(long.DualResidual) {
+		t.Fatal("NaN dual residual")
+	}
+}

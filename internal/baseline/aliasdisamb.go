@@ -1,0 +1,191 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"hydra/internal/core"
+	"hydra/internal/kernel"
+	"hydra/internal/linalg"
+	"hydra/internal/platform"
+	"hydra/internal/svm"
+	"hydra/internal/text"
+)
+
+// AliasDisamb is baseline (II), after Liu et al., "What's in a name?: an
+// unsupervised approach to link users across communities" (WSDM'13). The
+// method is unsupervised: it estimates how *rare* a username is with a
+// character n-gram language model over the whole username corpus, then
+// self-generates training pairs — rare usernames appearing on both
+// platforms are assumed to be the same person — and fits a classifier on
+// username similarity features. Because the self-labeling produces a large
+// and noisy training set, its optimization problem is the heaviest of the
+// baselines (the paper's Figure 14 explanation for its slow convergence).
+type AliasDisamb struct {
+	// SelfLabelRarity is the rarity percentile above which a cross-platform
+	// near-identical username pair becomes a self-generated positive.
+	SelfLabelRarity float64
+	model           *svm.Model
+	sys             *core.System
+	rarity          *bigramModel
+}
+
+// Name implements core.Linker.
+func (ad *AliasDisamb) Name() string { return "Alias-Disamb" }
+
+// bigramModel is a character bigram language model with add-one smoothing:
+// -log P(username) per rune measures name rarity.
+type bigramModel struct {
+	counts map[[2]rune]float64
+	uni    map[rune]float64
+	total  float64
+}
+
+func newBigramModel() *bigramModel {
+	return &bigramModel{counts: make(map[[2]rune]float64), uni: make(map[rune]float64)}
+}
+
+func (bm *bigramModel) add(s string) {
+	prev := rune(0)
+	for _, r := range s {
+		bm.uni[r]++
+		bm.total++
+		if prev != 0 {
+			bm.counts[[2]rune{prev, r}]++
+		}
+		prev = r
+	}
+}
+
+// rarityScore returns the average per-rune negative log-probability of s.
+func (bm *bigramModel) rarityScore(s string) float64 {
+	runes := []rune(s)
+	if len(runes) == 0 {
+		return 0
+	}
+	var nll float64
+	prev := rune(0)
+	v := float64(len(bm.uni) + 1)
+	for _, r := range runes {
+		if prev == 0 {
+			p := (bm.uni[r] + 1) / (bm.total + v)
+			nll += -math.Log(p)
+		} else {
+			p := (bm.counts[[2]rune{prev, r}] + 1) / (bm.uni[prev] + v)
+			nll += -math.Log(p)
+		}
+		prev = r
+	}
+	return nll / float64(len(runes))
+}
+
+// Fit implements core.Linker. The task's labels are ignored — the method is
+// unsupervised by design; it only uses the candidate pool and the username
+// corpus.
+func (ad *AliasDisamb) Fit(sys *core.System, task *core.Task) error {
+	ad.sys = sys
+	if ad.SelfLabelRarity <= 0 {
+		ad.SelfLabelRarity = 0.5
+	}
+	// 1. Build the rarity model over every username on the involved
+	// platforms.
+	bm := newBigramModel()
+	seen := map[platform.ID]bool{}
+	for _, b := range task.Blocks {
+		for _, pid := range []platform.ID{b.PA, b.PB} {
+			if seen[pid] {
+				continue
+			}
+			seen[pid] = true
+			p, err := sys.DS.Platform(pid)
+			if err != nil {
+				return err
+			}
+			for _, acc := range p.Accounts {
+				bm.add(acc.Profile.Username)
+			}
+		}
+	}
+	ad.rarity = bm
+
+	// 2. Self-generate labels by scanning the full username cross product
+	// of each platform pair: rare + near-identical usernames become
+	// positives; a sampled slice of dissimilar pairs becomes negatives.
+	// This is the method's signature cost — "it automatically generates a
+	// large number of training pairs by analyzing the uniqueness of the
+	// usernames, where most of the generated label information may be
+	// incorrect, resulting in an extremely large quadratic programming
+	// problem" (the paper's Figure 14 discussion).
+	var xs []linalg.Vector
+	var ys []float64
+	seenPair := map[[2]platform.ID]bool{}
+	for _, b := range task.Blocks {
+		key := [2]platform.ID{b.PA, b.PB}
+		if seenPair[key] {
+			continue
+		}
+		seenPair[key] = true
+		platA, err := sys.DS.Platform(b.PA)
+		if err != nil {
+			return err
+		}
+		platB, err := sys.DS.Platform(b.PB)
+		if err != nil {
+			return err
+		}
+		negEvery := 97 // deterministic sparse sampling of the dissimilar mass
+		scan := 0
+		for _, accA := range platA.Accounts {
+			ua := accA.Profile.Username
+			rareA := bm.rarityScore(ua)
+			for _, accB := range platB.Accounts {
+				ub := accB.Profile.Username
+				sim := text.JaroWinkler(ua, ub)
+				scan++
+				switch {
+				case sim > 0.93 && (rareA+bm.rarityScore(ub))/2 > ad.SelfLabelRarity:
+					xs = append(xs, usernameFeatures(ua, ub))
+					ys = append(ys, 1)
+				case sim < 0.6 && scan%negEvery == 0:
+					xs = append(xs, usernameFeatures(ua, ub))
+					ys = append(ys, -1)
+				}
+			}
+		}
+	}
+	pos, neg := 0, 0
+	for _, y := range ys {
+		if y > 0 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return fmt.Errorf("baseline: Alias-Disamb self-labeling found %d positives and %d negatives", pos, neg)
+	}
+	model, err := svm.Train(xs, ys, kernel.NewRBF(1), svm.Opts{C: 1, Shrink: true})
+	if err != nil {
+		return err
+	}
+	ad.model = model
+	return nil
+}
+
+// PairScore implements core.Linker.
+func (ad *AliasDisamb) PairScore(pa platform.ID, a int, pb platform.ID, b int) (float64, error) {
+	if ad.model == nil {
+		return 0, fmt.Errorf("baseline: Alias-Disamb not fitted")
+	}
+	platA, err := ad.sys.DS.Platform(pa)
+	if err != nil {
+		return 0, err
+	}
+	platB, err := ad.sys.DS.Platform(pb)
+	if err != nil {
+		return 0, err
+	}
+	ua := platA.Account(a).Profile.Username
+	ub := platB.Account(b).Profile.Username
+	return ad.model.Decision(usernameFeatures(ua, ub)), nil
+}

@@ -1,0 +1,176 @@
+package baseline
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"hydra/internal/core"
+	"hydra/internal/kernel"
+	"hydra/internal/linalg"
+	"hydra/internal/platform"
+	"hydra/internal/svm"
+	"hydra/internal/text"
+)
+
+// MOBIUS is baseline (I), after Zafarani & Liu, "Connecting users across
+// social media sites: a behavioral-modeling approach" (KDD'13): a
+// supervised classifier over username behavioral features — the patterns
+// users exhibit when they create usernames (length habits, alphabet
+// distributions, shared substrings, abbreviation styles). It models
+// usernames only, which is exactly why it degrades on platforms where names
+// diverge (the paper's Figure 1 challenge).
+type MOBIUS struct {
+	model *svm.Model
+	sys   *core.System
+}
+
+// Name implements core.Linker.
+func (m *MOBIUS) Name() string { return "MOBIUS" }
+
+// usernameFeatures extracts the pairwise username behavioral features.
+func usernameFeatures(a, b string) linalg.Vector {
+	la, lb := float64(len([]rune(a))), float64(len([]rune(b)))
+	maxLen := la
+	if lb > maxLen {
+		maxLen = lb
+	}
+	lenRatio := 0.0
+	if maxLen > 0 {
+		lenRatio = 1 - abs(la-lb)/maxLen
+	}
+	prefix := commonPrefixLen(a, b)
+	suffix := commonPrefixLen(reverse(a), reverse(b))
+	return linalg.Vector{
+		text.JaroWinkler(a, b),
+		text.Jaro(a, b),
+		text.EditSimilarity(a, b),
+		text.NGramJaccard(a, b, 2),
+		text.NGramJaccard(a, b, 3),
+		text.UsernameOverlap(a, b),
+		lenRatio,
+		boolF(hasDigits(a) == hasDigits(b)),
+		boolF(hasHan(a) == hasHan(b)),
+		norm(prefix, maxLen),
+		norm(suffix, maxLen),
+		boolF(digitSuffix(a) == digitSuffix(b) && digitSuffix(a) != ""),
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func boolF(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func norm(n int, maxLen float64) float64 {
+	if maxLen == 0 {
+		return 0
+	}
+	return float64(n) / maxLen
+}
+
+func commonPrefixLen(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	n := 0
+	for n < len(ra) && n < len(rb) && ra[n] == rb[n] {
+		n++
+	}
+	return n
+}
+
+func reverse(s string) string {
+	r := []rune(s)
+	for i, j := 0, len(r)-1; i < j; i, j = i+1, j-1 {
+		r[i], r[j] = r[j], r[i]
+	}
+	return string(r)
+}
+
+func hasDigits(s string) bool {
+	for _, r := range s {
+		if unicode.IsDigit(r) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasHan(s string) bool {
+	for _, r := range s {
+		if unicode.Is(unicode.Han, r) {
+			return true
+		}
+	}
+	return false
+}
+
+// digitSuffix returns the trailing digit run of s.
+func digitSuffix(s string) string {
+	r := []rune(s)
+	i := len(r)
+	for i > 0 && unicode.IsDigit(r[i-1]) {
+		i--
+	}
+	return string(r[i:])
+}
+
+// Fit implements core.Linker: trains the username-feature SVM on the
+// labeled candidates.
+func (m *MOBIUS) Fit(sys *core.System, task *core.Task) error {
+	m.sys = sys
+	var xs []linalg.Vector
+	var ys []float64
+	for _, b := range task.Blocks {
+		platA, err := sys.DS.Platform(b.PA)
+		if err != nil {
+			return err
+		}
+		platB, err := sys.DS.Platform(b.PB)
+		if err != nil {
+			return err
+		}
+		for _, ci := range b.SortedLabelIndices() {
+			c := b.Cands[ci]
+			ua := platA.Account(c.A).Profile.Username
+			ub := platB.Account(c.B).Profile.Username
+			xs = append(xs, usernameFeatures(ua, ub))
+			ys = append(ys, b.Labels[ci])
+		}
+	}
+	if len(xs) == 0 {
+		return fmt.Errorf("baseline: MOBIUS has no labeled pairs")
+	}
+	model, err := svm.Train(xs, ys, kernel.NewRBF(1), svm.Opts{C: 2, Shrink: true})
+	if err != nil {
+		return err
+	}
+	m.model = model
+	return nil
+}
+
+// PairScore implements core.Linker.
+func (m *MOBIUS) PairScore(pa platform.ID, a int, pb platform.ID, b int) (float64, error) {
+	if m.model == nil {
+		return 0, fmt.Errorf("baseline: MOBIUS not fitted")
+	}
+	platA, err := m.sys.DS.Platform(pa)
+	if err != nil {
+		return 0, err
+	}
+	platB, err := m.sys.DS.Platform(pb)
+	if err != nil {
+		return 0, err
+	}
+	ua := platA.Account(a).Profile.Username
+	ub := platB.Account(b).Profile.Username
+	return m.model.Decision(usernameFeatures(strings.TrimSpace(ua), strings.TrimSpace(ub))), nil
+}

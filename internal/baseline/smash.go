@@ -1,0 +1,163 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"hydra/internal/core"
+	"hydra/internal/platform"
+)
+
+// SMaSh is baseline (III), after Hassanzadeh et al., "Discovering linkage
+// points over web data" (PVLDB'13): a record-linkage approach that first
+// discovers *linkage points* — attribute pairs whose value sets overlap
+// strongly across the two sources — and then links records that agree on
+// strong linkage points. It is fast (set intersections, no numerical
+// optimization) but blind to behavior: missing and deceptive attributes
+// directly erode it.
+type SMaSh struct {
+	// MinStrength prunes weak linkage points (default 0.05).
+	MinStrength float64
+	// points maps a platform pair to its discovered linkage points.
+	points map[[2]platform.ID][]linkagePoint
+	sys    *core.System
+}
+
+// linkagePoint is one discovered attribute correspondence with its
+// strength and discriminability.
+type linkagePoint struct {
+	Attr platform.AttrName
+	// Strength is the value-set Jaccard overlap between the two sources.
+	Strength float64
+	// Selectivity is 1 − (average share of records per value): high for
+	// near-key attributes like email, low for gender.
+	Selectivity float64
+}
+
+// weight is the linkage point's contribution to the pair score.
+func (lp linkagePoint) weight() float64 { return lp.Strength * lp.Selectivity }
+
+// Name implements core.Linker.
+func (s *SMaSh) Name() string { return "SMaSh" }
+
+// Fit implements core.Linker: discovers linkage points per platform pair.
+// Labels are not used — linkage-point discovery is schema-level.
+func (s *SMaSh) Fit(sys *core.System, task *core.Task) error {
+	s.sys = sys
+	if s.MinStrength <= 0 {
+		s.MinStrength = 0.05
+	}
+	s.points = make(map[[2]platform.ID][]linkagePoint)
+	for _, b := range task.Blocks {
+		key := [2]platform.ID{b.PA, b.PB}
+		if _, done := s.points[key]; done {
+			continue
+		}
+		platA, err := sys.DS.Platform(b.PA)
+		if err != nil {
+			return err
+		}
+		platB, err := sys.DS.Platform(b.PB)
+		if err != nil {
+			return err
+		}
+		pts := discoverLinkagePoints(platA, platB, s.MinStrength)
+		if len(pts) == 0 {
+			return fmt.Errorf("baseline: SMaSh found no linkage points between %s and %s", b.PA, b.PB)
+		}
+		s.points[key] = pts
+	}
+	return nil
+}
+
+// discoverLinkagePoints scans attribute correspondences and scores their
+// value-set overlap.
+func discoverLinkagePoints(platA, platB *platform.Platform, minStrength float64) []linkagePoint {
+	var out []linkagePoint
+	for _, attr := range platform.MatchAttrs {
+		setA := valueSet(platA, attr)
+		setB := valueSet(platB, attr)
+		if len(setA) == 0 || len(setB) == 0 {
+			continue
+		}
+		inter := 0
+		for v := range setA {
+			if setB[v] {
+				inter++
+			}
+		}
+		union := len(setA) + len(setB) - inter
+		strength := float64(inter) / float64(union)
+		if strength < minStrength {
+			continue
+		}
+		// Selectivity from the A side: distinct values per record.
+		filled := 0
+		for _, acc := range platA.Accounts {
+			if _, ok := acc.Profile.Attr(attr); ok {
+				filled++
+			}
+		}
+		selectivity := 0.0
+		if filled > 0 {
+			selectivity = float64(len(setA)) / float64(filled)
+			if selectivity > 1 {
+				selectivity = 1
+			}
+		}
+		out = append(out, linkagePoint{Attr: attr, Strength: strength, Selectivity: selectivity})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].weight() > out[j].weight() })
+	return out
+}
+
+func valueSet(p *platform.Platform, attr platform.AttrName) map[string]bool {
+	set := make(map[string]bool)
+	for _, acc := range p.Accounts {
+		if v, ok := acc.Profile.Attr(attr); ok {
+			set[v] = true
+		}
+	}
+	return set
+}
+
+// PairScore implements core.Linker: the weighted agreement over linkage
+// points, recentered so the decision threshold 0 corresponds to agreeing on
+// points worth half the total discoverable weight.
+func (s *SMaSh) PairScore(pa platform.ID, a int, pb platform.ID, b int) (float64, error) {
+	if s.points == nil {
+		return 0, fmt.Errorf("baseline: SMaSh not fitted")
+	}
+	pts, ok := s.points[[2]platform.ID{pa, pb}]
+	if !ok {
+		// Allow scoring of platform pairs seen in reversed order.
+		pts, ok = s.points[[2]platform.ID{pb, pa}]
+		if !ok {
+			return 0, fmt.Errorf("baseline: SMaSh has no linkage points for %s/%s", pa, pb)
+		}
+		pa, pb, a, b = pb, pa, b, a
+	}
+	platA, err := s.sys.DS.Platform(pa)
+	if err != nil {
+		return 0, err
+	}
+	platB, err := s.sys.DS.Platform(pb)
+	if err != nil {
+		return 0, err
+	}
+	profA := &platA.Account(a).Profile
+	profB := &platB.Account(b).Profile
+	var score, total float64
+	for _, lp := range pts {
+		total += lp.weight()
+		va, okA := profA.Attr(lp.Attr)
+		vb, okB := profB.Attr(lp.Attr)
+		if okA && okB && va == vb {
+			score += lp.weight()
+		}
+	}
+	if total == 0 {
+		return -1, nil
+	}
+	return score/total - 0.5, nil
+}

@@ -1,0 +1,194 @@
+// Package blocking implements candidate-pair generation: the rule-based
+// filtering of the paper's Section 3, which classifies user pairs into
+// ground-truth linked pairs, pre-matched pairs (rule-based filtering over
+// partial username overlap, attribute matching and profile-image face
+// matching) and unlabeled candidate pairs. Without it the SIL search space
+// is the intractable Eqn 2.
+package blocking
+
+import (
+	"fmt"
+	"sort"
+
+	"hydra/internal/platform"
+	"hydra/internal/text"
+	"hydra/internal/vision"
+)
+
+// Candidate is a candidate account pair with its cheap blocking score.
+type Candidate struct {
+	// A and B are local account ids on the two platforms.
+	A, B int
+	// Score is the cheap rule score used for ranking.
+	Score float64
+	// PreMatched marks pairs passing the strict rule filter — the paper's
+	// "pre-matched pairs by rule-based filtering", used as (noisy) positive
+	// labels alongside ground truth.
+	PreMatched bool
+}
+
+// Rules parameterizes the filter.
+type Rules struct {
+	// TopK candidate pairs are kept per A-side account (by Score).
+	TopK int
+	// MinScore additionally admits any pair scoring at least this much.
+	MinScore float64
+	// PreMatchJW is the username Jaro-Winkler threshold for pre-matching.
+	PreMatchJW float64
+	// PreMatchAttrs is the minimum matched-attribute count for
+	// pre-matching (combined with the username threshold).
+	PreMatchAttrs int
+	// PreMatchFace is the face-classifier score threshold that pre-matches
+	// a pair on its own (paper: "user profile image matching by face
+	// recognition techniques").
+	PreMatchFace float64
+}
+
+// DefaultRules returns the calibrated filter.
+func DefaultRules() Rules {
+	return Rules{
+		TopK:          3,
+		MinScore:      0.75,
+		PreMatchJW:    0.90,
+		PreMatchAttrs: 2,
+		PreMatchFace:  0.85,
+	}
+}
+
+// Generate produces the candidate pairs between two platforms. The cost is
+// O(N_A · N_B) cheap comparisons — the quadratic pass the paper's filtering
+// makes tractable by never touching the expensive behavioral features.
+func Generate(pa, pb *platform.Platform, faces *vision.Matcher, rules Rules) ([]Candidate, error) {
+	if pa.NumAccounts() == 0 || pb.NumAccounts() == 0 {
+		return nil, fmt.Errorf("blocking: empty platform (%s: %d, %s: %d accounts)",
+			pa.ID, pa.NumAccounts(), pb.ID, pb.NumAccounts())
+	}
+	if rules.TopK <= 0 {
+		rules.TopK = 3
+	}
+	var out []Candidate
+	seen := make(map[[2]int]bool)
+	for _, accA := range pa.Accounts {
+		scored := make([]Candidate, 0, pb.NumAccounts())
+		for _, accB := range pb.Accounts {
+			c := scorePair(accA, accB, faces, rules)
+			scored = append(scored, c)
+		}
+		sort.Slice(scored, func(i, j int) bool {
+			if scored[i].Score != scored[j].Score {
+				return scored[i].Score > scored[j].Score
+			}
+			return scored[i].B < scored[j].B
+		})
+		for rank, c := range scored {
+			if rank < rules.TopK || c.Score >= rules.MinScore || c.PreMatched {
+				key := [2]int{c.A, c.B}
+				if !seen[key] {
+					seen[key] = true
+					out = append(out, c)
+				}
+			} else {
+				break // sorted: nothing below can qualify except pre-matches
+			}
+		}
+		// Pre-matches below the cut still qualify.
+		for rank := rules.TopK; rank < len(scored); rank++ {
+			c := scored[rank]
+			if c.PreMatched {
+				key := [2]int{c.A, c.B}
+				if !seen[key] {
+					seen[key] = true
+					out = append(out, c)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out, nil
+}
+
+// scorePair computes the cheap rule score and the pre-match decision.
+func scorePair(a, b *platform.Account, faces *vision.Matcher, rules Rules) Candidate {
+	jw := text.JaroWinkler(a.Profile.Username, b.Profile.Username)
+	ov := text.UsernameOverlap(a.Profile.Username, b.Profile.Username)
+	matches := 0
+	checked := 0
+	for _, name := range platform.MatchAttrs {
+		va, okA := a.Profile.Attr(name)
+		vb, okB := b.Profile.Attr(name)
+		if !okA || !okB {
+			continue
+		}
+		checked++
+		if va == vb {
+			matches++
+		}
+	}
+	attrFrac := 0.0
+	if checked > 0 {
+		attrFrac = float64(matches) / float64(checked)
+	}
+	faceScore, faceOK := 0.0, false
+	if faces != nil {
+		faceScore, faceOK = faces.Match(a.Profile.AvatarID, b.Profile.AvatarID)
+	}
+	score := 0.35*jw + 0.25*ov + 0.25*attrFrac
+	if faceOK {
+		score += 0.15 * faceScore
+	}
+	// Email equality is near-unique evidence.
+	ea, okEA := a.Profile.Attr(platform.AttrEmail)
+	eb, okEB := b.Profile.Attr(platform.AttrEmail)
+	emailMatch := okEA && okEB && ea == eb
+
+	pre := emailMatch ||
+		(jw >= rules.PreMatchJW && matches >= rules.PreMatchAttrs) ||
+		(faceOK && faceScore >= rules.PreMatchFace && jw >= 0.6)
+	return Candidate{A: a.Local, B: b.Local, Score: score, PreMatched: pre}
+}
+
+// Stats summarizes a candidate set against ground truth (for tests and
+// experiment reporting).
+type Stats struct {
+	NumCandidates  int
+	NumPreMatched  int
+	TruePairsTotal int // persons with accounts on both platforms
+	TruePairsKept  int // true pairs surviving the filter
+	PrePrecision   float64
+}
+
+// Evaluate computes blocking statistics using the dataset's ground truth.
+func Evaluate(ds *platform.Dataset, paID, pbID platform.ID, cands []Candidate) Stats {
+	st := Stats{NumCandidates: len(cands)}
+	truePairs := 0
+	for person := range ds.PersonAccounts {
+		if _, okA := ds.AccountOf(person, paID); okA {
+			if _, okB := ds.AccountOf(person, pbID); okB {
+				truePairs++
+			}
+		}
+	}
+	st.TruePairsTotal = truePairs
+	preCorrect := 0
+	for _, c := range cands {
+		same := ds.SamePerson(paID, c.A, pbID, c.B)
+		if same {
+			st.TruePairsKept++
+		}
+		if c.PreMatched {
+			st.NumPreMatched++
+			if same {
+				preCorrect++
+			}
+		}
+	}
+	if st.NumPreMatched > 0 {
+		st.PrePrecision = float64(preCorrect) / float64(st.NumPreMatched)
+	}
+	return st
+}

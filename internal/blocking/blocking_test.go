@@ -1,0 +1,124 @@
+package blocking
+
+import (
+	"testing"
+
+	"hydra/internal/platform"
+	"hydra/internal/synth"
+	"hydra/internal/vision"
+)
+
+func genWorld(t *testing.T, persons int, seed int64) *synth.World {
+	t.Helper()
+	w, err := synth.Generate(synth.DefaultConfig(persons, platform.EnglishPlatforms, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestGenerateValidation(t *testing.T) {
+	empty := &platform.Platform{ID: platform.Twitter}
+	if _, err := Generate(empty, empty, nil, DefaultRules()); err == nil {
+		t.Fatal("expected error for empty platform")
+	}
+}
+
+func TestGenerateKeepsTruePairs(t *testing.T) {
+	w := genWorld(t, 100, 3)
+	pa := w.Dataset.Platforms[platform.Twitter]
+	pb := w.Dataset.Platforms[platform.Facebook]
+	cands, err := Generate(pa, pb, vision.NewMatcher(1), DefaultRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Evaluate(w.Dataset, platform.Twitter, platform.Facebook, cands)
+	if st.TruePairsTotal != 100 {
+		t.Fatalf("TruePairsTotal = %d", st.TruePairsTotal)
+	}
+	// The blocking recall ceiling must be reasonably high on English
+	// platforms (usernames fairly consistent).
+	if frac := float64(st.TruePairsKept) / float64(st.TruePairsTotal); frac < 0.6 {
+		t.Fatalf("blocking recall ceiling = %v, want ≥ 0.6", frac)
+	}
+	// Candidate count must stay well below the N² cross product.
+	if st.NumCandidates > 100*100/4 {
+		t.Fatalf("blocking kept too many pairs: %d", st.NumCandidates)
+	}
+}
+
+func TestPreMatchedPrecision(t *testing.T) {
+	w := genWorld(t, 150, 5)
+	pa := w.Dataset.Platforms[platform.Twitter]
+	pb := w.Dataset.Platforms[platform.Facebook]
+	cands, err := Generate(pa, pb, vision.NewMatcher(1), DefaultRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Evaluate(w.Dataset, platform.Twitter, platform.Facebook, cands)
+	if st.NumPreMatched == 0 {
+		t.Fatal("no pre-matched pairs at all")
+	}
+	// The paper reports its rule-based labels are >95% precise; the
+	// simulated world should land in the same regime.
+	if st.PrePrecision < 0.85 {
+		t.Fatalf("pre-match precision = %v, want ≥ 0.85", st.PrePrecision)
+	}
+}
+
+func TestCandidatesSortedAndUnique(t *testing.T) {
+	w := genWorld(t, 50, 7)
+	pa := w.Dataset.Platforms[platform.Twitter]
+	pb := w.Dataset.Platforms[platform.Facebook]
+	cands, err := Generate(pa, pb, vision.NewMatcher(1), DefaultRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[2]int]bool{}
+	for i, c := range cands {
+		key := [2]int{c.A, c.B}
+		if seen[key] {
+			t.Fatalf("duplicate candidate %v", key)
+		}
+		seen[key] = true
+		if i > 0 {
+			prev := cands[i-1]
+			if prev.A > c.A || (prev.A == c.A && prev.B >= c.B) {
+				t.Fatal("candidates not sorted")
+			}
+		}
+	}
+}
+
+func TestTopKEnforced(t *testing.T) {
+	w := genWorld(t, 60, 9)
+	pa := w.Dataset.Platforms[platform.Twitter]
+	pb := w.Dataset.Platforms[platform.Facebook]
+	rules := DefaultRules()
+	rules.TopK = 1
+	rules.MinScore = 2 // unreachable: only top-1 + pre-matches survive
+	cands, err := Generate(pa, pb, vision.NewMatcher(1), rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perA := map[int]int{}
+	for _, c := range cands {
+		if !c.PreMatched {
+			perA[c.A]++
+		}
+	}
+	for a, n := range perA {
+		if n > 1 {
+			t.Fatalf("account %d kept %d non-prematched candidates, want ≤1", a, n)
+		}
+	}
+}
+
+func TestGenerateWithoutFaceMatcher(t *testing.T) {
+	w := genWorld(t, 30, 11)
+	pa := w.Dataset.Platforms[platform.Twitter]
+	pb := w.Dataset.Platforms[platform.Facebook]
+	if _, err := Generate(pa, pb, nil, DefaultRules()); err != nil {
+		t.Fatalf("nil face matcher should be allowed: %v", err)
+	}
+}

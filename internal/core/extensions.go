@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hydra/internal/admm"
+	"hydra/internal/linalg"
+	"hydra/internal/platform"
+	"hydra/internal/structure"
+)
+
+// This file contains extensions beyond the paper's Algorithm 1 that fall
+// out of its own machinery:
+//
+//   - EigenLinker: the fully unsupervised agreement-cluster relaxation of
+//     Section 6.2 used directly as a linker (no labels at all);
+//   - LinearLinker: the primal linear model fitted by consensus ADMM over
+//     data shards — the "distributed convex optimization [3] ... on several
+//     servers in parallel" path of Section 6.3, for scales where the dense
+//     dual would not fit;
+//   - TuneThreshold: validation-style decision-threshold selection (the
+//     paper tunes all parameters on a validation set).
+
+// EigenLinker links accounts with no supervision: it builds the structure
+// consistency matrix M over the candidates of each block and scores each
+// candidate by its weight in the principal eigenvector (the relaxed
+// agreement-cluster indicator). Scores are shifted by Threshold so that
+// the Linker convention (positive = link) holds.
+type EigenLinker struct {
+	// Cfg supplies the σ₁/σ₂/MaxHops bandwidths (GammaL etc. are unused).
+	Cfg Config
+	// Threshold is the cluster-score cut (default 0.3).
+	Threshold float64
+
+	scores map[pairKey]float64
+}
+
+// Name implements Linker.
+func (e *EigenLinker) Name() string { return "HYDRA-U(eigen)" }
+
+// Fit implements Linker. Labels in the task are ignored entirely.
+func (e *EigenLinker) Fit(sys *System, task *Task) error {
+	if e.Threshold <= 0 {
+		e.Threshold = 0.3
+	}
+	e.scores = make(map[pairKey]float64)
+	for _, b := range task.Blocks {
+		embA, err := sys.Embeddings(b.PA)
+		if err != nil {
+			return err
+		}
+		embB, err := sys.Embeddings(b.PB)
+		if err != nil {
+			return err
+		}
+		platA, err := sys.DS.Platform(b.PA)
+		if err != nil {
+			return err
+		}
+		platB, err := sys.DS.Platform(b.PB)
+		if err != nil {
+			return err
+		}
+		scands := make([]structure.Candidate, len(b.Cands))
+		for i, c := range b.Cands {
+			scands[i] = structure.Candidate{A: c.A, B: c.B}
+		}
+		m, err := structure.Build(scands, embA, embB, platA.Graph, platB.Graph, structure.Config{
+			Sigma1: e.Cfg.Sigma1, Sigma2: e.Cfg.Sigma2, MaxHops: e.Cfg.MaxHops,
+		})
+		if err != nil {
+			return err
+		}
+		cluster, err := structure.AgreementCluster(m, e.Cfg.Seed)
+		if err != nil {
+			return err
+		}
+		for i, c := range b.Cands {
+			e.scores[pairKey{b.PA, b.PB, c.A, c.B}] = cluster[i] - e.Threshold
+		}
+	}
+	return nil
+}
+
+// PairScore implements Linker. Pairs outside the fitted candidate set score
+// at the negative threshold (unknown pairs are not linked).
+func (e *EigenLinker) PairScore(pa platform.ID, a int, pb platform.ID, b int) (float64, error) {
+	if e.scores == nil {
+		return 0, fmt.Errorf("core: EigenLinker not fitted")
+	}
+	if s, ok := e.scores[pairKey{pa, pb, a, b}]; ok {
+		return s, nil
+	}
+	return -e.Threshold, nil
+}
+
+// LinearModel is a primal linear linkage function w·x + b over imputed
+// feature vectors.
+type LinearModel struct {
+	W    linalg.Vector
+	B    float64
+	Diag admm.Result
+}
+
+// LinearLinker fits the linear model with consensus ADMM across Shards
+// simulated servers: each shard holds a slice of the labeled pairs and
+// solves its regularized least-squares subproblem concurrently; the
+// consensus variable is the shared w.
+type LinearLinker struct {
+	// Shards is the simulated server count (paper: 5).
+	Shards int
+	// Lambda is the l2 regularization.
+	Lambda float64
+	// Variant controls imputation, as in Config.
+	Variant    Variant
+	TopFriends int
+
+	model *LinearModel
+	sys   *System
+}
+
+// Name implements Linker.
+func (l *LinearLinker) Name() string { return fmt.Sprintf("HYDRA-lin(admm×%d)", l.shards()) }
+
+func (l *LinearLinker) shards() int {
+	if l.Shards <= 0 {
+		return 5
+	}
+	return l.Shards
+}
+
+// Fit implements Linker: least-squares fit of labels ±1 on the labeled
+// candidates, distributed over the shards.
+func (l *LinearLinker) Fit(sys *System, task *Task) error {
+	l.sys = sys
+	lambda := l.Lambda
+	if lambda <= 0 {
+		lambda = 1
+	}
+	var xs []linalg.Vector
+	var ys []float64
+	for _, b := range task.Blocks {
+		for _, ci := range b.SortedLabelIndices() {
+			c := b.Cands[ci]
+			x, err := sys.Impute(b.PA, c.A, b.PB, c.B, l.Variant, l.TopFriends)
+			if err != nil {
+				return err
+			}
+			// Homogeneous coordinate for the bias term.
+			xb := append(x.Clone(), 1)
+			xs = append(xs, xb)
+			ys = append(ys, b.Labels[ci])
+		}
+	}
+	if len(xs) == 0 {
+		return fmt.Errorf("core: LinearLinker has no labeled pairs")
+	}
+	dim := len(xs[0])
+	shards, err := admm.Split(xs, ys, l.shards())
+	if err != nil {
+		return err
+	}
+	res, err := admm.Solve(shards, dim, admm.Opts{Lambda: lambda, Rho: 2, MaxIter: 300, Tol: 1e-7})
+	if err != nil {
+		return err
+	}
+	l.model = &LinearModel{W: res.W[:dim-1], B: res.W[dim-1], Diag: *res}
+	return nil
+}
+
+// PairScore implements Linker.
+func (l *LinearLinker) PairScore(pa platform.ID, a int, pb platform.ID, b int) (float64, error) {
+	if l.model == nil {
+		return 0, fmt.Errorf("core: LinearLinker not fitted")
+	}
+	x, err := l.sys.Impute(pa, a, pb, b, l.Variant, l.TopFriends)
+	if err != nil {
+		return 0, err
+	}
+	return l.model.W.Dot(x) + l.model.B, nil
+}
+
+// Model exposes the fitted linear model (nil before Fit).
+func (l *LinearLinker) Model() *LinearModel { return l.model }
+
+// TuneThreshold scans decision thresholds over the labeled candidates of
+// the task and returns the one maximizing F1 — the validation-set tuning
+// step of the paper's Section 7.1. The returned threshold should be
+// subtracted from raw scores (link when score > threshold).
+func TuneThreshold(sys *System, l Linker, task *Task) (float64, error) {
+	type scored struct {
+		s float64
+		y bool
+	}
+	var data []scored
+	for _, b := range task.Blocks {
+		for _, ci := range b.SortedLabelIndices() {
+			c := b.Cands[ci]
+			s, err := l.PairScore(b.PA, c.A, b.PB, c.B)
+			if err != nil {
+				return 0, err
+			}
+			data = append(data, scored{s: s, y: b.Labels[ci] > 0})
+		}
+	}
+	if len(data) == 0 {
+		return 0, fmt.Errorf("core: TuneThreshold needs labeled pairs")
+	}
+	sort.Slice(data, func(i, j int) bool { return data[i].s > data[j].s })
+	totalPos := 0
+	for _, d := range data {
+		if d.y {
+			totalPos++
+		}
+	}
+	if totalPos == 0 {
+		return 0, fmt.Errorf("core: TuneThreshold needs positive labels")
+	}
+	bestF1, bestThr := -1.0, 0.0
+	tp, fp := 0, 0
+	for i, d := range data {
+		if d.y {
+			tp++
+		} else {
+			fp++
+		}
+		if i+1 < len(data) && data[i+1].s == d.s {
+			continue
+		}
+		prec := float64(tp) / float64(tp+fp)
+		rec := float64(tp) / float64(totalPos)
+		if prec+rec == 0 {
+			continue
+		}
+		f1 := 2 * prec * rec / (prec + rec)
+		if f1 > bestF1 {
+			bestF1 = f1
+			// Place the threshold midway to the next score.
+			if i+1 < len(data) {
+				bestThr = (d.s + data[i+1].s) / 2
+			} else {
+				bestThr = d.s - 1e-9
+			}
+		}
+	}
+	return bestThr, nil
+}

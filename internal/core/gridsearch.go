@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+)
+
+// GridSearch is the validation-set parameter tuning of the paper's Section
+// 7.1 ("the parameters ... are tuned by a grid search procedure to maximize
+// the performance ... on the validation set"): it trains HYDRA at every
+// (γ_L, γ_M, p) grid point on trainTask and keeps the configuration with
+// the best F1 on valTask's labeled pairs.
+
+// GridPoint is one evaluated configuration.
+type GridPoint struct {
+	GammaL, GammaM, P float64
+	F1                float64
+	Err               error
+}
+
+// GridResult is the full sweep outcome.
+type GridResult struct {
+	Best   Config
+	BestF1 float64
+	Points []GridPoint
+}
+
+// GridSearch sweeps the grids and returns the best configuration. base
+// supplies all non-swept parameters. Points that fail to train are recorded
+// with their error and skipped.
+func GridSearch(sys *System, trainTask, valTask *Task, base Config,
+	gammaLs, gammaMs, ps []float64) (*GridResult, error) {
+
+	if len(gammaLs) == 0 || len(gammaMs) == 0 || len(ps) == 0 {
+		return nil, fmt.Errorf("core: empty grid")
+	}
+	res := &GridResult{BestF1: -1}
+	for _, gl := range gammaLs {
+		for _, gm := range gammaMs {
+			for _, p := range ps {
+				cfg := base
+				cfg.GammaL, cfg.GammaM, cfg.P = gl, gm, p
+				pt := GridPoint{GammaL: gl, GammaM: gm, P: p}
+				m, err := Train(sys, trainTask, cfg)
+				if err != nil {
+					pt.Err = err
+					res.Points = append(res.Points, pt)
+					continue
+				}
+				f1, err := labeledF1(sys, &HydraLinker{Cfg: cfg, model: m}, valTask)
+				if err != nil {
+					pt.Err = err
+					res.Points = append(res.Points, pt)
+					continue
+				}
+				pt.F1 = f1
+				res.Points = append(res.Points, pt)
+				if f1 > res.BestF1 {
+					res.BestF1 = f1
+					res.Best = cfg
+				}
+			}
+		}
+	}
+	if res.BestF1 < 0 {
+		return nil, fmt.Errorf("core: every grid point failed")
+	}
+	return res, nil
+}
+
+// labeledF1 scores the linker's decisions against the task's labeled pairs
+// (the validation criterion).
+func labeledF1(sys *System, l Linker, task *Task) (float64, error) {
+	tp, fp, fn := 0, 0, 0
+	seen := 0
+	for _, b := range task.Blocks {
+		for _, ci := range b.SortedLabelIndices() {
+			c := b.Cands[ci]
+			s, err := l.PairScore(b.PA, c.A, b.PB, c.B)
+			if err != nil {
+				return 0, err
+			}
+			seen++
+			linked := s > 0
+			truth := b.Labels[ci] > 0
+			switch {
+			case linked && truth:
+				tp++
+			case linked && !truth:
+				fp++
+			case !linked && truth:
+				fn++
+			}
+		}
+	}
+	if seen == 0 {
+		return 0, fmt.Errorf("core: validation task has no labeled pairs")
+	}
+	if tp == 0 {
+		return 0, nil
+	}
+	prec := float64(tp) / float64(tp+fp)
+	rec := float64(tp) / float64(tp+fn)
+	return 2 * prec * rec / (prec + rec), nil
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"hydra/internal/platform"
+)
+
+func TestGridSearch(t *testing.T) {
+	_, sys := buildSystem(t, 50, platform.EnglishPlatforms, 27)
+	trainTask := buildTask(t, sys, platform.Twitter, platform.Facebook,
+		LabelOpts{LabelFraction: 0.3, NegPerPos: 2, UsePreMatched: false, Seed: 27})
+	valTask := buildTask(t, sys, platform.Twitter, platform.Facebook,
+		LabelOpts{LabelFraction: 0.3, NegPerPos: 2, UsePreMatched: false, Seed: 28})
+
+	res, err := GridSearch(sys, trainTask, valTask, DefaultConfig(27),
+		[]float64{1e-4, 1e-3}, []float64{0, 30}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(res.Points))
+	}
+	if res.BestF1 <= 0.3 {
+		t.Fatalf("best F1 = %v", res.BestF1)
+	}
+	// The best config must be one of the grid points.
+	found := false
+	for _, p := range res.Points {
+		if p.GammaL == res.Best.GammaL && p.GammaM == res.Best.GammaM && p.P == res.Best.P {
+			found = true
+			if p.F1 != res.BestF1 {
+				t.Fatal("best F1 does not match its grid point")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("best config not on the grid")
+	}
+}
+
+func TestGridSearchValidation(t *testing.T) {
+	if _, err := GridSearch(nil, nil, nil, Config{}, nil, []float64{1}, []float64{1}); err == nil {
+		t.Fatal("expected empty-grid error")
+	}
+}
+
+func TestGridSearchRecordsFailures(t *testing.T) {
+	_, sys := buildSystem(t, 30, platform.EnglishPlatforms, 29)
+	task := buildTask(t, sys, platform.Twitter, platform.Facebook, DefaultLabelOpts(29))
+	// GammaL = -1 is invalid: that grid point must fail but the sweep must
+	// still succeed through the valid point.
+	res, err := GridSearch(sys, task, task, DefaultConfig(29),
+		[]float64{-1, 1e-3}, []float64{10}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failures := 0
+	for _, p := range res.Points {
+		if p.Err != nil {
+			failures++
+		}
+	}
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1", failures)
+	}
+}
+
+func TestGridSearchAllFail(t *testing.T) {
+	_, sys := buildSystem(t, 20, platform.EnglishPlatforms, 30)
+	task := buildTask(t, sys, platform.Twitter, platform.Facebook, DefaultLabelOpts(30))
+	if _, err := GridSearch(sys, task, task, DefaultConfig(30),
+		[]float64{-1}, []float64{1}, []float64{1}); err == nil {
+		t.Fatal("expected all-failed error")
+	}
+}

@@ -1,0 +1,458 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hydra/internal/blocking"
+	"hydra/internal/kernel"
+	"hydra/internal/linalg"
+	"hydra/internal/moo"
+	"hydra/internal/platform"
+	"hydra/internal/qp"
+	"hydra/internal/structure"
+)
+
+// Config holds HYDRA's model parameters (the γ_L, γ_M, p, σ_S, σ_D inputs
+// of Algorithm 1).
+type Config struct {
+	// GammaL weighs the supervised structured loss F_D.
+	GammaL float64
+	// GammaM weighs the structure-consistency objectives F_S.
+	GammaM float64
+	// P is the exponent of the weighted exponential-sum utility (Eqn 11).
+	P float64
+	// Sigma1/Sigma2 are the Eqn 9 bandwidths; MaxHops caps the n-hop
+	// distance search of the structure graph.
+	Sigma1, Sigma2 float64
+	MaxHops        int
+	// KernelSigma is the RBF bandwidth of the dual kernel K. Zero selects
+	// the median heuristic.
+	KernelSigma float64
+	// Variant is HydraM or HydraZ.
+	Variant Variant
+	// TopFriends is the core-structure size for imputation (paper: 3).
+	TopFriends int
+	// ReweightIters bounds the iterative reweighting rounds used for p>1.
+	ReweightIters int
+	// Tol is the SMO tolerance.
+	Tol  float64
+	Seed int64
+}
+
+// DefaultConfig returns the calibrated parameters (the values a grid search
+// over the validation set selects in the paper's Section 7.1).
+func DefaultConfig(seed int64) Config {
+	return Config{
+		GammaL:        1e-3,
+		GammaM:        30,
+		P:             1,
+		Sigma1:        0.1,
+		Sigma2:        6,
+		MaxHops:       2,
+		Variant:       HydraM,
+		TopFriends:    3,
+		ReweightIters: 3,
+		Tol:           1e-3,
+		Seed:          seed,
+	}
+}
+
+// Block is one platform pair's slice of the multi-platform SIL problem:
+// its candidate pairs and the labeled subset. The multi-platform M of Eqn
+// 14 is block-diagonal over these.
+type Block struct {
+	PA, PB platform.ID
+	Cands  []blocking.Candidate
+	// Labels maps candidate index -> ±1 for the labeled subset
+	// (ground-truth linked pairs and rule-based pre-matched pairs).
+	Labels map[int]float64
+}
+
+// Task is the full training task across one or more platform pairs.
+type Task struct {
+	Blocks []*Block
+}
+
+// NumCandidates returns the total candidate count n = |P_l ∪ P_u|.
+func (t *Task) NumCandidates() int {
+	n := 0
+	for _, b := range t.Blocks {
+		n += len(b.Cands)
+	}
+	return n
+}
+
+// NumLabeled returns the labeled-pair count N_l.
+func (t *Task) NumLabeled() int {
+	n := 0
+	for _, b := range t.Blocks {
+		n += len(b.Labels)
+	}
+	return n
+}
+
+// Diagnostics reports training internals for the experiments.
+type Diagnostics struct {
+	N, NL        int
+	SMOIters     int
+	NnzBeta      int
+	MDensity     float64
+	FD, FS       float64
+	EffGammaM    float64
+	ReweightDone int
+}
+
+// Model is a trained HYDRA linkage function (Eqn 12): the kernel expansion
+// over all candidate pairs.
+type Model struct {
+	sys   *System
+	cfg   Config
+	kern  kernel.Func
+	xs    []linalg.Vector
+	alpha linalg.Vector
+	bias  float64
+	dual  *rememberedDual
+	Diag  Diagnostics
+}
+
+// Train runs Algorithm 1 on the task. For p=1 this is the exact convex
+// dual (Eqns 13–17); for p>1 it iteratively reweights γ_M following the
+// first-order reduction of the exponential-sum utility (see internal/moo).
+func Train(sys *System, task *Task, cfg Config) (*Model, error) {
+	return train(sys, task, cfg, nil)
+}
+
+// train is Train plus an optional remembered-β warm start (see
+// TrainIncremental).
+func train(sys *System, task *Task, cfg Config, warmMap map[labelKey]float64) (*Model, error) {
+	if len(task.Blocks) == 0 {
+		return nil, fmt.Errorf("core: task has no blocks")
+	}
+	if cfg.GammaL <= 0 {
+		return nil, fmt.Errorf("core: GammaL must be positive, got %g", cfg.GammaL)
+	}
+	if cfg.GammaM < 0 {
+		return nil, fmt.Errorf("core: GammaM must be non-negative, got %g", cfg.GammaM)
+	}
+	if cfg.P < 1 {
+		return nil, fmt.Errorf("core: P must be ≥ 1, got %g", cfg.P)
+	}
+	n := task.NumCandidates()
+	nl := task.NumLabeled()
+	if n == 0 {
+		return nil, fmt.Errorf("core: no candidate pairs")
+	}
+	if nl == 0 {
+		return nil, fmt.Errorf("core: no labeled pairs; F_D is undefined")
+	}
+
+	// 1. Assemble imputed feature vectors and label bookkeeping.
+	xs := make([]linalg.Vector, 0, n)
+	var labeledIdx []int
+	var labels []float64
+	var labelKeys []labelKey
+	offset := 0
+	for _, b := range task.Blocks {
+		for ci, c := range b.Cands {
+			x, err := sys.Impute(b.PA, c.A, b.PB, c.B, cfg.Variant, cfg.TopFriends)
+			if err != nil {
+				return nil, err
+			}
+			xs = append(xs, x)
+			if y, ok := b.Labels[ci]; ok {
+				if y != 1 && y != -1 {
+					return nil, fmt.Errorf("core: label %g on block %s/%s candidate %d, want ±1", y, b.PA, b.PB, ci)
+				}
+				labeledIdx = append(labeledIdx, offset+ci)
+				labels = append(labels, y)
+				labelKeys = append(labelKeys, labelKey{b.PA, b.PB, c.A, c.B})
+			}
+		}
+		offset += len(b.Cands)
+	}
+	pos, neg := 0, 0
+	for _, y := range labels {
+		if y > 0 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, fmt.Errorf("core: need labeled pairs of both classes (got %d positive, %d negative)", pos, neg)
+	}
+
+	// 2. Structure-consistency Laplacian, block-diagonal over platform
+	// pairs (Eqn 14).
+	lap := linalg.NewMatrix(n, n)
+	offset = 0
+	density := 0.0
+	for _, b := range task.Blocks {
+		embA, err := sys.Embeddings(b.PA)
+		if err != nil {
+			return nil, err
+		}
+		embB, err := sys.Embeddings(b.PB)
+		if err != nil {
+			return nil, err
+		}
+		platA, _ := sys.DS.Platform(b.PA)
+		platB, _ := sys.DS.Platform(b.PB)
+		scands := make([]structure.Candidate, len(b.Cands))
+		for i, c := range b.Cands {
+			scands[i] = structure.Candidate{A: c.A, B: c.B}
+		}
+		m, err := structure.Build(scands, embA, embB, platA.Graph, platB.Graph, structure.Config{
+			Sigma1: cfg.Sigma1, Sigma2: cfg.Sigma2, MaxHops: cfg.MaxHops,
+		})
+		if err != nil {
+			return nil, err
+		}
+		density += m.Density() * float64(len(b.Cands)) / float64(n)
+		lb := structure.Laplacian(m)
+		for i := 0; i < lb.Rows; i++ {
+			for j := 0; j < lb.Cols; j++ {
+				if v := lb.At(i, j); v != 0 {
+					lap.Set(offset+i, offset+j, v)
+				}
+			}
+		}
+		offset += len(b.Cands)
+	}
+
+	// 3. Kernel matrix.
+	kern := pickKernel(cfg, xs)
+	gram := kernel.Gram(kern, xs)
+
+	m := &Model{sys: sys, cfg: cfg, kern: kern, xs: xs}
+	m.Diag.N, m.Diag.NL = n, nl
+	m.Diag.MDensity = density
+
+	// 4. Solve; for p>1 iterate the reweighted scalarization.
+	effGammaM := cfg.GammaM
+	rounds := 1
+	if cfg.P > 1 {
+		rounds = cfg.ReweightIters
+		if rounds < 1 {
+			rounds = 3
+		}
+	}
+	warm := warmStartVector(task, labels, labelKeys, 1/float64(nl), warmMap)
+	var finalBeta []float64
+	for round := 0; round < rounds; round++ {
+		beta, err := m.solveOnce(gram, lap, labeledIdx, labels, effGammaM, warm)
+		if err != nil {
+			return nil, err
+		}
+		warm = beta // β_t warm-starts β_{t+1} (Section 7.5)
+		finalBeta = beta
+		m.Diag.ReweightDone = round + 1
+		m.Diag.EffGammaM = effGammaM
+		if cfg.P <= 1 || round == rounds-1 {
+			break
+		}
+		// Evaluate the two objectives at the current solution and
+		// re-linearize the p-power utility.
+		fd, fs := m.objectives(gram, lap, labeledIdx, labels)
+		m.Diag.FD, m.Diag.FS = fd, fs
+		eff, err := moo.EffectiveWeights([]float64{1, cfg.GammaM}, []float64{math.Max(fd, 1e-9), math.Max(fs, 1e-9)}, cfg.P)
+		if err != nil {
+			return nil, err
+		}
+		effGammaM = eff[1]
+	}
+	fd, fs := m.objectives(gram, lap, labeledIdx, labels)
+	m.Diag.FD, m.Diag.FS = fd, fs
+	// Remember the dual for incremental retraining.
+	m.dual = &rememberedDual{beta: make(map[labelKey]float64, len(labelKeys))}
+	for i, k := range labelKeys {
+		if finalBeta[i] != 0 {
+			m.dual.beta[k] = finalBeta[i]
+		}
+	}
+	return m, nil
+}
+
+// solveOnce performs one p=1 dual solve with the given structure weight and
+// returns the dual variables β for warm starting the next round.
+func (m *Model) solveOnce(gram, lap *linalg.Matrix, labeledIdx []int, labels []float64, gammaM float64, warm []float64) ([]float64, error) {
+	n := gram.Rows
+	nl := len(labeledIdx)
+	cfg := m.cfg
+
+	// A = 2γ_L I + (2γ_M / n²) L K   (Eqn 15's inverse operand).
+	scale := 2 * gammaM / float64(n*n)
+	a := lap.Mul(gram).ScaleInPlace(scale).AddDiag(2 * cfg.GammaL)
+	lu, err := linalg.Factorize(a)
+	if err != nil {
+		return nil, fmt.Errorf("core: dual system factorization: %w", err)
+	}
+	// Z = A⁻¹ Jᵀ Y (n × N_l).
+	jy := linalg.NewMatrix(n, nl)
+	for c, idx := range labeledIdx {
+		jy.Set(idx, c, labels[c])
+	}
+	z := lu.SolveMatrix(jy)
+	// Q = Y J K Z (N_l × N_l, Eqn 17).
+	kz := gram.Mul(z)
+	qm := linalg.NewMatrix(nl, nl)
+	for r, idx := range labeledIdx {
+		for c := 0; c < nl; c++ {
+			qm.Set(r, c, labels[r]*kz.At(idx, c))
+		}
+	}
+	// Symmetrize against numerical drift.
+	for r := 0; r < nl; r++ {
+		for c := r + 1; c < nl; c++ {
+			v := (qm.At(r, c) + qm.At(c, r)) / 2
+			qm.Set(r, c, v)
+			qm.Set(c, r, v)
+		}
+	}
+
+	// Box bound C = 1/|P_l| (Eqn 16).
+	cBox := 1 / float64(nl)
+	res, err := qp.Solve(denseAdapter{qm}, labels, cBox, qp.Opts{Tol: cfg.Tol, Shrink: true, WarmStart: warm})
+	if err != nil {
+		return nil, fmt.Errorf("core: SMO: %w", err)
+	}
+	m.Diag.SMOIters += res.Iters
+	m.Diag.NnzBeta = 0
+	for _, b := range res.Beta {
+		if b > 1e-10 {
+			m.Diag.NnzBeta++
+		}
+	}
+	// α = Z β (Eqn 15).
+	m.alpha = z.MulVec(linalg.Vector(res.Beta))
+	// Bias from free dual variables: y_i = f(x_i) on the margin.
+	m.bias = 0
+	free := 0
+	var acc float64
+	ka := gram.MulVec(m.alpha)
+	for c, idx := range labeledIdx {
+		if res.Beta[c] > 1e-8 && res.Beta[c] < cBox-1e-8 {
+			acc += labels[c] - ka[idx]
+			free++
+		}
+	}
+	if free > 0 {
+		m.bias = acc / float64(free)
+	} else {
+		// Fall back to the class-balanced midpoint over labeled pairs.
+		var lo, hi float64
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for c, idx := range labeledIdx {
+			v := ka[idx]
+			if labels[c] > 0 && v < lo {
+				lo = v
+			}
+			if labels[c] < 0 && v > hi {
+				hi = v
+			}
+		}
+		if !math.IsInf(lo, 1) && !math.IsInf(hi, -1) {
+			m.bias = -(lo + hi) / 2
+		}
+	}
+	return res.Beta, nil
+}
+
+// objectives evaluates F_D (structured loss) and F_S (structure
+// consistency, Eqn 8) at the current α.
+func (m *Model) objectives(gram, lap *linalg.Matrix, labeledIdx []int, labels []float64) (fd, fs float64) {
+	n := gram.Rows
+	ka := gram.MulVec(m.alpha) // f(x_i) − b over all candidates
+	// F_D = γ_L/2 ‖w‖² + Σ ξ, with ‖w‖² = αᵀKα.
+	wNorm2 := m.alpha.Dot(ka)
+	fd = m.cfg.GammaL / 2 * wNorm2
+	for c, idx := range labeledIdx {
+		margin := labels[c] * (ka[idx] + m.bias)
+		if margin < 1 {
+			fd += 1 - margin
+		}
+	}
+	// F_S = (1/n²)·fᵀ L f with f = Kα (Eqn 8's wᵀXᵀ(D−M)Xw in the dual).
+	fs = ka.Dot(lap.MulVec(ka)) / float64(n*n)
+	if fs < 0 {
+		fs = 0 // PSD up to numerical noise
+	}
+	return fd, fs
+}
+
+// denseAdapter exposes a linalg.Matrix as a qp.Matrix.
+type denseAdapter struct{ m *linalg.Matrix }
+
+func (d denseAdapter) At(i, j int) float64 { return d.m.At(i, j) }
+func (d denseAdapter) N() int              { return d.m.Rows }
+
+// pickKernel selects the dual kernel: an RBF with either the configured
+// bandwidth or the median pairwise distance heuristic.
+func pickKernel(cfg Config, xs []linalg.Vector) kernel.Func {
+	sigma := cfg.KernelSigma
+	if sigma <= 0 {
+		sigma = medianDistance(xs)
+		if sigma <= 0 {
+			sigma = 1
+		}
+	}
+	return kernel.NewRBF(sigma)
+}
+
+// medianDistance estimates the median pairwise distance on a deterministic
+// subsample.
+func medianDistance(xs []linalg.Vector) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	stride := 1
+	if n > 60 {
+		stride = n / 60
+	}
+	var ds []float64
+	for i := 0; i < n; i += stride {
+		for j := i + stride; j < n; j += stride {
+			ds = append(ds, math.Sqrt(linalg.SqDist(xs[i], xs[j])))
+		}
+	}
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Float64s(ds)
+	return ds[len(ds)/2]
+}
+
+// Decision evaluates the linkage function f(x) = Σ α_j K(x_j, x) + b on an
+// already-imputed feature vector.
+func (m *Model) Decision(x linalg.Vector) float64 {
+	s := m.bias
+	for j, xj := range m.xs {
+		if m.alpha[j] == 0 {
+			continue
+		}
+		s += m.alpha[j] * m.kern.Eval(xj, x)
+	}
+	return s
+}
+
+// Score computes the decision value for an account pair, applying the
+// model's imputation variant.
+func (m *Model) Score(pa platform.ID, a int, pb platform.ID, b int) (float64, error) {
+	x, err := m.sys.Impute(pa, a, pb, b, m.cfg.Variant, m.cfg.TopFriends)
+	if err != nil {
+		return 0, err
+	}
+	return m.Decision(x), nil
+}
+
+// Link decides whether the pair is the same natural person (f(x) > 0).
+func (m *Model) Link(pa platform.ID, a int, pb platform.ID, b int) (bool, error) {
+	s, err := m.Score(pa, a, pb, b)
+	if err != nil {
+		return false, err
+	}
+	return s > 0, nil
+}

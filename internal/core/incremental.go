@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math"
+
+	"hydra/internal/platform"
+)
+
+// Incremental linkage: social platforms grow continuously, and the paper's
+// Section 7.5 notes that HYDRA re-optimizes β_{t+1} from β_t as a warm
+// start. TrainIncremental exposes that mechanism across training calls:
+// when new candidates (and possibly new labeled pairs) arrive, the previous
+// model's dual variables seed the new solve, which typically converges in
+// fewer SMO iterations than a cold start.
+
+// labelKey identifies a labeled candidate pair across retrainings.
+type labelKey struct {
+	pa, pb platform.ID
+	a, b   int
+}
+
+// rememberedDual is the warm-start state a Model carries after training.
+type rememberedDual struct {
+	beta map[labelKey]float64
+}
+
+// TrainIncremental trains on task, warm-starting from prev's dual variables
+// where labeled pairs coincide. prev may be nil (equivalent to Train). The
+// warm start is projected back to feasibility (box [0, 1/N_l] and
+// yᵀβ = 0), so any label-set change degrades gracefully toward a cold
+// start instead of erroring.
+func TrainIncremental(sys *System, prev *Model, task *Task, cfg Config) (*Model, error) {
+	var warm map[labelKey]float64
+	if prev != nil && prev.dual != nil {
+		warm = prev.dual.beta
+	}
+	return train(sys, task, cfg, warm)
+}
+
+// warmStartVector maps remembered β values onto the new label ordering and
+// projects the result to the feasible set. Returns nil (cold start) when
+// nothing carries over or feasibility cannot be restored.
+func warmStartVector(task *Task, labels []float64, keys []labelKey, cBox float64, warm map[labelKey]float64) []float64 {
+	if len(warm) == 0 {
+		return nil
+	}
+	beta := make([]float64, len(keys))
+	carried := 0
+	for i, k := range keys {
+		if v, ok := warm[k]; ok {
+			beta[i] = math.Min(math.Max(v, 0), cBox)
+			if beta[i] > 0 {
+				carried++
+			}
+		}
+	}
+	if carried == 0 {
+		return nil
+	}
+	// Restore yᵀβ = 0 by rescaling the heavier side down.
+	var sumPos, sumNeg float64
+	for i, y := range labels {
+		if y > 0 {
+			sumPos += beta[i]
+		} else {
+			sumNeg += beta[i]
+		}
+	}
+	switch {
+	case sumPos == 0 || sumNeg == 0:
+		return nil // one side empty: rescaling cannot balance
+	case sumPos > sumNeg:
+		scale := sumNeg / sumPos
+		for i, y := range labels {
+			if y > 0 {
+				beta[i] *= scale
+			}
+		}
+	case sumNeg > sumPos:
+		scale := sumPos / sumNeg
+		for i, y := range labels {
+			if y < 0 {
+				beta[i] *= scale
+			}
+		}
+	}
+	return beta
+}

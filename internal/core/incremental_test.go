@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"hydra/internal/platform"
+)
+
+func TestTrainIncrementalWarmStart(t *testing.T) {
+	_, sys := buildSystem(t, 60, platform.EnglishPlatforms, 21)
+	task := buildTask(t, sys, platform.Twitter, platform.Facebook, DefaultLabelOpts(21))
+	cfg := DefaultConfig(21)
+
+	cold, err := Train(sys, task, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.dual == nil || len(cold.dual.beta) == 0 {
+		t.Fatal("cold model did not remember its dual")
+	}
+
+	// Retrain on the identical task: the warm start should converge in
+	// fewer SMO iterations than the cold start did.
+	warm, err := TrainIncremental(sys, cold, task, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Diag.SMOIters >= cold.Diag.SMOIters {
+		t.Fatalf("warm start took %d iters, cold took %d", warm.Diag.SMOIters, cold.Diag.SMOIters)
+	}
+	// Quality must be preserved.
+	confCold, err := EvaluateLinker(sys, &HydraLinker{Cfg: cfg, model: cold}, task.Blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	confWarm, err := EvaluateLinker(sys, &HydraLinker{Cfg: cfg, model: warm}, task.Blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if confWarm.F1() < confCold.F1()-0.05 {
+		t.Fatalf("warm-start model degraded: %v vs %v", confWarm.F1(), confCold.F1())
+	}
+}
+
+func TestTrainIncrementalGrownTask(t *testing.T) {
+	_, sys := buildSystem(t, 60, platform.EnglishPlatforms, 22)
+	small := buildTask(t, sys, platform.Twitter, platform.Facebook,
+		LabelOpts{LabelFraction: 0.2, NegPerPos: 2, UsePreMatched: false, Seed: 22})
+	big := buildTask(t, sys, platform.Twitter, platform.Facebook,
+		LabelOpts{LabelFraction: 0.4, NegPerPos: 2, UsePreMatched: false, Seed: 22})
+	cfg := DefaultConfig(22)
+
+	prev, err := Train(sys, small, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Training the grown task from the previous model must work and score
+	// at least as well as the smaller model did.
+	grown, err := TrainIncremental(sys, prev, big, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := EvaluateLinker(sys, &HydraLinker{Cfg: cfg, model: grown}, big.Blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.F1() < 0.5 {
+		t.Fatalf("incremental model on grown task F1 = %v", conf.F1())
+	}
+}
+
+func TestTrainIncrementalNilPrev(t *testing.T) {
+	_, sys := buildSystem(t, 30, platform.EnglishPlatforms, 23)
+	task := buildTask(t, sys, platform.Twitter, platform.Facebook, DefaultLabelOpts(23))
+	m, err := TrainIncremental(sys, nil, task, DefaultConfig(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Fatal("nil model")
+	}
+}
+
+func TestWarmStartVectorProjection(t *testing.T) {
+	keys := []labelKey{
+		{platform.Twitter, platform.Facebook, 0, 0},
+		{platform.Twitter, platform.Facebook, 1, 1},
+	}
+	labels := []float64{1, -1}
+	warm := map[labelKey]float64{
+		keys[0]: 0.8,
+		keys[1]: 0.4,
+	}
+	beta := warmStartVector(nil, labels, keys, 0.5, warm)
+	if beta == nil {
+		t.Fatal("expected a warm vector")
+	}
+	// Box clip at 0.5 and rebalance: positive side 0.5, negative 0.4 →
+	// positive scaled to 0.4.
+	var eq float64
+	for i, y := range labels {
+		if beta[i] < 0 || beta[i] > 0.5 {
+			t.Fatalf("beta[%d] = %v out of box", i, beta[i])
+		}
+		eq += y * beta[i]
+	}
+	if eq > 1e-12 || eq < -1e-12 {
+		t.Fatalf("yᵀβ = %v after projection", eq)
+	}
+}
+
+func TestWarmStartVectorDegenerate(t *testing.T) {
+	if warmStartVector(nil, nil, nil, 1, nil) != nil {
+		t.Fatal("empty warm map should give nil")
+	}
+	keys := []labelKey{{platform.Twitter, platform.Facebook, 0, 0}}
+	// Only a positive-side value: cannot balance, degrade to cold start.
+	beta := warmStartVector(nil, []float64{1}, keys, 1,
+		map[labelKey]float64{keys[0]: 0.5})
+	if beta != nil {
+		t.Fatal("unbalanceable warm start should degrade to nil")
+	}
+	// Carried values that clip to zero also degrade.
+	beta = warmStartVector(nil, []float64{1}, keys, 1,
+		map[labelKey]float64{{platform.Twitter, platform.Facebook, 9, 9}: 0.5})
+	if beta != nil {
+		t.Fatal("no-overlap warm start should degrade to nil")
+	}
+}

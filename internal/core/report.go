@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"hydra/internal/admm"
+	"hydra/internal/linalg"
+)
+
+// GroupWeight is the share of linear-model weight mass carried by one
+// feature group of the heterogeneous behavior model.
+type GroupWeight struct {
+	Group  string
+	Weight float64 // Σ|w_d| over the group's dimensions
+	Share  float64 // Weight / Σ Weight
+}
+
+// FeatureGroupReport fits an l2-regularized linear model on the task's
+// labeled pairs and reports how the weight mass distributes over the
+// feature groups (attr / face / username / topic / genre / sentiment /
+// style / mr). It quantifies which behavioral modality carries the linkage
+// signal on a given dataset — the diagnostic counterpart of the paper's
+// attribute-importance learning.
+func FeatureGroupReport(sys *System, task *Task, variant Variant) ([]GroupWeight, error) {
+	var xs []linalg.Vector
+	var ys []float64
+	for _, b := range task.Blocks {
+		for _, ci := range b.SortedLabelIndices() {
+			c := b.Cands[ci]
+			x, err := sys.Impute(b.PA, c.A, b.PB, c.B, variant, 3)
+			if err != nil {
+				return nil, err
+			}
+			xs = append(xs, x)
+			ys = append(ys, b.Labels[ci])
+		}
+	}
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("core: FeatureGroupReport needs labeled pairs")
+	}
+	shards, err := admm.Split(xs, ys, 4)
+	if err != nil {
+		return nil, err
+	}
+	res, err := admm.Solve(shards, len(xs[0]), admm.Opts{Lambda: 1, MaxIter: 300, Tol: 1e-7})
+	if err != nil {
+		return nil, err
+	}
+	groups := sys.Pipe.FeatureGroups()
+	if len(groups) != len(res.W) {
+		return nil, fmt.Errorf("core: weight dim %d != feature dim %d", len(res.W), len(groups))
+	}
+	acc := make(map[string]float64)
+	var total float64
+	for d, g := range groups {
+		w := math.Abs(res.W[d])
+		acc[g] += w
+		total += w
+	}
+	out := make([]GroupWeight, 0, len(acc))
+	for g, w := range acc {
+		share := 0.0
+		if total > 0 {
+			share = w / total
+		}
+		out = append(out, GroupWeight{Group: g, Weight: w, Share: share})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Group < out[j].Group
+	})
+	return out, nil
+}
+
+// FormatGroupWeights renders the report as an aligned text table.
+func FormatGroupWeights(gws []GroupWeight) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %10s %8s\n", "group", "weight", "share")
+	for _, g := range gws {
+		fmt.Fprintf(&b, "%-12s %10.4f %7.1f%%\n", g.Group, g.Weight, 100*g.Share)
+	}
+	return b.String()
+}

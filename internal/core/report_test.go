@@ -1,0 +1,54 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"hydra/internal/platform"
+)
+
+func TestFeatureGroupReport(t *testing.T) {
+	_, sys := buildSystem(t, 50, platform.EnglishPlatforms, 25)
+	task := buildTask(t, sys, platform.Twitter, platform.Facebook, DefaultLabelOpts(25))
+	gws, err := FeatureGroupReport(sys, task, HydraM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gws) < 5 {
+		t.Fatalf("groups = %d", len(gws))
+	}
+	var totalShare float64
+	seen := map[string]bool{}
+	for _, g := range gws {
+		if g.Weight < 0 || g.Share < 0 {
+			t.Fatalf("negative weight: %+v", g)
+		}
+		if seen[g.Group] {
+			t.Fatalf("duplicate group %s", g.Group)
+		}
+		seen[g.Group] = true
+		totalShare += g.Share
+	}
+	if totalShare < 0.99 || totalShare > 1.01 {
+		t.Fatalf("shares sum to %v", totalShare)
+	}
+	// Sorted descending by weight.
+	for i := 1; i < len(gws); i++ {
+		if gws[i].Weight > gws[i-1].Weight {
+			t.Fatal("report not sorted")
+		}
+	}
+	out := FormatGroupWeights(gws)
+	if !strings.Contains(out, "group") || !strings.Contains(out, "%") {
+		t.Fatalf("format output wrong:\n%s", out)
+	}
+}
+
+func TestFeatureGroupReportNoLabels(t *testing.T) {
+	_, sys := buildSystem(t, 20, platform.EnglishPlatforms, 26)
+	task := buildTask(t, sys, platform.Twitter, platform.Facebook,
+		LabelOpts{LabelFraction: 0, Seed: 26})
+	if _, err := FeatureGroupReport(sys, task, HydraZ); err == nil {
+		t.Fatal("expected error without labels")
+	}
+}

@@ -1,0 +1,242 @@
+// Package core implements HYDRA itself: the end-to-end linkage system of
+// the paper. It wires the heterogeneous behavior model (internal/features),
+// the structure-consistency graph (internal/structure) and the
+// multi-objective dual solver (Eqns 13–17 via internal/qp) into Algorithm 1,
+// with the two missing-data variants of Section 6.3: HYDRA-M (friend-based
+// imputation, Eqn 18) and HYDRA-Z (zero fill).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hydra/internal/attr"
+	"hydra/internal/features"
+	"hydra/internal/linalg"
+	"hydra/internal/platform"
+	"hydra/internal/vision"
+)
+
+// Variant selects the missing-feature treatment.
+type Variant int
+
+// The two variants evaluated in the paper's Figure 15.
+const (
+	// HydraM fills a missing feature with the average of the same feature
+	// over the top-3 interacting friends on each side (Eqn 18).
+	HydraM Variant = iota
+	// HydraZ fills missing features with zeros (the degenerate baseline).
+	HydraZ
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	if v == HydraM {
+		return "HYDRA-M"
+	}
+	return "HYDRA-Z"
+}
+
+// System holds the trained feature pipeline and per-account views for one
+// dataset, with caching for pair vectors. It is shared by HYDRA and the
+// feature-based baselines so every method sees identical features.
+type System struct {
+	DS   *platform.Dataset
+	Pipe *features.Pipeline
+
+	views     map[platform.ID][]*features.AccountView
+	pairCache map[pairKey]features.PairVector
+	faces     *vision.Matcher
+	seed      int64
+}
+
+type pairKey struct {
+	pa, pb platform.ID
+	a, b   int
+}
+
+// NewSystem builds the pipeline (attribute importance from the provided
+// labeled profile pairs, LDA over the corpus) and prepares lazy view
+// construction.
+func NewSystem(ds *platform.Dataset, labeled []attr.LabeledPair, lx features.Lexicons, cfg features.Config) (*System, error) {
+	pipe, err := features.NewPipeline(ds, labeled, lx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		DS:        ds,
+		Pipe:      pipe,
+		views:     make(map[platform.ID][]*features.AccountView),
+		pairCache: make(map[pairKey]features.PairVector),
+		faces:     vision.NewMatcher(cfg.Seed),
+		seed:      cfg.Seed,
+	}, nil
+}
+
+// Faces exposes the simulated face matcher (blocking uses it).
+func (s *System) Faces() *vision.Matcher { return s.faces }
+
+// Views returns (building on first use) the account views of a platform.
+func (s *System) Views(id platform.ID) ([]*features.AccountView, error) {
+	if v, ok := s.views[id]; ok {
+		return v, nil
+	}
+	p, err := s.DS.Platform(id)
+	if err != nil {
+		return nil, err
+	}
+	views := make([]*features.AccountView, p.NumAccounts())
+	for i, acc := range p.Accounts {
+		views[i] = s.Pipe.BuildView(acc)
+	}
+	s.views[id] = views
+	return views, nil
+}
+
+// Embeddings returns the behavior embeddings x_i of all accounts on a
+// platform, indexed by local id.
+func (s *System) Embeddings(id platform.ID) ([]linalg.Vector, error) {
+	views, err := s.Views(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]linalg.Vector, len(views))
+	for i, v := range views {
+		out[i] = v.Embedding
+	}
+	return out, nil
+}
+
+// RawPair returns the (cached) unimputed pair vector between account a on
+// platform pa and account b on platform pb.
+func (s *System) RawPair(pa platform.ID, a int, pb platform.ID, b int) (features.PairVector, error) {
+	key := pairKey{pa, pb, a, b}
+	if pv, ok := s.pairCache[key]; ok {
+		return pv, nil
+	}
+	va, err := s.Views(pa)
+	if err != nil {
+		return features.PairVector{}, err
+	}
+	vb, err := s.Views(pb)
+	if err != nil {
+		return features.PairVector{}, err
+	}
+	if a < 0 || a >= len(va) || b < 0 || b >= len(vb) {
+		return features.PairVector{}, fmt.Errorf("core: pair (%d,%d) out of range (%s has %d, %s has %d)",
+			a, b, pa, len(va), pb, len(vb))
+	}
+	pv := s.Pipe.Pair(va[a], vb[b])
+	s.pairCache[key] = pv
+	return pv, nil
+}
+
+// Impute returns the pair vector with missing dimensions filled according
+// to the variant. topFriends is the core-structure size (the paper uses the
+// top-3 most-interacting friends on each side); when fewer friends exist
+// the average runs over the pairs that do (the natural generalization of
+// Eqn 18's fixed /9).
+func (s *System) Impute(pa platform.ID, a int, pb platform.ID, b int, v Variant, topFriends int) (linalg.Vector, error) {
+	pv, err := s.RawPair(pa, a, pb, b)
+	if err != nil {
+		return nil, err
+	}
+	x := pv.X.Clone()
+	if v == HydraZ {
+		return x, nil // missing dims are already zero
+	}
+	missing := false
+	for _, m := range pv.Mask {
+		if !m {
+			missing = true
+			break
+		}
+	}
+	if !missing {
+		return x, nil
+	}
+	if topFriends <= 0 {
+		topFriends = 3
+	}
+	platA, err := s.DS.Platform(pa)
+	if err != nil {
+		return nil, err
+	}
+	platB, err := s.DS.Platform(pb)
+	if err != nil {
+		return nil, err
+	}
+	friendsA := platA.Graph.TopFriends(a, topFriends)
+	friendsB := platB.Graph.TopFriends(b, topFriends)
+	if len(friendsA) == 0 || len(friendsB) == 0 {
+		return x, nil // no social context: fall back to zeros
+	}
+	// Average the friends' cross-pair similarity per missing dimension
+	// (Eqn 18); friend pairs missing the dimension contribute zero, as the
+	// paper prescribes.
+	dim := len(x)
+	sums := linalg.NewVector(dim)
+	count := float64(len(friendsA) * len(friendsB))
+	for _, fa := range friendsA {
+		for _, fb := range friendsB {
+			fpv, err := s.RawPair(pa, fa.ID, pb, fb.ID)
+			if err != nil {
+				return nil, err
+			}
+			for d := range sums {
+				if fpv.Mask[d] {
+					sums[d] += fpv.X[d]
+				}
+			}
+		}
+	}
+	for d := range x {
+		if !pv.Mask[d] {
+			x[d] = sums[d] / count
+		}
+	}
+	return x, nil
+}
+
+// CacheSize reports the number of cached pair vectors (diagnostics).
+func (s *System) CacheSize() int { return len(s.pairCache) }
+
+// LabeledProfilePairs assembles attribute-importance training pairs from
+// ground truth: for the given persons, the true cross-platform profile pair
+// (positive) and one shifted mismatch (negative). This plays the role of
+// the paper's user-provided cross-login label collection.
+func LabeledProfilePairs(ds *platform.Dataset, pa, pb platform.ID, persons []int) []attr.LabeledPair {
+	platA := ds.Platforms[pa]
+	platB := ds.Platforms[pb]
+	if platA == nil || platB == nil {
+		return nil
+	}
+	sorted := append([]int(nil), persons...)
+	sort.Ints(sorted)
+	var out []attr.LabeledPair
+	for i, person := range sorted {
+		la, okA := ds.AccountOf(person, pa)
+		lb, okB := ds.AccountOf(person, pb)
+		if !okA || !okB {
+			continue
+		}
+		out = append(out, attr.LabeledPair{
+			A:        &platA.Accounts[la].Profile,
+			B:        &platB.Accounts[lb].Profile,
+			Positive: true,
+		})
+		// Negative: pair with the next person's account on pb.
+		other := sorted[(i+1)%len(sorted)]
+		if other == person {
+			continue
+		}
+		if lbNeg, ok := ds.AccountOf(other, pb); ok {
+			out = append(out, attr.LabeledPair{
+				A:        &platA.Accounts[la].Profile,
+				B:        &platB.Accounts[lbNeg].Profile,
+				Positive: false,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"hydra/internal/core"
+	"hydra/internal/features"
+	"hydra/internal/platform"
+	"hydra/internal/synth"
+)
+
+// AblationStructure measures HYDRA with and without the structure
+// consistency objective (γ_M = 0) across label budgets — isolating the
+// contribution of Section 6.2.
+func AblationStructure(cfg Config) (*Result, error) {
+	st, err := newSetup(setupOpts{
+		persons:   cfg.persons(90),
+		platforms: platform.EnglishPlatforms,
+		seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Figure: "Ablation A1",
+		Title:  "Structure consistency on/off (γ_M = default vs 0)",
+		XLabel: "labeled-frac",
+	}
+	for _, frac := range []float64{0.08, 0.15, 0.3, 0.5} {
+		opts := core.LabelOpts{LabelFraction: frac, NegPerPos: 2, UsePreMatched: false, Seed: cfg.Seed}
+		task, err := st.task(platform.Twitter, platform.Facebook, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, mode := range []struct {
+			name   string
+			gammaM float64
+		}{{"with-structure", core.DefaultConfig(cfg.Seed).GammaM}, {"no-structure", 0}} {
+			hcfg := core.DefaultConfig(cfg.Seed)
+			hcfg.GammaM = mode.gammaM
+			linker := &core.HydraLinker{Cfg: hcfg}
+			conf, secs, err := runLinker(st.sys, linker, task)
+			if err != nil {
+				res.Note("%s at frac %.2f failed: %v", mode.name, frac, err)
+				continue
+			}
+			res.AddPoint(mode.name, frac, conf.Precision(), conf.Recall(), secs)
+		}
+	}
+	res.Note("expected: structure helps most at small label budgets")
+	return res, nil
+}
+
+// AblationPooling compares lq-norm pooling against mean pooling in the
+// multi-resolution sensor model (Section 5.4's bio-inspired choice).
+func AblationPooling(cfg Config) (*Result, error) {
+	return featureAblation(cfg, "Ablation A2", "lq-pooling vs mean pooling",
+		func(fc *features.Config, on bool) {
+			fc.MR.MeanPooling = !on
+		}, "lq-pool", "mean-pool")
+}
+
+// AblationMultiScale compares the full multi-scale bucket set (1..32 days)
+// against a single 8-day scale.
+func AblationMultiScale(cfg Config) (*Result, error) {
+	return featureAblation(cfg, "Ablation A3", "multi-scale vs single-scale topic buckets",
+		func(fc *features.Config, on bool) {
+			if !on {
+				fc.ScalesDays = []int{8}
+			}
+		}, "multi-scale", "single-scale")
+}
+
+// AblationTopicKernel compares the chi-square and histogram-intersection
+// kernels for per-bucket distribution similarity (the two options the paper
+// cites from [17]).
+func AblationTopicKernel(cfg Config) (*Result, error) {
+	return featureAblation(cfg, "Ablation A4", "chi-square vs histogram-intersection topic kernel",
+		func(fc *features.Config, on bool) {
+			fc.UseHistogramIntersection = !on
+		}, "chi-square", "hist-intersect")
+}
+
+// featureAblation runs HYDRA twice with a toggled feature-pipeline option
+// over the same world and reports both curves.
+func featureAblation(cfg Config, figID, title string,
+	toggle func(*features.Config, bool), onName, offName string) (*Result, error) {
+
+	persons := cfg.persons(80)
+	w, err := synth.Generate(synth.DefaultConfig(persons, platform.EnglishPlatforms, cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	var people []int
+	for p := 0; p < persons/2; p++ {
+		people = append(people, p)
+	}
+	labeled := core.LabeledProfilePairs(w.Dataset, platform.Twitter, platform.Facebook, people)
+	res := &Result{Figure: figID, Title: title, XLabel: "labeled-frac"}
+
+	for _, on := range []bool{true, false} {
+		name := onName
+		if !on {
+			name = offName
+		}
+		fcfg := features.DefaultConfig(cfg.Seed)
+		fcfg.LDAIterations = 25
+		fcfg.MaxLDADocs = 2000
+		toggle(&fcfg, on)
+		sys, err := core.NewSystem(w.Dataset, labeled, features.Lexicons{
+			Genre: w.Lexicons.Genre, Sentiment: w.Lexicons.Sentiment,
+		}, fcfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, frac := range []float64{0.2, 0.4} {
+			opts := core.LabelOpts{LabelFraction: frac, NegPerPos: 2, UsePreMatched: false, Seed: cfg.Seed}
+			block, err := core.BuildBlock(sys, platform.Twitter, platform.Facebook, defaultRules(), opts)
+			if err != nil {
+				return nil, err
+			}
+			task := &core.Task{Blocks: []*core.Block{block}}
+			linker := &core.HydraLinker{Cfg: core.DefaultConfig(cfg.Seed)}
+			conf, secs, err := runLinker(sys, linker, task)
+			if err != nil {
+				res.Note("%s at frac %.2f failed: %v", name, frac, err)
+				continue
+			}
+			res.AddPoint(name, frac, conf.Precision(), conf.Recall(), secs)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hydra/internal/core"
+	"hydra/internal/platform"
+)
+
+// Figure10 reproduces "Performance w.r.t. varied p": precision and recall
+// as the utility exponent p runs 1..10 at the optimal (γ_L, γ_M), with the
+// labeled:unlabeled ratio fixed at 1:5. The paper observes an interior
+// optimum (best precision at p=6, best recall at p=5): moderate p balances
+// the objectives, large p over-weights the dominant objective and overfits.
+func Figure10(cfg Config) (*Result, error) {
+	st, err := newSetup(setupOpts{
+		persons:   cfg.persons(90),
+		platforms: platform.EnglishPlatforms,
+		seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Labeled:unlabeled at 1:5 means a labeled fraction around 1/6 of
+	// candidates; LabelFraction 0.15 with NegPerPos 1 approximates it.
+	opts := core.LabelOpts{LabelFraction: 0.15, NegPerPos: 1, UsePreMatched: false, Seed: cfg.Seed}
+	task, err := st.task(platform.Twitter, platform.Facebook, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Figure: "Figure 10",
+		Title:  "Precision and recall w.r.t. p (labeled:unlabeled = 1:5)",
+		XLabel: "p",
+	}
+	bestPrecP, bestPrec := 0.0, -1.0
+	bestRecP, bestRec := 0.0, -1.0
+	for p := 1; p <= 10; p++ {
+		hcfg := core.DefaultConfig(cfg.Seed)
+		hcfg.P = float64(p)
+		hcfg.ReweightIters = 3
+		linker := &core.HydraLinker{Cfg: hcfg}
+		conf, secs, err := runLinker(st.sys, linker, task)
+		if err != nil {
+			res.Note("p=%d failed: %v", p, err)
+			continue
+		}
+		res.AddPoint("HYDRA-M", float64(p), conf.Precision(), conf.Recall(), secs)
+		if conf.Precision() > bestPrec {
+			bestPrec, bestPrecP = conf.Precision(), float64(p)
+		}
+		if conf.Recall() > bestRec {
+			bestRec, bestRecP = conf.Recall(), float64(p)
+		}
+	}
+	res.Note(fmt.Sprintf("best precision %.3f at p=%g; best recall %.3f at p=%g (paper: p=6 and p=5)",
+		bestPrec, bestPrecP, bestRec, bestRecP))
+	return res, nil
+}

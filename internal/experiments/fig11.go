@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"hydra/internal/core"
+	"hydra/internal/platform"
+)
+
+// Figure11 reproduces "Performance w.r.t. #unlabeled pairs": with the
+// labeled set held small and fixed, increasingly many unlabeled candidate
+// pairs (structure information) are made available. The paper's finding:
+// baselines depending on labels collapse in this regime, while HYDRA
+// leverages unlabeled structure and keeps improving.
+func Figure11(cfg Config) (*Result, error) {
+	res := &Result{
+		Figure: "Figure 11",
+		Title:  "Performance w.r.t. number of unlabeled pairs",
+		XLabel: "unlabeled-frac",
+	}
+	datasets := []struct {
+		name  string
+		plats []platform.ID
+		pairs [][2]platform.ID
+	}{
+		{"english", platform.EnglishPlatforms, englishPairs},
+		{"chinese", platform.ChinesePlatforms, chinesePairs},
+	}
+	fractions := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	for _, ds := range datasets {
+		st, err := newSetup(setupOpts{
+			persons:   cfg.persons(100),
+			platforms: ds.plats,
+			seed:      cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Small fixed label budget; unlabeled candidates subsampled per x.
+		opts := core.LabelOpts{LabelFraction: 0.08, NegPerPos: 1, UsePreMatched: false, Seed: cfg.Seed}
+		full, err := st.multiTask(ds.pairs, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, frac := range fractions {
+			task := subsampleUnlabeled(full, frac, cfg.Seed)
+			for _, linker := range allLinkers(cfg.Seed) {
+				conf, secs, err := runLinker(st.sys, linker, task)
+				if err != nil {
+					res.Note("%s/%s at frac %.2f failed: %v", ds.name, linker.Name(), frac, err)
+					continue
+				}
+				res.AddPoint(ds.name+"/"+linker.Name(), frac, conf.Precision(), conf.Recall(), secs)
+			}
+		}
+	}
+	res.Note("paper shape: baselines do much worse than with labels (Fig 9); HYDRA survives the unlabeled regime")
+	return res, nil
+}
+
+// subsampleUnlabeled keeps all labeled candidates and a deterministic
+// fraction of the unlabeled ones, remapping label indices.
+func subsampleUnlabeled(t *core.Task, frac float64, seed int64) *core.Task {
+	out := &core.Task{}
+	rng := rand.New(rand.NewSource(seed + int64(frac*1000)))
+	for _, b := range t.Blocks {
+		nb := &core.Block{PA: b.PA, PB: b.PB, Labels: make(map[int]float64)}
+		for ci, c := range b.Cands {
+			if y, lab := b.Labels[ci]; lab {
+				nb.Labels[len(nb.Cands)] = y
+				nb.Cands = append(nb.Cands, c)
+				continue
+			}
+			if rng.Float64() < frac {
+				nb.Cands = append(nb.Cands, c)
+			}
+		}
+		out.Blocks = append(out.Blocks, nb)
+	}
+	return out
+}

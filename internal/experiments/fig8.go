@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hydra/internal/core"
+	"hydra/internal/platform"
+)
+
+// Figure8 reproduces the (γ_M, γ_L) performance surface under p = 1..4:
+// the paper's grid spans 1e-6..1e6 on both axes and shows that different p
+// lead to different optimal (γ_M, γ_L) settings. One series per p, one
+// point per (γ_L, γ_M) cell; x encodes the cell index (γ_L-major) so the
+// surface can be reconstructed row by row.
+func Figure8(cfg Config) (*Result, error) {
+	gammas := []float64{1e-6, 1e-3, 1, 1e3, 1e6}
+	ps := []float64{1, 2, 3, 4}
+	st, err := newSetup(setupOpts{
+		persons:   cfg.persons(70),
+		platforms: platform.EnglishPlatforms,
+		seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	task, err := st.task(platform.Twitter, platform.Facebook, core.DefaultLabelOpts(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Figure: "Figure 8",
+		Title:  "Performance vs (γ_L, γ_M) under p = 1..4",
+		XLabel: "cell(γL-major)",
+	}
+	for _, p := range ps {
+		bestPrec, bestCell := -1.0, ""
+		for gi, gl := range gammas {
+			for gj, gm := range gammas {
+				hcfg := core.DefaultConfig(cfg.Seed)
+				hcfg.GammaL, hcfg.GammaM, hcfg.P = gl, gm, p
+				hcfg.ReweightIters = 2
+				linker := &core.HydraLinker{Cfg: hcfg}
+				conf, secs, err := runLinker(st.sys, linker, task)
+				if err != nil {
+					// Extreme corners can be numerically infeasible; record
+					// a zero cell rather than aborting the sweep.
+					res.AddPoint(fmt.Sprintf("p=%g", p), float64(gi*len(gammas)+gj), 0, 0, 0)
+					continue
+				}
+				res.AddPoint(fmt.Sprintf("p=%g", p), float64(gi*len(gammas)+gj),
+					conf.Precision(), conf.Recall(), secs)
+				if conf.Precision() > bestPrec {
+					bestPrec = conf.Precision()
+					bestCell = fmt.Sprintf("γL=%g, γM=%g", gl, gm)
+				}
+			}
+		}
+		res.Note("p=%g: best precision %.3f at %s", p, bestPrec, bestCell)
+	}
+	res.Note("paper: different p settings lead to different optimal (γ_M, γ_L)")
+	return res, nil
+}

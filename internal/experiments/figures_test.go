@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// tinyCfg shrinks worlds to the minimum the drivers support.
+func tinyCfg() Config { return Config{Scale: 0.35, Seed: 7} }
+
+func TestFigure8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gamma sweep is slow")
+	}
+	res, err := Figure8(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"p=1", "p=2", "p=3", "p=4"} {
+		s := res.SeriesByName(p)
+		if s == nil || len(s.X) != 25 {
+			t.Fatalf("series %s incomplete", p)
+		}
+		// The plateau must exist: at least half the cells above 0.8
+		// precision.
+		good := 0
+		for _, prec := range s.Precision {
+			if prec > 0.8 {
+				good++
+			}
+		}
+		if good < len(s.Precision)/2 {
+			t.Fatalf("%s: only %d/%d good cells", p, good, len(s.Precision))
+		}
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("labeled sweep is slow")
+	}
+	res, err := Figure9(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range []string{"english", "chinese"} {
+		hydra := res.SeriesByName(ds + "/HYDRA-M")
+		if hydra == nil || len(hydra.X) != 5 {
+			t.Fatalf("%s HYDRA series incomplete", ds)
+		}
+		// HYDRA must dominate every baseline on mean F1.
+		for _, base := range []string{"/MOBIUS", "/Alias-Disamb", "/SMaSh"} {
+			bs := res.SeriesByName(ds + base)
+			if bs == nil {
+				continue
+			}
+			if bs.MeanF1() > hydra.MeanF1()+0.02 {
+				t.Fatalf("%s%s (%v) beats HYDRA (%v)", ds, base, bs.MeanF1(), hydra.MeanF1())
+			}
+		}
+	}
+	// English ≥ Chinese for HYDRA (the paper's dataset-difficulty ordering).
+	en := res.SeriesByName("english/HYDRA-M")
+	zh := res.SeriesByName("chinese/HYDRA-M")
+	if en.MeanF1() < zh.MeanF1()-0.05 {
+		t.Fatalf("English (%v) should not trail Chinese (%v)", en.MeanF1(), zh.MeanF1())
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("unlabeled sweep is slow")
+	}
+	res, err := Figure11(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hydra := res.SeriesByName("english/HYDRA-M")
+	if hydra == nil || len(hydra.X) != 5 {
+		t.Fatal("HYDRA series incomplete")
+	}
+	// Recall must grow with the unlabeled pool (structure propagation).
+	if hydra.Recall[len(hydra.Recall)-1] <= hydra.Recall[0] {
+		t.Fatalf("HYDRA recall did not grow with unlabeled data: %v", hydra.Recall)
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("community sweep is slow")
+	}
+	res, err := Figure12(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range []string{"english", "chinese"} {
+		s := res.SeriesByName(ds + "/HYDRA-M")
+		if s == nil || len(s.X) < 3 {
+			t.Fatalf("%s community series incomplete", ds)
+		}
+		// Adding all communities must beat the eval-only baseline on recall.
+		if s.Recall[len(s.Recall)-1] <= s.Recall[0] {
+			t.Fatalf("%s: communities did not help: %v", ds, s.Recall)
+		}
+	}
+}
+
+func TestFigure13Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-platform run is slow")
+	}
+	res, err := Figure13(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hydra := res.SeriesByName("HYDRA-M")
+	if hydra == nil {
+		t.Fatal("no HYDRA series")
+	}
+	for _, base := range []string{"MOBIUS", "Alias-Disamb", "SMaSh"} {
+		bs := res.SeriesByName(base)
+		if bs != nil && bs.MeanF1() > hydra.MeanF1()+0.02 {
+			t.Fatalf("%s (%v) beats HYDRA (%v) cross-culture", base, bs.MeanF1(), hydra.MeanF1())
+		}
+	}
+}
+
+func TestFigure14Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("efficiency sweep is slow")
+	}
+	res, err := Figure14(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hydra := res.SeriesByName("english/HYDRA-M")
+	smash := res.SeriesByName("english/SMaSh")
+	if hydra == nil || smash == nil {
+		t.Fatal("missing series")
+	}
+	// SMaSh (set intersections) must be cheaper than HYDRA (dense dual).
+	var hSum, sSum float64
+	for i := range hydra.TimeSec {
+		hSum += hydra.TimeSec[i]
+	}
+	for i := range smash.TimeSec {
+		sSum += smash.TimeSec[i]
+	}
+	if sSum >= hSum {
+		t.Fatalf("SMaSh (%vs) should be cheaper than HYDRA (%vs)", sSum, hSum)
+	}
+}
+
+func TestAblationPoolingRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation is slow")
+	}
+	res, err := AblationPooling(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SeriesByName("lq-pool") == nil || res.SeriesByName("mean-pool") == nil {
+		t.Fatal("pooling ablation series missing")
+	}
+}
+
+func TestAblationMultiScaleRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation is slow")
+	}
+	res, err := AblationMultiScale(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := res.SeriesByName("multi-scale")
+	ss := res.SeriesByName("single-scale")
+	if ms == nil || ss == nil {
+		t.Fatal("multi-scale ablation series missing")
+	}
+}
+
+func TestAblationTopicKernelRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation is slow")
+	}
+	res, err := AblationTopicKernel(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SeriesByName("chi-square") == nil || res.SeriesByName("hist-intersect") == nil {
+		t.Fatal("kernel ablation series missing")
+	}
+}

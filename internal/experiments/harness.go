@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hydra/internal/baseline"
+	"hydra/internal/blocking"
+	"hydra/internal/core"
+	"hydra/internal/features"
+	"hydra/internal/metrics"
+	"hydra/internal/platform"
+	"hydra/internal/synth"
+)
+
+// Config scales the experiment suite. Scale = 1 is the calibrated laptop
+// scale (hundreds of users — the paper's millions are documented as
+// scaled-down in EXPERIMENTS.md; curve shapes, not absolute axes, are the
+// reproduction target).
+type Config struct {
+	// Scale multiplies every world size (≥ 0.25 recommended).
+	Scale float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultExpConfig is the standard suite configuration.
+func DefaultExpConfig(seed int64) Config { return Config{Scale: 1, Seed: seed} }
+
+func (c Config) persons(base int) int {
+	if c.Scale <= 0 {
+		return base
+	}
+	n := int(float64(base) * c.Scale)
+	if n < 20 {
+		n = 20
+	}
+	return n
+}
+
+// setup is a prepared world + system + per-pair blocks, shared across the
+// x-axis points of a figure so that the expensive preprocessing (LDA,
+// views) happens once.
+type setup struct {
+	world *synth.World
+	sys   *core.System
+}
+
+// setupOpts customizes world generation per experiment.
+type setupOpts struct {
+	persons      int
+	platforms    []platform.ID
+	seed         int64
+	missingScale float64
+	communities  int
+	synthMutate  func(*synth.Config)
+}
+
+// newSetup builds the world and system.
+func newSetup(o setupOpts) (*setup, error) {
+	cfg := synth.DefaultConfig(o.persons, o.platforms, o.seed)
+	if o.missingScale > 0 {
+		cfg.MissingScale = o.missingScale
+	}
+	if o.communities > 0 {
+		cfg.Communities = o.communities
+	}
+	if o.synthMutate != nil {
+		o.synthMutate(&cfg)
+	}
+	w, err := synth.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var people []int
+	for p := 0; p < o.persons/2; p++ {
+		people = append(people, p)
+	}
+	labeled := core.LabeledProfilePairs(w.Dataset, o.platforms[0], o.platforms[1], people)
+	fcfg := features.DefaultConfig(o.seed)
+	fcfg.LDAIterations = 25
+	fcfg.MaxLDADocs = 2500
+	sys, err := core.NewSystem(w.Dataset, labeled, features.Lexicons{
+		Genre: w.Lexicons.Genre, Sentiment: w.Lexicons.Sentiment,
+	}, fcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &setup{world: w, sys: sys}, nil
+}
+
+// task builds a single-block task between two platforms.
+func (s *setup) task(pa, pb platform.ID, opts core.LabelOpts) (*core.Task, error) {
+	block, err := core.BuildBlock(s.sys, pa, pb, blocking.DefaultRules(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Task{Blocks: []*core.Block{block}}, nil
+}
+
+// multiTask builds a multi-block task over several platform pairs.
+func (s *setup) multiTask(pairs [][2]platform.ID, opts core.LabelOpts) (*core.Task, error) {
+	t := &core.Task{}
+	for i, pp := range pairs {
+		o := opts
+		o.Seed = opts.Seed + int64(i)
+		block, err := core.BuildBlock(s.sys, pp[0], pp[1], blocking.DefaultRules(), o)
+		if err != nil {
+			return nil, err
+		}
+		t.Blocks = append(t.Blocks, block)
+	}
+	return t, nil
+}
+
+// allLinkers returns the paper's method lineup: HYDRA-M plus the four
+// baselines.
+func allLinkers(seed int64) []core.Linker {
+	return []core.Linker{
+		&core.HydraLinker{Cfg: core.DefaultConfig(seed)},
+		&baseline.MOBIUS{},
+		&baseline.SVMB{},
+		&baseline.AliasDisamb{},
+		&baseline.SMaSh{},
+	}
+}
+
+// runLinker fits and evaluates one method, returning its confusion and the
+// wall-clock seconds of fit+evaluate (the paper's total execution time).
+func runLinker(sys *core.System, l core.Linker, task *core.Task) (metrics.Confusion, float64, error) {
+	timer := metrics.NewTimer()
+	if err := l.Fit(sys, task); err != nil {
+		return metrics.Confusion{}, 0, fmt.Errorf("%s: %w", l.Name(), err)
+	}
+	conf, err := core.EvaluateLinker(sys, l, task.Blocks)
+	if err != nil {
+		return metrics.Confusion{}, 0, fmt.Errorf("%s: %w", l.Name(), err)
+	}
+	return conf, timer.Seconds(), nil
+}
+
+// defaultRules exposes the blocking rules used across experiments.
+func defaultRules() blocking.Rules { return blocking.DefaultRules() }

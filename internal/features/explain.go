@@ -1,0 +1,56 @@
+package features
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Contribution is one feature's value in a pair vector, annotated for
+// human consumption.
+type Contribution struct {
+	Name     string
+	Group    string
+	Value    float64
+	Observed bool
+}
+
+// Explain annotates a pair vector with the pipeline's feature names — the
+// debugging view of "why does HYDRA think these two accounts match".
+func (p *Pipeline) Explain(pv PairVector) ([]Contribution, error) {
+	if len(pv.X) != p.Dim() || len(pv.Mask) != p.Dim() {
+		return nil, fmt.Errorf("features: pair vector has %d dims, pipeline expects %d", len(pv.X), p.Dim())
+	}
+	out := make([]Contribution, p.Dim())
+	for d := 0; d < p.Dim(); d++ {
+		out[d] = Contribution{
+			Name:     p.names[d],
+			Group:    p.groups[d],
+			Value:    pv.X[d],
+			Observed: pv.Mask[d],
+		}
+	}
+	return out, nil
+}
+
+// FormatContributions renders contributions sorted by descending value,
+// marking missing features.
+func FormatContributions(cs []Contribution) string {
+	sorted := append([]Contribution(nil), cs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Value != sorted[j].Value {
+			return sorted[i].Value > sorted[j].Value
+		}
+		return sorted[i].Name < sorted[j].Name
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %-10s %10s %8s\n", "feature", "group", "value", "observed")
+	for _, c := range sorted {
+		obs := "yes"
+		if !c.Observed {
+			obs = "MISSING"
+		}
+		fmt.Fprintf(&b, "%-24s %-10s %10.4f %8s\n", c.Name, c.Group, c.Value, obs)
+	}
+	return b.String()
+}

@@ -1,0 +1,456 @@
+// Package features assembles HYDRA's heterogeneous behavior model (paper
+// Section 5): given two accounts on different platforms it produces the
+// D-dimensional pairwise similarity vector x_ii' combining
+//
+//   - importance-weighted attribute matching (Section 5.1, Eqn 3),
+//   - the simulated face-matching feature (Figure 4),
+//   - username similarity (used by rule-based filtering and as a feature),
+//   - multi-scale long-term topic/genre/sentiment distribution similarity
+//     (Section 5.2, Figure 5),
+//   - unique-word style similarity at k = 1,3,5 (Section 5.3, Eqn 4),
+//   - multi-resolution temporal behavior matching with lq-pooling and
+//     sigmoid calibration (Section 5.4, Figure 6, Eqn 5).
+//
+// Every feature carries an observation mask: HYDRA-M and HYDRA-Z differ
+// only in how the False entries are imputed.
+package features
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hydra/internal/attr"
+	"hydra/internal/kernel"
+	"hydra/internal/linalg"
+	"hydra/internal/platform"
+	"hydra/internal/temporal"
+	"hydra/internal/text"
+	"hydra/internal/topic"
+	"hydra/internal/vision"
+)
+
+// Config parameterizes the pipeline.
+type Config struct {
+	// Topics is the LDA topic count.
+	Topics int
+	// LDAIterations is the Gibbs sweep count for training.
+	LDAIterations int
+	// MaxLDADocs caps the LDA training corpus size (subsampled
+	// deterministically) to bound preprocessing cost.
+	MaxLDADocs int
+	// ScalesDays are the multi-scale topic bucket scales (paper: 1..32).
+	ScalesDays []int
+	// StyleKs are the unique-word counts of the style model (paper: 1,3,5).
+	StyleKs []int
+	// UniqueWordsPerUser is how many candidate unique words are kept per
+	// user (max of StyleKs).
+	UniqueWordsPerUser int
+	// MR configures the multi-resolution sensor bank.
+	MR temporal.MultiResolutionConfig
+	// LocationSigmaKm is the Gaussian bandwidth of the location sensor.
+	LocationSigmaKm float64
+	// UseHistogramIntersection switches the topic-similarity kernel from
+	// chi-square (default) to histogram intersection (ablation).
+	UseHistogramIntersection bool
+	// Epsilon is the attribute-importance smoothing constant ε of Eqn 3.
+	Epsilon float64
+	Seed    int64
+}
+
+// DefaultConfig returns the paper-faithful configuration.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Topics:             8,
+		LDAIterations:      60,
+		MaxLDADocs:         4000,
+		ScalesDays:         temporal.DefaultScalesDays,
+		StyleKs:            []int{1, 3, 5},
+		UniqueWordsPerUser: 5,
+		MR:                 temporal.DefaultMultiResolutionConfig(),
+		LocationSigmaKm:    5,
+		Epsilon:            1e-3,
+		Seed:               seed,
+	}
+}
+
+// Pipeline is the trained feature extractor shared by HYDRA and the SVM-B
+// baseline. Build it once per dataset with NewPipeline, then derive
+// AccountViews and pair vectors.
+type Pipeline struct {
+	cfg        Config
+	span       temporal.Range
+	importance *attr.Importance
+	faces      *vision.Matcher
+	lda        *topic.LDA
+	vocab      *text.Vocabulary
+	genre      *topic.GenreModel
+	sent       *topic.SentimentModel
+	topicSim   temporal.Similarity
+	sensors    []temporal.Sensor
+	names      []string
+	groups     []string
+}
+
+// Lexicons is the subset of synth lexicon data the pipeline needs. It is a
+// local type so features does not depend on the generator package.
+type Lexicons struct {
+	Genre     map[string]string
+	Sentiment map[string]topic.AVPoint
+}
+
+// NewPipeline trains the pipeline: attribute importance from the labeled
+// pairs, LDA on the dataset's post corpus, and lexicon models from lx.
+func NewPipeline(ds *platform.Dataset, labeled []attr.LabeledPair, lx Lexicons, cfg Config) (*Pipeline, error) {
+	if len(cfg.ScalesDays) == 0 {
+		return nil, fmt.Errorf("features: no temporal scales configured")
+	}
+	imp, err := attr.LearnImportance(labeled, platform.MatchAttrs, cfg.Epsilon)
+	if err != nil {
+		return nil, err
+	}
+	gm, err := topic.NewGenreModel(lx.Genre)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		cfg:        cfg,
+		span:       ds.Span,
+		importance: imp,
+		faces:      vision.NewMatcher(cfg.Seed),
+		genre:      gm,
+		sent:       topic.NewSentimentModel(lx.Sentiment),
+		sensors: []temporal.Sensor{
+			temporal.LocationSensor{SigmaKm: cfg.LocationSigmaKm},
+			temporal.MediaSensor{},
+		},
+	}
+	if cfg.UseHistogramIntersection {
+		k := kernel.HistogramIntersection{}
+		p.topicSim = func(a, b linalg.Vector) float64 { return k.Eval(a, b) }
+	} else {
+		k := kernel.NewChiSquare(1)
+		p.topicSim = func(a, b linalg.Vector) float64 { return k.Eval(a, b) }
+	}
+	if err := p.trainLDA(ds); err != nil {
+		return nil, err
+	}
+	p.buildNames()
+	return p, nil
+}
+
+// trainLDA builds the vocabulary and topic model from the dataset corpus.
+func (p *Pipeline) trainLDA(ds *platform.Dataset) error {
+	p.vocab = text.NewVocabulary()
+	var docs [][]int
+	// Platforms in sorted order for determinism.
+	ids := make([]platform.ID, 0, len(ds.Platforms))
+	for id := range ds.Platforms {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		for _, acc := range ds.Platforms[id].Accounts {
+			for _, post := range acc.Posts {
+				toks := text.Tokenize(post.Text)
+				docs = append(docs, p.vocab.AddDoc(toks))
+			}
+		}
+	}
+	if len(docs) == 0 {
+		return fmt.Errorf("features: dataset has no posts to train LDA on")
+	}
+	train := docs
+	if p.cfg.MaxLDADocs > 0 && len(docs) > p.cfg.MaxLDADocs {
+		// Deterministic stride subsample.
+		stride := len(docs) / p.cfg.MaxLDADocs
+		train = train[:0:0]
+		for i := 0; i < len(docs); i += stride {
+			train = append(train, docs[i])
+		}
+	}
+	lda, err := topic.TrainLDA(train, topic.LDAOpts{
+		Topics:     p.cfg.Topics,
+		VocabSize:  p.vocab.Size(),
+		Iterations: p.cfg.LDAIterations,
+		Seed:       p.cfg.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	p.lda = lda
+	return nil
+}
+
+// buildNames constructs the feature-name table; len(names) is the feature
+// dimension D.
+func (p *Pipeline) buildNames() {
+	add := func(group, name string) {
+		p.groups = append(p.groups, group)
+		p.names = append(p.names, name)
+	}
+	for _, a := range platform.MatchAttrs {
+		add("attr", "attr:"+string(a))
+	}
+	add("face", "face")
+	add("username", "username:jw")
+	add("username", "username:overlap")
+	for _, d := range p.cfg.ScalesDays {
+		add("topic", fmt.Sprintf("topic:%dd", d))
+	}
+	for _, d := range p.cfg.ScalesDays {
+		add("genre", fmt.Sprintf("genre:%dd", d))
+	}
+	for _, d := range p.cfg.ScalesDays {
+		add("sentiment", fmt.Sprintf("sentiment:%dd", d))
+	}
+	for _, k := range p.cfg.StyleKs {
+		add("style", fmt.Sprintf("style:k%d", k))
+	}
+	for _, s := range p.sensors {
+		for _, w := range p.cfg.MR.WindowsDays {
+			add("mr", fmt.Sprintf("mr:%s:%dd", s.Name(), w))
+		}
+	}
+}
+
+// Dim returns the feature dimension D.
+func (p *Pipeline) Dim() int { return len(p.names) }
+
+// FeatureNames returns the ordered feature names.
+func (p *Pipeline) FeatureNames() []string { return p.names }
+
+// FeatureGroups returns the group label of each feature dimension.
+func (p *Pipeline) FeatureGroups() []string { return p.groups }
+
+// Importance exposes the learned attribute-importance model.
+func (p *Pipeline) Importance() *attr.Importance { return p.importance }
+
+// AccountView is the per-account preprocessed state: per-post distributions,
+// unique words, and the behavior embedding used by structure consistency.
+type AccountView struct {
+	Acc        *platform.Account
+	PostTimes  []time.Time
+	TopicDists []linalg.Vector
+	GenreDists []linalg.Vector
+	SentDists  []linalg.Vector
+	// Unique are the account's most unique words, most-unique first.
+	Unique []string
+	// Embedding is the long-term behavior representation x_i of the user —
+	// aggregated topic, genre and sentiment distributions — used by the
+	// structure-consistency affinities (Eqn 9).
+	Embedding linalg.Vector
+}
+
+// tokDoc is one tokenized post with its vocabulary ids.
+type tokDoc struct {
+	toks []string
+	ids  []int
+}
+
+// BuildView preprocesses one account.
+func (p *Pipeline) BuildView(acc *platform.Account) *AccountView {
+	v := &AccountView{Acc: acc}
+	var docs []tokDoc
+	for _, post := range acc.Posts {
+		toks := text.Tokenize(post.Text)
+		ids := make([]int, 0, len(toks))
+		for _, tk := range toks {
+			if id, ok := p.vocab.Lookup(tk); ok {
+				ids = append(ids, id)
+			}
+		}
+		docs = append(docs, tokDoc{toks: toks, ids: ids})
+		v.PostTimes = append(v.PostTimes, post.Time)
+	}
+	for i, d := range docs {
+		v.TopicDists = append(v.TopicDists, p.lda.Infer(d.ids, 15, p.cfg.Seed+int64(acc.Local)*31+int64(i)))
+		v.GenreDists = append(v.GenreDists, p.genre.Classify(d.toks))
+		v.SentDists = append(v.SentDists, p.sent.Classify(d.toks))
+	}
+	v.Unique = p.uniqueWords(docs)
+	v.Embedding = p.embedding(v)
+	return v
+}
+
+// uniqueWords ranks the account's tokens by ascending global corpus
+// frequency (stop words removed) and returns the most unique ones.
+func (p *Pipeline) uniqueWords(docs []tokDoc) []string {
+	type cand struct {
+		tok  string
+		freq int
+	}
+	seen := make(map[string]bool)
+	var cands []cand
+	for _, d := range docs {
+		for _, tk := range d.toks {
+			if seen[tk] || text.IsStopword(tk) {
+				continue
+			}
+			seen[tk] = true
+			norm := text.Singularize(tk)
+			id, ok := p.vocab.Lookup(tk)
+			freq := 0
+			if ok {
+				freq = p.vocab.TermFreq(id)
+			}
+			cands = append(cands, cand{tok: norm, freq: freq})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].freq != cands[j].freq {
+			return cands[i].freq < cands[j].freq
+		}
+		return cands[i].tok < cands[j].tok
+	})
+	k := p.cfg.UniqueWordsPerUser
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].tok
+	}
+	return out
+}
+
+// embedding aggregates the account's distributions into the long-term
+// behavior representation.
+func (p *Pipeline) embedding(v *AccountView) linalg.Vector {
+	tk := meanDist(v.TopicDists, p.cfg.Topics)
+	gn := meanDist(v.GenreDists, len(topic.Genres))
+	st := meanDist(v.SentDists, len(topic.Sentiments))
+	out := make(linalg.Vector, 0, len(tk)+len(gn)+len(st))
+	out = append(out, tk...)
+	out = append(out, gn...)
+	out = append(out, st...)
+	return out
+}
+
+func meanDist(dists []linalg.Vector, dim int) linalg.Vector {
+	if len(dists) == 0 {
+		return linalg.NewVector(dim).Fill(1 / float64(dim))
+	}
+	acc := linalg.NewVector(dim)
+	for _, d := range dists {
+		acc.AddScaled(1, d)
+	}
+	return acc.Scale(1 / float64(len(dists)))
+}
+
+// PairVector is one observation: the similarity vector and its mask.
+type PairVector struct {
+	X    linalg.Vector
+	Mask []bool
+}
+
+// ObservedFraction returns the share of observed dimensions.
+func (pv PairVector) ObservedFraction() float64 {
+	if len(pv.Mask) == 0 {
+		return 0
+	}
+	n := 0
+	for _, m := range pv.Mask {
+		if m {
+			n++
+		}
+	}
+	return float64(n) / float64(len(pv.Mask))
+}
+
+// Pair computes the full heterogeneous similarity vector between two
+// account views (accounts must be on different platforms; the method does
+// not enforce it).
+func (p *Pipeline) Pair(a, b *AccountView) PairVector {
+	dim := p.Dim()
+	x := linalg.NewVector(dim)
+	mask := make([]bool, dim)
+	idx := 0
+
+	// 1. Attributes.
+	av, am := p.importance.PairFeatures(&a.Acc.Profile, &b.Acc.Profile)
+	copy(x[idx:], av)
+	copy(mask[idx:], am)
+	idx += len(av)
+
+	// 2. Face.
+	if score, ok := p.faces.Match(a.Acc.Profile.AvatarID, b.Acc.Profile.AvatarID); ok {
+		x[idx] = score
+		mask[idx] = true
+	}
+	idx++
+
+	// 3. Username similarity (always observed).
+	ua, ub := a.Acc.Profile.Username, b.Acc.Profile.Username
+	x[idx] = text.JaroWinkler(ua, ub)
+	mask[idx] = true
+	idx++
+	x[idx] = text.UsernameOverlap(ua, ub)
+	mask[idx] = true
+	idx++
+
+	// 4-6. Multi-scale distribution similarities.
+	idx = p.multiScale(x, mask, idx, a.PostTimes, a.TopicDists, b.PostTimes, b.TopicDists)
+	idx = p.multiScale(x, mask, idx, a.PostTimes, a.GenreDists, b.PostTimes, b.GenreDists)
+	idx = p.multiScale(x, mask, idx, a.PostTimes, a.SentDists, b.PostTimes, b.SentDists)
+
+	// 7. Style: S_lea = #matched / k for k in StyleKs (Eqn 4). Missing when
+	// either account has no unique words at all (no posts).
+	for _, k := range p.cfg.StyleKs {
+		if len(a.Unique) == 0 || len(b.Unique) == 0 {
+			idx++
+			continue
+		}
+		x[idx] = styleSim(a.Unique, b.Unique, k)
+		mask[idx] = true
+		idx++
+	}
+
+	// 8. Multi-resolution behavior matching.
+	mr, mrMask, err := temporal.MultiResolutionMatch(p.sensors, p.cfg.MR, a.Acc.Events, b.Acc.Events)
+	if err == nil {
+		copy(x[idx:], mr)
+		copy(mask[idx:], mrMask)
+	}
+	idx += len(p.sensors) * len(p.cfg.MR.WindowsDays)
+
+	if idx != dim {
+		panic(fmt.Sprintf("features: assembled %d dims, expected %d", idx, dim))
+	}
+	return PairVector{X: x, Mask: mask}
+}
+
+// multiScale writes the per-scale similarity features starting at idx and
+// returns the next index.
+func (p *Pipeline) multiScale(x linalg.Vector, mask []bool, idx int,
+	ta []time.Time, da []linalg.Vector, tb []time.Time, db []linalg.Vector) int {
+
+	vec, m, err := temporal.MultiScaleSimilarity(p.span, p.cfg.ScalesDays, ta, da, tb, db, p.topicSim)
+	if err == nil {
+		copy(x[idx:], vec)
+		copy(mask[idx:], m)
+	}
+	return idx + len(p.cfg.ScalesDays)
+}
+
+// styleSim computes Eqn 4 over the k most unique words of each side.
+func styleSim(ua, ub []string, k int) float64 {
+	ka, kb := k, k
+	if ka > len(ua) {
+		ka = len(ua)
+	}
+	if kb > len(ub) {
+		kb = len(ub)
+	}
+	set := make(map[string]bool, ka)
+	for _, w := range ua[:ka] {
+		set[w] = true
+	}
+	matched := 0
+	for _, w := range ub[:kb] {
+		if set[w] {
+			matched++
+		}
+	}
+	return float64(matched) / float64(k)
+}

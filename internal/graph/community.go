@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"sort"
+)
+
+// Community is a set of node ids with a stable id.
+type Community struct {
+	ID    int
+	Nodes []int // sorted
+}
+
+// Size returns the number of members.
+func (c Community) Size() int { return len(c.Nodes) }
+
+// Contains reports membership via binary search.
+func (c Community) Contains(u int) bool {
+	i := sort.SearchInts(c.Nodes, u)
+	return i < len(c.Nodes) && c.Nodes[i] == u
+}
+
+// DetectCommunities extracts overlapping communities with a deterministic
+// label-propagation variant: every node starts in its own label; labels
+// propagate along the strongest edges for the given number of rounds; the
+// final communities are label groups, expanded by one hop to create the
+// overlap (a user belongs to the community of any label it is adjacent to
+// with sufficient weight). Communities smaller than minSize are dropped.
+// The result is sorted by descending size — the experiment of Figure 12
+// works on "the top five largest overlapping communities".
+func DetectCommunities(g *Graph, rounds, minSize int) []Community {
+	if rounds <= 0 {
+		rounds = 5
+	}
+	n := g.Len()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i
+	}
+	for r := 0; r < rounds; r++ {
+		changed := false
+		// Deterministic order: ascending node id.
+		for u := 0; u < n; u++ {
+			// Adopt the label with the greatest total incident weight.
+			weightByLabel := make(map[int]float64)
+			for _, v := range g.Neighbors(u) {
+				weightByLabel[labels[v]] += g.Weight(u, v)
+			}
+			if len(weightByLabel) == 0 {
+				continue
+			}
+			bestLabel, bestW := labels[u], weightByLabel[labels[u]]
+			// Ties break toward the smaller label for determinism.
+			keys := make([]int, 0, len(weightByLabel))
+			for l := range weightByLabel {
+				keys = append(keys, l)
+			}
+			sort.Ints(keys)
+			for _, l := range keys {
+				if w := weightByLabel[l]; w > bestW {
+					bestLabel, bestW = l, w
+				}
+			}
+			if bestLabel != labels[u] {
+				labels[u] = bestLabel
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	groups := make(map[int][]int)
+	for u, l := range labels {
+		groups[l] = append(groups[l], u)
+	}
+
+	// Overlap expansion: attach u to a neighboring community when at least
+	// half of u's interaction weight points into it.
+	memberSets := make(map[int]map[int]bool, len(groups))
+	for l, nodes := range groups {
+		set := make(map[int]bool, len(nodes))
+		for _, u := range nodes {
+			set[u] = true
+		}
+		memberSets[l] = set
+	}
+	for u := 0; u < n; u++ {
+		var totalW float64
+		wByLabel := make(map[int]float64)
+		for _, v := range g.Neighbors(u) {
+			w := g.Weight(u, v)
+			totalW += w
+			wByLabel[labels[v]] += w
+		}
+		for l, w := range wByLabel {
+			if l != labels[u] && totalW > 0 && w >= totalW/2 {
+				memberSets[l][u] = true
+			}
+		}
+	}
+
+	var out []Community
+	for _, set := range memberSets {
+		if len(set) < minSize {
+			continue
+		}
+		nodes := make([]int, 0, len(set))
+		for u := range set {
+			nodes = append(nodes, u)
+		}
+		sort.Ints(nodes)
+		out = append(out, Community{Nodes: nodes})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Nodes) != len(out[j].Nodes) {
+			return len(out[i].Nodes) > len(out[j].Nodes)
+		}
+		return out[i].Nodes[0] < out[j].Nodes[0]
+	})
+	for i := range out {
+		out[i].ID = i
+	}
+	return out
+}
+
+// OverlapSize returns |a ∩ b| for two communities.
+func OverlapSize(a, b Community) int {
+	n := 0
+	for _, u := range a.Nodes {
+		if b.Contains(u) {
+			n++
+		}
+	}
+	return n
+}

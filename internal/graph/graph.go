@@ -1,0 +1,216 @@
+// Package graph implements the social-structure substrate of HYDRA: the
+// per-platform interaction graph, k-hop distances for the structure
+// consistency matrix (d_ij = (k_ij+1)² in Eqn 9), the interaction-weighted
+// "core structure" (top-k most contacted friends, Section 6.2/6.3), and
+// overlapping community extraction for the Figure-12 experiment.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected weighted interaction graph over node ids
+// 0..N-1. Edge weights count interactions (comments, reposts, mentions):
+// higher weight = more frequent contact.
+type Graph struct {
+	n   int
+	adj []map[int]float64
+}
+
+// New returns an empty graph over n nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	g := &Graph{n: n, adj: make([]map[int]float64, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]float64)
+	}
+	return g
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return g.n }
+
+// AddEdge accumulates weight w onto the undirected edge (u,v). Self-loops
+// are ignored.
+func (g *Graph) AddEdge(u, v int, w float64) {
+	if u == v {
+		return
+	}
+	g.check(u)
+	g.check(v)
+	g.adj[u][v] += w
+	g.adj[v][u] += w
+}
+
+// HasEdge reports whether the edge (u,v) exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// Weight returns the weight of edge (u,v), 0 if absent.
+func (g *Graph) Weight(u, v int) float64 {
+	g.check(u)
+	g.check(v)
+	return g.adj[u][v]
+}
+
+// Degree returns the number of neighbors of u.
+func (g *Graph) Degree(u int) int {
+	g.check(u)
+	return len(g.adj[u])
+}
+
+// Neighbors returns the neighbor ids of u in ascending order.
+func (g *Graph) Neighbors(u int) []int {
+	g.check(u)
+	out := make([]int, 0, len(g.adj[u]))
+	for v := range g.adj[u] {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, m := range g.adj {
+		total += len(m)
+	}
+	return total / 2
+}
+
+func (g *Graph) check(u int) {
+	if u < 0 || u >= g.n {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", u, g.n))
+	}
+}
+
+// Friend is a neighbor with its interaction weight.
+type Friend struct {
+	ID     int
+	Weight float64
+}
+
+// TopFriends returns the k most-interacted friends of u, sorted by
+// descending weight (ties by ascending id for determinism). This is the
+// paper's "core social structure": "friends with the most frequent
+// interactions". Fewer than k friends are returned if u's degree is small.
+func (g *Graph) TopFriends(u, k int) []Friend {
+	g.check(u)
+	fs := make([]Friend, 0, len(g.adj[u]))
+	for v, w := range g.adj[u] {
+		fs = append(fs, Friend{ID: v, Weight: w})
+	}
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].Weight != fs[j].Weight {
+			return fs[i].Weight > fs[j].Weight
+		}
+		return fs[i].ID < fs[j].ID
+	})
+	if k < len(fs) {
+		fs = fs[:k]
+	}
+	return fs
+}
+
+// HopDistance returns the number of intermediate users k_ij between u and v
+// (0 for direct friends, 1 for friend-of-friend, ...), capped at maxHops,
+// and ok=false if v is unreachable within maxHops. The paper's structure
+// distance is then d_ij = (k_ij + 1)².
+func (g *Graph) HopDistance(u, v, maxHops int) (int, bool) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		return 0, true // same node: zero intermediates by convention
+	}
+	// BFS with depth cap. Depth = number of edges; intermediates = depth-1.
+	visited := make(map[int]bool, 64)
+	visited[u] = true
+	frontier := []int{u}
+	for depth := 1; depth <= maxHops+1; depth++ {
+		var next []int
+		for _, x := range frontier {
+			for y := range g.adj[x] {
+				if visited[y] {
+					continue
+				}
+				if y == v {
+					return depth - 1, true
+				}
+				visited[y] = true
+				next = append(next, y)
+			}
+		}
+		if len(next) == 0 {
+			return 0, false
+		}
+		frontier = next
+	}
+	return 0, false
+}
+
+// StructDistance returns the paper's d_ij = (k_ij+1)² closeness measure,
+// and ok=false when the two users are farther than maxHops apart.
+func (g *Graph) StructDistance(u, v, maxHops int) (float64, bool) {
+	k, ok := g.HopDistance(u, v, maxHops)
+	if !ok {
+		return 0, false
+	}
+	d := float64(k + 1)
+	return d * d, true
+}
+
+// ConnectedComponents returns the list of components, each a sorted slice
+// of node ids, ordered by their smallest node id.
+func (g *Graph) ConnectedComponents() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for start := 0; start < g.n; start++ {
+		if seen[start] {
+			continue
+		}
+		var comp []int
+		stack := []int{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// ClusteringCoefficient returns the local clustering coefficient of u:
+// the fraction of u's neighbor pairs that are themselves connected.
+func (g *Graph) ClusteringCoefficient(u int) float64 {
+	nbrs := g.Neighbors(u)
+	d := len(nbrs)
+	if d < 2 {
+		return 0
+	}
+	links := 0
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			if g.HasEdge(nbrs[i], nbrs[j]) {
+				links++
+			}
+		}
+	}
+	return 2 * float64(links) / (float64(d) * float64(d-1))
+}

@@ -1,0 +1,177 @@
+// Package kernel implements the kernel functions HYDRA uses for similarity
+// computation and model learning: the linear and RBF kernels for the dual
+// decision function (Eqn 12 of the paper), and the chi-square and
+// histogram-intersection kernels the paper prescribes for comparing
+// per-bucket topic distributions (Section 5.2).
+package kernel
+
+import (
+	"fmt"
+	"math"
+
+	"hydra/internal/linalg"
+)
+
+// Func is a Mercer kernel over dense feature vectors.
+type Func interface {
+	// Eval returns K(x, y).
+	Eval(x, y linalg.Vector) float64
+	// Name identifies the kernel for logs and experiment output.
+	Name() string
+}
+
+// Linear is the plain inner-product kernel.
+type Linear struct{}
+
+// Eval returns xᵀy.
+func (Linear) Eval(x, y linalg.Vector) float64 { return x.Dot(y) }
+
+// Name implements Func.
+func (Linear) Name() string { return "linear" }
+
+// RBF is the Gaussian kernel exp(-||x-y||² / (2σ²)).
+type RBF struct {
+	Sigma float64
+}
+
+// NewRBF returns an RBF kernel with bandwidth sigma (must be > 0).
+func NewRBF(sigma float64) RBF {
+	if sigma <= 0 {
+		panic(fmt.Sprintf("kernel: RBF sigma must be positive, got %g", sigma))
+	}
+	return RBF{Sigma: sigma}
+}
+
+// Eval implements Func.
+func (k RBF) Eval(x, y linalg.Vector) float64 {
+	return math.Exp(-linalg.SqDist(x, y) / (2 * k.Sigma * k.Sigma))
+}
+
+// Name implements Func.
+func (k RBF) Name() string { return fmt.Sprintf("rbf(σ=%g)", k.Sigma) }
+
+// ChiSquare is the exponential chi-square kernel
+// exp(-γ Σ (x_i-y_i)²/(x_i+y_i)) used for comparing histograms such as
+// per-bucket topic distributions. Entries are assumed non-negative; buckets
+// where both entries are zero contribute nothing.
+type ChiSquare struct {
+	Gamma float64
+}
+
+// NewChiSquare returns a chi-square kernel with scale gamma (must be > 0).
+func NewChiSquare(gamma float64) ChiSquare {
+	if gamma <= 0 {
+		panic(fmt.Sprintf("kernel: chi-square gamma must be positive, got %g", gamma))
+	}
+	return ChiSquare{Gamma: gamma}
+}
+
+// Distance returns the chi-square distance Σ (x_i-y_i)²/(x_i+y_i).
+func (k ChiSquare) Distance(x, y linalg.Vector) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("kernel: chi-square length mismatch %d vs %d", len(x), len(y)))
+	}
+	var d float64
+	for i := range x {
+		s := x[i] + y[i]
+		if s <= 0 {
+			continue
+		}
+		diff := x[i] - y[i]
+		d += diff * diff / s
+	}
+	return d
+}
+
+// Eval implements Func.
+func (k ChiSquare) Eval(x, y linalg.Vector) float64 {
+	return math.Exp(-k.Gamma * k.Distance(x, y))
+}
+
+// Name implements Func.
+func (k ChiSquare) Name() string { return fmt.Sprintf("chi2(γ=%g)", k.Gamma) }
+
+// HistogramIntersection is Σ min(x_i, y_i) — a proper Mercer kernel on
+// non-negative histograms, and the paper's alternative to chi-square for
+// topic-distribution similarity.
+type HistogramIntersection struct{}
+
+// Eval implements Func.
+func (HistogramIntersection) Eval(x, y linalg.Vector) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("kernel: histogram intersection length mismatch %d vs %d", len(x), len(y)))
+	}
+	var s float64
+	for i := range x {
+		s += math.Min(x[i], y[i])
+	}
+	return s
+}
+
+// Name implements Func.
+func (HistogramIntersection) Name() string { return "histintersect" }
+
+// Gram computes the full kernel matrix K[i][j] = k(xs[i], xs[j]).
+func Gram(k Func, xs []linalg.Vector) *linalg.Matrix {
+	n := len(xs)
+	m := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := k.Eval(xs[i], xs[j])
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+// CrossGram computes the rectangular kernel matrix K[i][j] = k(as[i], bs[j]).
+func CrossGram(k Func, as, bs []linalg.Vector) *linalg.Matrix {
+	m := linalg.NewMatrix(len(as), len(bs))
+	for i, a := range as {
+		for j, b := range bs {
+			m.Set(i, j, k.Eval(a, b))
+		}
+	}
+	return m
+}
+
+// Cache memoizes kernel evaluations over a fixed sample set, keyed by index
+// pair. SMO-style solvers hit the same rows repeatedly; the cache stores
+// whole rows.
+type Cache struct {
+	k            Func
+	xs           []linalg.Vector
+	rows         map[int]linalg.Vector
+	hits, misses int
+}
+
+// NewCache returns a row cache for kernel k over samples xs.
+func NewCache(k Func, xs []linalg.Vector) *Cache {
+	return &Cache{k: k, xs: xs, rows: make(map[int]linalg.Vector)}
+}
+
+// Row returns the i-th kernel row [k(x_i, x_0), ..., k(x_i, x_{n-1})].
+// The returned slice is shared; callers must not modify it.
+func (c *Cache) Row(i int) linalg.Vector {
+	if r, ok := c.rows[i]; ok {
+		c.hits++
+		return r
+	}
+	c.misses++
+	r := linalg.NewVector(len(c.xs))
+	for j := range c.xs {
+		r[j] = c.k.Eval(c.xs[i], c.xs[j])
+	}
+	c.rows[i] = r
+	return r
+}
+
+// At returns k(x_i, x_j) going through the row cache.
+func (c *Cache) At(i, j int) float64 { return c.Row(i)[j] }
+
+// Stats reports cache hits and misses (for efficiency experiments).
+func (c *Cache) Stats() (hits, misses int) { return c.hits, c.misses }
+
+// Len returns the number of cached samples.
+func (c *Cache) Len() int { return len(c.xs) }

@@ -1,0 +1,134 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PowerIterOpts controls PowerIteration.
+type PowerIterOpts struct {
+	MaxIter int     // maximum iterations (default 1000)
+	Tol     float64 // convergence tolerance on the eigenvector delta (default 1e-10)
+	Seed    int64   // PRNG seed for the starting vector
+}
+
+func (o *PowerIterOpts) defaults() {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 1000
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+}
+
+// MulVeccer is any linear operator that can multiply a vector; both dense
+// Matrix and Sparse satisfy it. PowerIteration only needs this much.
+type MulVeccer interface {
+	MulVec(Vector) Vector
+}
+
+// PowerIteration computes the dominant eigenvalue/eigenvector pair of the
+// operator a (assumed to have a real dominant eigenvalue, which holds for
+// the symmetric non-negative affinity matrices HYDRA builds). The returned
+// eigenvector has unit norm and, following the paper's use as a relaxed
+// cluster indicator, is sign-flipped so that its largest-magnitude entry
+// is positive.
+func PowerIteration(a MulVeccer, n int, opts PowerIterOpts) (float64, Vector, error) {
+	opts.defaults()
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("linalg: power iteration on empty operator")
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+	v := NewVector(n)
+	for i := range v {
+		v[i] = rng.Float64() + 0.1 // strictly positive start helps non-negative matrices
+	}
+	v.Normalize()
+	lambda := 0.0
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		w := a.MulVec(v)
+		nw := w.Norm()
+		if nw == 0 {
+			// a annihilates v: the dominant eigenvalue within this subspace is 0.
+			return 0, v, nil
+		}
+		w.Scale(1 / nw)
+		lambda = w.Dot(a.MulVec(w))
+		delta := 0.0
+		for i := range w {
+			d := math.Abs(w[i] - v[i])
+			if d > delta {
+				delta = d
+			}
+		}
+		v = w
+		if delta < opts.Tol {
+			break
+		}
+	}
+	// Canonical sign: largest-magnitude entry positive.
+	_, idx := absMaxIdx(v)
+	if idx >= 0 && v[idx] < 0 {
+		v.Scale(-1)
+	}
+	return lambda, v, nil
+}
+
+func absMaxIdx(v Vector) (float64, int) {
+	best, idx := -1.0, -1
+	for i, x := range v {
+		if a := math.Abs(x); a > best {
+			best, idx = a, i
+		}
+	}
+	return best, idx
+}
+
+// ConjugateGradient solves a x = b for a symmetric positive-definite
+// operator a using CG, starting from x0 (nil means zero). It is the
+// iterative fallback for large kernel systems where a dense Cholesky would
+// not fit.
+func ConjugateGradient(a MulVeccer, b Vector, x0 Vector, maxIter int, tol float64) (Vector, int, error) {
+	n := len(b)
+	if maxIter <= 0 {
+		maxIter = 2 * n
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	x := NewVector(n)
+	if x0 != nil {
+		if len(x0) != n {
+			return nil, 0, fmt.Errorf("linalg: CG x0 length %d, want %d", len(x0), n)
+		}
+		x = x0.Clone()
+	}
+	r := b.Sub(a.MulVec(x))
+	p := r.Clone()
+	rs := r.Dot(r)
+	bnorm := b.Norm()
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	for k := 0; k < maxIter; k++ {
+		if math.Sqrt(rs)/bnorm < tol {
+			return x, k, nil
+		}
+		ap := a.MulVec(p)
+		denom := p.Dot(ap)
+		if denom <= 0 {
+			return nil, k, fmt.Errorf("linalg: CG detected non-positive curvature %g at iter %d (operator not SPD?)", denom, k)
+		}
+		alpha := rs / denom
+		x.AddScaled(alpha, p)
+		r.AddScaled(-alpha, ap)
+		rsNew := r.Dot(r)
+		beta := rsNew / rs
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rs = rsNew
+	}
+	return x, maxIter, nil
+}

@@ -1,0 +1,133 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// LU is an LU factorization with partial pivoting of a square matrix:
+// P·A = L·U. It solves the general (non-symmetric) linear systems arising
+// in HYDRA's dual assembly, where A = 2γ_L·I + c·(D−M)·K is a product of a
+// Laplacian and a kernel matrix and therefore not symmetric.
+type LU struct {
+	lu   *Matrix
+	perm []int
+	sign int
+}
+
+// Factorize computes the LU decomposition of a (a is not modified).
+// Singular matrices (pivot below tiny) return an error.
+func Factorize(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: LU of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	lu := a.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sign := 1
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest magnitude in this column at/below diagonal.
+		p := col
+		maxAbs := math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu.At(r, col)); v > maxAbs {
+				maxAbs, p = v, r
+			}
+		}
+		if maxAbs < 1e-300 {
+			return nil, fmt.Errorf("linalg: singular matrix at column %d", col)
+		}
+		if p != col {
+			swapRows(lu, p, col)
+			perm[p], perm[col] = perm[col], perm[p]
+			sign = -sign
+		}
+		pivot := lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := lu.At(r, col) / pivot
+			lu.Set(r, col, f)
+			if f == 0 {
+				continue
+			}
+			rowR := lu.Data[r*n : (r+1)*n]
+			rowC := lu.Data[col*n : (col+1)*n]
+			for c := col + 1; c < n; c++ {
+				rowR[c] -= f * rowC[c]
+			}
+		}
+	}
+	return &LU{lu: lu, perm: perm, sign: sign}, nil
+}
+
+func swapRows(m *Matrix, i, j int) {
+	ri := m.Data[i*m.Cols : (i+1)*m.Cols]
+	rj := m.Data[j*m.Cols : (j+1)*m.Cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// Solve solves A x = b for one right-hand side.
+func (f *LU) Solve(b Vector) Vector {
+	n := f.lu.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("linalg: LU solve length %d, want %d", len(b), n))
+	}
+	x := NewVector(n)
+	// Apply permutation.
+	for i := 0; i < n; i++ {
+		x[i] = b[f.perm[i]]
+	}
+	// Forward substitution with unit-diagonal L.
+	for i := 1; i < n; i++ {
+		row := f.lu.Data[i*n : (i+1)*n]
+		s := x[i]
+		for k := 0; k < i; k++ {
+			s -= row[k] * x[k]
+		}
+		x[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.Data[i*n : (i+1)*n]
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= row[k] * x[k]
+		}
+		x[i] = s / row[i]
+	}
+	return x
+}
+
+// SolveMatrix solves A X = B column-wise, where B is n×m.
+func (f *LU) SolveMatrix(b *Matrix) *Matrix {
+	n := f.lu.Rows
+	if b.Rows != n {
+		panic(fmt.Sprintf("linalg: LU SolveMatrix rows %d, want %d", b.Rows, n))
+	}
+	out := NewMatrix(n, b.Cols)
+	col := NewVector(n)
+	for c := 0; c < b.Cols; c++ {
+		for r := 0; r < n; r++ {
+			col[r] = b.At(r, c)
+		}
+		x := f.Solve(col)
+		for r := 0; r < n; r++ {
+			out.Set(r, c, x[r])
+		}
+	}
+	return out
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	n := f.lu.Rows
+	for i := 0; i < n; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}

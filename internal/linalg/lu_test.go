@@ -1,0 +1,112 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUSolve(t *testing.T) {
+	a := NewMatrixFrom([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Known system with solution (2, 3, -1).
+	x := f.Solve(Vector{8, -11, -3})
+	want := Vector{2, 3, -1}
+	if x.Sub(want).Norm() > 1e-10 {
+		t.Fatalf("LU solve = %v, want %v", x, want)
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	if _, err := Factorize(NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected error on non-square matrix")
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {2, 4}})
+	if _, err := Factorize(a); err == nil {
+		t.Fatal("expected error on singular matrix")
+	}
+}
+
+func TestLUNeedsPivoting(t *testing.T) {
+	// Zero on the leading diagonal forces a row swap.
+	a := NewMatrixFrom([][]float64{{0, 1}, {1, 0}})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.Solve(Vector{3, 7})
+	if math.Abs(x[0]-7) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("pivoted solve = %v", x)
+	}
+	if math.Abs(f.Det()-(-1)) > 1e-12 {
+		t.Fatalf("det = %v, want -1", f.Det())
+	}
+}
+
+func TestLUSolveMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 6
+	a := NewMatrix(n, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	a.AddDiag(3)
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A * X = A (so X should be I).
+	x := f.SolveMatrix(a)
+	id := Identity(n)
+	for i := range x.Data {
+		if math.Abs(x.Data[i]-id.Data[i]) > 1e-9 {
+			t.Fatalf("A⁻¹A != I at %d: %v", i, x.Data[i])
+		}
+	}
+}
+
+func TestLUDetDiagonal(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{2, 0}, {0, 3}})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Det()-6) > 1e-12 {
+		t.Fatalf("det = %v, want 6", f.Det())
+	}
+}
+
+// Property: LU solve inverts multiplication for random well-conditioned
+// matrices.
+func TestLUSolveProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := 2 + int(seed)%8
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		a.AddDiag(5) // keep well-conditioned
+		lu, err := Factorize(a)
+		if err != nil {
+			return false
+		}
+		x := randVec(rng, n)
+		got := lu.Solve(a.MulVec(x))
+		return got.Sub(x).Norm() < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,261 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// NewMatrix returns a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewMatrixFrom builds a matrix from a slice of rows (deep copied).
+func NewMatrixFrom(rows [][]float64) *Matrix {
+	r := len(rows)
+	if r == 0 {
+		return NewMatrix(0, 0)
+	}
+	c := len(rows[0])
+	m := NewMatrix(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("linalg: ragged rows: row %d has %d cols, want %d", i, len(row), c))
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i,j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i,j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Addf adds v to element (i,j).
+func (m *Matrix) Addf(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Row returns row i as a Vector sharing the matrix's storage.
+func (m *Matrix) Row(i int) Vector { return Vector(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// MulVec returns m*v as a new vector.
+func (m *Matrix) MulVec(v Vector) Vector {
+	if m.Cols != len(v) {
+		panic(fmt.Sprintf("linalg: MulVec shape mismatch %dx%d * %d", m.Rows, m.Cols, len(v)))
+	}
+	out := NewVector(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, x := range row {
+			s += x * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// MulVecT returns mᵀ*v as a new vector.
+func (m *Matrix) MulVecT(v Vector) Vector {
+	if m.Rows != len(v) {
+		panic(fmt.Sprintf("linalg: MulVecT shape mismatch %dx%dᵀ * %d", m.Rows, m.Cols, len(v)))
+	}
+	out := NewVector(m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		vi := v[i]
+		if vi == 0 {
+			continue
+		}
+		for j, x := range row {
+			out[j] += x * vi
+		}
+	}
+	return out
+}
+
+// Mul returns m*n as a new matrix.
+func (m *Matrix) Mul(n *Matrix) *Matrix {
+	if m.Cols != n.Rows {
+		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, n.Rows, n.Cols))
+	}
+	out := NewMatrix(m.Rows, n.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mrow := m.Data[i*m.Cols : (i+1)*m.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, a := range mrow {
+			if a == 0 {
+				continue
+			}
+			nrow := n.Data[k*n.Cols : (k+1)*n.Cols]
+			for j, b := range nrow {
+				orow[j] += a * b
+			}
+		}
+	}
+	return out
+}
+
+// AddInPlace adds n to m element-wise in place and returns m.
+func (m *Matrix) AddInPlace(n *Matrix) *Matrix {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		panic(fmt.Sprintf("linalg: Add shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, n.Rows, n.Cols))
+	}
+	for i := range m.Data {
+		m.Data[i] += n.Data[i]
+	}
+	return m
+}
+
+// ScaleInPlace multiplies every entry by a and returns m.
+func (m *Matrix) ScaleInPlace(a float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= a
+	}
+	return m
+}
+
+// AddDiag adds a to every diagonal entry and returns m. m must be square.
+func (m *Matrix) AddDiag(a float64) *Matrix {
+	if m.Rows != m.Cols {
+		panic(fmt.Sprintf("linalg: AddDiag on non-square %dx%d", m.Rows, m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+i] += a
+	}
+	return m
+}
+
+// IsSymmetric reports whether m is symmetric within tolerance tol.
+func (m *Matrix) IsSymmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// QuadForm returns vᵀ m v.
+func (m *Matrix) QuadForm(v Vector) float64 {
+	return v.Dot(m.MulVec(v))
+}
+
+// Cholesky computes the lower-triangular factor L with m = L Lᵀ.
+// m must be symmetric positive-definite; otherwise an error is returned.
+// The jitter, if positive, is added to the diagonal first (a standard
+// regularization when factoring nearly-singular Gram matrices).
+func (m *Matrix) Cholesky(jitter float64) (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky of non-square %dx%d matrix", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := m.At(i, j)
+			if i == j {
+				s += jitter
+			}
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, fmt.Errorf("linalg: matrix not positive definite at pivot %d (value %g)", i, s)
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves m x = b given the Cholesky factor l of m.
+func SolveCholesky(l *Matrix, b Vector) Vector {
+	n := l.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("linalg: SolveCholesky shape mismatch %d vs %d", n, len(b)))
+	}
+	// Forward substitution: L y = b.
+	y := NewVector(n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back substitution: Lᵀ x = y.
+	x := NewVector(n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// Solve solves m x = b for symmetric positive-definite m via Cholesky,
+// retrying with growing diagonal jitter when the factorization fails.
+func (m *Matrix) Solve(b Vector) (Vector, error) {
+	jitter := 0.0
+	for attempt := 0; attempt < 6; attempt++ {
+		l, err := m.Cholesky(jitter)
+		if err == nil {
+			return SolveCholesky(l, b), nil
+		}
+		if jitter == 0 {
+			jitter = 1e-10
+		} else {
+			jitter *= 100
+		}
+	}
+	return nil, fmt.Errorf("linalg: Solve failed for %dx%d matrix even with jitter", m.Rows, m.Cols)
+}

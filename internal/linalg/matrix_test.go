@@ -1,0 +1,202 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("At wrong: %+v", m)
+	}
+	m.Set(0, 0, 9)
+	if m.At(0, 0) != 9 {
+		t.Fatal("Set failed")
+	}
+	m.Addf(0, 0, 1)
+	if m.At(0, 0) != 10 {
+		t.Fatal("Addf failed")
+	}
+	r := m.Row(1)
+	if r[0] != 3 || r[1] != 4 {
+		t.Fatalf("Row = %v", r)
+	}
+}
+
+func TestMatrixRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	NewMatrixFrom([][]float64{{1, 2}, {3}})
+}
+
+func TestIdentityMulVec(t *testing.T) {
+	id := Identity(3)
+	v := Vector{1, 2, 3}
+	got := id.MulVec(v)
+	if got.Sub(v).Norm() != 0 {
+		t.Fatalf("I*v = %v", got)
+	}
+}
+
+func TestMatrixTranspose(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("T shape %dx%d", tr.Rows, tr.Cols)
+	}
+	if tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Fatalf("T values wrong: %+v", tr)
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	b := NewMatrixFrom([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := NewMatrixFrom([][]float64{{19, 22}, {43, 50}})
+	for i := range c.Data {
+		if c.Data[i] != want.Data[i] {
+			t.Fatalf("Mul = %+v, want %+v", c, want)
+		}
+	}
+}
+
+func TestMulVecT(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	v := Vector{1, 1, 1}
+	got := m.MulVecT(v)
+	if got[0] != 9 || got[1] != 12 {
+		t.Fatalf("MulVecT = %v", got)
+	}
+	// Must agree with explicit transpose.
+	want := m.T().MulVec(v)
+	if got.Sub(want).Norm() > 1e-12 {
+		t.Fatalf("MulVecT disagrees with T().MulVec: %v vs %v", got, want)
+	}
+}
+
+func TestAddScaleDiag(t *testing.T) {
+	m := Identity(2)
+	m.AddInPlace(Identity(2))
+	if m.At(0, 0) != 2 {
+		t.Fatal("AddInPlace failed")
+	}
+	m.ScaleInPlace(0.5)
+	if m.At(1, 1) != 1 {
+		t.Fatal("ScaleInPlace failed")
+	}
+	m.AddDiag(3)
+	if m.At(0, 0) != 4 || m.At(0, 1) != 0 {
+		t.Fatal("AddDiag failed")
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	if !Identity(3).IsSymmetric(0) {
+		t.Fatal("identity should be symmetric")
+	}
+	m := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	if m.IsSymmetric(0.5) {
+		t.Fatal("asymmetric matrix reported symmetric")
+	}
+	if NewMatrix(2, 3).IsSymmetric(0) {
+		t.Fatal("non-square reported symmetric")
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	// SPD matrix A = B Bᵀ + I.
+	rng := rand.New(rand.NewSource(7))
+	n := 8
+	b := NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := b.Mul(b.T()).AddDiag(1)
+	x := randVec(rng, n)
+	rhs := a.MulVec(x)
+	got, err := a.Solve(rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sub(x).Norm() > 1e-8 {
+		t.Fatalf("Solve residual too large: %v", got.Sub(x).Norm())
+	}
+}
+
+func TestCholeskyFailsOnIndefinite(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{0, 1}, {1, 0}}) // indefinite
+	if _, err := m.Cholesky(0); err == nil {
+		t.Fatal("expected Cholesky failure on indefinite matrix")
+	}
+	if _, err := NewMatrix(2, 3).Cholesky(0); err == nil {
+		t.Fatal("expected Cholesky failure on non-square matrix")
+	}
+}
+
+func TestQuadForm(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{2, 0}, {0, 3}})
+	if got := m.QuadForm(Vector{1, 2}); got != 14 {
+		t.Fatalf("QuadForm = %v, want 14", got)
+	}
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ on random small matrices.
+func TestTransposeOfProductProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed uint8) bool {
+		r := rand.New(rand.NewSource(int64(seed) + rng.Int63n(1000)))
+		a := NewMatrix(3, 4)
+		b := NewMatrix(4, 2)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64()
+		}
+		for i := range b.Data {
+			b.Data[i] = r.NormFloat64()
+		}
+		lhs := a.Mul(b).T()
+		rhs := b.T().Mul(a.T())
+		for i := range lhs.Data {
+			if math.Abs(lhs.Data[i]-rhs.Data[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Cholesky reconstructs, L·Lᵀ = A for random SPD A.
+func TestCholeskyReconstructionProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := 2 + int(seed)%5
+		b := NewMatrix(n, n)
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		a := b.Mul(b.T()).AddDiag(0.5)
+		l, err := a.Cholesky(0)
+		if err != nil {
+			return false
+		}
+		rec := l.Mul(l.T())
+		for i := range rec.Data {
+			if math.Abs(rec.Data[i]-a.Data[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+package structure
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hydra/internal/graph"
+	"hydra/internal/linalg"
+)
+
+// twoPlatformFixture builds the Figure-7 scenario: three real friends
+// (Alice=0, Bob=1, Henry=2) present on both platforms with consistent
+// structure, plus an impostor (node 3) disconnected from everyone.
+//
+// Embeddings: each person has the same embedding on both platforms; the
+// impostor pretends to be Alice (same embedding) but has no social ties.
+func twoPlatformFixture() (cands []Candidate, embA, embB []linalg.Vector, gA, gB *graph.Graph) {
+	gA = graph.New(4)
+	gB = graph.New(4)
+	// Friendship triangle on both platforms.
+	gA.AddEdge(0, 1, 5)
+	gA.AddEdge(1, 2, 5)
+	gA.AddEdge(0, 2, 5)
+	gB.AddEdge(0, 1, 5)
+	gB.AddEdge(1, 2, 5)
+	gB.AddEdge(0, 2, 5)
+
+	mk := func(a, b, c float64) linalg.Vector { return linalg.Vector{a, b, c} }
+	embA = []linalg.Vector{mk(1, 0, 0), mk(0, 1, 0), mk(0, 0, 1), mk(1, 0, 0)}
+	embB = []linalg.Vector{mk(1, 0, 0), mk(0, 1, 0), mk(0, 0, 1), mk(1, 0, 0)}
+
+	// Candidates: the three true pairs, plus the impostor pair (3 on A →
+	// 0 on B): behaviorally plausible, structurally isolated.
+	cands = []Candidate{{0, 0}, {1, 1}, {2, 2}, {3, 0}}
+	return
+}
+
+func TestBuildValidation(t *testing.T) {
+	_, _, _, gA, gB := func() (c []Candidate, a, b []linalg.Vector, g1, g2 *graph.Graph) {
+		return nil, nil, nil, graph.New(1), graph.New(1)
+	}()
+	if _, err := Build(nil, nil, nil, gA, gB, DefaultConfig()); err == nil {
+		t.Fatal("expected error for empty candidates")
+	}
+	cfg := DefaultConfig()
+	cfg.Sigma1 = 0
+	if _, err := Build([]Candidate{{0, 0}}, []linalg.Vector{{1}}, []linalg.Vector{{1}}, gA, gB, cfg); err == nil {
+		t.Fatal("expected error for bad bandwidth")
+	}
+}
+
+func TestBuildDiagonal(t *testing.T) {
+	cands, embA, embB, gA, gB := twoPlatformFixture()
+	m, err := Build(cands, embA, embB, gA, gB, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical embeddings: M(a,a) = exp(0) = 1.
+	for a := 0; a < 3; a++ {
+		if got := m.At(a, a); math.Abs(got-1) > 1e-12 {
+			t.Fatalf("M(%d,%d) = %v, want 1", a, a, got)
+		}
+	}
+}
+
+func TestBuildAgreementLinks(t *testing.T) {
+	cands, embA, embB, gA, gB := twoPlatformFixture()
+	m, err := Build(cands, embA, embB, gA, gB, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True pairs (0,1,2) are mutual friends on both platforms with equal
+	// hop distances -> strong agreement links.
+	for a := 0; a < 3; a++ {
+		for b := a + 1; b < 3; b++ {
+			if m.At(a, b) <= 0 {
+				t.Fatalf("expected agreement link between true pairs %d,%d", a, b)
+			}
+			if math.Abs(m.At(a, b)-m.At(b, a)) > 1e-12 {
+				t.Fatal("M not symmetric")
+			}
+		}
+	}
+	// The impostor candidate (index 3) has no A-side edges: no agreement.
+	for b := 0; b < 3; b++ {
+		if m.At(3, b) != 0 {
+			t.Fatalf("impostor should have no agreement links, got M(3,%d)=%v", b, m.At(3, b))
+		}
+	}
+}
+
+func TestAgreementClusterFindsTruePairs(t *testing.T) {
+	cands, embA, embB, gA, gB := twoPlatformFixture()
+	m, err := Build(cands, embA, embB, gA, gB, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := AgreementCluster(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True pairs score high; the impostor scores (near) zero relative to
+	// the cluster despite identical behavior similarity.
+	for a := 0; a < 3; a++ {
+		if scores[a] < 0.5 {
+			t.Fatalf("true pair %d score %v too low: %v", a, scores[a], scores)
+		}
+	}
+	if scores[3] > 0.3 {
+		t.Fatalf("impostor score %v should be near 0 (scores %v)", scores[3], scores)
+	}
+}
+
+func TestStructTermFiltersInconsistentDistances(t *testing.T) {
+	// Two candidates whose A-side nodes are direct friends (d=1) but whose
+	// B-side nodes are 2 hops apart (d=(1+1)²=4): with σ₂ small enough the
+	// structural term (1 - (1-4)²/σ₂²) goes negative -> no link.
+	gA := graph.New(2)
+	gA.AddEdge(0, 1, 1)
+	gB := graph.New(3)
+	gB.AddEdge(0, 2, 1)
+	gB.AddEdge(2, 1, 1) // 0-2-1: one intermediate
+	emb := []linalg.Vector{{0}, {0}, {0}}
+	cands := []Candidate{{0, 0}, {1, 1}}
+	cfg := Config{Sigma1: 1, Sigma2: 2.9, MaxHops: 2} // (d_ij−d_i'j')² = 9 > σ₂²
+	m, err := Build(cands, emb[:2], emb, gA, gB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 0 {
+		t.Fatalf("inconsistent pair should have 0 affinity, got %v", m.At(0, 1))
+	}
+	// With a larger σ₂ the link appears.
+	cfg.Sigma2 = 10
+	m, err = Build(cands, emb[:2], emb, gA, gB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) <= 0 {
+		t.Fatal("consistent-enough pair should have positive affinity")
+	}
+}
+
+func TestLaplacianRowSumsZero(t *testing.T) {
+	cands, embA, embB, gA, gB := twoPlatformFixture()
+	m, err := Build(cands, embA, embB, gA, gB, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Laplacian(m)
+	ones := linalg.NewVector(l.Rows).Fill(1)
+	if l.MulVec(ones).Norm() > 1e-9 {
+		t.Fatal("Laplacian rows should sum to zero")
+	}
+}
+
+func TestKhopNeighborhood(t *testing.T) {
+	g := graph.New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	nbrs := khopNeighborhood(g, 0, 2)
+	if nbrs[1] != 0 || nbrs[2] != 1 || nbrs[3] != 2 {
+		t.Fatalf("neighborhood = %v", nbrs)
+	}
+	if _, ok := nbrs[4]; ok {
+		t.Fatal("disconnected node in neighborhood")
+	}
+	if _, ok := nbrs[0]; ok {
+		t.Fatal("self in neighborhood")
+	}
+}
+
+// Property: M is symmetric with non-negative entries and unit-bounded
+// diagonal for random candidate sets.
+func TestBuildMatrixProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		n := 5
+		gA := graph.New(n)
+		gB := graph.New(n)
+		for k := 0; k < n; k++ {
+			gA.AddEdge(int(seed+uint8(k))%n, int(seed+uint8(2*k+1))%n, 1)
+			gB.AddEdge(int(seed+uint8(3*k))%n, int(seed+uint8(k+2))%n, 1)
+		}
+		emb := make([]linalg.Vector, n)
+		for i := range emb {
+			emb[i] = linalg.Vector{float64(i) / 5, float64((i * int(seed+1)) % 3)}
+		}
+		var cands []Candidate
+		for i := 0; i < n; i++ {
+			cands = append(cands, Candidate{i, (i + int(seed)) % n})
+		}
+		m, err := Build(cands, emb, emb, gA, gB, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		for i := 0; i < m.RowsN; i++ {
+			if d := m.At(i, i); d < 0 || d > 1 {
+				return false
+			}
+			for j := 0; j < m.ColsN; j++ {
+				if m.At(i, j) < 0 || math.Abs(m.At(i, j)-m.At(j, i)) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Name material for the username generator. The paper's Figure 1 challenge
+// — "Adele_小暖" vs "马素文Adele" vs "Adele Robinson" — is recreated here:
+// romanized handles on English platforms, Han-character names and hybrid
+// decorations on Chinese platforms, plus "bizarre characters for
+// eccentricity".
+
+var givenSyllables = []string{
+	"wei", "li", "min", "jun", "hua", "xin", "yan", "mei", "tao", "feng",
+	"ada", "bob", "cai", "dan", "eva", "fay", "gus", "han", "ivy", "joe",
+}
+
+var familyNames = []string{
+	"wang", "li", "zhang", "liu", "chen", "yang", "zhao", "huang",
+	"smith", "jones", "brown", "davis", "miller", "wilson",
+}
+
+// hanRunes is a pool of Han characters for Chinese display names.
+var hanRunes = []rune("伟丽敏军华欣燕梅涛风小暖素文马东明月星云龙虎春秋")
+
+// bizarre decoration characters some users add "for eccentricity".
+var bizarre = []string{"_", "__", "x", "xX", "~", "7", "88", "520", "o0"}
+
+// PersonName is the real-world identity material of one person.
+type PersonName struct {
+	Given   string // romanized given name
+	Family  string // romanized family name
+	Han     string // Chinese display name (2-3 Han runes)
+	BirthYr int
+}
+
+// randPersonName draws consistent identity material for one person.
+func randPersonName(rng *rand.Rand) PersonName {
+	given := givenSyllables[rng.Intn(len(givenSyllables))]
+	if rng.Float64() < 0.4 {
+		given += givenSyllables[rng.Intn(len(givenSyllables))]
+	}
+	family := familyNames[rng.Intn(len(familyNames))]
+	n := 2 + rng.Intn(2)
+	han := make([]rune, n)
+	for i := range han {
+		han[i] = hanRunes[rng.Intn(len(hanRunes))]
+	}
+	return PersonName{
+		Given:   given,
+		Family:  family,
+		Han:     string(han),
+		BirthYr: 1960 + rng.Intn(40),
+	}
+}
+
+// usernameFor derives the account username of person pn on a platform of
+// the given language. corruption in [0,1] is the probability of heavy
+// decoration that defeats username-overlap heuristics.
+func usernameFor(pn PersonName, lang string, rng *rand.Rand, corruption float64) string {
+	base := pn.Given + pn.Family
+	var name string
+	if lang == "zh" {
+		switch r := rng.Float64(); {
+		case r < 0.35:
+			name = pn.Han // pure Chinese display name
+		case r < 0.55:
+			name = pn.Given + pn.Han // hybrid: "adele小暖"
+		case r < 0.75:
+			name = pn.Han + pn.Given
+		default:
+			name = base
+		}
+	} else {
+		switch r := rng.Float64(); {
+		case r < 0.4:
+			name = base
+		case r < 0.7:
+			name = pn.Given + "." + pn.Family
+		default:
+			name = pn.Given + fmt.Sprint(pn.BirthYr%100)
+		}
+	}
+	if rng.Float64() < corruption {
+		deco := bizarre[rng.Intn(len(bizarre))]
+		if rng.Float64() < 0.5 {
+			name = deco + name
+		} else {
+			name += deco
+		}
+		// Occasionally mangle the core too.
+		if rng.Float64() < 0.3 {
+			name = strings.Replace(name, "a", "4", 1)
+		}
+	}
+	return name
+}

@@ -1,0 +1,145 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hydra/internal/linalg"
+	"hydra/internal/topic"
+)
+
+// Person is the latent natural person behind all of their platform
+// accounts. Everything the accounts exhibit — interests, style, mobility,
+// media habits — is a noisy projection of these fields, which is exactly
+// the long-term cross-platform behavioral consistency HYDRA exploits.
+type Person struct {
+	ID        int
+	Name      PersonName
+	Gender    string
+	City      int // index into Cities
+	Edu       string
+	Job       string
+	Bio       string
+	Tags      string
+	Email     string
+	FaceID    uint64 // avatar face identity; 0 = never uses a real photo
+	Community int    // planted social community
+
+	// TopicMix is the person's long-term interest distribution over the
+	// latent topics.
+	TopicMix linalg.Vector
+	// GenrePrefs are indices into topic.Genres the person posts about.
+	GenrePrefs []int
+	// SentimentBias is the person's dominant emotion family index into
+	// topic.Sentiments.
+	SentimentBias int
+	// StyleWords are the person's rare signature tokens (Section 5.3).
+	StyleWords []string
+	// HomeLat/HomeLon jitter the city anchor by a few km.
+	HomeLat, HomeLon float64
+	// MediaPool is the person's media fingerprints, shared (with
+	// asynchrony) across platforms.
+	MediaPool []uint64
+	// Primary is the index (into the dataset's platform list) of the
+	// person's primary platform — the data-imbalance axis.
+	Primary int
+	// Deceptive persons report false attributes on some platforms.
+	Deceptive bool
+}
+
+// dirichlet draws a Dirichlet(alpha,...,alpha) sample of dimension k.
+func dirichlet(rng *rand.Rand, k int, alpha float64) linalg.Vector {
+	v := linalg.NewVector(k)
+	for i := range v {
+		// Gamma(alpha) via Marsaglia-Tsang for alpha<1 boosted trick.
+		v[i] = gammaSample(rng, alpha)
+	}
+	if v.Sum() == 0 {
+		return v.Fill(1 / float64(k))
+	}
+	return v.Scale(1 / v.Sum())
+}
+
+// gammaSample draws from Gamma(shape, 1).
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := rng.Float64()
+		if u == 0 {
+			u = 1e-12
+		}
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	// Marsaglia-Tsang.
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u == 0 {
+			u = 1e-12
+		}
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// randPerson draws a complete latent person.
+func randPerson(rng *rand.Rand, id, numTopics, numPlatforms, numCommunities int) *Person {
+	pn := randPersonName(rng)
+	city := rng.Intn(len(Cities))
+	p := &Person{
+		ID:            id,
+		Name:          pn,
+		Gender:        []string{"m", "f"}[rng.Intn(2)],
+		City:          city,
+		Edu:           Educations[rng.Intn(len(Educations))],
+		Job:           Jobs[rng.Intn(len(Jobs))],
+		Bio:           BioPhrases[rng.Intn(len(BioPhrases))],
+		Tags:          TagPool[rng.Intn(len(TagPool))] + "," + TagPool[rng.Intn(len(TagPool))],
+		Email:         fmt.Sprintf("%s.%s%d@mail.example", pn.Given, pn.Family, id),
+		FaceID:        uint64(id + 1),
+		Community:     rng.Intn(max(1, numCommunities)),
+		TopicMix:      dirichlet(rng, numTopics, 0.3),
+		SentimentBias: rng.Intn(len(topic.Sentiments)),
+		HomeLat:       Cities[city].Lat + rng.NormFloat64()*0.02,
+		HomeLon:       Cities[city].Lon + rng.NormFloat64()*0.02,
+		Primary:       rng.Intn(max(1, numPlatforms)),
+		Deceptive:     rng.Float64() < 0.08,
+	}
+	nGenres := 2 + rng.Intn(2)
+	seen := map[int]bool{}
+	for len(p.GenrePrefs) < nGenres {
+		g := rng.Intn(len(topic.Genres))
+		if !seen[g] {
+			seen[g] = true
+			p.GenrePrefs = append(p.GenrePrefs, g)
+		}
+	}
+	nStyle := 3 + rng.Intn(3)
+	for j := 0; j < nStyle; j++ {
+		p.StyleWords = append(p.StyleWords, StyleWord(id, j))
+	}
+	nMedia := 6 + rng.Intn(8)
+	for j := 0; j < nMedia; j++ {
+		p.MediaPool = append(p.MediaPool, uint64(id)*1000+uint64(j)+1)
+	}
+	return p
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,162 @@
+package synth
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"unicode"
+
+	"hydra/internal/platform"
+	"hydra/internal/topic"
+)
+
+func TestRandPersonComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 30; i++ {
+		p := randPerson(rng, i, 8, 5, 4)
+		if p.ID != i {
+			t.Fatal("id wrong")
+		}
+		if p.Gender != "m" && p.Gender != "f" {
+			t.Fatalf("gender = %q", p.Gender)
+		}
+		if p.City < 0 || p.City >= len(Cities) {
+			t.Fatal("city out of range")
+		}
+		if len(p.TopicMix) != 8 {
+			t.Fatal("topic mix dim wrong")
+		}
+		if len(p.GenrePrefs) < 2 || len(p.GenrePrefs) > 3 {
+			t.Fatalf("genre prefs = %v", p.GenrePrefs)
+		}
+		for _, g := range p.GenrePrefs {
+			if g < 0 || g >= len(topic.Genres) {
+				t.Fatal("genre index out of range")
+			}
+		}
+		if len(p.StyleWords) < 3 || len(p.MediaPool) < 6 {
+			t.Fatal("style/media pools too small")
+		}
+		if p.Primary < 0 || p.Primary >= 5 {
+			t.Fatal("primary platform out of range")
+		}
+		if p.Community < 0 || p.Community >= 4 {
+			t.Fatal("community out of range")
+		}
+		if p.FaceID == 0 {
+			t.Fatal("face id must be nonzero")
+		}
+		if !strings.Contains(p.Email, "@") {
+			t.Fatalf("email = %q", p.Email)
+		}
+	}
+}
+
+func TestFalsifyChangesValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	pe := randPerson(rng, 0, 4, 2, 2)
+	// Birth falsification must move the year forward (age fudging).
+	orig := pe.Name.BirthYr
+	for i := 0; i < 20; i++ {
+		got := falsify(rng, platform.AttrBirth, "x", pe)
+		if got <= "" {
+			t.Fatal("empty falsified birth")
+		}
+		var yr int
+		if _, err := sscan(got, &yr); err == nil && yr <= orig {
+			t.Fatalf("falsified birth %d not after %d", yr, orig)
+		}
+	}
+	// Gender flips.
+	if falsify(rng, platform.AttrGender, "m", pe) != "f" {
+		t.Fatal("gender should flip m->f")
+	}
+	if falsify(rng, platform.AttrGender, "f", pe) != "m" {
+		t.Fatal("gender should flip f->m")
+	}
+	// Unknown attributes pass through.
+	if falsify(rng, platform.AttrBio, "hello", pe) != "hello" {
+		t.Fatal("bio should pass through")
+	}
+}
+
+// sscan is a tiny fmt.Sscanf wrapper to keep imports local.
+func sscan(s string, out *int) (int, error) {
+	n := 0
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, errNotNumeric
+		}
+		n = n*10 + int(r-'0')
+	}
+	*out = n
+	return 1, nil
+}
+
+var errNotNumeric = errString("not numeric")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+func TestChineseUsernamesUseHan(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	pn := randPersonName(rng)
+	hanSeen := false
+	for i := 0; i < 60; i++ {
+		name := usernameFor(pn, "zh", rng, 0)
+		for _, r := range name {
+			if unicode.Is(unicode.Han, r) {
+				hanSeen = true
+			}
+		}
+	}
+	if !hanSeen {
+		t.Fatal("Chinese usernames never used Han characters")
+	}
+	// English usernames never do.
+	for i := 0; i < 60; i++ {
+		name := usernameFor(pn, "en", rng, 0)
+		for _, r := range name {
+			if unicode.Is(unicode.Han, r) {
+				t.Fatalf("English username %q contains Han", name)
+			}
+		}
+	}
+}
+
+func TestCorruptionAddsDecoration(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	pn := randPersonName(rng)
+	baseline := usernameFor(pn, "en", rng, 0)
+	decorated := 0
+	for i := 0; i < 100; i++ {
+		name := usernameFor(pn, "en", rng, 1) // always corrupt
+		if len(name) > len(baseline) || strings.ContainsAny(name, "_~xX47890o") {
+			decorated++
+		}
+	}
+	if decorated < 80 {
+		t.Fatalf("corruption rate too low: %d/100", decorated)
+	}
+}
+
+func TestStyleWordDeterministic(t *testing.T) {
+	if StyleWord(3, 1) != StyleWord(3, 1) {
+		t.Fatal("style word not deterministic")
+	}
+	if StyleWord(3, 1) == StyleWord(4, 1) {
+		t.Fatal("style words must differ across persons")
+	}
+}
+
+func TestCitiesAndPools(t *testing.T) {
+	if len(Cities) < 8 || len(Educations) < 5 || len(Jobs) < 5 || len(BioPhrases) < 5 || len(TagPool) < 5 {
+		t.Fatal("attribute pools too small for diverse worlds")
+	}
+	for _, c := range Cities {
+		if c.Lat == 0 && c.Lon == 0 {
+			t.Fatalf("city %s has zero coordinates", c.Name)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hydra/internal/platform"
+	"hydra/internal/text"
+)
+
+// Stats summarizes a generated world along the axes the paper reports
+// about its real datasets: content divergence between platforms (paper:
+// "a 25% to 85% difference in user generated content between different
+// platforms"), attribute missingness, and activity imbalance.
+type Stats struct {
+	Persons   int
+	Platforms int
+	Accounts  int
+	Posts     int
+	Events    int
+	Edges     int
+
+	// ContentDivergence[pair] is the mean per-person Jaccard *distance*
+	// between the token sets the person uses on the two platforms.
+	ContentDivergence map[string]float64
+	// MissingMean is the mean number of missing core attributes per
+	// account.
+	MissingMean float64
+	// ImbalanceRatio is the mean ratio of a person's most-active to
+	// least-active platform post counts (data imbalance).
+	ImbalanceRatio float64
+}
+
+// Measure computes Stats for a world.
+func Measure(w *World) Stats {
+	st := Stats{
+		Persons:           w.Dataset.NumPersons(),
+		Platforms:         len(w.Dataset.Platforms),
+		ContentDivergence: make(map[string]float64),
+	}
+	ids := make([]platform.ID, 0, len(w.Dataset.Platforms))
+	for id := range w.Dataset.Platforms {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	var missingTotal int
+	for _, id := range ids {
+		p := w.Dataset.Platforms[id]
+		st.Accounts += p.NumAccounts()
+		st.Edges += p.Graph.NumEdges()
+		for _, acc := range p.Accounts {
+			st.Posts += len(acc.Posts)
+			st.Events += len(acc.Events)
+			missingTotal += acc.Profile.MissingCount()
+		}
+	}
+	if st.Accounts > 0 {
+		st.MissingMean = float64(missingTotal) / float64(st.Accounts)
+	}
+
+	// Per-person token sets per platform.
+	tokens := make(map[platform.ID]map[int]map[string]bool, len(ids))
+	for _, id := range ids {
+		perPerson := make(map[int]map[string]bool)
+		for _, acc := range w.Dataset.Platforms[id].Accounts {
+			set := make(map[string]bool)
+			for _, post := range acc.Posts {
+				for _, tok := range text.Tokenize(post.Text) {
+					set[tok] = true
+				}
+			}
+			perPerson[acc.Person] = set
+		}
+		tokens[id] = perPerson
+	}
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			var acc float64
+			n := 0
+			for person := 0; person < st.Persons; person++ {
+				sa := tokens[ids[i]][person]
+				sb := tokens[ids[j]][person]
+				if len(sa) == 0 || len(sb) == 0 {
+					continue
+				}
+				acc += 1 - jaccard(sa, sb)
+				n++
+			}
+			if n > 0 {
+				key := fmt.Sprintf("%s|%s", ids[i], ids[j])
+				st.ContentDivergence[key] = acc / float64(n)
+			}
+		}
+	}
+
+	// Imbalance: most-active / least-active platform per person.
+	var ratioAcc float64
+	ratioN := 0
+	for person := 0; person < st.Persons; person++ {
+		minP, maxP := -1, -1
+		for _, id := range ids {
+			local, ok := w.Dataset.AccountOf(person, id)
+			if !ok {
+				continue
+			}
+			n := len(w.Dataset.Platforms[id].Accounts[local].Posts)
+			if minP == -1 || n < minP {
+				minP = n
+			}
+			if n > maxP {
+				maxP = n
+			}
+		}
+		if minP > 0 {
+			ratioAcc += float64(maxP) / float64(minP)
+			ratioN++
+		}
+	}
+	if ratioN > 0 {
+		st.ImbalanceRatio = ratioAcc / float64(ratioN)
+	}
+	return st
+}
+
+func jaccard(a, b map[string]bool) float64 {
+	inter := 0
+	for k := range a {
+		if b[k] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// Format renders the stats as a text block.
+func (st Stats) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "persons=%d platforms=%d accounts=%d posts=%d events=%d edges=%d\n",
+		st.Persons, st.Platforms, st.Accounts, st.Posts, st.Events, st.Edges)
+	fmt.Fprintf(&b, "mean missing core attributes per account: %.2f / %d\n",
+		st.MissingMean, len(platform.CoreAttrs))
+	fmt.Fprintf(&b, "mean activity imbalance (max/min posts per person): %.2f\n", st.ImbalanceRatio)
+	keys := make([]string, 0, len(st.ContentDivergence))
+	for k := range st.ContentDivergence {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "content divergence %-28s %.1f%%\n", k, 100*st.ContentDivergence[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"hydra/internal/platform"
+)
+
+func TestMeasureBasics(t *testing.T) {
+	w, err := Generate(DefaultConfig(80, platform.EnglishPlatforms, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Measure(w)
+	if st.Persons != 80 || st.Platforms != 2 || st.Accounts != 160 {
+		t.Fatalf("counts wrong: %+v", st)
+	}
+	if st.Posts == 0 || st.Events == 0 || st.Edges == 0 {
+		t.Fatal("content counts empty")
+	}
+	if st.MissingMean <= 0.5 || st.MissingMean >= 5 {
+		t.Fatalf("mean missing = %v, want the Figure 2(a) regime", st.MissingMean)
+	}
+	out := st.Format()
+	for _, want := range []string{"persons=80", "content divergence", "imbalance"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestContentDivergenceInPaperRange(t *testing.T) {
+	// The paper reports 25%–85% UGC difference between platforms; the
+	// generator's divergence knob must land the synthetic world inside
+	// that band.
+	w, err := Generate(DefaultConfig(100, platform.EnglishPlatforms, 33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Measure(w)
+	if len(st.ContentDivergence) != 1 {
+		t.Fatalf("divergence pairs = %d", len(st.ContentDivergence))
+	}
+	for pair, d := range st.ContentDivergence {
+		if d < 0.25 || d > 0.95 {
+			t.Fatalf("divergence %s = %v, want the paper's 25%%-85%% band", pair, d)
+		}
+	}
+}
+
+func TestImbalanceRatio(t *testing.T) {
+	w, err := Generate(DefaultConfig(60, platform.ChinesePlatforms, 35))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Measure(w)
+	// PrimaryBoost 2.5 vs 0.7 for others: the max/min post ratio should
+	// clearly exceed 1 (data imbalance).
+	if st.ImbalanceRatio < 1.5 {
+		t.Fatalf("imbalance ratio = %v, expected visible data imbalance", st.ImbalanceRatio)
+	}
+}
+
+func TestJaccardHelper(t *testing.T) {
+	a := map[string]bool{"x": true, "y": true}
+	b := map[string]bool{"y": true, "z": true}
+	if got := jaccard(a, b); got != 1.0/3 {
+		t.Fatalf("jaccard = %v", got)
+	}
+	if jaccard(map[string]bool{}, map[string]bool{}) != 1 {
+		t.Fatal("empty sets should be identical")
+	}
+}

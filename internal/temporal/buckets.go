@@ -1,0 +1,160 @@
+// Package temporal implements the time-axis machinery of HYDRA's behavior
+// models: the multi-scale time-bucket division of Section 5.2 (Figure 5) and
+// the multi-resolution pattern-matching sensor framework of Section 5.4
+// (Figure 6), including lq-norm pooling and the sigmoid calibration.
+package temporal
+
+import (
+	"fmt"
+	"time"
+
+	"hydra/internal/linalg"
+)
+
+// Day is the base unit of the paper's bucket scales.
+const Day = 24 * time.Hour
+
+// DefaultScalesDays are the bucket scales of Section 5.2: "we use 1, 2, 4,
+// 8, 16 and 32 days in this paper to guarantee the optimal performance".
+var DefaultScalesDays = []int{1, 2, 4, 8, 16, 32}
+
+// Stamped is any event carrying a timestamp.
+type Stamped interface {
+	When() time.Time
+}
+
+// Range is a closed-open time interval [Start, End).
+type Range struct {
+	Start, End time.Time
+}
+
+// Valid reports whether the range is non-empty and well-ordered.
+func (r Range) Valid() bool { return r.End.After(r.Start) }
+
+// Duration returns End - Start.
+func (r Range) Duration() time.Duration { return r.End.Sub(r.Start) }
+
+// NumBuckets returns the number of buckets of the given scale covering r
+// (the final partial bucket counts).
+func (r Range) NumBuckets(scale time.Duration) int {
+	if !r.Valid() || scale <= 0 {
+		return 0
+	}
+	d := r.Duration()
+	n := int(d / scale)
+	if d%scale != 0 {
+		n++
+	}
+	return n
+}
+
+// BucketOf returns the bucket index of t within r at the given scale, or
+// -1 if t lies outside r.
+func (r Range) BucketOf(t time.Time, scale time.Duration) int {
+	if t.Before(r.Start) || !t.Before(r.End) {
+		return -1
+	}
+	return int(t.Sub(r.Start) / scale)
+}
+
+// DistSeries is a sequence of per-bucket probability distributions at one
+// temporal scale. Buckets with no events hold a nil vector ("missing"), not
+// a zero distribution: HYDRA distinguishes absent behavior from observed
+// neutral behavior.
+type DistSeries struct {
+	Scale   time.Duration
+	Buckets []linalg.Vector
+}
+
+// AggregateDistributions groups the (timestamp, distribution) observations
+// into buckets of the given scale over range r and averages the
+// distributions within each bucket — the aggregation step of Figure 5.
+func AggregateDistributions(r Range, scale time.Duration, times []time.Time, dists []linalg.Vector) (DistSeries, error) {
+	if len(times) != len(dists) {
+		return DistSeries{}, fmt.Errorf("temporal: %d times but %d distributions", len(times), len(dists))
+	}
+	n := r.NumBuckets(scale)
+	out := DistSeries{Scale: scale, Buckets: make([]linalg.Vector, n)}
+	counts := make([]int, n)
+	for i, t := range times {
+		b := r.BucketOf(t, scale)
+		if b < 0 {
+			continue
+		}
+		if out.Buckets[b] == nil {
+			out.Buckets[b] = linalg.NewVector(len(dists[i]))
+		}
+		out.Buckets[b].AddScaled(1, dists[i])
+		counts[b]++
+	}
+	for b, c := range counts {
+		if c > 0 {
+			out.Buckets[b].Scale(1 / float64(c))
+		}
+	}
+	return out, nil
+}
+
+// Similarity is a pairwise similarity between two distributions (e.g. a
+// chi-square or histogram-intersection kernel evaluation).
+type Similarity func(a, b linalg.Vector) float64
+
+// SeriesSimilarity computes the average per-bucket similarity between two
+// DistSeries of the same scale — "the similarity of topic evolution of a
+// specific scale between two users can be simply calculated by averaging
+// over the similarities of all temporal intervals" (Section 5.2).
+//
+// The second return value is the fraction of buckets where both users had
+// observations; if no bucket overlaps, ok is false and callers must treat
+// the feature as missing.
+func SeriesSimilarity(a, b DistSeries, sim Similarity) (value float64, coverage float64, ok bool) {
+	n := len(a.Buckets)
+	if len(b.Buckets) < n {
+		n = len(b.Buckets)
+	}
+	if n == 0 {
+		return 0, 0, false
+	}
+	var total float64
+	matched := 0
+	for i := 0; i < n; i++ {
+		if a.Buckets[i] == nil || b.Buckets[i] == nil {
+			continue
+		}
+		total += sim(a.Buckets[i], b.Buckets[i])
+		matched++
+	}
+	if matched == 0 {
+		return 0, 0, false
+	}
+	return total / float64(matched), float64(matched) / float64(n), true
+}
+
+// MultiScaleSimilarity evaluates SeriesSimilarity at every scale in
+// scalesDays and concatenates the results into a similarity vector — "all
+// the similarities calculated using different time scales are concatenated
+// into a similarity vector". The returned mask marks which entries are
+// observed (true) versus missing (false).
+func MultiScaleSimilarity(r Range, scalesDays []int, timesA []time.Time, distsA []linalg.Vector,
+	timesB []time.Time, distsB []linalg.Vector, sim Similarity) (vec linalg.Vector, mask []bool, err error) {
+
+	vec = linalg.NewVector(len(scalesDays))
+	mask = make([]bool, len(scalesDays))
+	for si, days := range scalesDays {
+		scale := time.Duration(days) * Day
+		sa, err := AggregateDistributions(r, scale, timesA, distsA)
+		if err != nil {
+			return nil, nil, err
+		}
+		sb, err := AggregateDistributions(r, scale, timesB, distsB)
+		if err != nil {
+			return nil, nil, err
+		}
+		v, _, ok := SeriesSimilarity(sa, sb, sim)
+		if ok {
+			vec[si] = v
+			mask[si] = true
+		}
+	}
+	return vec, mask, nil
+}

@@ -1,0 +1,129 @@
+package temporal
+
+import (
+	"testing"
+	"time"
+
+	"hydra/internal/linalg"
+)
+
+func TestRangeValidity(t *testing.T) {
+	if (Range{Start: t0, End: t0}).Valid() {
+		t.Fatal("empty range should be invalid")
+	}
+	if (Range{Start: t0.Add(Day), End: t0}).Valid() {
+		t.Fatal("inverted range should be invalid")
+	}
+	r := Range{Start: t0, End: t0.Add(Day)}
+	if !r.Valid() || r.Duration() != 24*time.Hour {
+		t.Fatal("range basics wrong")
+	}
+}
+
+func TestNumBucketsEdgeCases(t *testing.T) {
+	r := Range{Start: t0, End: t0.Add(10 * Day)}
+	if r.NumBuckets(0) != 0 {
+		t.Fatal("zero scale should give 0 buckets")
+	}
+	if r.NumBuckets(-Day) != 0 {
+		t.Fatal("negative scale should give 0 buckets")
+	}
+	// Exact division: no partial bucket.
+	if got := r.NumBuckets(5 * Day); got != 2 {
+		t.Fatalf("exact division buckets = %d", got)
+	}
+	// Scale larger than the range: one bucket.
+	if got := r.NumBuckets(100 * Day); got != 1 {
+		t.Fatalf("oversized scale buckets = %d", got)
+	}
+}
+
+func TestBucketBoundaries(t *testing.T) {
+	r := Range{Start: t0, End: t0.Add(4 * Day)}
+	// The instant exactly at a bucket boundary belongs to the next bucket.
+	if got := r.BucketOf(t0.Add(2*Day), 2*Day); got != 1 {
+		t.Fatalf("boundary bucket = %d", got)
+	}
+	// The range start belongs to bucket 0.
+	if got := r.BucketOf(t0, 2*Day); got != 0 {
+		t.Fatalf("start bucket = %d", got)
+	}
+	// The range end is exclusive.
+	if got := r.BucketOf(t0.Add(4*Day), 2*Day); got != -1 {
+		t.Fatalf("end instant bucket = %d", got)
+	}
+}
+
+func TestSeriesSimilarityShorterSeries(t *testing.T) {
+	// Mismatched bucket counts: only the shared prefix is compared.
+	a := DistSeries{Buckets: []linalg.Vector{{1, 0}, {0, 1}, {1, 0}}}
+	b := DistSeries{Buckets: []linalg.Vector{{1, 0}}}
+	v, cov, ok := SeriesSimilarity(a, b, dot)
+	if !ok || v != 1 || cov != 1 {
+		t.Fatalf("prefix comparison wrong: v=%v cov=%v ok=%v", v, cov, ok)
+	}
+}
+
+func TestMultiScaleSimilarityAllMissing(t *testing.T) {
+	r := Range{Start: t0, End: t0.Add(30 * Day)}
+	// User B has no posts: every scale must be missing.
+	timesA := []time.Time{t0.Add(Day)}
+	distsA := []linalg.Vector{{1, 0}}
+	vec, mask, err := MultiScaleSimilarity(r, []int{1, 8, 32}, timesA, distsA, nil, nil, dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mask {
+		if mask[i] || vec[i] != 0 {
+			t.Fatal("empty counterpart must yield all-missing features")
+		}
+	}
+}
+
+func TestScanWindowsOrderingIndependence(t *testing.T) {
+	// Events arriving out of order must produce the same signals.
+	s := MediaSensor{}
+	evs1 := []Event{
+		{Time: t0.Add(3 * Day), MediaID: 5},
+		{Time: t0.Add(Day), MediaID: 4},
+	}
+	evs2 := []Event{
+		{Time: t0.Add(Day), MediaID: 4},
+		{Time: t0.Add(3 * Day), MediaID: 5},
+	}
+	other := []Event{{Time: t0.Add(Day + time.Hour), MediaID: 4}}
+	a := s.Match(append([]Event(nil), evs1...), append([]Event(nil), other...), 2*Day)
+	b := s.Match(append([]Event(nil), evs2...), append([]Event(nil), other...), 2*Day)
+	if len(a) != len(b) {
+		t.Fatalf("order dependence: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order dependence at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestLocationSensorDefaultSigma(t *testing.T) {
+	// SigmaKm <= 0 must fall back to the default rather than divide by 0.
+	s := LocationSensor{SigmaKm: 0}
+	a := []Event{{Time: t0.Add(Day), Lat: 10, Lon: 10}}
+	b := []Event{{Time: t0.Add(Day), Lat: 10, Lon: 10}}
+	signals := s.Match(a, b, 2*Day)
+	if len(signals) != 1 || signals[0] < 0.99 {
+		t.Fatalf("default-sigma signal = %v", signals)
+	}
+}
+
+func TestMediaSensorIgnoresLocationEvents(t *testing.T) {
+	s := LocationSensor{SigmaKm: 5}
+	// Media events must not contribute to location matching.
+	a := []Event{{Time: t0.Add(Day), MediaID: 9}}
+	b := []Event{{Time: t0.Add(Day), Lat: 1, Lon: 1}}
+	signals := s.Match(a, b, 2*Day)
+	// Window has both users active but no location pair on side A: the
+	// max over an empty set is 0 — a zero-stimulation signal.
+	if len(signals) != 1 || signals[0] != 0 {
+		t.Fatalf("signals = %v", signals)
+	}
+}

@@ -1,0 +1,262 @@
+package temporal
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"hydra/internal/linalg"
+)
+
+// Event is a timestamped behavioral observation fed to pattern-matching
+// sensors: a location check-in (Lat/Lon set) or a media posting/sharing
+// action (MediaID set).
+type Event struct {
+	Time    time.Time
+	Lat     float64
+	Lon     float64
+	MediaID uint64 // content fingerprint; 0 when not a media event
+}
+
+// When implements Stamped.
+func (e Event) When() time.Time { return e.Time }
+
+// Sensor detects matched behavior patterns between two users' event streams
+// within a temporal search window. Match returns per-window stimulation
+// signals in [0,1]; the slice may be empty when no window holds events from
+// both streams.
+type Sensor interface {
+	// Name identifies the sensor (one similarity-vector dimension each).
+	Name() string
+	// Match scans both event streams with the given temporal search window
+	// and returns one stimulation signal per window where both users were
+	// active.
+	Match(a, b []Event, window time.Duration) []float64
+}
+
+// LocationSensor is the paper's location matching sensor: "calculates
+// location adjacency by a Gaussian kernel on geo-coordinates of user i and
+// user i′ within the predefined spatial range".
+type LocationSensor struct {
+	// SigmaKm is the Gaussian bandwidth over great-circle distance in km.
+	SigmaKm float64
+}
+
+// Name implements Sensor.
+func (s LocationSensor) Name() string { return "location" }
+
+// Match implements Sensor. Within each window the stimulation is the
+// maximum Gaussian location adjacency over all cross pairs of check-ins.
+func (s LocationSensor) Match(a, b []Event, window time.Duration) []float64 {
+	sigma := s.SigmaKm
+	if sigma <= 0 {
+		sigma = 5
+	}
+	return scanWindows(a, b, window, func(ea, eb []Event) float64 {
+		best := 0.0
+		for _, x := range ea {
+			if x.MediaID != 0 {
+				continue
+			}
+			for _, y := range eb {
+				if y.MediaID != 0 {
+					continue
+				}
+				d := HaversineKm(x.Lat, x.Lon, y.Lat, y.Lon)
+				v := math.Exp(-d * d / (2 * sigma * sigma))
+				if v > best {
+					best = v
+				}
+			}
+		}
+		return best
+	})
+}
+
+// MediaSensor is the near-duplicate multimedia sensor: two events match when
+// their content fingerprints coincide (the fingerprint plays the role of the
+// near-duplicate image detector / down-sampling method [9] in the paper).
+type MediaSensor struct{}
+
+// Name implements Sensor.
+func (MediaSensor) Name() string { return "media" }
+
+// Match implements Sensor. The stimulation of a window is 1 if any media
+// fingerprint is shared, else 0; windows where either side has no media
+// events are skipped.
+func (MediaSensor) Match(a, b []Event, window time.Duration) []float64 {
+	return scanWindows(a, b, window, func(ea, eb []Event) float64 {
+		seen := make(map[uint64]bool)
+		hasA := false
+		for _, x := range ea {
+			if x.MediaID != 0 {
+				seen[x.MediaID] = true
+				hasA = true
+			}
+		}
+		if !hasA {
+			return -1 // no media on side A: window not applicable
+		}
+		hasB := false
+		for _, y := range eb {
+			if y.MediaID != 0 {
+				hasB = true
+				if seen[y.MediaID] {
+					return 1
+				}
+			}
+		}
+		if !hasB {
+			return -1
+		}
+		return 0
+	})
+}
+
+// scanWindows slides a tumbling window across the union time span of the
+// two streams and evaluates f on the events of each window. Windows where
+// either side is empty, or where f returns a negative sentinel, produce no
+// signal — that is the "missing information" the multi-resolution model is
+// designed to tolerate.
+func scanWindows(a, b []Event, window time.Duration, f func(ea, eb []Event) float64) []float64 {
+	if len(a) == 0 || len(b) == 0 || window <= 0 {
+		return nil
+	}
+	sort.Slice(a, func(i, j int) bool { return a[i].Time.Before(a[j].Time) })
+	sort.Slice(b, func(i, j int) bool { return b[i].Time.Before(b[j].Time) })
+	start := a[0].Time
+	if b[0].Time.Before(start) {
+		start = b[0].Time
+	}
+	end := a[len(a)-1].Time
+	if b[len(b)-1].Time.After(end) {
+		end = b[len(b)-1].Time
+	}
+	end = end.Add(time.Nanosecond) // make the last event inclusive
+
+	var signals []float64
+	ia, ib := 0, 0
+	for t := start; t.Before(end); t = t.Add(window) {
+		wEnd := t.Add(window)
+		ea := sliceWindow(a, &ia, wEnd)
+		eb := sliceWindow(b, &ib, wEnd)
+		if len(ea) == 0 || len(eb) == 0 {
+			continue
+		}
+		if v := f(ea, eb); v >= 0 {
+			signals = append(signals, v)
+		}
+	}
+	return signals
+}
+
+// sliceWindow advances *idx past all events before wEnd and returns them.
+func sliceWindow(evs []Event, idx *int, wEnd time.Time) []Event {
+	lo := *idx
+	for *idx < len(evs) && evs[*idx].Time.Before(wEnd) {
+		*idx++
+	}
+	return evs[lo:*idx]
+}
+
+// HaversineKm returns the great-circle distance between two lat/lon points
+// in kilometers.
+func HaversineKm(lat1, lon1, lat2, lon2 float64) float64 {
+	const earthRadiusKm = 6371
+	toRad := func(deg float64) float64 { return deg * math.Pi / 180 }
+	dLat := toRad(lat2 - lat1)
+	dLon := toRad(lon2 - lon1)
+	h := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(toRad(lat1))*math.Cos(toRad(lat2))*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// LqPool aggregates stimulation signals with the lq-norm pooling of Eqn 5:
+// S = (1/N · Σ s_iᵠ)^(1/q). q → ∞ approaches max pooling; q must be ≥ 1.
+func LqPool(signals []float64, q float64) (float64, error) {
+	if q < 1 {
+		return 0, fmt.Errorf("temporal: lq pooling requires q >= 1, got %g", q)
+	}
+	if len(signals) == 0 {
+		return 0, nil
+	}
+	var acc float64
+	for _, s := range signals {
+		if s < 0 {
+			return 0, fmt.Errorf("temporal: negative stimulation signal %g", s)
+		}
+		acc += math.Pow(s, q)
+	}
+	return math.Pow(acc/float64(len(signals)), 1/q), nil
+}
+
+// MeanPool is the ablation alternative to LqPool (plain averaging).
+func MeanPool(signals []float64) float64 {
+	if len(signals) == 0 {
+		return 0
+	}
+	var acc float64
+	for _, s := range signals {
+		acc += s
+	}
+	return acc / float64(len(signals))
+}
+
+// Sigmoid is the nonlinear transformation Ŝ = 1/(1+e^{-λS}) of Section 5.4.
+func Sigmoid(s, lambda float64) float64 {
+	return 1 / (1 + math.Exp(-lambda*s))
+}
+
+// MultiResolutionConfig parameterizes the full Figure-6 pipeline.
+type MultiResolutionConfig struct {
+	// WindowsDays are the temporal search ranges of the sensor bank
+	// ("Scale 1 … Scale 5" in Figure 6).
+	WindowsDays []int
+	// Q is the lq-pooling exponent (≥ 1).
+	Q float64
+	// Lambda is the sigmoid steepness.
+	Lambda float64
+	// MeanPooling switches to mean pooling (ablation).
+	MeanPooling bool
+}
+
+// DefaultMultiResolutionConfig mirrors the paper's five temporal scales.
+func DefaultMultiResolutionConfig() MultiResolutionConfig {
+	return MultiResolutionConfig{WindowsDays: []int{1, 2, 4, 8, 16}, Q: 4, Lambda: 4}
+}
+
+// MultiResolutionMatch runs every sensor at every temporal window, pools the
+// stimulation signals (Eqn 5), applies the sigmoid, and returns the
+// multi-dimensional pattern-matching feature. mask[i] is false when sensor
+// i produced no signal at window j (missing information).
+//
+// The output layout is sensor-major: [s0w0, s0w1, ..., s1w0, ...].
+func MultiResolutionMatch(sensors []Sensor, cfg MultiResolutionConfig, a, b []Event) (linalg.Vector, []bool, error) {
+	nw := len(cfg.WindowsDays)
+	vec := linalg.NewVector(len(sensors) * nw)
+	mask := make([]bool, len(sensors)*nw)
+	for si, sensor := range sensors {
+		for wi, days := range cfg.WindowsDays {
+			window := time.Duration(days) * Day
+			signals := sensor.Match(a, b, window)
+			if len(signals) == 0 {
+				continue
+			}
+			var pooled float64
+			if cfg.MeanPooling {
+				pooled = MeanPool(signals)
+			} else {
+				var err error
+				pooled, err = LqPool(signals, cfg.Q)
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			idx := si*nw + wi
+			vec[idx] = Sigmoid(pooled, cfg.Lambda)
+			mask[idx] = true
+		}
+	}
+	return vec, mask, nil
+}

@@ -1,0 +1,330 @@
+package temporal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hydra/internal/linalg"
+)
+
+var t0 = time.Date(2012, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func r30() Range { return Range{Start: t0, End: t0.Add(30 * Day)} }
+
+func TestRangeBuckets(t *testing.T) {
+	r := r30()
+	if !r.Valid() {
+		t.Fatal("range should be valid")
+	}
+	if got := r.NumBuckets(16 * Day); got != 2 {
+		t.Fatalf("NumBuckets(16d) = %d, want 2", got)
+	}
+	if got := r.NumBuckets(8 * Day); got != 4 {
+		t.Fatalf("NumBuckets(8d) = %d, want 4", got)
+	}
+	if got := r.NumBuckets(1 * Day); got != 30 {
+		t.Fatalf("NumBuckets(1d) = %d, want 30", got)
+	}
+	if (Range{Start: t0, End: t0}).NumBuckets(Day) != 0 {
+		t.Fatal("empty range should have 0 buckets")
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	r := r30()
+	if got := r.BucketOf(t0.Add(17*Day), 16*Day); got != 1 {
+		t.Fatalf("BucketOf = %d, want 1", got)
+	}
+	if got := r.BucketOf(t0.Add(-time.Hour), Day); got != -1 {
+		t.Fatal("before-range time should map to -1")
+	}
+	if got := r.BucketOf(t0.Add(31*Day), Day); got != -1 {
+		t.Fatal("after-range time should map to -1")
+	}
+}
+
+func TestAggregateDistributions(t *testing.T) {
+	r := r30()
+	times := []time.Time{t0.Add(Day), t0.Add(2 * Day), t0.Add(20 * Day)}
+	dists := []linalg.Vector{{1, 0}, {0, 1}, {1, 0}}
+	s, err := AggregateDistributions(r, 16*Day, times, dists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Buckets) != 2 {
+		t.Fatalf("buckets = %d", len(s.Buckets))
+	}
+	// First bucket averages two one-hot dists.
+	if math.Abs(s.Buckets[0][0]-0.5) > 1e-12 || math.Abs(s.Buckets[0][1]-0.5) > 1e-12 {
+		t.Fatalf("bucket0 = %v", s.Buckets[0])
+	}
+	if s.Buckets[1][0] != 1 {
+		t.Fatalf("bucket1 = %v", s.Buckets[1])
+	}
+}
+
+func TestAggregateDistributionsMismatch(t *testing.T) {
+	if _, err := AggregateDistributions(r30(), Day, []time.Time{t0}, nil); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}
+
+func TestAggregateSkipsOutOfRange(t *testing.T) {
+	s, err := AggregateDistributions(r30(), 16*Day,
+		[]time.Time{t0.Add(-Day)}, []linalg.Vector{{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range s.Buckets {
+		if b != nil {
+			t.Fatal("out-of-range event leaked into a bucket")
+		}
+	}
+}
+
+func dot(a, b linalg.Vector) float64 { return a.Dot(b) }
+
+func TestSeriesSimilarity(t *testing.T) {
+	a := DistSeries{Buckets: []linalg.Vector{{1, 0}, nil, {0, 1}}}
+	b := DistSeries{Buckets: []linalg.Vector{{1, 0}, {1, 0}, nil}}
+	v, cov, ok := SeriesSimilarity(a, b, dot)
+	if !ok {
+		t.Fatal("expected overlap")
+	}
+	if v != 1 {
+		t.Fatalf("similarity = %v, want 1 (only bucket 0 overlaps)", v)
+	}
+	if math.Abs(cov-1.0/3) > 1e-12 {
+		t.Fatalf("coverage = %v, want 1/3", cov)
+	}
+}
+
+func TestSeriesSimilarityNoOverlap(t *testing.T) {
+	a := DistSeries{Buckets: []linalg.Vector{{1}, nil}}
+	b := DistSeries{Buckets: []linalg.Vector{nil, {1}}}
+	if _, _, ok := SeriesSimilarity(a, b, dot); ok {
+		t.Fatal("expected missing feature when no bucket overlaps")
+	}
+	if _, _, ok := SeriesSimilarity(DistSeries{}, DistSeries{}, dot); ok {
+		t.Fatal("empty series should be missing")
+	}
+}
+
+func TestMultiScaleSimilarity(t *testing.T) {
+	r := r30()
+	timesA := []time.Time{t0.Add(Day), t0.Add(10 * Day)}
+	timesB := []time.Time{t0.Add(Day + time.Hour), t0.Add(10*Day + time.Hour)}
+	dists := []linalg.Vector{{0.5, 0.5}, {0.5, 0.5}}
+	vec, mask, err := MultiScaleSimilarity(r, []int{1, 16}, timesA, dists, timesB, dists, dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != 2 || len(mask) != 2 {
+		t.Fatalf("vec=%v mask=%v", vec, mask)
+	}
+	if !mask[0] || !mask[1] {
+		t.Fatalf("both scales should be observed: %v", mask)
+	}
+	if math.Abs(vec[0]-0.5) > 1e-12 {
+		t.Fatalf("similarity = %v", vec[0])
+	}
+}
+
+func TestHaversine(t *testing.T) {
+	// Beijing to Shanghai ≈ 1067 km.
+	got := HaversineKm(39.9042, 116.4074, 31.2304, 121.4737)
+	if math.Abs(got-1067) > 25 {
+		t.Fatalf("Haversine = %v km, want ≈1067", got)
+	}
+	if HaversineKm(10, 20, 10, 20) != 0 {
+		t.Fatal("same point should be 0 km")
+	}
+}
+
+func mkEvents(times []time.Duration, lat, lon float64, media uint64) []Event {
+	evs := make([]Event, len(times))
+	for i, d := range times {
+		evs[i] = Event{Time: t0.Add(d), Lat: lat, Lon: lon, MediaID: media}
+	}
+	return evs
+}
+
+func TestLocationSensor(t *testing.T) {
+	s := LocationSensor{SigmaKm: 5}
+	a := mkEvents([]time.Duration{Day, 3 * Day}, 39.9, 116.4, 0)
+	b := mkEvents([]time.Duration{Day + time.Hour}, 39.9, 116.4, 0)
+	signals := s.Match(a, b, 2*Day)
+	if len(signals) != 1 {
+		t.Fatalf("signals = %v", signals)
+	}
+	if signals[0] < 0.99 {
+		t.Fatalf("co-located signal = %v, want ≈1", signals[0])
+	}
+	// Far apart: signal near zero but still present (both active).
+	far := mkEvents([]time.Duration{Day}, 31.2, 121.5, 0)
+	signals = s.Match(a, far, 2*Day)
+	if len(signals) != 1 || signals[0] > 1e-6 {
+		t.Fatalf("far signal = %v", signals)
+	}
+}
+
+func TestLocationSensorEmpty(t *testing.T) {
+	s := LocationSensor{}
+	if got := s.Match(nil, mkEvents([]time.Duration{Day}, 0, 0, 0), Day); got != nil {
+		t.Fatalf("empty stream should give nil, got %v", got)
+	}
+}
+
+func TestMediaSensor(t *testing.T) {
+	s := MediaSensor{}
+	a := mkEvents([]time.Duration{Day}, 0, 0, 42)
+	b := mkEvents([]time.Duration{Day + 2*time.Hour}, 0, 0, 42)
+	signals := s.Match(a, b, 2*Day)
+	if len(signals) != 1 || signals[0] != 1 {
+		t.Fatalf("shared media = %v", signals)
+	}
+	c := mkEvents([]time.Duration{Day}, 0, 0, 99)
+	signals = s.Match(a, c, 2*Day)
+	if len(signals) != 1 || signals[0] != 0 {
+		t.Fatalf("disjoint media = %v", signals)
+	}
+	// Location-only events on one side → window skipped entirely.
+	loc := mkEvents([]time.Duration{Day}, 1, 1, 0)
+	if got := s.Match(a, loc, 2*Day); got != nil {
+		t.Fatalf("media/location mix should be skipped, got %v", got)
+	}
+}
+
+func TestLqPool(t *testing.T) {
+	// q=1 is the mean.
+	v, err := LqPool([]float64{0.2, 0.4}, 1)
+	if err != nil || math.Abs(v-0.3) > 1e-12 {
+		t.Fatalf("LqPool q=1 = %v, %v", v, err)
+	}
+	// Large q approaches max.
+	v, err = LqPool([]float64{0.1, 0.9}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0.85 {
+		t.Fatalf("LqPool q=64 = %v, want ≈0.9", v)
+	}
+	if _, err := LqPool([]float64{1}, 0.5); err == nil {
+		t.Fatal("expected error for q<1")
+	}
+	if _, err := LqPool([]float64{-1}, 2); err == nil {
+		t.Fatal("expected error for negative signal")
+	}
+	if v, _ := LqPool(nil, 2); v != 0 {
+		t.Fatal("empty pool should be 0")
+	}
+}
+
+func TestMeanPool(t *testing.T) {
+	if MeanPool(nil) != 0 {
+		t.Fatal("empty mean pool")
+	}
+	if got := MeanPool([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("MeanPool = %v", got)
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if got := Sigmoid(0, 4); got != 0.5 {
+		t.Fatalf("Sigmoid(0) = %v", got)
+	}
+	if Sigmoid(10, 4) < 0.99 || Sigmoid(-10, 4) > 0.01 {
+		t.Fatal("sigmoid saturation wrong")
+	}
+}
+
+func TestMultiResolutionMatch(t *testing.T) {
+	cfg := DefaultMultiResolutionConfig()
+	sensors := []Sensor{LocationSensor{SigmaKm: 5}, MediaSensor{}}
+	a := append(mkEvents([]time.Duration{Day, 5 * Day}, 39.9, 116.4, 0),
+		mkEvents([]time.Duration{2 * Day}, 0, 0, 7)...)
+	b := append(mkEvents([]time.Duration{Day + time.Hour}, 39.9, 116.4, 0),
+		mkEvents([]time.Duration{2*Day + time.Hour}, 0, 0, 7)...)
+	vec, mask, err := MultiResolutionMatch(sensors, cfg, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != 2*len(cfg.WindowsDays) {
+		t.Fatalf("vector length %d", len(vec))
+	}
+	anyObserved := false
+	for i, m := range mask {
+		if m {
+			anyObserved = true
+			if vec[i] < 0 || vec[i] > 1 {
+				t.Fatalf("feature %d out of range: %v", i, vec[i])
+			}
+		} else if vec[i] != 0 {
+			t.Fatalf("missing feature %d has nonzero value %v", i, vec[i])
+		}
+	}
+	if !anyObserved {
+		t.Fatal("expected at least one observed dimension")
+	}
+}
+
+func TestMultiResolutionMatchDisjointStreams(t *testing.T) {
+	cfg := DefaultMultiResolutionConfig()
+	sensors := []Sensor{MediaSensor{}}
+	a := mkEvents([]time.Duration{Day}, 0, 0, 1)
+	vec, mask, err := MultiResolutionMatch(sensors, cfg, a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mask {
+		if mask[i] || vec[i] != 0 {
+			t.Fatal("all features should be missing when one stream is empty")
+		}
+	}
+}
+
+// Property: lq pooling is monotone in q toward the max and always lies
+// between mean and max of the signals.
+func TestLqPoolBoundsProperty(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		sig := []float64{float64(a) / 255, float64(b) / 255, float64(c) / 255}
+		mean := MeanPool(sig)
+		maxv := math.Max(sig[0], math.Max(sig[1], sig[2]))
+		for _, q := range []float64{1, 2, 4, 8, 32} {
+			v, err := LqPool(sig, q)
+			if err != nil {
+				return false
+			}
+			if v < mean-1e-9 || v > maxv+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sigmoid output is always in (0,1) and monotone in s.
+func TestSigmoidProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		x, y := math.Mod(a, 50), math.Mod(b, 50)
+		sx, sy := Sigmoid(x, 2), Sigmoid(y, 2)
+		if sx < 0 || sx > 1 {
+			return false
+		}
+		if x < y && sx > sy {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package vision
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMatchAbortsOnMissingImage(t *testing.T) {
+	m := NewMatcher(1)
+	if _, ok := m.Match(0, 5); ok {
+		t.Fatal("missing avatar A should abort")
+	}
+	if _, ok := m.Match(5, 0); ok {
+		t.Fatal("missing avatar B should abort")
+	}
+}
+
+func TestMatchAbortsOnStockImages(t *testing.T) {
+	m := NewMatcher(2)
+	if _, ok := m.Match(StockImageThreshold+1, 5); ok {
+		t.Fatal("stock image should have no detectable face")
+	}
+}
+
+func TestMatchSameFaceScoresHigh(t *testing.T) {
+	m := NewMatcher(3)
+	hits, total := 0, 0
+	var sumSame, sumDiff float64
+	nSame, nDiff := 0, 0
+	for a := uint64(1); a <= 300; a++ {
+		if s, ok := m.Match(a, a); ok {
+			sumSame += s
+			nSame++
+		}
+		if s, ok := m.Match(a, a+1); ok {
+			sumDiff += s
+			nDiff++
+		}
+		total++
+		if _, ok := m.Match(a, a); ok {
+			hits++
+		}
+	}
+	if nSame == 0 || nDiff == 0 {
+		t.Fatal("detector never succeeded")
+	}
+	if sumSame/float64(nSame) < 0.7 {
+		t.Fatalf("same-face mean score = %v", sumSame/float64(nSame))
+	}
+	if sumDiff/float64(nDiff) > 0.4 {
+		t.Fatalf("diff-face mean score = %v", sumDiff/float64(nDiff))
+	}
+	// Detection rate should be roughly DetectRate² for a pair.
+	rate := float64(hits) / float64(total)
+	if rate < 0.5 || rate > 0.95 {
+		t.Fatalf("pair detection rate = %v", rate)
+	}
+}
+
+func TestMatchDeterministicAndSymmetric(t *testing.T) {
+	m := NewMatcher(4)
+	s1, ok1 := m.Match(10, 20)
+	s2, ok2 := m.Match(10, 20)
+	if ok1 != ok2 || s1 != s2 {
+		t.Fatal("repeated Match not deterministic")
+	}
+	s3, ok3 := m.Match(20, 10)
+	if ok1 != ok3 || s1 != s3 {
+		t.Fatal("Match not symmetric in its arguments")
+	}
+}
+
+// Property: scores always lie in [0,1].
+func TestMatchScoreRangeProperty(t *testing.T) {
+	m := NewMatcher(5)
+	f := func(a, b uint16) bool {
+		s, ok := m.Match(uint64(a), uint64(b))
+		if !ok {
+			return s == 0
+		}
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
