@@ -4,6 +4,7 @@
 //	go run ./cmd/hydra-bench                  # full suite
 //	go run ./cmd/hydra-bench -only fig9,fig15 # a subset
 //	go run ./cmd/hydra-bench -scale 0.5       # smaller worlds, faster
+//	go run ./cmd/hydra-bench -workers 1       # pin the pool (sequential)
 package main
 
 import (
@@ -23,12 +24,13 @@ type driver struct {
 
 func main() {
 	var (
-		scale = flag.Float64("scale", 1, "world-size multiplier")
-		seed  = flag.Int64("seed", 7, "suite seed")
-		only  = flag.String("only", "", "comma-separated subset: fig2a,fig8,fig9,fig10,fig11,fig12,fig13,fig14,fig15,ablations")
+		scale   = flag.Float64("scale", 1, "world-size multiplier")
+		seed    = flag.Int64("seed", 7, "suite seed")
+		workers = flag.Int("workers", 0, "worker-pool size for sweep points and pairwise hot paths; 0 = all cores, 1 = sequential — figures are identical at any setting")
+		only    = flag.String("only", "", "comma-separated subset: fig2a,fig8,fig9,fig10,fig11,fig12,fig13,fig14,fig15,ablations")
 	)
 	flag.Parse()
-	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers}
 
 	drivers := []driver{
 		{"fig2a", func(c experiments.Config) (*experiments.Result, error) {

@@ -3,6 +3,10 @@
 // (see DESIGN.md §2).
 //
 //	go run ./cmd/hydra-gen -persons 200 -dataset all -o world.json
+//
+// Generation is intentionally single-threaded: the synthetic world is
+// built from one sequential RNG stream, so a worker pool would change the
+// output. Parallelizing it behind per-person seeds is a ROADMAP item.
 package main
 
 import (

@@ -26,6 +26,7 @@ func main() {
 		pbName    = flag.String("pb", "facebook", "second platform id")
 		labelFrac = flag.Float64("label-frac", 0.3, "labeled fraction of true candidate pairs")
 		seed      = flag.Int64("seed", 1, "model seed")
+		workers   = flag.Int("workers", 0, "worker-pool size for the pairwise hot paths; 0 = all cores, 1 = sequential — results are identical at any setting")
 		report    = flag.Bool("report", false, "print the feature-group weight report")
 	)
 	flag.Parse()
@@ -67,7 +68,9 @@ func main() {
 	}
 
 	opts := core.LabelOpts{LabelFraction: *labelFrac, NegPerPos: 2, UsePreMatched: true, Seed: *seed}
-	block, err := core.BuildBlock(sys, pa, pb, blocking.DefaultRules(), opts)
+	rules := blocking.DefaultRules()
+	rules.Workers = *workers
+	block, err := core.BuildBlock(sys, pa, pb, rules, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,11 +78,13 @@ func main() {
 	fmt.Printf("world: %d persons; task: %d candidates, %d labeled\n",
 		ds.NumPersons(), task.NumCandidates(), task.NumLabeled())
 
-	linker := &core.HydraLinker{Cfg: core.DefaultConfig(*seed)}
+	hcfg := core.DefaultConfig(*seed)
+	hcfg.Workers = *workers
+	linker := &core.HydraLinker{Cfg: hcfg}
 	if err := linker.Fit(sys, task); err != nil {
 		log.Fatal(err)
 	}
-	conf, err := core.EvaluateLinker(sys, linker, task.Blocks)
+	conf, err := core.EvaluateLinkerWorkers(sys, linker, task.Blocks, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}

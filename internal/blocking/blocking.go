@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"hydra/internal/parallel"
 	"hydra/internal/platform"
 	"hydra/internal/text"
 	"hydra/internal/vision"
@@ -42,6 +43,9 @@ type Rules struct {
 	// a pair on its own (paper: "user profile image matching by face
 	// recognition techniques").
 	PreMatchFace float64
+	// Workers pins the parallelism of the O(N_A · N_B) scoring pass
+	// (≤ 0 = all cores). Any setting yields the identical candidate set.
+	Workers int
 }
 
 // DefaultRules returns the calibrated filter.
@@ -66,41 +70,49 @@ func Generate(pa, pb *platform.Platform, faces *vision.Matcher, rules Rules) ([]
 	if rules.TopK <= 0 {
 		rules.TopK = 3
 	}
-	var out []Candidate
-	seen := make(map[[2]int]bool)
-	for _, accA := range pa.Accounts {
+	// Score A-side rows in parallel: each row scores all N_B pairs and
+	// returns its qualifying candidates in the order the sequential code
+	// would have appended them. The cross-row dedup below runs on the
+	// row-ordered concatenation, so the result is identical at any worker
+	// count (the scorer itself is deterministic per pair).
+	kept := parallel.MapChunks(rules.Workers, pa.NumAccounts(), func(lo, hi int) []Candidate {
+		var chunk []Candidate
 		scored := make([]Candidate, 0, pb.NumAccounts())
-		for _, accB := range pb.Accounts {
-			c := scorePair(accA, accB, faces, rules)
-			scored = append(scored, c)
-		}
-		sort.Slice(scored, func(i, j int) bool {
-			if scored[i].Score != scored[j].Score {
-				return scored[i].Score > scored[j].Score
+		for ai := lo; ai < hi; ai++ {
+			accA := pa.Accounts[ai]
+			scored = scored[:0]
+			for _, accB := range pb.Accounts {
+				scored = append(scored, scorePair(accA, accB, faces, rules))
 			}
-			return scored[i].B < scored[j].B
-		})
-		for rank, c := range scored {
-			if rank < rules.TopK || c.Score >= rules.MinScore || c.PreMatched {
-				key := [2]int{c.A, c.B}
-				if !seen[key] {
-					seen[key] = true
-					out = append(out, c)
+			sort.Slice(scored, func(i, j int) bool {
+				if scored[i].Score != scored[j].Score {
+					return scored[i].Score > scored[j].Score
 				}
-			} else {
-				break // sorted: nothing below can qualify except pre-matches
-			}
-		}
-		// Pre-matches below the cut still qualify.
-		for rank := rules.TopK; rank < len(scored); rank++ {
-			c := scored[rank]
-			if c.PreMatched {
-				key := [2]int{c.A, c.B}
-				if !seen[key] {
-					seen[key] = true
-					out = append(out, c)
+				return scored[i].B < scored[j].B
+			})
+			for rank, c := range scored {
+				if rank < rules.TopK || c.Score >= rules.MinScore || c.PreMatched {
+					chunk = append(chunk, c)
+				} else {
+					break // sorted: nothing below can qualify except pre-matches
 				}
 			}
+			// Pre-matches below the cut still qualify.
+			for rank := rules.TopK; rank < len(scored); rank++ {
+				if c := scored[rank]; c.PreMatched {
+					chunk = append(chunk, c)
+				}
+			}
+		}
+		return chunk
+	})
+	out := make([]Candidate, 0, len(kept))
+	seen := make(map[[2]int]bool, len(kept))
+	for _, c := range kept {
+		key := [2]int{c.A, c.B}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, c)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -1,0 +1,86 @@
+package blocking
+
+import (
+	"testing"
+
+	"hydra/internal/platform"
+	"hydra/internal/synth"
+	"hydra/internal/vision"
+)
+
+// genWorldBench is genWorld without the testing.T plumbing, for benchmarks.
+func genWorldBench(persons int, seed int64) (*synth.World, error) {
+	return synth.Generate(synth.DefaultConfig(persons, platform.EnglishPlatforms, seed))
+}
+
+// TestGenerateWorkersDeterminism asserts the tentpole contract: the
+// candidate set (ids, scores, pre-match flags, order) is identical whether
+// the O(N_A · N_B) scoring pass ran on one worker or many.
+func TestGenerateWorkersDeterminism(t *testing.T) {
+	w := genWorld(t, 120, 9)
+	pa := w.Dataset.Platforms[platform.Twitter]
+	pb := w.Dataset.Platforms[platform.Facebook]
+	faces := vision.NewMatcher(9)
+
+	seqRules := DefaultRules()
+	seqRules.Workers = 1
+	seq, err := Generate(pa, pb, faces, seqRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 0} {
+		rules := DefaultRules()
+		rules.Workers = workers
+		par, err := Generate(pa, pb, faces, rules)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d candidates vs %d sequential", workers, len(par), len(seq))
+		}
+		for i := range seq {
+			if par[i] != seq[i] {
+				t.Fatalf("workers=%d: candidate %d differs: %+v vs %+v", workers, i, par[i], seq[i])
+			}
+		}
+	}
+}
+
+// BenchmarkBlockingGenerate measures the candidate-scoring hot path; run
+// with -cpu 1,4 to see the worker-pool speedup (workers resolve to
+// GOMAXPROCS).
+func BenchmarkBlockingGenerate(b *testing.B) {
+	w, err := genWorldBench(300, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pa := w.Dataset.Platforms[platform.Twitter]
+	pb := w.Dataset.Platforms[platform.Facebook]
+	faces := vision.NewMatcher(13)
+	rules := DefaultRules()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(pa, pb, faces, rules); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBlockingGenerateSequential is the pinned one-worker baseline.
+func BenchmarkBlockingGenerateSequential(b *testing.B) {
+	w, err := genWorldBench(300, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pa := w.Dataset.Platforms[platform.Twitter]
+	pb := w.Dataset.Platforms[platform.Facebook]
+	faces := vision.NewMatcher(13)
+	rules := DefaultRules()
+	rules.Workers = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(pa, pb, faces, rules); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"hydra/internal/kernel"
 	"hydra/internal/linalg"
 	"hydra/internal/moo"
+	"hydra/internal/parallel"
 	"hydra/internal/platform"
 	"hydra/internal/qp"
 	"hydra/internal/structure"
@@ -39,6 +40,11 @@ type Config struct {
 	// Tol is the SMO tolerance.
 	Tol  float64
 	Seed int64
+	// Workers pins the parallelism of the pairwise hot paths (feature
+	// assembly, Gram construction, evaluation). ≤ 0 uses all cores;
+	// Workers: 1 reproduces the sequential results bit-for-bit (as does
+	// any other setting — all parallel paths are deterministic).
+	Workers int
 }
 
 // DefaultConfig returns the calibrated parameters (the values a grid search
@@ -148,19 +154,37 @@ func train(sys *System, task *Task, cfg Config, warmMap map[labelKey]float64) (*
 		return nil, fmt.Errorf("core: no labeled pairs; F_D is undefined")
 	}
 
-	// 1. Assemble imputed feature vectors and label bookkeeping.
-	xs := make([]linalg.Vector, 0, n)
+	// 1. Assemble imputed feature vectors (in parallel — each candidate's
+	// imputation is independent and written to its own index) and label
+	// bookkeeping (sequential, order-dependent).
+	type imputeJob struct {
+		b *Block
+		c blocking.Candidate
+	}
+	jobs := make([]imputeJob, 0, n)
+	for _, b := range task.Blocks {
+		for _, c := range b.Cands {
+			jobs = append(jobs, imputeJob{b: b, c: c})
+		}
+	}
+	xs := make([]linalg.Vector, n)
+	if err := parallel.ForErr(cfg.Workers, n, func(i int) error {
+		j := jobs[i]
+		x, err := sys.Impute(j.b.PA, j.c.A, j.b.PB, j.c.B, cfg.Variant, cfg.TopFriends)
+		if err != nil {
+			return err
+		}
+		xs[i] = x
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	var labeledIdx []int
 	var labels []float64
 	var labelKeys []labelKey
 	offset := 0
 	for _, b := range task.Blocks {
 		for ci, c := range b.Cands {
-			x, err := sys.Impute(b.PA, c.A, b.PB, c.B, cfg.Variant, cfg.TopFriends)
-			if err != nil {
-				return nil, err
-			}
-			xs = append(xs, x)
 			if y, ok := b.Labels[ci]; ok {
 				if y != 1 && y != -1 {
 					return nil, fmt.Errorf("core: label %g on block %s/%s candidate %d, want ±1", y, b.PA, b.PB, ci)
@@ -224,7 +248,7 @@ func train(sys *System, task *Task, cfg Config, warmMap map[labelKey]float64) (*
 
 	// 3. Kernel matrix.
 	kern := pickKernel(cfg, xs)
-	gram := kernel.Gram(kern, xs)
+	gram := kernel.GramWorkers(kern, xs, cfg.Workers)
 
 	m := &Model{sys: sys, cfg: cfg, kern: kern, xs: xs}
 	m.Diag.N, m.Diag.NL = n, nl

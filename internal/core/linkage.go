@@ -7,6 +7,7 @@ import (
 
 	"hydra/internal/blocking"
 	"hydra/internal/metrics"
+	"hydra/internal/parallel"
 	"hydra/internal/platform"
 )
 
@@ -109,7 +110,10 @@ type Linker interface {
 	// Fit trains on the task.
 	Fit(sys *System, task *Task) error
 	// PairScore returns a real-valued linkage score (higher = more likely
-	// the same person); the decision threshold is 0.
+	// the same person); the decision threshold is 0. Implementations must
+	// be safe for concurrent calls after Fit — EvaluateLinker scores
+	// candidates in parallel. (All in-repo linkers are read-only after
+	// Fit apart from the mutex-guarded System caches.)
 	PairScore(pa platform.ID, a int, pb platform.ID, b int) (float64, error)
 }
 
@@ -146,19 +150,31 @@ func (h *HydraLinker) Model() *Model { return h.model }
 // EvaluateLinker scores every candidate of every block with the linker and
 // compares decisions (score > 0) against ground truth. Blocking misses —
 // true pairs that never became candidates — are charged as false negatives,
-// implementing the paper's recall definition.
+// implementing the paper's recall definition. Scoring runs on all cores;
+// use EvaluateLinkerWorkers to pin the parallelism.
 func EvaluateLinker(sys *System, l Linker, blocks []*Block) (metrics.Confusion, error) {
+	return EvaluateLinkerWorkers(sys, l, blocks, 0)
+}
+
+// EvaluateLinkerWorkers is EvaluateLinker with a pinned worker count
+// (≤ 0 = all cores). Each candidate's decision is written to its own
+// index, so the confusion counts are identical at any worker count.
+func EvaluateLinkerWorkers(sys *System, l Linker, blocks []*Block, workers int) (metrics.Confusion, error) {
 	var total metrics.Confusion
 	for _, b := range blocks {
 		returned := make([]bool, len(b.Cands))
 		truth := make([]bool, len(b.Cands))
-		for i, c := range b.Cands {
+		if err := parallel.ForErr(workers, len(b.Cands), func(i int) error {
+			c := b.Cands[i]
 			s, err := l.PairScore(b.PA, c.A, b.PB, c.B)
 			if err != nil {
-				return metrics.Confusion{}, err
+				return err
 			}
 			returned[i] = s > 0
 			truth[i] = sys.DS.SamePerson(b.PA, c.A, b.PB, c.B)
+			return nil
+		}); err != nil {
+			return metrics.Confusion{}, err
 		}
 		missed := missedPositives(sys.DS, b)
 		c, err := metrics.EvaluateLinkage(returned, truth, missed)

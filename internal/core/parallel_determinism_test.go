@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"hydra/internal/blocking"
+	"hydra/internal/platform"
+)
+
+// TestTrainWorkersDeterminism asserts the end-to-end tentpole contract:
+// blocking, feature assembly, the Gram matrix, training and evaluation all
+// produce identical results with Workers: 1 and Workers: N for a fixed
+// seed. Every parallel path keeps RNG state per task and writes to
+// index-addressed slots, so this holds bit-for-bit, not just
+// approximately.
+func TestTrainWorkersDeterminism(t *testing.T) {
+	const seed = 4
+	_, sys1 := buildSystem(t, 50, platform.EnglishPlatforms, seed)
+	_, sysN := buildSystem(t, 50, platform.EnglishPlatforms, seed)
+
+	buildWith := func(sys *System, workers int) (*Task, *Model, Config) {
+		t.Helper()
+		rules := blocking.DefaultRules()
+		rules.Workers = workers
+		block, err := BuildBlock(sys, platform.Twitter, platform.Facebook, rules, DefaultLabelOpts(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		task := &Task{Blocks: []*Block{block}}
+		cfg := DefaultConfig(seed)
+		cfg.Workers = workers
+		m, err := Train(sys, task, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return task, m, cfg
+	}
+
+	task1, m1, cfg1 := buildWith(sys1, 1)
+	taskN, mN, cfgN := buildWith(sysN, 4)
+
+	// Identical candidate sets and labels.
+	b1, bN := task1.Blocks[0], taskN.Blocks[0]
+	if len(b1.Cands) != len(bN.Cands) {
+		t.Fatalf("candidate count differs: %d vs %d", len(b1.Cands), len(bN.Cands))
+	}
+	for i := range b1.Cands {
+		if b1.Cands[i] != bN.Cands[i] {
+			t.Fatalf("candidate %d differs: %+v vs %+v", i, b1.Cands[i], bN.Cands[i])
+		}
+	}
+	if len(b1.Labels) != len(bN.Labels) {
+		t.Fatalf("label count differs: %d vs %d", len(b1.Labels), len(bN.Labels))
+	}
+	for i, y := range b1.Labels {
+		if bN.Labels[i] != y {
+			t.Fatalf("label %d differs: %g vs %g", i, bN.Labels[i], y)
+		}
+	}
+
+	// Identical dual solutions.
+	if len(m1.alpha) != len(mN.alpha) {
+		t.Fatalf("alpha length differs: %d vs %d", len(m1.alpha), len(mN.alpha))
+	}
+	for i := range m1.alpha {
+		if m1.alpha[i] != mN.alpha[i] {
+			t.Fatalf("alpha[%d] differs: %v vs %v", i, m1.alpha[i], mN.alpha[i])
+		}
+	}
+	if m1.bias != mN.bias {
+		t.Fatalf("bias differs: %v vs %v", m1.bias, mN.bias)
+	}
+
+	// Identical confusion counts from the parallel evaluator.
+	l1 := &HydraLinker{Cfg: cfg1, model: m1}
+	lN := &HydraLinker{Cfg: cfgN, model: mN}
+	conf1, err := EvaluateLinkerWorkers(sys1, l1, task1.Blocks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	confN, err := EvaluateLinkerWorkers(sysN, lN, taskN.Blocks, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf1 != confN {
+		t.Fatalf("confusion differs: %+v vs %+v", conf1, confN)
+	}
+}
+
+// TestSystemConcurrentRawPair exercises the System caches from many
+// goroutines (run with -race to catch regressions in the locking).
+func TestSystemConcurrentRawPair(t *testing.T) {
+	_, sys := buildSystem(t, 30, platform.EnglishPlatforms, 2)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 20; i++ {
+				if _, err := sys.RawPair(platform.Twitter, (g+i)%20, platform.Facebook, i%20); err != nil {
+					done <- err
+					return
+				}
+				if _, err := sys.Impute(platform.Twitter, i%20, platform.Facebook, (g*3+i)%20, HydraM, 3); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"hydra/internal/attr"
 	"hydra/internal/features"
@@ -39,11 +40,15 @@ func (v Variant) String() string {
 
 // System holds the trained feature pipeline and per-account views for one
 // dataset, with caching for pair vectors. It is shared by HYDRA and the
-// feature-based baselines so every method sees identical features.
+// feature-based baselines so every method sees identical features. The
+// view and pair caches are mutex-guarded, so a System is safe for
+// concurrent use — the parallel feature assembly, evaluation and
+// experiment sweeps all share one instance.
 type System struct {
 	DS   *platform.Dataset
 	Pipe *features.Pipeline
 
+	mu        sync.Mutex
 	views     map[platform.ID][]*features.AccountView
 	pairCache map[pairKey]features.PairVector
 	faces     *vision.Matcher
@@ -77,7 +82,15 @@ func NewSystem(ds *platform.Dataset, labeled []attr.LabeledPair, lx features.Lex
 func (s *System) Faces() *vision.Matcher { return s.faces }
 
 // Views returns (building on first use) the account views of a platform.
+// The build happens under the cache lock so concurrent callers get the
+// same slice and each view is constructed exactly once.
 func (s *System) Views(id platform.ID) ([]*features.AccountView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.viewsLocked(id)
+}
+
+func (s *System) viewsLocked(id platform.ID) ([]*features.AccountView, error) {
 	if v, ok := s.views[id]; ok {
 		return v, nil
 	}
@@ -108,26 +121,35 @@ func (s *System) Embeddings(id platform.ID) ([]linalg.Vector, error) {
 }
 
 // RawPair returns the (cached) unimputed pair vector between account a on
-// platform pa and account b on platform pb.
+// platform pa and account b on platform pb. The similarity computation
+// itself runs outside the lock; when two goroutines race on an uncached
+// pair both compute the same deterministic vector and one write wins.
 func (s *System) RawPair(pa platform.ID, a int, pb platform.ID, b int) (features.PairVector, error) {
 	key := pairKey{pa, pb, a, b}
+	s.mu.Lock()
 	if pv, ok := s.pairCache[key]; ok {
+		s.mu.Unlock()
 		return pv, nil
 	}
-	va, err := s.Views(pa)
+	va, err := s.viewsLocked(pa)
 	if err != nil {
+		s.mu.Unlock()
 		return features.PairVector{}, err
 	}
-	vb, err := s.Views(pb)
+	vb, err := s.viewsLocked(pb)
 	if err != nil {
+		s.mu.Unlock()
 		return features.PairVector{}, err
 	}
+	s.mu.Unlock()
 	if a < 0 || a >= len(va) || b < 0 || b >= len(vb) {
 		return features.PairVector{}, fmt.Errorf("core: pair (%d,%d) out of range (%s has %d, %s has %d)",
 			a, b, pa, len(va), pb, len(vb))
 	}
 	pv := s.Pipe.Pair(va[a], vb[b])
+	s.mu.Lock()
 	s.pairCache[key] = pv
+	s.mu.Unlock()
 	return pv, nil
 }
 
@@ -199,7 +221,11 @@ func (s *System) Impute(pa platform.ID, a int, pb platform.ID, b int, v Variant,
 }
 
 // CacheSize reports the number of cached pair vectors (diagnostics).
-func (s *System) CacheSize() int { return len(s.pairCache) }
+func (s *System) CacheSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pairCache)
+}
 
 // LabeledProfilePairs assembles attribute-importance training pairs from
 // ground truth: for the given persons, the true cross-platform profile pair

@@ -15,6 +15,7 @@ func AblationStructure(cfg Config) (*Result, error) {
 		persons:   cfg.persons(90),
 		platforms: platform.EnglishPlatforms,
 		seed:      cfg.Seed,
+		workers:   cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -34,10 +35,10 @@ func AblationStructure(cfg Config) (*Result, error) {
 			name   string
 			gammaM float64
 		}{{"with-structure", core.DefaultConfig(cfg.Seed).GammaM}, {"no-structure", 0}} {
-			hcfg := core.DefaultConfig(cfg.Seed)
+			hcfg := cfg.hydraConfig()
 			hcfg.GammaM = mode.gammaM
 			linker := &core.HydraLinker{Cfg: hcfg}
-			conf, secs, err := runLinker(st.sys, linker, task)
+			conf, secs, err := runLinker(st.sys, linker, task, cfg.Workers)
 			if err != nil {
 				res.Note("%s at frac %.2f failed: %v", mode.name, frac, err)
 				continue
@@ -113,13 +114,13 @@ func featureAblation(cfg Config, figID, title string,
 		}
 		for _, frac := range []float64{0.2, 0.4} {
 			opts := core.LabelOpts{LabelFraction: frac, NegPerPos: 2, UsePreMatched: false, Seed: cfg.Seed}
-			block, err := core.BuildBlock(sys, platform.Twitter, platform.Facebook, defaultRules(), opts)
+			block, err := core.BuildBlock(sys, platform.Twitter, platform.Facebook, rulesFor(cfg.Workers), opts)
 			if err != nil {
 				return nil, err
 			}
 			task := &core.Task{Blocks: []*core.Block{block}}
-			linker := &core.HydraLinker{Cfg: core.DefaultConfig(cfg.Seed)}
-			conf, secs, err := runLinker(sys, linker, task)
+			linker := &core.HydraLinker{Cfg: cfg.hydraConfig()}
+			conf, secs, err := runLinker(sys, linker, task, cfg.Workers)
 			if err != nil {
 				res.Note("%s at frac %.2f failed: %v", name, frac, err)
 				continue

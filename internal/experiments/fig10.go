@@ -1,9 +1,8 @@
 package experiments
 
 import (
-	"fmt"
-
 	"hydra/internal/core"
+	"hydra/internal/parallel"
 	"hydra/internal/platform"
 )
 
@@ -17,6 +16,7 @@ func Figure10(cfg Config) (*Result, error) {
 		persons:   cfg.persons(90),
 		platforms: platform.EnglishPlatforms,
 		seed:      cfg.Seed,
+		workers:   cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -33,19 +33,26 @@ func Figure10(cfg Config) (*Result, error) {
 		Title:  "Precision and recall w.r.t. p (labeled:unlabeled = 1:5)",
 		XLabel: "p",
 	}
+	// The ten p settings are independent full train/eval runs: fan out,
+	// then assemble the series in p order.
+	inner := innerWorkers(10, cfg)
+	outs := parallel.Map(cfg.Workers, 10, func(i int) runResult {
+		hcfg := cfg.hydraConfig()
+		hcfg.Workers = inner
+		hcfg.P = float64(i + 1)
+		hcfg.ReweightIters = 3
+		return runPoint(st.sys, &core.HydraLinker{Cfg: hcfg}, task, inner)
+	})
 	bestPrecP, bestPrec := 0.0, -1.0
 	bestRecP, bestRec := 0.0, -1.0
-	for p := 1; p <= 10; p++ {
-		hcfg := core.DefaultConfig(cfg.Seed)
-		hcfg.P = float64(p)
-		hcfg.ReweightIters = 3
-		linker := &core.HydraLinker{Cfg: hcfg}
-		conf, secs, err := runLinker(st.sys, linker, task)
-		if err != nil {
-			res.Note("p=%d failed: %v", p, err)
+	for i, out := range outs {
+		p := i + 1
+		if out.err != nil {
+			res.Note("p=%d failed: %v", p, out.err)
 			continue
 		}
-		res.AddPoint("HYDRA-M", float64(p), conf.Precision(), conf.Recall(), secs)
+		conf := out.conf
+		res.AddPoint("HYDRA-M", float64(p), conf.Precision(), conf.Recall(), out.secs)
 		if conf.Precision() > bestPrec {
 			bestPrec, bestPrecP = conf.Precision(), float64(p)
 		}
@@ -53,7 +60,7 @@ func Figure10(cfg Config) (*Result, error) {
 			bestRec, bestRecP = conf.Recall(), float64(p)
 		}
 	}
-	res.Note(fmt.Sprintf("best precision %.3f at p=%g; best recall %.3f at p=%g (paper: p=6 and p=5)",
-		bestPrec, bestPrecP, bestRec, bestRecP))
+	res.Note("best precision %.3f at p=%g; best recall %.3f at p=%g (paper: p=6 and p=5)",
+		bestPrec, bestPrecP, bestRec, bestRecP)
 	return res, nil
 }

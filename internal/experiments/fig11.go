@@ -32,6 +32,7 @@ func Figure11(cfg Config) (*Result, error) {
 			persons:   cfg.persons(100),
 			platforms: ds.plats,
 			seed:      cfg.Seed,
+			workers:   cfg.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -42,17 +43,13 @@ func Figure11(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, frac := range fractions {
-			task := subsampleUnlabeled(full, frac, cfg.Seed)
-			for _, linker := range allLinkers(cfg.Seed) {
-				conf, secs, err := runLinker(st.sys, linker, task)
-				if err != nil {
-					res.Note("%s/%s at frac %.2f failed: %v", ds.name, linker.Name(), frac, err)
-					continue
-				}
-				res.AddPoint(ds.name+"/"+linker.Name(), frac, conf.Precision(), conf.Recall(), secs)
-			}
+		// Subsampling is deterministic per fraction, so each (fraction ×
+		// method) grid point is an independent full train/eval run.
+		tasks := make([]*core.Task, len(fractions))
+		for fi, frac := range fractions {
+			tasks[fi] = subsampleUnlabeled(full, frac, cfg.Seed)
 		}
+		runGrid(st.sys, cfg, res, ds.name, fractions, tasks)
 	}
 	res.Note("paper shape: baselines do much worse than with labels (Fig 9); HYDRA survives the unlabeled regime")
 	return res, nil

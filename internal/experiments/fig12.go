@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hydra/internal/core"
+	"hydra/internal/parallel"
 	"hydra/internal/platform"
 )
 
@@ -32,6 +33,7 @@ func Figure12(cfg Config) (*Result, error) {
 			persons:     cfg.persons(120),
 			platforms:   ds.plats,
 			seed:        cfg.Seed,
+			workers:     cfg.Workers,
 			communities: 5,
 		})
 		if err != nil {
@@ -78,7 +80,15 @@ func Figure12(cfg Config) (*Result, error) {
 			return commOf[person] == order[0] || commOf[person] == order[1]
 		}
 
-		for k := 1; k <= len(order) && k <= 5; k++ {
+		// Each k is an independent full train/eval run on its own task
+		// subset; fan the points out and assemble them in k order.
+		maxK := len(order)
+		if maxK > 5 {
+			maxK = 5
+		}
+		inner := innerWorkers(maxK, cfg)
+		outs := parallel.Map(cfg.Workers, maxK, func(i int) runResult {
+			k := i + 1
 			// Keep: eval-community candidates always; others only when
 			// their community is among the first k (incremental structure).
 			task := &core.Task{}
@@ -96,13 +106,17 @@ func Figure12(cfg Config) (*Result, error) {
 				nb.Cands = append(nb.Cands, c)
 			}
 			task.Blocks = []*core.Block{nb}
-			linker := &core.HydraLinker{Cfg: core.DefaultConfig(cfg.Seed)}
-			conf, secs, err := runLinker(st.sys, linker, task)
-			if err != nil {
-				res.Note("%s k=%d failed: %v", ds.name, k, err)
+			hcfg := cfg.hydraConfig()
+			hcfg.Workers = inner
+			return runPoint(st.sys, &core.HydraLinker{Cfg: hcfg}, task, inner)
+		})
+		for i, out := range outs {
+			k := i + 1
+			if out.err != nil {
+				res.Note("%s k=%d failed: %v", ds.name, k, out.err)
 				continue
 			}
-			res.AddPoint(ds.name+"/HYDRA-M", float64(k), conf.Precision(), conf.Recall(), secs)
+			res.AddPoint(ds.name+"/HYDRA-M", float64(k), out.conf.Precision(), out.conf.Recall(), out.secs)
 		}
 	}
 	res.Note("paper shape: added communities improve results; effect stronger on Chinese platforms")

@@ -15,6 +15,7 @@ func Figure13(cfg Config) (*Result, error) {
 		persons:   cfg.persons(90),
 		platforms: platform.AllPlatforms,
 		seed:      cfg.Seed,
+		workers:   cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -35,8 +36,8 @@ func Figure13(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, linker := range allLinkers(cfg.Seed) {
-			conf, secs, err := runLinker(st.sys, linker, task)
+		for _, linker := range allLinkers(cfg.Seed, cfg.Workers) {
+			conf, secs, err := runLinker(st.sys, linker, task, cfg.Workers)
 			if err != nil {
 				res.Note("%s at frac %.2f failed: %v", linker.Name(), frac, err)
 				continue

@@ -32,6 +32,7 @@ func Figure14(cfg Config) (*Result, error) {
 				persons:   cfg.persons(size),
 				platforms: ds.plats,
 				seed:      cfg.Seed + int64(size),
+				workers:   cfg.Workers,
 			})
 			if err != nil {
 				return nil, err
@@ -40,8 +41,8 @@ func Figure14(cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			for _, linker := range allLinkers(cfg.Seed) {
-				conf, secs, err := runLinker(st.sys, linker, task)
+			for _, linker := range allLinkers(cfg.Seed, cfg.Workers) {
+				conf, secs, err := runLinker(st.sys, linker, task, cfg.Workers)
 				if err != nil {
 					res.Note("%s/%s at %d users failed: %v", ds.name, linker.Name(), size, err)
 					continue

@@ -31,6 +31,7 @@ func Figure15(cfg Config) (*Result, error) {
 				persons:      cfg.persons(size),
 				platforms:    ds.plats,
 				seed:         cfg.Seed + int64(size),
+				workers:      cfg.Workers,
 				missingScale: 1.25, // stressed missing-information regime
 			})
 			if err != nil {
@@ -41,10 +42,10 @@ func Figure15(cfg Config) (*Result, error) {
 				return nil, err
 			}
 			for _, variant := range []core.Variant{core.HydraM, core.HydraZ} {
-				hcfg := core.DefaultConfig(cfg.Seed)
+				hcfg := cfg.hydraConfig()
 				hcfg.Variant = variant
 				linker := &core.HydraLinker{Cfg: hcfg}
-				conf, secs, err := runLinker(st.sys, linker, task)
+				conf, secs, err := runLinker(st.sys, linker, task, cfg.Workers)
 				if err != nil {
 					res.Note("%s/%s at %d users failed: %v", ds.name, variant, size, err)
 					continue

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hydra/internal/core"
+	"hydra/internal/parallel"
 	"hydra/internal/platform"
 )
 
@@ -19,6 +20,7 @@ func Figure8(cfg Config) (*Result, error) {
 		persons:   cfg.persons(70),
 		platforms: platform.EnglishPlatforms,
 		seed:      cfg.Seed,
+		workers:   cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -32,27 +34,47 @@ func Figure8(cfg Config) (*Result, error) {
 		Title:  "Performance vs (γ_L, γ_M) under p = 1..4",
 		XLabel: "cell(γL-major)",
 	}
+	// Every (p, γ_L, γ_M) cell is an independent full train/eval run; fan
+	// them all out and assemble the table in grid order afterwards.
+	type cell struct {
+		p, gl, gm float64
+		gi, gj    int
+	}
+	var cells []cell
 	for _, p := range ps {
-		bestPrec, bestCell := -1.0, ""
 		for gi, gl := range gammas {
 			for gj, gm := range gammas {
-				hcfg := core.DefaultConfig(cfg.Seed)
-				hcfg.GammaL, hcfg.GammaM, hcfg.P = gl, gm, p
-				hcfg.ReweightIters = 2
-				linker := &core.HydraLinker{Cfg: hcfg}
-				conf, secs, err := runLinker(st.sys, linker, task)
-				if err != nil {
-					// Extreme corners can be numerically infeasible; record
-					// a zero cell rather than aborting the sweep.
-					res.AddPoint(fmt.Sprintf("p=%g", p), float64(gi*len(gammas)+gj), 0, 0, 0)
-					continue
-				}
-				res.AddPoint(fmt.Sprintf("p=%g", p), float64(gi*len(gammas)+gj),
-					conf.Precision(), conf.Recall(), secs)
-				if conf.Precision() > bestPrec {
-					bestPrec = conf.Precision()
-					bestCell = fmt.Sprintf("γL=%g, γM=%g", gl, gm)
-				}
+				cells = append(cells, cell{p: p, gl: gl, gm: gm, gi: gi, gj: gj})
+			}
+		}
+	}
+	inner := innerWorkers(len(cells), cfg)
+	outs := parallel.Map(cfg.Workers, len(cells), func(i int) runResult {
+		c := cells[i]
+		hcfg := cfg.hydraConfig()
+		hcfg.Workers = inner
+		hcfg.GammaL, hcfg.GammaM, hcfg.P = c.gl, c.gm, c.p
+		hcfg.ReweightIters = 2
+		return runPoint(st.sys, &core.HydraLinker{Cfg: hcfg}, task, inner)
+	})
+	for _, p := range ps {
+		bestPrec, bestCell := -1.0, ""
+		for j, cj := range cells {
+			if cj.p != p {
+				continue
+			}
+			x := float64(cj.gi*len(gammas) + cj.gj)
+			if outs[j].err != nil {
+				// Extreme corners can be numerically infeasible; record
+				// a zero cell rather than aborting the sweep.
+				res.AddPoint(fmt.Sprintf("p=%g", p), x, 0, 0, 0)
+				continue
+			}
+			res.AddPoint(fmt.Sprintf("p=%g", p), x,
+				outs[j].conf.Precision(), outs[j].conf.Recall(), outs[j].secs)
+			if outs[j].conf.Precision() > bestPrec {
+				bestPrec = outs[j].conf.Precision()
+				bestCell = fmt.Sprintf("γL=%g, γM=%g", cj.gl, cj.gm)
 			}
 		}
 		res.Note("p=%g: best precision %.3f at %s", p, bestPrec, bestCell)

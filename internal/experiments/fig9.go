@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"hydra/internal/core"
+	"hydra/internal/parallel"
 	"hydra/internal/platform"
 )
 
@@ -42,25 +43,22 @@ func Figure9(cfg Config) (*Result, error) {
 			persons:   cfg.persons(100),
 			platforms: ds.plats,
 			seed:      cfg.Seed,
+			workers:   cfg.Workers,
 		})
 		if err != nil {
 			return nil, err
 		}
-		for _, frac := range fractions {
-			opts := core.LabelOpts{LabelFraction: frac, NegPerPos: 2, UsePreMatched: true, Seed: cfg.Seed}
-			task, err := st.multiTask(ds.pairs, opts)
-			if err != nil {
-				return nil, err
-			}
-			for _, linker := range allLinkers(cfg.Seed) {
-				conf, secs, err := runLinker(st.sys, linker, task)
-				if err != nil {
-					res.Note("%s/%s at frac %.2f failed: %v", ds.name, linker.Name(), frac, err)
-					continue
-				}
-				res.AddPoint(ds.name+"/"+linker.Name(), frac, conf.Precision(), conf.Recall(), secs)
-			}
+		// Build the per-fraction tasks first (each deterministic from its
+		// seed), then fan out the (fraction × method) grid — every point is
+		// an independent full train/eval run.
+		tasks, err := parallel.MapErr(cfg.Workers, len(fractions), func(fi int) (*core.Task, error) {
+			opts := core.LabelOpts{LabelFraction: fractions[fi], NegPerPos: 2, UsePreMatched: true, Seed: cfg.Seed}
+			return st.multiTask(ds.pairs, opts)
+		})
+		if err != nil {
+			return nil, err
 		}
+		runGrid(st.sys, cfg, res, ds.name, fractions, tasks)
 	}
 	res.Note("paper shape: all methods improve with labels; HYDRA improves fastest and dominates; English > Chinese")
 	return res, nil

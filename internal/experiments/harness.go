@@ -8,6 +8,7 @@ import (
 	"hydra/internal/core"
 	"hydra/internal/features"
 	"hydra/internal/metrics"
+	"hydra/internal/parallel"
 	"hydra/internal/platform"
 	"hydra/internal/synth"
 )
@@ -21,10 +22,29 @@ type Config struct {
 	Scale float64
 	// Seed drives all randomness.
 	Seed int64
+	// Workers pins the parallelism of the sweep fan-out and of every
+	// pairwise hot path underneath (blocking, feature assembly, Gram,
+	// evaluation). ≤ 0 uses all cores. Each sweep point keeps its own
+	// seeded RNGs, so any setting produces identical figures.
+	Workers int
 }
 
 // DefaultExpConfig is the standard suite configuration.
 func DefaultExpConfig(seed int64) Config { return Config{Scale: 1, Seed: seed} }
+
+// hydraConfig is core.DefaultConfig with the suite's worker pin applied.
+func (c Config) hydraConfig() core.Config {
+	hcfg := core.DefaultConfig(c.Seed)
+	hcfg.Workers = c.Workers
+	return hcfg
+}
+
+// rulesFor is the blocking filter with a worker pin applied.
+func rulesFor(workers int) blocking.Rules {
+	r := blocking.DefaultRules()
+	r.Workers = workers
+	return r
+}
 
 func (c Config) persons(base int) int {
 	if c.Scale <= 0 {
@@ -39,10 +59,12 @@ func (c Config) persons(base int) int {
 
 // setup is a prepared world + system + per-pair blocks, shared across the
 // x-axis points of a figure so that the expensive preprocessing (LDA,
-// views) happens once.
+// views) happens once. The System is safe for concurrent use, so sweep
+// points run against one setup in parallel.
 type setup struct {
-	world *synth.World
-	sys   *core.System
+	world   *synth.World
+	sys     *core.System
+	workers int
 }
 
 // setupOpts customizes world generation per experiment.
@@ -50,6 +72,7 @@ type setupOpts struct {
 	persons      int
 	platforms    []platform.ID
 	seed         int64
+	workers      int
 	missingScale float64
 	communities  int
 	synthMutate  func(*synth.Config)
@@ -85,12 +108,12 @@ func newSetup(o setupOpts) (*setup, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &setup{world: w, sys: sys}, nil
+	return &setup{world: w, sys: sys, workers: o.workers}, nil
 }
 
 // task builds a single-block task between two platforms.
 func (s *setup) task(pa, pb platform.ID, opts core.LabelOpts) (*core.Task, error) {
-	block, err := core.BuildBlock(s.sys, pa, pb, blocking.DefaultRules(), opts)
+	block, err := core.BuildBlock(s.sys, pa, pb, rulesFor(s.workers), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +126,7 @@ func (s *setup) multiTask(pairs [][2]platform.ID, opts core.LabelOpts) (*core.Ta
 	for i, pp := range pairs {
 		o := opts
 		o.Seed = opts.Seed + int64(i)
-		block, err := core.BuildBlock(s.sys, pp[0], pp[1], blocking.DefaultRules(), o)
+		block, err := core.BuildBlock(s.sys, pp[0], pp[1], rulesFor(s.workers), o)
 		if err != nil {
 			return nil, err
 		}
@@ -113,10 +136,12 @@ func (s *setup) multiTask(pairs [][2]platform.ID, opts core.LabelOpts) (*core.Ta
 }
 
 // allLinkers returns the paper's method lineup: HYDRA-M plus the four
-// baselines.
-func allLinkers(seed int64) []core.Linker {
+// baselines. workers pins HYDRA's internal parallelism.
+func allLinkers(seed int64, workers int) []core.Linker {
+	hcfg := core.DefaultConfig(seed)
+	hcfg.Workers = workers
 	return []core.Linker{
-		&core.HydraLinker{Cfg: core.DefaultConfig(seed)},
+		&core.HydraLinker{Cfg: hcfg},
 		&baseline.MOBIUS{},
 		&baseline.SVMB{},
 		&baseline.AliasDisamb{},
@@ -126,17 +151,69 @@ func allLinkers(seed int64) []core.Linker {
 
 // runLinker fits and evaluates one method, returning its confusion and the
 // wall-clock seconds of fit+evaluate (the paper's total execution time).
-func runLinker(sys *core.System, l core.Linker, task *core.Task) (metrics.Confusion, float64, error) {
+// workers pins the evaluation parallelism (≤ 0 = all cores). Inside a
+// parallel sweep the seconds are measured under core contention from
+// sibling points, so the time(s) column of fig8–fig12 is indicative only;
+// Figure 14, the efficiency figure, deliberately runs its points
+// sequentially to keep its timings uncontended.
+func runLinker(sys *core.System, l core.Linker, task *core.Task, workers int) (metrics.Confusion, float64, error) {
 	timer := metrics.NewTimer()
 	if err := l.Fit(sys, task); err != nil {
 		return metrics.Confusion{}, 0, fmt.Errorf("%s: %w", l.Name(), err)
 	}
-	conf, err := core.EvaluateLinker(sys, l, task.Blocks)
+	conf, err := core.EvaluateLinkerWorkers(sys, l, task.Blocks, workers)
 	if err != nil {
 		return metrics.Confusion{}, 0, fmt.Errorf("%s: %w", l.Name(), err)
 	}
 	return conf, timer.Seconds(), nil
 }
 
-// defaultRules exposes the blocking rules used across experiments.
-func defaultRules() blocking.Rules { return blocking.DefaultRules() }
+// runResult is one sweep point's outcome, collected index-ordered by the
+// parallel figure sweeps so that result tables and notes are assembled in
+// the same order as the sequential loops they replace.
+type runResult struct {
+	conf metrics.Confusion
+	secs float64
+	err  error
+}
+
+// runPoint runs one train/eval sweep point and wraps the outcome.
+func runPoint(sys *core.System, l core.Linker, task *core.Task, workers int) runResult {
+	conf, secs, err := runLinker(sys, l, task, workers)
+	return runResult{conf: conf, secs: secs, err: err}
+}
+
+// innerWorkers picks the worker pin for the hot paths inside a parallel
+// sweep: once the sweep's own fan-out covers the pool there is nothing to
+// gain from nested pools — they only multiply goroutines and concurrently
+// resident Gram matrices. Results are identical either way.
+func innerWorkers(points int, cfg Config) int {
+	if points >= parallel.Workers(cfg.Workers) {
+		return 1
+	}
+	return cfg.Workers
+}
+
+// runGrid fans out the (task × method) grid shared by the labeled- and
+// unlabeled-sweep figures and appends rows and failure notes to res in
+// grid order — identical output at any worker count.
+func runGrid(sys *core.System, cfg Config, res *Result, dsName string, xs []float64, tasks []*core.Task) {
+	names := allLinkers(cfg.Seed, 1)
+	nLinkers := len(names)
+	inner := innerWorkers(len(xs)*nLinkers, cfg)
+	outs := parallel.Map(cfg.Workers, len(xs)*nLinkers, func(i int) runResult {
+		fi, li := i/nLinkers, i%nLinkers
+		linker := allLinkers(cfg.Seed, inner)[li]
+		return runPoint(sys, linker, tasks[fi], inner)
+	})
+	for fi, x := range xs {
+		for li := 0; li < nLinkers; li++ {
+			out := outs[fi*nLinkers+li]
+			if out.err != nil {
+				res.Note("%s/%s at frac %.2f failed: %v", dsName, names[li].Name(), x, out.err)
+				continue
+			}
+			res.AddPoint(dsName+"/"+names[li].Name(), x, out.conf.Precision(), out.conf.Recall(), out.secs)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+// TestFigureWorkersDeterminism asserts that a parallel sweep produces the
+// same figure as the sequential one: identical series, x values, precision
+// and recall (wall-clock columns differ by nature and are excluded).
+func TestFigureWorkersDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure run")
+	}
+	seq, err := Figure10(Config{Scale: 0.25, Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Figure10(Config{Scale: 0.25, Seed: 3, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Series) != len(par.Series) {
+		t.Fatalf("series count differs: %d vs %d", len(par.Series), len(seq.Series))
+	}
+	for i, s := range seq.Series {
+		p := par.Series[i]
+		if p.Name != s.Name || len(p.X) != len(s.X) {
+			t.Fatalf("series %d differs: %q(%d) vs %q(%d)", i, p.Name, len(p.X), s.Name, len(s.X))
+		}
+		for j := range s.X {
+			if p.X[j] != s.X[j] || p.Precision[j] != s.Precision[j] || p.Recall[j] != s.Recall[j] {
+				t.Fatalf("series %q point %d differs: (%g,%g,%g) vs (%g,%g,%g)",
+					s.Name, j, p.X[j], p.Precision[j], p.Recall[j], s.X[j], s.Precision[j], s.Recall[j])
+			}
+		}
+	}
+	if len(seq.Notes) != len(par.Notes) {
+		t.Fatalf("note count differs: %d vs %d", len(par.Notes), len(seq.Notes))
+	}
+	for i := range seq.Notes {
+		if par.Notes[i] != seq.Notes[i] {
+			t.Fatalf("note %d differs:\n  parallel:   %s\n  sequential: %s", i, par.Notes[i], seq.Notes[i])
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"hydra/internal/linalg"
+)
+
+// randomVectors builds a deterministic sample set for the parallel tests.
+func randomVectors(n, dim int, seed int64) []linalg.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]linalg.Vector, n)
+	for i := range xs {
+		v := linalg.NewVector(dim)
+		for d := range v {
+			v[d] = rng.NormFloat64()
+		}
+		xs[i] = v
+	}
+	return xs
+}
+
+// TestGramWorkersDeterminism asserts the tentpole contract: the Gram matrix
+// is bit-for-bit identical at one worker and at many.
+func TestGramWorkersDeterminism(t *testing.T) {
+	xs := randomVectors(80, 24, 11)
+	for _, k := range []Func{Linear{}, NewRBF(1.3), NewChiSquare(0.7)} {
+		seq := GramWorkers(k, xs, 1)
+		for _, w := range []int{2, 4, 0} {
+			par := GramWorkers(k, xs, w)
+			if seq.Rows != par.Rows || seq.Cols != par.Cols {
+				t.Fatalf("%s workers=%d: shape %dx%d vs %dx%d", k.Name(), w, par.Rows, par.Cols, seq.Rows, seq.Cols)
+			}
+			for i := range seq.Data {
+				if seq.Data[i] != par.Data[i] {
+					t.Fatalf("%s workers=%d: element %d differs: %v vs %v", k.Name(), w, i, par.Data[i], seq.Data[i])
+				}
+			}
+		}
+	}
+}
+
+func TestGramSymmetric(t *testing.T) {
+	xs := randomVectors(40, 8, 3)
+	m := Gram(NewRBF(2), xs)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != m.At(j, i) {
+				t.Fatalf("asymmetry at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// TestCrossGramWorkersDeterminism covers the rectangular variant.
+func TestCrossGramWorkersDeterminism(t *testing.T) {
+	as := randomVectors(55, 16, 5)
+	bs := randomVectors(70, 16, 6)
+	k := NewRBF(0.9)
+	seq := CrossGramWorkers(k, as, bs, 1)
+	for _, w := range []int{3, 8, 0} {
+		par := CrossGramWorkers(k, as, bs, w)
+		for i := range seq.Data {
+			if seq.Data[i] != par.Data[i] {
+				t.Fatalf("workers=%d: element %d differs", w, i)
+			}
+		}
+	}
+}
+
+// BenchmarkGramParallel measures the Gram hot path; run with -cpu 1,4 to
+// see the worker-pool speedup (workers resolve to GOMAXPROCS).
+func BenchmarkGramParallel(b *testing.B) {
+	xs := randomVectors(400, 64, 7)
+	k := NewRBF(1.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gram(k, xs)
+	}
+}
+
+// BenchmarkGramSequential is the pinned one-worker baseline for comparing
+// against BenchmarkGramParallel at any -cpu setting.
+func BenchmarkGramSequential(b *testing.B) {
+	xs := randomVectors(400, 64, 7)
+	k := NewRBF(1.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GramWorkers(k, xs, 1)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"hydra/internal/linalg"
+	"hydra/internal/parallel"
 )
 
 // Func is a Mercer kernel over dense feature vectors.
@@ -111,28 +112,48 @@ func (HistogramIntersection) Eval(x, y linalg.Vector) float64 {
 // Name implements Func.
 func (HistogramIntersection) Name() string { return "histintersect" }
 
-// Gram computes the full kernel matrix K[i][j] = k(xs[i], xs[j]).
+// Gram computes the full kernel matrix K[i][j] = k(xs[i], xs[j]) using all
+// available cores (see GramWorkers).
 func Gram(k Func, xs []linalg.Vector) *linalg.Matrix {
+	return GramWorkers(k, xs, 0)
+}
+
+// GramWorkers computes the Gram matrix with a pinned worker count (≤ 0 =
+// all cores). Rows are distributed dynamically because row i only computes
+// the upper triangle j ≥ i and fills both halves — row costs shrink
+// linearly, so static chunking would leave late workers idle. Every cell
+// is written exactly once (cell (i,j), j > i, belongs to row i alone), and
+// each K(i,j) is evaluated independently, so the result is bit-for-bit
+// identical at any worker count.
+func GramWorkers(k Func, xs []linalg.Vector, workers int) *linalg.Matrix {
 	n := len(xs)
 	m := linalg.NewMatrix(n, n)
-	for i := 0; i < n; i++ {
+	parallel.For(workers, n, func(i int) {
 		for j := i; j < n; j++ {
 			v := k.Eval(xs[i], xs[j])
 			m.Set(i, j, v)
 			m.Set(j, i, v)
 		}
-	}
+	})
 	return m
 }
 
-// CrossGram computes the rectangular kernel matrix K[i][j] = k(as[i], bs[j]).
+// CrossGram computes the rectangular kernel matrix K[i][j] = k(as[i], bs[j])
+// using all available cores (see CrossGramWorkers).
 func CrossGram(k Func, as, bs []linalg.Vector) *linalg.Matrix {
+	return CrossGramWorkers(k, as, bs, 0)
+}
+
+// CrossGramWorkers computes the cross-Gram matrix with a pinned worker
+// count (≤ 0 = all cores), parallelized by row.
+func CrossGramWorkers(k Func, as, bs []linalg.Vector, workers int) *linalg.Matrix {
 	m := linalg.NewMatrix(len(as), len(bs))
-	for i, a := range as {
+	parallel.For(workers, len(as), func(i int) {
+		a := as[i]
 		for j, b := range bs {
 			m.Set(i, j, k.Eval(a, b))
 		}
-	}
+	})
 	return m
 }
 

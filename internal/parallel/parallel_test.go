@@ -1,0 +1,156 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-5); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-5) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 7, 0} {
+		const n = 1000
+		counts := make([]atomic.Int32, n)
+		For(w, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", w, i, c)
+			}
+		}
+	}
+}
+
+func TestForEmptyAndNegative(t *testing.T) {
+	ran := false
+	For(4, 0, func(int) { ran = true })
+	For(4, -3, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for n <= 0")
+	}
+}
+
+func TestMapIndexOrdered(t *testing.T) {
+	for _, w := range []int{1, 3, 16} {
+		got := Map(w, 50, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d", w, i, v)
+			}
+		}
+	}
+}
+
+func TestForErrLowestIndexWins(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, w := range []int{1, 4} {
+		err := ForErr(w, 100, func(i int) error {
+			switch i {
+			case 17:
+				return errLow
+			case 80:
+				return errHigh
+			}
+			return nil
+		})
+		if err != errLow {
+			t.Fatalf("workers=%d: err = %v, want lowest-index error", w, err)
+		}
+	}
+}
+
+func TestForErrSkipsAfterFailure(t *testing.T) {
+	var executed atomic.Int32
+	err := ForErr(1, 100, func(i int) error {
+		executed.Add(1)
+		if i == 3 {
+			return errors.New("early")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// Sequential dispatch: indices 0..3 run, the rest are skipped.
+	if got := executed.Load(); got != 4 {
+		t.Fatalf("executed %d tasks, want 4 (fast failure)", got)
+	}
+}
+
+func TestMapErrReturnsPartialResults(t *testing.T) {
+	out, err := MapErr(4, 10, func(i int) (int, error) {
+		if i == 5 {
+			return 0, fmt.Errorf("boom at %d", i)
+		}
+		return i + 1, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// Fast failure: indices dispatched before the error are present;
+	// skipped slots keep their zero value.
+	if len(out) != 10 || out[0] != 1 || out[4] != 5 {
+		t.Fatalf("partial results wrong: %v", out)
+	}
+}
+
+func TestMapChunksMatchesSequentialConcat(t *testing.T) {
+	// Variable-length per-index output: index i emits i%3 values.
+	emit := func(lo, hi int) []int {
+		var out []int
+		for i := lo; i < hi; i++ {
+			for k := 0; k < i%3; k++ {
+				out = append(out, i*10+k)
+			}
+		}
+		return out
+	}
+	want := emit(0, 200)
+	for _, w := range []int{1, 2, 5, 0} {
+		got := MapChunks(w, 200, emit)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: len %d vs %d", w, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: got[%d]=%d want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapChunksEmpty(t *testing.T) {
+	if got := MapChunks(4, 0, func(lo, hi int) []int { return []int{1} }); got != nil {
+		t.Fatalf("MapChunks(n=0) = %v, want nil", got)
+	}
+}
+
+// TestDeterminismWithPerTaskRNG is the usage contract in miniature: seeded
+// per-index RNGs give identical results at any worker count.
+func TestDeterminismWithPerTaskRNG(t *testing.T) {
+	draw := func(i int) float64 {
+		rng := rand.New(rand.NewSource(int64(i) * 7919))
+		return rng.Float64()
+	}
+	seq := Map(1, 64, draw)
+	par := Map(8, 64, draw)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("index %d: %v vs %v", i, seq[i], par[i])
+		}
+	}
+}

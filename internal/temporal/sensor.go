@@ -123,8 +123,11 @@ func scanWindows(a, b []Event, window time.Duration, f func(ea, eb []Event) floa
 	if len(a) == 0 || len(b) == 0 || window <= 0 {
 		return nil
 	}
-	sort.Slice(a, func(i, j int) bool { return a[i].Time.Before(a[j].Time) })
-	sort.Slice(b, func(i, j int) bool { return b[i].Time.Before(b[j].Time) })
+	// Never sort the caller's slices in place: event streams are shared
+	// across concurrent pair computations. Streams are almost always
+	// already chronological, so the copy is rarely taken.
+	a = chronological(a)
+	b = chronological(b)
 	start := a[0].Time
 	if b[0].Time.Before(start) {
 		start = b[0].Time
@@ -149,6 +152,24 @@ func scanWindows(a, b []Event, window time.Duration, f func(ea, eb []Event) floa
 		}
 	}
 	return signals
+}
+
+// chronological returns evs sorted by time, copying only when needed so
+// shared input slices are never mutated.
+func chronological(evs []Event) []Event {
+	sorted := true
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time.Before(evs[i-1].Time) {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return evs
+	}
+	cp := append([]Event(nil), evs...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].Time.Before(cp[j].Time) })
+	return cp
 }
 
 // sliceWindow advances *idx past all events before wEnd and returns them.
