@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench
+.PHONY: ci fmt vet build test race bench bench-linalg bench-save bench-compare figures
 
 ci: fmt vet build test
 
@@ -33,6 +33,35 @@ race:
 # worker-pool speedup (and the pinned sequential baseline) is visible.
 bench:
 	$(GO) test -bench='Gram|Blocking' -benchtime=1x -cpu 1,4 ./internal/kernel/ ./internal/blocking/
+
+# bench-linalg runs the dense linear-algebra microbenchmarks behind the
+# dual-training hot path (blocked Mul, parallel LU factorize/solve). Each
+# benchmark carries a `naive` sub-benchmark with the pre-tiling serial
+# loop, so a single run already shows the tiling delta; the -w4 variants
+# only beat -w1 on multicore hardware.
+LINALG_BENCH ?= Mul|Factorize|SolveMatrix
+bench-linalg:
+	$(GO) test -run '^$$' -bench '$(LINALG_BENCH)' -benchmem ./internal/linalg/
+
+# bench-save / bench-compare report perf deltas mechanically: run
+# `make bench-save` on the old code (writes bench-old.txt), apply the
+# change, then `make bench-compare` (writes bench-new.txt and prints a
+# benchstat comparison when the tool is installed, falling back to the raw
+# files). BENCH_COUNT=5 gives benchstat enough samples for significance.
+BENCH_COUNT ?= 5
+# Redirect-then-cat (not a tee pipe) so a failing bench run fails the
+# target and removes the garbage output instead of becoming a baseline.
+bench-save:
+	$(GO) test -run '^$$' -bench '$(LINALG_BENCH)' -count $(BENCH_COUNT) ./internal/linalg/ > bench-old.txt 2>&1 || { cat bench-old.txt; rm -f bench-old.txt; exit 1; }
+	@cat bench-old.txt
+bench-compare:
+	$(GO) test -run '^$$' -bench '$(LINALG_BENCH)' -count $(BENCH_COUNT) ./internal/linalg/ > bench-new.txt 2>&1 || { cat bench-new.txt; rm -f bench-new.txt; exit 1; }
+	@cat bench-new.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat bench-old.txt bench-new.txt; \
+	else \
+		echo "benchstat not installed; compare bench-old.txt and bench-new.txt by hand"; \
+	fi
 
 # figures regenerates every figure table (the full experiment suite).
 figures:

@@ -1,9 +1,10 @@
 // Package admm implements consensus ADMM (Boyd et al. [3], the distributed
 // optimization method the paper uses across its 5 servers): the global
-// objective is split over data shards, each shard solves a local
-// regularized least-squares subproblem in its own goroutine ("server"),
-// and a consensus variable is synchronized between iterations — the
-// "carefully designed model synchronization strategy" of Section 6.3.
+// objective is split over data shards, each shard (a logical "server")
+// solves a local regularized least-squares subproblem on the shared worker
+// pool (Opts.Workers), and a consensus variable is synchronized between
+// iterations — the "carefully designed model synchronization strategy" of
+// Section 6.3.
 //
 // The concrete problem solved here is l2-regularized least squares
 //
@@ -16,9 +17,9 @@ package admm
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"hydra/internal/linalg"
+	"hydra/internal/parallel"
 )
 
 // Shard is one server's slice of the data: rows of the design matrix with
@@ -39,6 +40,12 @@ type Opts struct {
 	// Tol stops when both primal and dual residuals fall below it
 	// (default 1e-6).
 	Tol float64
+	// Workers pins the parallelism of the per-shard work (local system
+	// assembly/factorization and the w-updates of every iteration). ≤ 0
+	// uses all cores; shards beyond the pool queue on it. The consensus
+	// result is bit-identical at any worker count: each shard owns its
+	// state slot and the z/dual reductions stay sequential in shard order.
+	Workers int
 }
 
 // Result reports the consensus solution.
@@ -80,20 +87,24 @@ func Solve(shards []Shard, dim int, opts Opts) (*Result, error) {
 		opts.Tol = 1e-6
 	}
 
+	// Each server assembles and factors its own local system concurrently
+	// (the shards are disjoint, each writes only states[s]); ForErr keeps
+	// the lowest-index failure, exactly what the sequential loop reported.
 	states := make([]*shardState, len(shards))
-	for s, shard := range shards {
+	if err := parallel.ForErr(opts.Workers, len(shards), func(s int) error {
+		shard := shards[s]
 		if len(shard.X) == 0 {
-			return nil, fmt.Errorf("admm: shard %d is empty", s)
+			return fmt.Errorf("admm: shard %d is empty", s)
 		}
 		if len(shard.X) != len(shard.Y) {
-			return nil, fmt.Errorf("admm: shard %d has %d rows but %d targets", s, len(shard.X), len(shard.Y))
+			return fmt.Errorf("admm: shard %d has %d rows but %d targets", s, len(shard.X), len(shard.Y))
 		}
 		// Local system: (2 AᵀA + ρI) w = 2 Aᵀ b + ρ(z − u).
 		ata := linalg.NewMatrix(dim, dim)
 		atb := linalg.NewVector(dim)
 		for r, x := range shard.X {
 			if len(x) != dim {
-				return nil, fmt.Errorf("admm: shard %d row %d has dim %d, want %d", s, r, len(x), dim)
+				return fmt.Errorf("admm: shard %d row %d has dim %d, want %d", s, r, len(x), dim)
 			}
 			for i := 0; i < dim; i++ {
 				atb[i] += 2 * x[i] * shard.Y[r]
@@ -105,7 +116,7 @@ func Solve(shards []Shard, dim int, opts Opts) (*Result, error) {
 		ata.AddDiag(opts.Rho)
 		chol, err := ata.Cholesky(1e-12)
 		if err != nil {
-			return nil, fmt.Errorf("admm: shard %d local system: %w", s, err)
+			return fmt.Errorf("admm: shard %d local system: %w", s, err)
 		}
 		states[s] = &shardState{
 			chol: chol,
@@ -113,26 +124,27 @@ func Solve(shards []Shard, dim int, opts Opts) (*Result, error) {
 			w:    linalg.NewVector(dim),
 			u:    linalg.NewVector(dim),
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	z := linalg.NewVector(dim)
 	n := float64(len(shards))
 	res := &Result{}
 	for iter := 0; iter < opts.MaxIter; iter++ {
-		// Local w-updates run concurrently: one goroutine per "server".
-		var wg sync.WaitGroup
-		for _, st := range states {
-			wg.Add(1)
-			go func(st *shardState) {
-				defer wg.Done()
-				rhs := st.atb.Clone()
-				for i := range rhs {
-					rhs[i] += opts.Rho * (z[i] - st.u[i])
-				}
-				st.w = linalg.SolveCholesky(st.chol, rhs)
-			}(st)
-		}
-		wg.Wait()
+		// Local w-updates run concurrently on the worker pool: each
+		// "server" solves its cached Cholesky system against the shared
+		// (read-only this phase) consensus z and writes only its own
+		// state, so any worker count yields the same iterates.
+		parallel.For(opts.Workers, len(states), func(s int) {
+			st := states[s]
+			rhs := st.atb.Clone()
+			for i := range rhs {
+				rhs[i] += opts.Rho * (z[i] - st.u[i])
+			}
+			st.w = linalg.SolveCholesky(st.chol, rhs)
+		})
 
 		// Consensus z-update: ridge-shrunk average of (w_s + u_s).
 		zOld := z.Clone()

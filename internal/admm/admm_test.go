@@ -141,6 +141,44 @@ func TestSplit(t *testing.T) {
 	}
 }
 
+// TestSolveWorkersDeterminism pins the worker-pool contract: the consensus
+// iterates are bit-identical at any worker count, because each shard owns
+// its state slot and the z/dual reductions run sequentially in shard
+// order. Run with -race via `make race`.
+func TestSolveWorkersDeterminism(t *testing.T) {
+	xs, ys, _ := ridgeData(240, 6, 9)
+	shards, err := Split(xs, ys, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Opts{Lambda: 1.5, Rho: 2, MaxIter: 120, Tol: 1e-10}
+	solve := func(workers int) *Result {
+		t.Helper()
+		o := base
+		o.Workers = workers
+		res, err := Solve(shards, 6, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := solve(1)
+	for _, w := range []int{2, 4, 8} {
+		got := solve(w)
+		if got.Iters != ref.Iters {
+			t.Fatalf("workers=%d: iters %d vs %d", w, got.Iters, ref.Iters)
+		}
+		for i := range ref.W {
+			if got.W[i] != ref.W[i] {
+				t.Fatalf("workers=%d: W[%d] = %v, want %v", w, i, got.W[i], ref.W[i])
+			}
+		}
+		if got.PrimalResidual != ref.PrimalResidual || got.DualResidual != ref.DualResidual {
+			t.Fatalf("workers=%d: residuals differ", w)
+		}
+	}
+}
+
 func TestResidualsDecrease(t *testing.T) {
 	xs, ys, _ := ridgeData(100, 3, 7)
 	shards, _ := Split(xs, ys, 3)

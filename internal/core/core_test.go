@@ -287,3 +287,25 @@ func TestVariantString(t *testing.T) {
 		t.Fatal("variant names wrong")
 	}
 }
+
+// TestReweightSharesOneLKProduct pins the solveOnce hoist: with p>1 the
+// reweighted scalarization runs ReweightIters rounds, but the n×n×n
+// product L·K must be computed exactly once per training run — each round
+// rebuilds A from the cached product by scale+AddDiag.
+func TestReweightSharesOneLKProduct(t *testing.T) {
+	_, sys := buildSystem(t, 40, platform.EnglishPlatforms, 8)
+	task := buildTask(t, sys, platform.Twitter, platform.Facebook, DefaultLabelOpts(8))
+	cfg := DefaultConfig(8)
+	cfg.P = 2
+	cfg.ReweightIters = 3
+	m, err := Train(sys, task, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Diag.ReweightDone != 3 {
+		t.Fatalf("reweight rounds = %d, want 3", m.Diag.ReweightDone)
+	}
+	if m.Diag.LKProducts != 1 {
+		t.Fatalf("L·K products = %d, want exactly 1 across all rounds", m.Diag.LKProducts)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"hydra/internal/admm"
 	"hydra/internal/linalg"
+	"hydra/internal/parallel"
 	"hydra/internal/platform"
 	"hydra/internal/structure"
 )
@@ -115,6 +116,10 @@ type LinearLinker struct {
 	// Variant controls imputation, as in Config.
 	Variant    Variant
 	TopFriends int
+	// Workers pins the parallelism of the labeled-pair imputation and the
+	// per-shard ADMM solves (≤ 0 = all cores; results are identical at any
+	// worker count, as everywhere else).
+	Workers int
 
 	model *LinearModel
 	sys   *System
@@ -138,30 +143,44 @@ func (l *LinearLinker) Fit(sys *System, task *Task) error {
 	if lambda <= 0 {
 		lambda = 1
 	}
-	var xs []linalg.Vector
-	var ys []float64
+	// Collect the labeled candidates in task order, then impute their
+	// feature vectors in parallel (each job writes its own index slot).
+	type labeledJob struct {
+		b  *Block
+		ci int
+	}
+	var jobs []labeledJob
 	for _, b := range task.Blocks {
 		for _, ci := range b.SortedLabelIndices() {
-			c := b.Cands[ci]
-			x, err := sys.Impute(b.PA, c.A, b.PB, c.B, l.Variant, l.TopFriends)
-			if err != nil {
-				return err
-			}
-			// Homogeneous coordinate for the bias term.
-			xb := append(x.Clone(), 1)
-			xs = append(xs, xb)
-			ys = append(ys, b.Labels[ci])
+			jobs = append(jobs, labeledJob{b: b, ci: ci})
 		}
 	}
-	if len(xs) == 0 {
+	if len(jobs) == 0 {
 		return fmt.Errorf("core: LinearLinker has no labeled pairs")
+	}
+	xs, err := parallel.MapErr(l.Workers, len(jobs), func(i int) (linalg.Vector, error) {
+		j := jobs[i]
+		c := j.b.Cands[j.ci]
+		x, err := sys.Impute(j.b.PA, c.A, j.b.PB, c.B, l.Variant, l.TopFriends)
+		if err != nil {
+			return nil, err
+		}
+		// Homogeneous coordinate for the bias term.
+		return append(x.Clone(), 1), nil
+	})
+	if err != nil {
+		return err
+	}
+	ys := make([]float64, len(jobs))
+	for i, j := range jobs {
+		ys[i] = j.b.Labels[j.ci]
 	}
 	dim := len(xs[0])
 	shards, err := admm.Split(xs, ys, l.shards())
 	if err != nil {
 		return err
 	}
-	res, err := admm.Solve(shards, dim, admm.Opts{Lambda: lambda, Rho: 2, MaxIter: 300, Tol: 1e-7})
+	res, err := admm.Solve(shards, dim, admm.Opts{Lambda: lambda, Rho: 2, MaxIter: 300, Tol: 1e-7, Workers: l.Workers})
 	if err != nil {
 		return err
 	}

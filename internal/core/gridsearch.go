@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+
+	"hydra/internal/parallel"
 )
 
 // GridSearch is the validation-set parameter tuning of the paper's Section
@@ -25,41 +27,62 @@ type GridResult struct {
 }
 
 // GridSearch sweeps the grids and returns the best configuration. base
-// supplies all non-swept parameters. Points that fail to train are recorded
-// with their error and skipped.
+// supplies all non-swept parameters, including Workers: the independent
+// grid points train concurrently on that pool, and — like the figure
+// sweeps — once the grid's own fan-out covers the pool the hot paths
+// inside each point pin to one worker (nested pools only multiply
+// goroutines and concurrently resident Gram matrices). Points are
+// reported in grid order and ties resolve to the earlier point, exactly
+// as in the sequential sweep; every path is deterministic, so the result
+// is identical at any worker count. Points that fail to train are
+// recorded with their error and skipped.
 func GridSearch(sys *System, trainTask, valTask *Task, base Config,
 	gammaLs, gammaMs, ps []float64) (*GridResult, error) {
 
 	if len(gammaLs) == 0 || len(gammaMs) == 0 || len(ps) == 0 {
 		return nil, fmt.Errorf("core: empty grid")
 	}
-	res := &GridResult{BestF1: -1}
+	type coord struct{ gl, gm, p float64 }
+	coords := make([]coord, 0, len(gammaLs)*len(gammaMs)*len(ps))
 	for _, gl := range gammaLs {
 		for _, gm := range gammaMs {
 			for _, p := range ps {
-				cfg := base
-				cfg.GammaL, cfg.GammaM, cfg.P = gl, gm, p
-				pt := GridPoint{GammaL: gl, GammaM: gm, P: p}
-				m, err := Train(sys, trainTask, cfg)
-				if err != nil {
-					pt.Err = err
-					res.Points = append(res.Points, pt)
-					continue
-				}
-				f1, err := labeledF1(sys, &HydraLinker{Cfg: cfg, model: m}, valTask)
-				if err != nil {
-					pt.Err = err
-					res.Points = append(res.Points, pt)
-					continue
-				}
-				pt.F1 = f1
-				res.Points = append(res.Points, pt)
-				if f1 > res.BestF1 {
-					res.BestF1 = f1
-					res.Best = cfg
-				}
+				coords = append(coords, coord{gl, gm, p})
 			}
 		}
+	}
+	// Split the worker budget between the point fan-out and the hot paths
+	// inside each point (see parallel.Inner), bounding both the effective
+	// parallelism and the number of concurrently resident Gram matrices.
+	inner := parallel.Inner(len(coords), base.Workers)
+	points := parallel.Map(base.Workers, len(coords), func(i int) GridPoint {
+		c := coords[i]
+		cfg := base
+		cfg.GammaL, cfg.GammaM, cfg.P = c.gl, c.gm, c.p
+		cfg.Workers = inner
+		pt := GridPoint{GammaL: c.gl, GammaM: c.gm, P: c.p}
+		m, err := Train(sys, trainTask, cfg)
+		if err != nil {
+			pt.Err = err
+			return pt
+		}
+		f1, err := labeledF1(sys, &HydraLinker{Cfg: cfg, model: m}, valTask)
+		if err != nil {
+			pt.Err = err
+			return pt
+		}
+		pt.F1 = f1
+		return pt
+	})
+	res := &GridResult{BestF1: -1, Points: points}
+	for i, pt := range points {
+		if pt.Err != nil || pt.F1 <= res.BestF1 {
+			continue
+		}
+		res.BestF1 = pt.F1
+		cfg := base // Best keeps the caller's Workers, not the inner pin
+		cfg.GammaL, cfg.GammaM, cfg.P = coords[i].gl, coords[i].gm, coords[i].p
+		res.Best = cfg
 	}
 	if res.BestF1 < 0 {
 		return nil, fmt.Errorf("core: every grid point failed")

@@ -74,3 +74,43 @@ func TestGridSearchAllFail(t *testing.T) {
 		t.Fatal("expected all-failed error")
 	}
 }
+
+// TestGridSearchWorkersDeterminism: the fanned-out sweep must reproduce
+// the sequential sweep exactly — same points, same F1s, same Best — since
+// every training path is bit-deterministic at any worker count.
+func TestGridSearchWorkersDeterminism(t *testing.T) {
+	const seed = 31
+	run := func(workers int) *GridResult {
+		t.Helper()
+		_, sys := buildSystem(t, 40, platform.EnglishPlatforms, seed)
+		trainTask := buildTask(t, sys, platform.Twitter, platform.Facebook,
+			LabelOpts{LabelFraction: 0.3, NegPerPos: 2, UsePreMatched: false, Seed: seed})
+		valTask := buildTask(t, sys, platform.Twitter, platform.Facebook,
+			LabelOpts{LabelFraction: 0.3, NegPerPos: 2, UsePreMatched: false, Seed: seed + 1})
+		base := DefaultConfig(seed)
+		base.Workers = workers
+		res, err := GridSearch(sys, trainTask, valTask, base,
+			[]float64{1e-4, 1e-3}, []float64{30}, []float64{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, rN := run(1), run(4)
+	if len(r1.Points) != len(rN.Points) {
+		t.Fatalf("point count %d vs %d", len(r1.Points), len(rN.Points))
+	}
+	for i := range r1.Points {
+		p1, pN := r1.Points[i], rN.Points[i]
+		if p1.GammaL != pN.GammaL || p1.GammaM != pN.GammaM || p1.P != pN.P {
+			t.Fatalf("point %d order differs: %+v vs %+v", i, p1, pN)
+		}
+		if p1.F1 != pN.F1 || (p1.Err == nil) != (pN.Err == nil) {
+			t.Fatalf("point %d outcome differs: %+v vs %+v", i, p1, pN)
+		}
+	}
+	if r1.BestF1 != rN.BestF1 ||
+		r1.Best.GammaL != rN.Best.GammaL || r1.Best.GammaM != rN.Best.GammaM || r1.Best.P != rN.Best.P {
+		t.Fatalf("best differs: %+v (%v) vs %+v (%v)", r1.Best, r1.BestF1, rN.Best, rN.BestF1)
+	}
+}

@@ -108,6 +108,11 @@ type Diagnostics struct {
 	FD, FS       float64
 	EffGammaM    float64
 	ReweightDone int
+	// LKProducts counts the n×n×n products L·K computed while training.
+	// The reweight rounds share one hoisted product (only the scalar
+	// 2γ_M/n² and the diagonal shift change between rounds), so this is 1
+	// no matter how many rounds ran.
+	LKProducts int
 }
 
 // Model is a trained HYDRA linkage function (Eqn 12): the kernel expansion
@@ -255,6 +260,14 @@ func train(sys *System, task *Task, cfg Config, warmMap map[labelKey]float64) (*
 	m.Diag.MDensity = density
 
 	// 4. Solve; for p>1 iterate the reweighted scalarization.
+	//
+	// The n×n×n product L·K is hoisted out of the reweight loop: A of Eqn
+	// 15 is 2γ_L·I + (2γ_M/n²)·L·K, and across rounds only the scalar and
+	// the diagonal shift change. Each round rebuilds A from this one
+	// product by scale+AddDiag — the same float ops per entry as
+	// recomputing, hence bit-identical, minus rounds−1 full multiplies.
+	lk := lap.MulWorkers(gram, cfg.Workers)
+	m.Diag.LKProducts++
 	effGammaM := cfg.GammaM
 	rounds := 1
 	if cfg.P > 1 {
@@ -266,7 +279,7 @@ func train(sys *System, task *Task, cfg Config, warmMap map[labelKey]float64) (*
 	warm := warmStartVector(task, labels, labelKeys, 1/float64(nl), warmMap)
 	var finalBeta []float64
 	for round := 0; round < rounds; round++ {
-		beta, err := m.solveOnce(gram, lap, labeledIdx, labels, effGammaM, warm)
+		beta, err := m.solveOnce(gram, lk, labeledIdx, labels, effGammaM, warm)
 		if err != nil {
 			return nil, err
 		}
@@ -300,16 +313,18 @@ func train(sys *System, task *Task, cfg Config, warmMap map[labelKey]float64) (*
 }
 
 // solveOnce performs one p=1 dual solve with the given structure weight and
-// returns the dual variables β for warm starting the next round.
-func (m *Model) solveOnce(gram, lap *linalg.Matrix, labeledIdx []int, labels []float64, gammaM float64, warm []float64) ([]float64, error) {
+// returns the dual variables β for warm starting the next round. lk is the
+// hoisted product L·K shared by every round (see train); all dense kernels
+// run at cfg.Workers, which never changes the bits of the result.
+func (m *Model) solveOnce(gram, lk *linalg.Matrix, labeledIdx []int, labels []float64, gammaM float64, warm []float64) ([]float64, error) {
 	n := gram.Rows
 	nl := len(labeledIdx)
 	cfg := m.cfg
 
 	// A = 2γ_L I + (2γ_M / n²) L K   (Eqn 15's inverse operand).
 	scale := 2 * gammaM / float64(n*n)
-	a := lap.Mul(gram).ScaleInPlace(scale).AddDiag(2 * cfg.GammaL)
-	lu, err := linalg.Factorize(a)
+	a := lk.Clone().ScaleInPlace(scale).AddDiag(2 * cfg.GammaL)
+	lu, err := linalg.FactorizeInPlaceWorkers(a, cfg.Workers) // a is scratch; factor it in place
 	if err != nil {
 		return nil, fmt.Errorf("core: dual system factorization: %w", err)
 	}
@@ -318,9 +333,9 @@ func (m *Model) solveOnce(gram, lap *linalg.Matrix, labeledIdx []int, labels []f
 	for c, idx := range labeledIdx {
 		jy.Set(idx, c, labels[c])
 	}
-	z := lu.SolveMatrix(jy)
+	z := lu.SolveMatrixWorkers(jy, cfg.Workers)
 	// Q = Y J K Z (N_l × N_l, Eqn 17).
-	kz := gram.Mul(z)
+	kz := gram.MulWorkers(z, cfg.Workers)
 	qm := linalg.NewMatrix(nl, nl)
 	for r, idx := range labeledIdx {
 		for c := 0; c < nl; c++ {
@@ -350,12 +365,12 @@ func (m *Model) solveOnce(gram, lap *linalg.Matrix, labeledIdx []int, labels []f
 		}
 	}
 	// α = Z β (Eqn 15).
-	m.alpha = z.MulVec(linalg.Vector(res.Beta))
+	m.alpha = z.MulVecWorkers(linalg.Vector(res.Beta), cfg.Workers)
 	// Bias from free dual variables: y_i = f(x_i) on the margin.
 	m.bias = 0
 	free := 0
 	var acc float64
-	ka := gram.MulVec(m.alpha)
+	ka := gram.MulVecWorkers(m.alpha, cfg.Workers)
 	for c, idx := range labeledIdx {
 		if res.Beta[c] > 1e-8 && res.Beta[c] < cBox-1e-8 {
 			acc += labels[c] - ka[idx]
@@ -388,7 +403,7 @@ func (m *Model) solveOnce(gram, lap *linalg.Matrix, labeledIdx []int, labels []f
 // consistency, Eqn 8) at the current α.
 func (m *Model) objectives(gram, lap *linalg.Matrix, labeledIdx []int, labels []float64) (fd, fs float64) {
 	n := gram.Rows
-	ka := gram.MulVec(m.alpha) // f(x_i) − b over all candidates
+	ka := gram.MulVecWorkers(m.alpha, m.cfg.Workers) // f(x_i) − b over all candidates
 	// F_D = γ_L/2 ‖w‖² + Σ ξ, with ‖w‖² = αᵀKα.
 	wNorm2 := m.alpha.Dot(ka)
 	fd = m.cfg.GammaL / 2 * wNorm2
@@ -399,7 +414,7 @@ func (m *Model) objectives(gram, lap *linalg.Matrix, labeledIdx []int, labels []
 		}
 	}
 	// F_S = (1/n²)·fᵀ L f with f = Kα (Eqn 8's wᵀXᵀ(D−M)Xw in the dual).
-	fs = ka.Dot(lap.MulVec(ka)) / float64(n*n)
+	fs = ka.Dot(lap.MulVecWorkers(ka, m.cfg.Workers)) / float64(n*n)
 	if fs < 0 {
 		fs = 0 // PSD up to numerical noise
 	}

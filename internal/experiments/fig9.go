@@ -50,10 +50,14 @@ func Figure9(cfg Config) (*Result, error) {
 		}
 		// Build the per-fraction tasks first (each deterministic from its
 		// seed), then fan out the (fraction × method) grid — every point is
-		// an independent full train/eval run.
+		// an independent full train/eval run. The nested blocking fan-out
+		// inside each task build is pinned so the stage stays within the
+		// Workers budget (see parallel.Inner).
+		pinned := *st
+		pinned.workers = parallel.Inner(len(fractions), cfg.Workers)
 		tasks, err := parallel.MapErr(cfg.Workers, len(fractions), func(fi int) (*core.Task, error) {
 			opts := core.LabelOpts{LabelFraction: fractions[fi], NegPerPos: 2, UsePreMatched: true, Seed: cfg.Seed}
-			return st.multiTask(ds.pairs, opts)
+			return pinned.multiTask(ds.pairs, opts)
 		})
 		if err != nil {
 			return nil, err

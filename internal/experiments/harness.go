@@ -184,14 +184,10 @@ func runPoint(sys *core.System, l core.Linker, task *core.Task, workers int) run
 }
 
 // innerWorkers picks the worker pin for the hot paths inside a parallel
-// sweep: once the sweep's own fan-out covers the pool there is nothing to
-// gain from nested pools — they only multiply goroutines and concurrently
-// resident Gram matrices. Results are identical either way.
+// sweep (see parallel.Inner: covering fan-outs pin to one worker, smaller
+// ones split the pool). Results are identical either way.
 func innerWorkers(points int, cfg Config) int {
-	if points >= parallel.Workers(cfg.Workers) {
-		return 1
-	}
-	return cfg.Workers
+	return parallel.Inner(points, cfg.Workers)
 }
 
 // runGrid fans out the (task × method) grid shared by the labeled- and

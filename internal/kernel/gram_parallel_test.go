@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -88,5 +89,74 @@ func BenchmarkGramSequential(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		GramWorkers(k, xs, 1)
+	}
+}
+
+// TestCacheConcurrentRows hammers the row cache from many goroutines (run
+// with -race via `make race`): every caller must observe the exact kernel
+// values, all callers of a row must share one backing slice, and the
+// hit/miss counters must account for every call.
+func TestCacheConcurrentRows(t *testing.T) {
+	xs := randomVectors(24, 6, 41)
+	k := NewRBF(1.3)
+	c := NewCache(k, xs)
+	const goroutines, iters = 8, 100
+	rowsSeen := make([][]linalg.Vector, goroutines)
+	done := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			seen := make([]linalg.Vector, len(xs))
+			for it := 0; it < iters; it++ {
+				i := (g*7 + it*3) % len(xs)
+				r := c.Row(i)
+				if len(r) != len(xs) {
+					done <- fmt.Errorf("row %d has length %d", i, len(r))
+					return
+				}
+				if r[i] != 1 { // RBF diagonal
+					done <- fmt.Errorf("row %d diagonal = %v", i, r[i])
+					return
+				}
+				seen[i] = r
+			}
+			rowsSeen[g] = seen
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All goroutines must share the stored slice (first write wins).
+	for i := range xs {
+		var first linalg.Vector
+		for g := range rowsSeen {
+			r := rowsSeen[g][i]
+			if r == nil {
+				continue
+			}
+			if first == nil {
+				first = r
+			} else if &first[0] != &r[0] {
+				t.Fatalf("row %d has two distinct backing arrays", i)
+			}
+		}
+	}
+	// Values must match direct evaluation bit-for-bit.
+	for i := range xs {
+		r := c.Row(i)
+		for j := range xs {
+			if want := k.Eval(xs[i], xs[j]); r[j] != want {
+				t.Fatalf("cache[%d][%d] = %v, want %v", i, j, r[j], want)
+			}
+		}
+	}
+	hits, misses := c.Stats()
+	if total := goroutines*iters + len(xs); hits+misses != total {
+		t.Fatalf("stats %d+%d != %d calls", hits, misses, total)
+	}
+	if misses < len(xs) {
+		t.Fatalf("misses %d < %d rows", misses, len(xs))
 	}
 }

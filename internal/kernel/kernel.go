@@ -8,6 +8,7 @@ package kernel
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"hydra/internal/linalg"
 	"hydra/internal/parallel"
@@ -160,9 +161,21 @@ func CrossGramWorkers(k Func, as, bs []linalg.Vector, workers int) *linalg.Matri
 // Cache memoizes kernel evaluations over a fixed sample set, keyed by index
 // pair. SMO-style solvers hit the same rows repeatedly; the cache stores
 // whole rows.
+//
+// Sharing contract: a Cache is safe for concurrent use — the row map is
+// guarded by a mutex, row computation happens outside the lock so misses
+// on different rows proceed in parallel, and when two goroutines race on
+// the same row the first stored slice wins, so every caller of Row(i)
+// observes the same backing array. Returned rows are shared read-only
+// views: callers must never modify them. Memory is bounded by the sample
+// count — at worst the full n×n Gram matrix materializes (one row per
+// distinct index), which is the same ceiling as the dense training path;
+// SMO working sets stay far below it in practice.
 type Cache struct {
-	k            Func
-	xs           []linalg.Vector
+	k  Func
+	xs []linalg.Vector
+
+	mu           sync.Mutex
 	rows         map[int]linalg.Vector
 	hits, misses int
 }
@@ -173,26 +186,46 @@ func NewCache(k Func, xs []linalg.Vector) *Cache {
 }
 
 // Row returns the i-th kernel row [k(x_i, x_0), ..., k(x_i, x_{n-1})].
-// The returned slice is shared; callers must not modify it.
+// The returned slice is shared; callers must not modify it (see the type
+// comment for the full concurrency contract).
 func (c *Cache) Row(i int) linalg.Vector {
+	c.mu.Lock()
 	if r, ok := c.rows[i]; ok {
 		c.hits++
+		c.mu.Unlock()
 		return r
 	}
+	// Count the miss now (misses = rows computed, racing duplicates
+	// included) and evaluate outside the lock: a kernel row is O(n·d)
+	// work that would otherwise serialize every concurrent caller.
 	c.misses++
+	c.mu.Unlock()
 	r := linalg.NewVector(len(c.xs))
+	xi := c.xs[i]
 	for j := range c.xs {
-		r[j] = c.k.Eval(c.xs[i], c.xs[j])
+		r[j] = c.k.Eval(xi, c.xs[j])
 	}
-	c.rows[i] = r
+	c.mu.Lock()
+	if prev, ok := c.rows[i]; ok {
+		r = prev // lost a same-row race; hand out the stored slice
+	} else {
+		c.rows[i] = r
+	}
+	c.mu.Unlock()
 	return r
 }
 
 // At returns k(x_i, x_j) going through the row cache.
 func (c *Cache) At(i, j int) float64 { return c.Row(i)[j] }
 
-// Stats reports cache hits and misses (for efficiency experiments).
-func (c *Cache) Stats() (hits, misses int) { return c.hits, c.misses }
+// Stats reports cache hits and misses (for efficiency experiments). Misses
+// count computed rows, so sequential callers see hits+misses equal to the
+// number of Row calls; concurrent same-row races can add extra misses.
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
 
 // Len returns the number of cached samples.
 func (c *Cache) Len() int { return len(c.xs) }

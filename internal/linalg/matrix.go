@@ -64,33 +64,13 @@ func (m *Matrix) Clone() *Matrix {
 	return out
 }
 
-// T returns the transpose of m as a new matrix.
-func (m *Matrix) T() *Matrix {
-	out := NewMatrix(m.Cols, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		for j := 0; j < m.Cols; j++ {
-			out.Set(j, i, m.At(i, j))
-		}
-	}
-	return out
-}
+// T returns the transpose of m as a new matrix (single-threaded; see
+// TWorkers in blocked.go for the parallel variant).
+func (m *Matrix) T() *Matrix { return m.TWorkers(1) }
 
-// MulVec returns m*v as a new vector.
-func (m *Matrix) MulVec(v Vector) Vector {
-	if m.Cols != len(v) {
-		panic(fmt.Sprintf("linalg: MulVec shape mismatch %dx%d * %d", m.Rows, m.Cols, len(v)))
-	}
-	out := NewVector(m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		var s float64
-		for j, x := range row {
-			s += x * v[j]
-		}
-		out[i] = s
-	}
-	return out
-}
+// MulVec returns m*v as a new vector (single-threaded; see MulVecWorkers
+// in blocked.go for the parallel variant — both are bit-identical).
+func (m *Matrix) MulVec(v Vector) Vector { return m.MulVecWorkers(v, 1) }
 
 // MulVecT returns mᵀ*v as a new vector.
 func (m *Matrix) MulVecT(v Vector) Vector {
@@ -111,27 +91,10 @@ func (m *Matrix) MulVecT(v Vector) Vector {
 	return out
 }
 
-// Mul returns m*n as a new matrix.
-func (m *Matrix) Mul(n *Matrix) *Matrix {
-	if m.Cols != n.Rows {
-		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, n.Rows, n.Cols))
-	}
-	out := NewMatrix(m.Rows, n.Cols)
-	for i := 0; i < m.Rows; i++ {
-		mrow := m.Data[i*m.Cols : (i+1)*m.Cols]
-		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-		for k, a := range mrow {
-			if a == 0 {
-				continue
-			}
-			nrow := n.Data[k*n.Cols : (k+1)*n.Cols]
-			for j, b := range nrow {
-				orow[j] += a * b
-			}
-		}
-	}
-	return out
-}
+// Mul returns m*n as a new matrix (single-threaded; see MulWorkers in
+// blocked.go for the parallel variant — the blocked kernel reproduces the
+// classic row-sweep bit-for-bit at any worker count).
+func (m *Matrix) Mul(n *Matrix) *Matrix { return m.MulWorkers(n, 1) }
 
 // AddInPlace adds n to m element-wise in place and returns m.
 func (m *Matrix) AddInPlace(n *Matrix) *Matrix {

@@ -1,6 +1,8 @@
 // Package parallel provides the shared worker-pool primitives behind
-// HYDRA's pairwise hot paths: kernel Gram/CrossGram construction, blocking
-// candidate scoring, per-candidate feature assembly and the experiment
+// HYDRA's hot paths: kernel Gram/CrossGram construction, blocking
+// candidate scoring, per-candidate feature assembly, the blocked dense
+// linear algebra of internal/linalg (Mul/LU), the ADMM shard solves, grid
+// search and the experiment
 // sweeps. All helpers take an explicit worker count (0 or negative resolves
 // to runtime.GOMAXPROCS(0)) and guarantee deterministic, index-ordered
 // results: every output slot is addressed by its input index, so the
@@ -23,6 +25,24 @@ func Workers(n int) int {
 		return n
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// Inner picks the worker pin for hot paths nested inside a parallel sweep
+// of `points` tasks: once the sweep's own fan-out covers the pool the
+// inner paths run on one worker (nested pools only multiply goroutines
+// and concurrently resident intermediates), while a smaller fan-out gets
+// the pool divided between its points — either way the effective
+// parallelism never exceeds the configured budget. Every pool-driven path
+// is deterministic, so the split never changes results.
+func Inner(points, workers int) int {
+	pool := Workers(workers)
+	if points >= pool {
+		return 1
+	}
+	if points > 1 {
+		return pool / points
+	}
+	return workers
 }
 
 // For runs fn(i) for every i in [0, n) using the given number of workers

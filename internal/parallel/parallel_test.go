@@ -154,3 +154,28 @@ func TestDeterminismWithPerTaskRNG(t *testing.T) {
 		}
 	}
 }
+
+func TestInnerWorkersBudget(t *testing.T) {
+	// With an explicit budget the split is exact arithmetic.
+	cases := []struct{ points, workers, want int }{
+		{10, 8, 1}, // fan-out covers the pool → pin to one
+		{8, 8, 1},  // exactly covered → pin to one
+		{3, 8, 2},  // small grid → pool divided (floor)
+		{2, 8, 4},  // even split
+		{1, 8, 8},  // single point keeps the full budget
+	}
+	for _, c := range cases {
+		if got := Inner(c.points, c.workers); got != c.want {
+			t.Fatalf("Inner(%d, %d) = %d, want %d", c.points, c.workers, got, c.want)
+		}
+	}
+	// Invariant: points × Inner never exceeds the resolved pool (for
+	// fan-outs of more than one point).
+	for points := 2; points <= 20; points++ {
+		for workers := 1; workers <= 16; workers++ {
+			if got := Inner(points, workers); got*min(points, Workers(workers)) > Workers(workers) {
+				t.Fatalf("Inner(%d, %d) = %d exceeds the pool %d", points, workers, got, Workers(workers))
+			}
+		}
+	}
+}

@@ -35,13 +35,26 @@ type Opts struct {
 }
 
 // qMatrix is the SVM dual Hessian Q_ij = y_i y_j K(x_i, x_j), with rows
-// cached on demand.
+// cached on demand. rows memoizes the kernel.Cache rows locally without a
+// lock — one SMO solve runs on one goroutine, so paying the Cache mutex
+// once per distinct row (instead of on every At in the gradient loop)
+// keeps the hot path as cheap as before the cache became concurrent-safe.
 type qMatrix struct {
 	cache *kernel.Cache
 	y     []float64
+	rows  []linalg.Vector
 }
 
-func (q *qMatrix) At(i, j int) float64 { return q.y[i] * q.y[j] * q.cache.At(i, j) }
+func (q *qMatrix) row(i int) linalg.Vector {
+	if r := q.rows[i]; r != nil {
+		return r
+	}
+	r := q.cache.Row(i)
+	q.rows[i] = r
+	return r
+}
+
+func (q *qMatrix) At(i, j int) float64 { return q.y[i] * q.y[j] * q.row(i)[j] }
 func (q *qMatrix) N() int              { return len(q.y) }
 
 // Train fits a binary SVM on (xs, ys) with ys ∈ {+1, −1}.
@@ -69,7 +82,7 @@ func Train(xs []linalg.Vector, ys []float64, k kernel.Func, opts Opts) (*Model, 
 	if opts.C <= 0 {
 		opts.C = 1
 	}
-	q := &qMatrix{cache: kernel.NewCache(k, xs), y: ys}
+	q := &qMatrix{cache: kernel.NewCache(k, xs), y: ys, rows: make([]linalg.Vector, len(ys))}
 	res, err := qp.Solve(q, ys, opts.C, qp.Opts{Tol: opts.Tol, MaxIter: opts.MaxIter, Shrink: opts.Shrink})
 	if err != nil {
 		return nil, err
