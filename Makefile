@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-linalg bench-save bench-compare figures
+.PHONY: ci fmt vet build test race bench bench-linalg bench-save bench-compare bench-serve bench-json figures
 
 ci: fmt vet build test
 
@@ -25,9 +25,11 @@ build:
 test:
 	$(GO) test ./...
 
-# race exercises the worker-pool paths under the race detector.
+# race exercises the worker-pool paths under the race detector — including
+# the serving engine and staged pipeline (TestServe*, *Workers* tests in
+# internal/serve and internal/pipeline match the filter).
 race:
-	$(GO) test -race -run 'Determinism|Concurrent|Workers' ./internal/...
+	$(GO) test -race -run 'Determinism|Concurrent|Workers|Serve' ./internal/...
 
 # bench runs the parallel hot-path microbenchmarks at 1 and 4 cores so the
 # worker-pool speedup (and the pinned sequential baseline) is visible.
@@ -62,6 +64,19 @@ bench-compare:
 	else \
 		echo "benchstat not installed; compare bench-old.txt and bench-new.txt by hand"; \
 	fi
+
+# bench-serve runs the serving-path microbenchmarks: single-pair score
+# latency, top-k query latency over the sharded candidate index, and
+# batched score throughput (the hydra-serve hot paths).
+bench-serve:
+	$(GO) test -run '^$$' -bench 'Serve' -benchmem ./internal/serve/
+
+# bench-json trains a small model through the staged pipeline, round-trips
+# it through the artifact codec and benchmarks the restored engine,
+# writing a machine-readable BENCH_PR3.json snapshot so the perf
+# trajectory has a mechanical data point per PR.
+bench-json:
+	$(GO) run ./cmd/hydra-servebench -json BENCH_PR3.json
 
 # figures regenerates every figure table (the full experiment suite).
 figures:

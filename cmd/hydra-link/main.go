@@ -1,9 +1,11 @@
 // Command hydra-link reads a synthetic world previously written by
-// hydra-gen and runs the full linkage pipeline on it — the file-based
-// workflow for experimenting with fixed datasets:
+// hydra-gen and runs the staged linkage pipeline on it (Load → Systemize →
+// Block → Fit → Evaluate) — the file-based workflow for experimenting with
+// fixed datasets, and the training half of the train/serve split:
 //
 //	go run ./cmd/hydra-gen  -persons 120 -dataset english -o world.json
-//	go run ./cmd/hydra-link -in world.json -pa twitter -pb facebook
+//	go run ./cmd/hydra-link -in world.json -pa twitter -pb facebook -save-model model.json
+//	go run ./cmd/hydra-serve -model model.json -world world.json
 package main
 
 import (
@@ -12,11 +14,7 @@ import (
 	"log"
 	"os"
 
-	"hydra/internal/blocking"
-	"hydra/internal/core"
-	"hydra/internal/features"
-	"hydra/internal/platform"
-	"hydra/internal/synth"
+	"hydra/internal/pipeline"
 )
 
 func main() {
@@ -28,74 +26,24 @@ func main() {
 		seed      = flag.Int64("seed", 1, "model seed")
 		workers   = flag.Int("workers", 0, "worker-pool size for the pairwise hot paths; 0 = all cores, 1 = sequential — results are identical at any setting")
 		report    = flag.Bool("report", false, "print the feature-group weight report")
+		saveModel = flag.String("save-model", "", "persist the trained model as an artifact at this path (serve it with hydra-serve)")
 	)
 	flag.Parse()
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "usage: hydra-link -in world.json [-pa twitter -pb facebook]")
+		fmt.Fprintln(os.Stderr, "usage: hydra-link -in world.json [-pa twitter -pb facebook] [-save-model model.json]")
 		os.Exit(2)
 	}
-	f, err := os.Open(*in)
+	err := pipeline.RunLink(pipeline.LinkOpts{
+		WorldPath: *in,
+		PA:        *paName,
+		PB:        *pbName,
+		LabelFrac: *labelFrac,
+		Seed:      *seed,
+		Workers:   *workers,
+		Report:    *report,
+		SaveModel: *saveModel,
+	}, os.Stdout)
 	if err != nil {
 		log.Fatal(err)
-	}
-	ds, err := platform.Decode(f)
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
-	pa, pb := platform.ID(*paName), platform.ID(*pbName)
-	if _, err := ds.Platform(pa); err != nil {
-		log.Fatal(err)
-	}
-	if _, err := ds.Platform(pb); err != nil {
-		log.Fatal(err)
-	}
-
-	// The feature pipeline needs the genre/sentiment lexicons; they are
-	// deterministic vocabulary constructions shared with the generator.
-	lx := synth.BuildLexicons(8, 40)
-	var people []int
-	for person := range ds.PersonAccounts {
-		people = append(people, person)
-	}
-	half := people[:len(people)/2]
-	labeled := core.LabeledProfilePairs(ds, pa, pb, half)
-	sys, err := core.NewSystem(ds, labeled, features.Lexicons{
-		Genre: lx.Genre, Sentiment: lx.Sentiment,
-	}, features.DefaultConfig(*seed))
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	opts := core.LabelOpts{LabelFraction: *labelFrac, NegPerPos: 2, UsePreMatched: true, Seed: *seed}
-	rules := blocking.DefaultRules()
-	rules.Workers = *workers
-	block, err := core.BuildBlock(sys, pa, pb, rules, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	task := &core.Task{Blocks: []*core.Block{block}}
-	fmt.Printf("world: %d persons; task: %d candidates, %d labeled\n",
-		ds.NumPersons(), task.NumCandidates(), task.NumLabeled())
-
-	hcfg := core.DefaultConfig(*seed)
-	hcfg.Workers = *workers
-	linker := &core.HydraLinker{Cfg: hcfg}
-	if err := linker.Fit(sys, task); err != nil {
-		log.Fatal(err)
-	}
-	conf, err := core.EvaluateLinkerWorkers(sys, linker, task.Blocks, *workers)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("linkage result: %s\n", conf)
-
-	if *report {
-		gws, err := core.FeatureGroupReport(sys, task, core.HydraM)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Println("\nfeature-group weight report:")
-		fmt.Print(core.FormatGroupWeights(gws))
 	}
 }

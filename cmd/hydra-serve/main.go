@@ -1,0 +1,65 @@
+// Command hydra-serve is the query front-end of the train/serve split: it
+// loads a model artifact persisted by hydra-link -save-model plus the
+// world file the model was trained on, and answers score / link / top-k
+// linkage queries without retraining — over stdin by default, or over
+// HTTP with -http:
+//
+//	go run ./cmd/hydra-gen   -persons 120 -dataset english -o world.json
+//	go run ./cmd/hydra-link  -in world.json -save-model model.json
+//	echo "topk twitter 4 facebook 3" | go run ./cmd/hydra-serve -model model.json -world world.json
+//	go run ./cmd/hydra-serve -model model.json -world world.json -http :8080
+//
+// Startup rebuilds the feature system from the artifact's recipe (bit-
+// exact scores against the training process) and a per-A-side sharded
+// candidate index per platform pair, so top-k queries score only an
+// account's candidate shard, never the full B side. Query batches fan out
+// over the -workers pool.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"hydra/internal/pipeline"
+	"hydra/internal/serve"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "", "model artifact JSON (from hydra-link -save-model)")
+		world    = flag.String("world", "", "world JSON the model was trained on (from hydra-gen)")
+		workers  = flag.Int("workers", 0, "worker-pool size for query batches and index building; 0 = all cores")
+		httpAddr = flag.String("http", "", "serve HTTP on this address (e.g. :8080) instead of the stdin REPL")
+	)
+	flag.Parse()
+	if *model == "" || *world == "" {
+		fmt.Fprintln(os.Stderr, "usage: hydra-serve -model model.json -world world.json [-http :8080]")
+		os.Exit(2)
+	}
+
+	art, err := pipeline.LoadArtifact(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := pipeline.LoadWorldFile(*world)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := serve.NewEngine(art, ds, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "model restored: %s kernel, %d candidate vectors; indexes for %d platform pairs\n",
+		art.Model.KernelKind, len(art.Model.Xs), len(eng.Pairs()))
+
+	if *httpAddr != "" {
+		fmt.Fprintf(os.Stderr, "serving HTTP on %s (/healthz /score /link /topk)\n", *httpAddr)
+		log.Fatal(http.ListenAndServe(*httpAddr, eng.Handler()))
+	}
+	if err := eng.REPL(os.Stdin, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

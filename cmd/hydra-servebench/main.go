@@ -1,0 +1,217 @@
+// Command hydra-servebench benchmarks the serving path end to end:
+// single-pair score latency, top-k query latency over the sharded
+// candidate index, and batched score throughput. It trains a small model
+// through the staged pipeline, round-trips it through the artifact codec
+// (so the measured path is exactly what hydra-serve runs), and drives the
+// engine with testing.Benchmark:
+//
+//	go run ./cmd/hydra-servebench                    # human-readable
+//	go run ./cmd/hydra-servebench -json BENCH_PR3.json
+//
+// The -json snapshot gives the perf trajectory a mechanical data point
+// per PR (see make bench-json).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+
+	"hydra/internal/blocking"
+	"hydra/internal/core"
+	"hydra/internal/features"
+	"hydra/internal/pipeline"
+	"hydra/internal/platform"
+	"hydra/internal/serve"
+	"hydra/internal/synth"
+)
+
+// benchPoint is one benchmark's snapshot.
+type benchPoint struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	Ops     int     `json:"ops"`
+}
+
+// snapshot is the BENCH_PR3.json schema.
+type snapshot struct {
+	Bench      string     `json:"bench"`
+	Persons    int        `json:"persons"`
+	Workers    int        `json:"workers"`
+	GoMaxProcs int        `json:"gomaxprocs"`
+	Candidates int        `json:"candidates"`
+	TopKShard  float64    `json:"mean_shard_size"`
+	Single     benchPoint `json:"single_pair_score"`
+	TopK       benchPoint `json:"topk5"`
+	Batch      benchPoint `json:"batch_score"`
+	// PairsPerSec is the batched-score throughput (candidate pairs scored
+	// per second across the whole candidate set per op).
+	PairsPerSec float64 `json:"batch_pairs_per_sec"`
+}
+
+func main() {
+	var (
+		persons  = flag.Int("persons", 100, "world size for the benchmark model")
+		seed     = flag.Int64("seed", 1, "world and model seed")
+		workers  = flag.Int("workers", 0, "engine worker pool (0 = all cores)")
+		jsonPath = flag.String("json", "", "write the snapshot as JSON to this path (e.g. BENCH_PR3.json)")
+	)
+	flag.Parse()
+
+	eng, cands, err := buildEngine(*persons, *seed, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pa, pb := platform.Twitter, platform.Facebook
+	fmt.Fprintf(os.Stderr, "engine ready: %d candidates over %d persons; workers=%d gomaxprocs=%d\n",
+		len(cands), *persons, *workers, runtime.GOMAXPROCS(0))
+
+	// Warm the pair cache once so every benchmark measures the steady
+	// state of a long-lived server, not first-touch feature assembly.
+	if _, err := eng.ScoreBatch(pa, pb, cands); err != nil {
+		log.Fatal(err)
+	}
+
+	single := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := cands[i%len(cands)]
+			if _, err := eng.Score(pa, c[0], pb, c[1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	as := aSide(cands)
+	topk := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.TopK(pa, as[i%len(as)], pb, 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	batch := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.ScoreBatch(pa, pb, cands); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	snap := snapshot{
+		Bench:      "serve",
+		Persons:    *persons,
+		Workers:    *workers,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Candidates: len(cands),
+		TopKShard:  float64(len(cands)) / float64(len(as)),
+		Single:     point(single),
+		TopK:       point(topk),
+		Batch:      point(batch),
+	}
+	if ns := point(batch).NsPerOp; ns > 0 {
+		snap.PairsPerSec = float64(len(cands)) / (ns / 1e9)
+	}
+
+	fmt.Printf("single-pair score:   %12.0f ns/op  (%d ops)\n", snap.Single.NsPerOp, snap.Single.Ops)
+	fmt.Printf("topk(5) query:       %12.0f ns/op  (%d ops, mean shard %.1f)\n", snap.TopK.NsPerOp, snap.TopK.Ops, snap.TopKShard)
+	fmt.Printf("batched score:       %12.0f ns/op  (%d ops, %d pairs/op, %.0f pairs/s)\n",
+		snap.Batch.NsPerOp, snap.Batch.Ops, snap.Candidates, snap.PairsPerSec)
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+	}
+}
+
+// point converts a testing result.
+func point(r testing.BenchmarkResult) benchPoint {
+	return benchPoint{NsPerOp: float64(r.NsPerOp()), Ops: r.N}
+}
+
+// aSide lists the distinct A-side accounts of the candidate set in order.
+func aSide(cands [][2]int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, c := range cands {
+		if !seen[c[0]] {
+			seen[c[0]] = true
+			out = append(out, c[0])
+		}
+	}
+	return out
+}
+
+// buildEngine trains a model on a synthetic world through the staged
+// pipeline, round-trips it through the artifact codec, and restores it
+// into a serving engine — the exact hydra-serve startup path, minus disk.
+func buildEngine(persons int, seed int64, workers int) (*serve.Engine, [][2]int, error) {
+	world, err := synth.Generate(synth.DefaultConfig(persons, platform.EnglishPlatforms, seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	var people []int
+	for i := 0; i < persons/2; i++ {
+		people = append(people, i)
+	}
+	sysState, err := pipeline.Systemize(world.Dataset, pipeline.SystemizeOpts{
+		LabelPA:      platform.Twitter,
+		LabelPB:      platform.Facebook,
+		LabelPersons: people,
+		Lexicons:     features.Lexicons{Genre: world.Lexicons.Genre, Sentiment: world.Lexicons.Sentiment},
+		FeatCfg:      features.DefaultConfig(seed),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	rules := blocking.DefaultRules()
+	rules.Workers = workers
+	blocked, err := pipeline.Block(sysState, pipeline.BlockOpts{
+		Pairs: [][2]platform.ID{{platform.Twitter, platform.Facebook}},
+		Rules: rules,
+		Label: core.LabelOpts{LabelFraction: 0.3, NegPerPos: 2, UsePreMatched: true, Seed: seed},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	hcfg := core.DefaultConfig(seed)
+	hcfg.Workers = workers
+	fitted, err := pipeline.Fit(blocked, hcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	art, err := fitted.Artifact()
+	if err != nil {
+		return nil, nil, err
+	}
+	var buf bytes.Buffer
+	if err := pipeline.WriteArtifact(&buf, art); err != nil {
+		return nil, nil, err
+	}
+	art2, err := pipeline.ReadArtifact(&buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng, err := serve.NewEngine(art2, world.Dataset, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	var cands [][2]int
+	for _, c := range blocked.Task.Blocks[0].Cands {
+		cands = append(cands, [2]int{c.A, c.B})
+	}
+	return eng, cands, nil
+}

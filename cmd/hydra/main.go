@@ -5,9 +5,11 @@
 //
 //	go run ./cmd/hydra -persons 80 -dataset english -label-frac 0.3
 //
-// The pairwise hot paths (blocking, feature assembly, kernel matrices,
-// evaluation) run on all cores by default; -workers pins the pool size
-// (-workers 1 is fully sequential) without changing any result.
+// The flow is the staged internal/pipeline (Systemize → Block → Fit →
+// Evaluate) over a freshly generated world. The pairwise hot paths
+// (blocking, feature assembly, kernel matrices, evaluation) run on all
+// cores by default; -workers pins the pool size (-workers 1 is fully
+// sequential) without changing any result.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"hydra/internal/blocking"
 	"hydra/internal/core"
 	"hydra/internal/features"
+	"hydra/internal/pipeline"
 	"hydra/internal/platform"
 	"hydra/internal/synth"
 )
@@ -50,35 +53,41 @@ func main() {
 	}
 
 	fmt.Println("training feature pipeline (attribute importance, LDA, lexicon models)...")
+	// The labeled half is persons 0..persons/2-1 by construction (the
+	// generator numbers persons densely), not a map-order sample.
 	var people []int
 	for i := 0; i < *persons/2; i++ {
 		people = append(people, i)
 	}
-	labeled := core.LabeledProfilePairs(world.Dataset, plats[0], plats[1], people)
-	sys, err := core.NewSystem(world.Dataset, labeled, features.Lexicons{
-		Genre: world.Lexicons.Genre, Sentiment: world.Lexicons.Sentiment,
-	}, features.DefaultConfig(*seed))
+	sysState, err := pipeline.Systemize(world.Dataset, pipeline.SystemizeOpts{
+		LabelPA:      plats[0],
+		LabelPB:      plats[1],
+		LabelPersons: people,
+		Lexicons:     features.Lexicons{Genre: world.Lexicons.Genre, Sentiment: world.Lexicons.Sentiment},
+		FeatCfg:      features.DefaultConfig(*seed),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("blocking candidate pairs and attaching labels...")
-	task := &core.Task{}
-	opts := core.LabelOpts{LabelFraction: *labelFrac, NegPerPos: 2, UsePreMatched: true, Seed: *seed}
 	rules := blocking.DefaultRules()
 	rules.Workers = *workers
-	for _, pp := range pairs {
-		block, err := core.BuildBlock(sys, pp[0], pp[1], rules, opts)
-		if err != nil {
-			log.Fatal(err)
-		}
-		task.Blocks = append(task.Blocks, block)
-		st := blocking.Evaluate(world.Dataset, pp[0], pp[1], block.Cands)
+	blocked, err := pipeline.Block(sysState, pipeline.BlockOpts{
+		Pairs: pairs,
+		Rules: rules,
+		Label: core.LabelOpts{LabelFraction: *labelFrac, NegPerPos: 2, UsePreMatched: true, Seed: *seed},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, pp := range pairs {
+		st := blocked.Stats[i]
 		fmt.Printf("  %s × %s: %d candidates (%d pre-matched at %.0f%% precision), %d/%d true pairs kept\n",
 			pp[0], pp[1], st.NumCandidates, st.NumPreMatched, 100*st.PrePrecision,
 			st.TruePairsKept, st.TruePairsTotal)
 	}
-	stats := task.Stats()
+	stats := blocked.Task.Stats()
 	fmt.Printf("task: %d blocks, %d candidates, %d labeled (%d positive)\n",
 		stats.Blocks, stats.Candidates, stats.Labeled, stats.Positives)
 
@@ -96,30 +105,31 @@ func main() {
 	}
 
 	fmt.Printf("training %s (γ_L=%g, γ_M=%g, p=%g)...\n", cfg.Variant, cfg.GammaL, cfg.GammaM, cfg.P)
-	linker := &core.HydraLinker{Cfg: cfg}
-	if err := linker.Fit(sys, task); err != nil {
+	fitted, err := pipeline.Fit(blocked, cfg)
+	if err != nil {
 		log.Fatal(err)
 	}
-	d := linker.Model().Diag
+	d := fitted.Linker.Model().Diag
 	fmt.Printf("  n=%d candidates, N_l=%d labeled, SMO iters=%d, nnz(β)=%d, M density=%.2g\n",
 		d.N, d.NL, d.SMOIters, d.NnzBeta, d.MDensity)
 	fmt.Printf("  objectives: F_D=%.4g F_S=%.4g\n", d.FD, d.FS)
 
-	conf, err := core.EvaluateLinkerWorkers(sys, linker, task.Blocks, *workers)
+	evaled, err := pipeline.Evaluate(fitted, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nlinkage result: %s\n", conf)
+	fmt.Printf("\nlinkage result: %s\n", evaled.Conf)
 
 	if *verbose {
 		fmt.Println("\nsample decisions (first block, first 10 persons):")
-		b := task.Blocks[0]
+		b := blocked.Task.Blocks[0]
+		sys := sysState.Sys
 		shown := 0
 		for _, c := range b.Cands {
 			if !sys.DS.SamePerson(b.PA, c.A, b.PB, c.B) {
 				continue
 			}
-			score, err := linker.PairScore(b.PA, c.A, b.PB, c.B)
+			score, err := fitted.Linker.PairScore(b.PA, c.A, b.PB, c.B)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -71,57 +71,64 @@ func Generate(pa, pb *platform.Platform, faces *vision.Matcher, rules Rules) ([]
 		rules.TopK = 3
 	}
 	// Score A-side rows in parallel: each row scores all N_B pairs and
-	// returns its qualifying candidates in the order the sequential code
-	// would have appended them. The cross-row dedup below runs on the
-	// row-ordered concatenation, so the result is identical at any worker
-	// count (the scorer itself is deterministic per pair).
+	// returns its qualifying candidates (deduplicated within the row; a
+	// candidate's A id is its row, so no duplicates can span rows). The
+	// result is identical at any worker count — the scorer is
+	// deterministic per pair.
 	kept := parallel.MapChunks(rules.Workers, pa.NumAccounts(), func(lo, hi int) []Candidate {
 		var chunk []Candidate
 		scored := make([]Candidate, 0, pb.NumAccounts())
 		for ai := lo; ai < hi; ai++ {
-			accA := pa.Accounts[ai]
-			scored = scored[:0]
-			for _, accB := range pb.Accounts {
-				scored = append(scored, scorePair(accA, accB, faces, rules))
-			}
-			sort.Slice(scored, func(i, j int) bool {
-				if scored[i].Score != scored[j].Score {
-					return scored[i].Score > scored[j].Score
-				}
-				return scored[i].B < scored[j].B
-			})
-			for rank, c := range scored {
-				if rank < rules.TopK || c.Score >= rules.MinScore || c.PreMatched {
-					chunk = append(chunk, c)
-				} else {
-					break // sorted: nothing below can qualify except pre-matches
-				}
-			}
-			// Pre-matches below the cut still qualify.
-			for rank := rules.TopK; rank < len(scored); rank++ {
-				if c := scored[rank]; c.PreMatched {
-					chunk = append(chunk, c)
-				}
-			}
+			chunk = appendRowCandidates(chunk, pa, pb, faces, rules, ai, scored)
 		}
 		return chunk
 	})
-	out := make([]Candidate, 0, len(kept))
-	seen := make(map[[2]int]bool, len(kept))
-	for _, c := range kept {
-		key := [2]int{c.A, c.B}
-		if !seen[key] {
-			seen[key] = true
-			out = append(out, c)
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].A != kept[j].A {
+			return kept[i].A < kept[j].A
+		}
+		return kept[i].B < kept[j].B
+	})
+	return kept, nil
+}
+
+// appendRowCandidates scores A-side account ai against every B-side
+// account and appends the qualifying candidates to dst in the order the
+// sequential filter keeps them: score-rank order down to the TopK/MinScore
+// cut, then any pre-matches below it. Duplicates (a pre-match inside the
+// cut would otherwise appear twice) are removed. scored is reusable
+// scratch; it is re-sliced to hold N_B entries.
+func appendRowCandidates(dst []Candidate, pa, pb *platform.Platform, faces *vision.Matcher, rules Rules, ai int, scored []Candidate) []Candidate {
+	accA := pa.Accounts[ai]
+	scored = scored[:0]
+	for _, accB := range pb.Accounts {
+		scored = append(scored, scorePair(accA, accB, faces, rules))
+	}
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].Score != scored[j].Score {
+			return scored[i].Score > scored[j].Score
+		}
+		return scored[i].B < scored[j].B
+	})
+	base := len(dst)
+	for rank, c := range scored {
+		if rank < rules.TopK || c.Score >= rules.MinScore || c.PreMatched {
+			dst = append(dst, c)
+		} else {
+			break // sorted: nothing below can qualify except pre-matches
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
+	cut := len(dst) - base // ranks [0, cut) were kept above
+	// Pre-matches below the cut still qualify.
+	for rank := rules.TopK; rank < len(scored); rank++ {
+		if rank < cut {
+			continue // already kept by the ranked loop
 		}
-		return out[i].B < out[j].B
-	})
-	return out, nil
+		if c := scored[rank]; c.PreMatched {
+			dst = append(dst, c)
+		}
+	}
+	return dst
 }
 
 // scorePair computes the cheap rule score and the pre-match decision.

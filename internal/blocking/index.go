@@ -1,0 +1,75 @@
+package blocking
+
+import (
+	"fmt"
+
+	"hydra/internal/parallel"
+	"hydra/internal/platform"
+	"hydra/internal/vision"
+)
+
+// Index is a per-A-side sharded candidate index: for every account on the
+// A platform it stores the candidate B-side accounts the rules admit —
+// exactly the row Generate would keep for that account. A serving front-end
+// answers top-k queries by scoring only an account's shard instead of
+// scanning the full B side; the shard sizes are bounded by TopK plus the
+// MinScore/pre-match tail, so a query is O(shard) model evaluations.
+//
+// An Index is immutable after BuildIndex and safe for concurrent readers.
+type Index struct {
+	// PA and PB identify the platform pair (queries run A → B).
+	PA, PB platform.ID
+	// Rules are the filter parameters the index was built with.
+	Rules Rules
+
+	byA [][]Candidate
+}
+
+// BuildIndex scans the O(N_A · N_B) pair space once and shards the kept
+// candidates by A-side account. The scan parallelizes over A rows on the
+// Rules.Workers pool; each shard is written to its own slot, so the index
+// contents are identical at any worker count. The union of all shards is
+// exactly the candidate set Generate returns under the same rules.
+func BuildIndex(pa, pb *platform.Platform, faces *vision.Matcher, rules Rules) (*Index, error) {
+	if pa.NumAccounts() == 0 || pb.NumAccounts() == 0 {
+		return nil, fmt.Errorf("blocking: empty platform (%s: %d, %s: %d accounts)",
+			pa.ID, pa.NumAccounts(), pb.ID, pb.NumAccounts())
+	}
+	if rules.TopK <= 0 {
+		rules.TopK = 3
+	}
+	ix := &Index{PA: pa.ID, PB: pb.ID, Rules: rules, byA: make([][]Candidate, pa.NumAccounts())}
+	// Chunked like Generate so the N_B-entry scoring scratch is allocated
+	// once per chunk, not once per row; each row's shard still lands in
+	// its own slot, so the index is identical at any worker count.
+	parallel.MapChunks(rules.Workers, pa.NumAccounts(), func(lo, hi int) []struct{} {
+		scored := make([]Candidate, 0, pb.NumAccounts())
+		for ai := lo; ai < hi; ai++ {
+			ix.byA[ai] = appendRowCandidates(nil, pa, pb, faces, rules, ai, scored)
+		}
+		return nil
+	})
+	return ix, nil
+}
+
+// Candidates returns A-side account a's shard: its admitted B-side
+// candidates in rank order (best cheap score first, pre-match stragglers
+// last). The slice is shared read-only state — callers must not modify it.
+func (ix *Index) Candidates(a int) ([]Candidate, error) {
+	if a < 0 || a >= len(ix.byA) {
+		return nil, fmt.Errorf("blocking: account %d out of range (%s has %d accounts)", a, ix.PA, len(ix.byA))
+	}
+	return ix.byA[a], nil
+}
+
+// NumShards returns the A-side account count (one shard per account).
+func (ix *Index) NumShards() int { return len(ix.byA) }
+
+// Len returns the total candidate count across all shards.
+func (ix *Index) Len() int {
+	n := 0
+	for _, s := range ix.byA {
+		n += len(s)
+	}
+	return n
+}

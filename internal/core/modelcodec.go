@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+
+	"hydra/internal/kernel"
+	"hydra/internal/linalg"
+	"hydra/internal/parallel"
+	"hydra/internal/platform"
+)
+
+// The model codec splits Train from Decision/Score across processes: a
+// trained Model is reduced to ModelParts — plain exported data that
+// marshals to JSON losslessly (Go's float64 encoding is shortest-uniquely-
+// identifying, so every coefficient round-trips bit-exact) — and rebuilt
+// with ModelFromParts against a freshly systemized dataset. The restored
+// model produces bit-identical Decision/Score/Link values because all of
+// its inputs (support vectors, duals, bias, kernel bandwidth, imputation
+// config) are carried verbatim rather than recomputed.
+
+// Kernel kind identifiers used by ModelParts.
+const (
+	KernelRBF    = "rbf"
+	KernelLinear = "linear"
+)
+
+// ModelParts is the serializable state of a trained Model: everything
+// Decision/Score/Link needs, and nothing tied to the training process.
+// The remembered dual of TrainIncremental is deliberately excluded — a
+// restored model serves queries and can seed a cold retrain, but does not
+// warm-start one.
+type ModelParts struct {
+	// Cfg is the training configuration; Score needs Variant and
+	// TopFriends, the rest is kept for provenance.
+	Cfg Config `json:"cfg"`
+	// KernelKind and KernelSigma pin the dual kernel, including the
+	// learned median-heuristic bandwidth when Cfg.KernelSigma was 0.
+	KernelKind  string  `json:"kernel_kind"`
+	KernelSigma float64 `json:"kernel_sigma,omitempty"`
+	// Xs are the candidate feature vectors of the kernel expansion
+	// (Eqn 12) and Alpha their dual coefficients; Bias is b.
+	Xs    []linalg.Vector `json:"xs"`
+	Alpha linalg.Vector   `json:"alpha"`
+	Bias  float64         `json:"bias"`
+	// Diag preserves the training diagnostics for reporting.
+	Diag Diagnostics `json:"diag"`
+}
+
+// Parts extracts the serializable state of the model.
+func (m *Model) Parts() (ModelParts, error) {
+	p := ModelParts{Cfg: m.cfg, Xs: m.xs, Alpha: m.alpha, Bias: m.bias, Diag: m.Diag}
+	switch k := m.kern.(type) {
+	case kernel.RBF:
+		p.KernelKind, p.KernelSigma = KernelRBF, k.Sigma
+	case kernel.Linear:
+		p.KernelKind = KernelLinear
+	default:
+		return ModelParts{}, fmt.Errorf("core: kernel %s has no codec", m.kern.Name())
+	}
+	return p, nil
+}
+
+// ModelFromParts rebuilds a servable Model over sys. sys must present the
+// same feature space the model was trained on (same dataset, lexicons and
+// feature config) for scores to be meaningful; with an identical system
+// the restored model is bit-exact.
+func ModelFromParts(sys *System, p ModelParts) (*Model, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("core: ModelFromParts needs a system")
+	}
+	if len(p.Xs) == 0 {
+		return nil, fmt.Errorf("core: model parts have no candidate vectors")
+	}
+	if len(p.Alpha) != len(p.Xs) {
+		return nil, fmt.Errorf("core: %d dual coefficients for %d candidate vectors", len(p.Alpha), len(p.Xs))
+	}
+	var kern kernel.Func
+	switch p.KernelKind {
+	case KernelRBF:
+		if p.KernelSigma <= 0 {
+			return nil, fmt.Errorf("core: rbf model parts need a positive bandwidth, got %g", p.KernelSigma)
+		}
+		kern = kernel.NewRBF(p.KernelSigma)
+	case KernelLinear:
+		kern = kernel.Linear{}
+	default:
+		return nil, fmt.Errorf("core: unknown kernel kind %q", p.KernelKind)
+	}
+	m := &Model{sys: sys, cfg: p.Cfg, kern: kern, xs: p.Xs, alpha: p.Alpha, bias: p.Bias}
+	m.Diag = p.Diag
+	return m, nil
+}
+
+// ScoreBatchWorkers scores a batch of account pairs between two platforms
+// on the worker pool (≤ 0 = all cores): each pair's imputation and kernel
+// expansion runs independently and lands in its own output slot, so the
+// scores are identical at any worker count. This is the serving hot path —
+// a top-k query or an HTTP score batch fans its pairs out here.
+func (m *Model) ScoreBatchWorkers(pa platform.ID, pb platform.ID, pairs [][2]int, workers int) ([]float64, error) {
+	out := make([]float64, len(pairs))
+	err := parallel.ForErr(workers, len(pairs), func(i int) error {
+		s, err := m.Score(pa, pairs[i][0], pb, pairs[i][1])
+		if err != nil {
+			return err
+		}
+		out[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -51,8 +51,10 @@ type System struct {
 	mu        sync.Mutex
 	views     map[platform.ID][]*features.AccountView
 	pairCache map[pairKey]features.PairVector
-	faces     *vision.Matcher
-	seed      int64
+	// pairCacheCap, when positive, bounds pairCache (see LimitPairCache).
+	pairCacheCap int
+	faces        *vision.Matcher
+	seed         int64
 }
 
 type pairKey struct {
@@ -148,9 +150,48 @@ func (s *System) RawPair(pa platform.ID, a int, pb platform.ID, b int) (features
 	}
 	pv := s.Pipe.Pair(va[a], vb[b])
 	s.mu.Lock()
+	if _, exists := s.pairCache[key]; !exists {
+		s.evictPairsLocked(1)
+	}
 	s.pairCache[key] = pv
 	s.mu.Unlock()
 	return pv, nil
+}
+
+// evictPairsLocked drops arbitrary cache entries until inserting `incoming`
+// new ones stays within the cap (no-op when uncapped). Cached vectors are
+// pure memos of a deterministic computation, so which entries go only
+// costs a possible recompute — it never changes any result.
+func (s *System) evictPairsLocked(incoming int) {
+	if s.pairCacheCap <= 0 {
+		return
+	}
+	for len(s.pairCache) > s.pairCacheCap-incoming {
+		evicted := false
+		for k := range s.pairCache {
+			delete(s.pairCache, k)
+			evicted = true
+			break
+		}
+		if !evicted {
+			return // cap smaller than incoming; nothing left to drop
+		}
+	}
+}
+
+// LimitPairCache bounds the pair-vector cache to at most n entries,
+// trimming immediately if it is already larger (n ≤ 0 restores the
+// default unbounded behavior). One-shot batch runs touch each pair a
+// bounded number of times and want everything cached, but a long-lived
+// serving process answering arbitrary queries would otherwise grow the
+// cache monotonically until OOM — the serve engine caps it at startup.
+// Eviction is arbitrary-entry, and correctness never depends on cache
+// contents.
+func (s *System) LimitPairCache(n int) {
+	s.mu.Lock()
+	s.pairCacheCap = n
+	s.evictPairsLocked(0)
+	s.mu.Unlock()
 }
 
 // Impute returns the pair vector with missing dimensions filled according

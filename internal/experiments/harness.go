@@ -9,6 +9,7 @@ import (
 	"hydra/internal/features"
 	"hydra/internal/metrics"
 	"hydra/internal/parallel"
+	"hydra/internal/pipeline"
 	"hydra/internal/platform"
 	"hydra/internal/synth"
 )
@@ -57,12 +58,13 @@ func (c Config) persons(base int) int {
 	return n
 }
 
-// setup is a prepared world + system + per-pair blocks, shared across the
+// setup is a prepared world + systemized pipeline state, shared across the
 // x-axis points of a figure so that the expensive preprocessing (LDA,
 // views) happens once. The System is safe for concurrent use, so sweep
 // points run against one setup in parallel.
 type setup struct {
 	world   *synth.World
+	state   *pipeline.SystemState
 	sys     *core.System
 	workers int
 }
@@ -78,7 +80,8 @@ type setupOpts struct {
 	synthMutate  func(*synth.Config)
 }
 
-// newSetup builds the world and system.
+// newSetup builds the world and runs the pipeline's Systemize stage over
+// it (the Load stage is the in-memory generator here).
 func newSetup(o setupOpts) (*setup, error) {
 	cfg := synth.DefaultConfig(o.persons, o.platforms, o.seed)
 	if o.missingScale > 0 {
@@ -94,45 +97,47 @@ func newSetup(o setupOpts) (*setup, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The labeled half is persons 0..persons/2-1 by construction (the
+	// generator numbers persons densely).
 	var people []int
 	for p := 0; p < o.persons/2; p++ {
 		people = append(people, p)
 	}
-	labeled := core.LabeledProfilePairs(w.Dataset, o.platforms[0], o.platforms[1], people)
 	fcfg := features.DefaultConfig(o.seed)
 	fcfg.LDAIterations = 25
 	fcfg.MaxLDADocs = 2500
-	sys, err := core.NewSystem(w.Dataset, labeled, features.Lexicons{
-		Genre: w.Lexicons.Genre, Sentiment: w.Lexicons.Sentiment,
-	}, fcfg)
+	state, err := pipeline.Systemize(w.Dataset, pipeline.SystemizeOpts{
+		LabelPA:      o.platforms[0],
+		LabelPB:      o.platforms[1],
+		LabelPersons: people,
+		Lexicons:     features.Lexicons{Genre: w.Lexicons.Genre, Sentiment: w.Lexicons.Sentiment},
+		FeatCfg:      fcfg,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &setup{world: w, sys: sys, workers: o.workers}, nil
+	return &setup{world: w, state: state, sys: state.Sys, workers: o.workers}, nil
 }
 
-// task builds a single-block task between two platforms.
+// task builds a single-block task between two platforms via the pipeline's
+// Block stage.
 func (s *setup) task(pa, pb platform.ID, opts core.LabelOpts) (*core.Task, error) {
-	block, err := core.BuildBlock(s.sys, pa, pb, rulesFor(s.workers), opts)
+	return s.multiTask([][2]platform.ID{{pa, pb}}, opts)
+}
+
+// multiTask builds a multi-block task over several platform pairs; pair i
+// draws its label sample at seed+i.
+func (s *setup) multiTask(pairs [][2]platform.ID, opts core.LabelOpts) (*core.Task, error) {
+	blocked, err := pipeline.Block(s.state, pipeline.BlockOpts{
+		Pairs:      pairs,
+		Rules:      rulesFor(s.workers),
+		Label:      opts,
+		SeedStride: 1,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &core.Task{Blocks: []*core.Block{block}}, nil
-}
-
-// multiTask builds a multi-block task over several platform pairs.
-func (s *setup) multiTask(pairs [][2]platform.ID, opts core.LabelOpts) (*core.Task, error) {
-	t := &core.Task{}
-	for i, pp := range pairs {
-		o := opts
-		o.Seed = opts.Seed + int64(i)
-		block, err := core.BuildBlock(s.sys, pp[0], pp[1], rulesFor(s.workers), o)
-		if err != nil {
-			return nil, err
-		}
-		t.Blocks = append(t.Blocks, block)
-	}
-	return t, nil
+	return blocked.Task, nil
 }
 
 // allLinkers returns the paper's method lineup: HYDRA-M plus the four

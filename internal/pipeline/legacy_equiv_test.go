@@ -1,0 +1,124 @@
+package pipeline
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"testing"
+
+	"hydra/internal/blocking"
+	"hydra/internal/core"
+	"hydra/internal/features"
+	"hydra/internal/platform"
+	"hydra/internal/synth"
+)
+
+// legacyLink is the pre-refactor cmd/hydra-link flow, verbatim (hand-rolled
+// System/Block/Fit/Evaluate calls, no pipeline package), with the one
+// deliberate divergence this PR also ships: the labeled half is sorted
+// person ids, not map-iteration order. It is the byte-level reference the
+// staged RunLink must match at any worker count.
+func legacyLink(worldPath, paName, pbName string, labelFrac float64, seed int64, workers int, report bool, stdout io.Writer) error {
+	ds, err := LoadWorldFile(worldPath)
+	if err != nil {
+		return err
+	}
+	pa, pb := platform.ID(paName), platform.ID(pbName)
+	if _, err := ds.Platform(pa); err != nil {
+		return err
+	}
+	if _, err := ds.Platform(pb); err != nil {
+		return err
+	}
+
+	lx := synth.BuildLexicons(8, 40)
+	var people []int
+	for person := range ds.PersonAccounts {
+		people = append(people, person)
+	}
+	sort.Ints(people)
+	half := people[:len(people)/2]
+	labeled := core.LabeledProfilePairs(ds, pa, pb, half)
+	sys, err := core.NewSystem(ds, labeled, features.Lexicons{
+		Genre: lx.Genre, Sentiment: lx.Sentiment,
+	}, features.DefaultConfig(seed))
+	if err != nil {
+		return err
+	}
+
+	opts := core.LabelOpts{LabelFraction: labelFrac, NegPerPos: 2, UsePreMatched: true, Seed: seed}
+	rules := blocking.DefaultRules()
+	rules.Workers = workers
+	block, err := core.BuildBlock(sys, pa, pb, rules, opts)
+	if err != nil {
+		return err
+	}
+	task := &core.Task{Blocks: []*core.Block{block}}
+	fmt.Fprintf(stdout, "world: %d persons; task: %d candidates, %d labeled\n",
+		ds.NumPersons(), task.NumCandidates(), task.NumLabeled())
+
+	hcfg := core.DefaultConfig(seed)
+	hcfg.Workers = workers
+	linker := &core.HydraLinker{Cfg: hcfg}
+	if err := linker.Fit(sys, task); err != nil {
+		return err
+	}
+	conf, err := core.EvaluateLinkerWorkers(sys, linker, task.Blocks, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "linkage result: %s\n", conf)
+
+	if report {
+		gws, err := core.FeatureGroupReport(sys, task, core.HydraM)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "\nfeature-group weight report:")
+		fmt.Fprint(stdout, core.FormatGroupWeights(gws))
+	}
+	return nil
+}
+
+// TestRunLinkMatchesLegacyWorkers asserts the rebased cmd/hydra-link
+// produces byte-identical stdout to the pre-refactor hand-rolled flow, at
+// workers=1 and workers=4 — the staged pipeline changed the architecture,
+// not one output byte.
+func TestRunLinkMatchesLegacyWorkers(t *testing.T) {
+	const seed = 5
+	worldPath := writeWorld(t, 36, seed)
+
+	var ref bytes.Buffer
+	if err := legacyLink(worldPath, "twitter", "facebook", 0.3, seed, 1, true, &ref); err != nil {
+		t.Fatal(err)
+	}
+	if ref.Len() == 0 {
+		t.Fatal("legacy flow produced no output")
+	}
+	for _, workers := range []int{1, 4} {
+		var legacy, staged bytes.Buffer
+		if err := legacyLink(worldPath, "twitter", "facebook", 0.3, seed, workers, true, &legacy); err != nil {
+			t.Fatal(err)
+		}
+		if err := RunLink(LinkOpts{
+			WorldPath: worldPath,
+			PA:        "twitter",
+			PB:        "facebook",
+			LabelFrac: 0.3,
+			Seed:      seed,
+			Workers:   workers,
+			Report:    true,
+		}, &staged); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(legacy.Bytes(), staged.Bytes()) {
+			t.Fatalf("workers=%d: staged output differs from legacy.\nlegacy:\n%s\nstaged:\n%s",
+				workers, legacy.String(), staged.String())
+		}
+		if !bytes.Equal(ref.Bytes(), staged.Bytes()) {
+			t.Fatalf("workers=%d: output differs from workers=1 reference.\nref:\n%s\ngot:\n%s",
+				workers, ref.String(), staged.String())
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package pipeline
+
+import (
+	"testing"
+
+	"hydra/internal/platform"
+	"hydra/internal/synth"
+)
+
+// TestLabeledHalfSorted asserts the labeled-half selection is the sorted
+// first half of person ids — not whatever order the PersonAccounts map
+// iterates in, which differs run to run.
+func TestLabeledHalfSorted(t *testing.T) {
+	w, err := synth.Generate(synth.DefaultConfig(30, platform.EnglishPlatforms, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := LabeledHalf(w.Dataset)
+	if len(half) != w.Dataset.NumPersons()/2 {
+		t.Fatalf("half has %d persons, want %d", len(half), w.Dataset.NumPersons()/2)
+	}
+	for i := 1; i < len(half); i++ {
+		if half[i-1] >= half[i] {
+			t.Fatalf("half not strictly ascending at %d: %v", i, half)
+		}
+	}
+	// Stable across calls (map iteration order must not leak through).
+	again := LabeledHalf(w.Dataset)
+	for i := range half {
+		if half[i] != again[i] {
+			t.Fatalf("selection differs between calls at %d: %d vs %d", i, half[i], again[i])
+		}
+	}
+}
+
+// TestStageValidation asserts the stages reject malformed inputs.
+func TestStageValidation(t *testing.T) {
+	w, err := synth.Generate(synth.DefaultConfig(20, platform.EnglishPlatforms, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Systemize(nil, SystemizeOpts{}); err == nil {
+		t.Fatal("expected error for nil dataset")
+	}
+	if _, err := Systemize(w.Dataset, SystemizeOpts{LabelPA: "nope", LabelPB: platform.Facebook}); err == nil {
+		t.Fatal("expected error for unknown platform")
+	}
+	worldPath := writeWorld(t, 20, 1)
+	fitted := fitWorld(t, worldPath, 1, 1)
+	if _, err := Block(fitted.SystemState, BlockOpts{}); err == nil {
+		t.Fatal("expected error for empty pair list")
+	}
+}

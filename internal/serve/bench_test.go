@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"testing"
+
+	"hydra/internal/platform"
+)
+
+// benchEnv reuses the test fixture; training dominates setup, so the
+// benchmarks share one engine. The pair cache is pre-warmed with a full
+// batch so the numbers reflect a long-lived server's steady state.
+func benchEnv(b *testing.B) (testEnv, [][2]int) {
+	b.Helper()
+	envOnce.Do(func() { env, envErr = buildEnv() })
+	if envErr != nil {
+		b.Fatal(envErr)
+	}
+	blk := env.task.Blocks[0]
+	pairs := make([][2]int, len(blk.Cands))
+	for i, c := range blk.Cands {
+		pairs[i] = [2]int{c.A, c.B}
+	}
+	if _, err := env.eng.ScoreBatch(blk.PA, blk.PB, pairs); err != nil {
+		b.Fatal(err)
+	}
+	return env, pairs
+}
+
+// BenchmarkServeScore measures single-pair score latency on the serving
+// path (warm pair cache: kernel expansion over the support vectors).
+func BenchmarkServeScore(b *testing.B) {
+	e, pairs := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		if _, err := e.eng.Score(platform.Twitter, p[0], platform.Facebook, p[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeTopK measures a top-k query: one sharded index lookup plus
+// a batched scoring pass over the shard.
+func BenchmarkServeTopK(b *testing.B) {
+	e, pairs := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := pairs[i%len(pairs)][0]
+		if _, err := e.eng.TopK(platform.Twitter, a, platform.Facebook, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeBatch measures batched score throughput over the whole
+// candidate set (pairs/op = len(pairs)).
+func BenchmarkServeBatch(b *testing.B) {
+	e, pairs := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.eng.ScoreBatch(platform.Twitter, platform.Facebook, pairs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

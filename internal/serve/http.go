@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"hydra/internal/platform"
+)
+
+// The HTTP front-end mirrors the REPL commands as JSON endpoints:
+//
+//	GET  /healthz                          liveness + indexed pairs
+//	POST /score  {"pa","pb","pairs":[[a,b],...]}   batch scores
+//	POST /link   (same body)                       scores + decisions
+//	GET  /topk?pa=&a=&pb=&k=                       ranked candidates
+//
+// Batch bodies go through ScoreBatch, so one request fans its pairs over
+// the worker pool.
+
+// scoreRequest is the body of POST /score and /link.
+type scoreRequest struct {
+	PA    platform.ID `json:"pa"`
+	PB    platform.ID `json:"pb"`
+	Pairs [][2]int    `json:"pairs"`
+}
+
+// Handler returns the HTTP front-end.
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"ok": true, "pairs": e.Pairs()})
+	})
+	mux.HandleFunc("/score", e.handleScore(false))
+	mux.HandleFunc("/link", e.handleScore(true))
+	mux.HandleFunc("/topk", e.handleTopK)
+	return mux
+}
+
+func (e *Engine) handleScore(decide bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+			return
+		}
+		var req scoreRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(req.Pairs) == 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("empty pairs"))
+			return
+		}
+		scores, err := e.ScoreBatch(req.PA, req.PB, req.Pairs)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp := map[string]any{"scores": scores}
+		if decide {
+			linked := make([]bool, len(scores))
+			for i, s := range scores {
+				linked[i] = s > 0
+			}
+			resp["linked"] = linked
+		}
+		writeJSON(w, resp)
+	}
+}
+
+func (e *Engine) handleTopK(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	a, errA := strconv.Atoi(q.Get("a"))
+	if errA != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad a=%q", q.Get("a")))
+		return
+	}
+	k := 5
+	if s := q.Get("k"); s != "" {
+		var err error
+		if k, err = strconv.Atoi(s); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad k=%q", s))
+			return
+		}
+	}
+	res, err := e.TopK(platform.ID(q.Get("pa")), a, platform.ID(q.Get("pb")), k)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, map[string]any{"results": res})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing useful left to send.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,158 @@
+// Package serve is HYDRA's query front-end: it loads a persisted model
+// artifact plus the world file it was trained on and answers score, link
+// and top-k linkage queries without retraining — the serving half of the
+// train/serve split.
+//
+// Scoring batches ride the existing Workers-governed kernel/feature hot
+// paths (Model.ScoreBatchWorkers fans pairs over the pool; the System's
+// pair cache is mutex-guarded and shared across queries, so repeated
+// queries get warmer). Top-k queries never scan the full B side: each
+// A-side account's candidates come from a per-A-side sharded
+// blocking.Index built once at startup from the artifact's rules.
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"hydra/internal/blocking"
+	"hydra/internal/core"
+	"hydra/internal/pipeline"
+	"hydra/internal/platform"
+)
+
+// Engine answers linkage queries against one restored model. It is
+// immutable after NewEngine apart from the System's internal caches and
+// safe for concurrent queries.
+type Engine struct {
+	Sys   *core.System
+	Model *core.Model
+	// Workers pins the per-query batch parallelism (≤ 0 = all cores).
+	Workers int
+
+	indexes map[[2]platform.ID]*blocking.Index
+}
+
+// DefaultPairCacheEntries bounds the System's pair-vector cache in a
+// serving process (≈ a few hundred bytes per entry; this cap keeps a
+// long-lived server around ~100 MB of cache even under an adversarial
+// query sweep of the full pair space).
+const DefaultPairCacheEntries = 1 << 18
+
+// NewEngine restores the artifact over the world dataset and builds the
+// candidate indexes for every platform pair the artifact was trained on.
+// The restored System's pair cache is capped at DefaultPairCacheEntries;
+// call Sys.LimitPairCache to choose a different bound.
+func NewEngine(art *pipeline.Artifact, ds *platform.Dataset, workers int) (*Engine, error) {
+	st, model, err := art.Restore(ds)
+	if err != nil {
+		return nil, err
+	}
+	st.Sys.LimitPairCache(DefaultPairCacheEntries)
+	e := &Engine{
+		Sys:     st.Sys,
+		Model:   model,
+		Workers: workers,
+		indexes: make(map[[2]platform.ID]*blocking.Index, len(art.Pairs)),
+	}
+	rules := art.Rules
+	rules.Workers = workers
+	for _, pp := range art.Pairs {
+		if _, ok := e.indexes[pp]; ok {
+			continue
+		}
+		platA, err := ds.Platform(pp[0])
+		if err != nil {
+			return nil, err
+		}
+		platB, err := ds.Platform(pp[1])
+		if err != nil {
+			return nil, err
+		}
+		ix, err := blocking.BuildIndex(platA, platB, st.Sys.Faces(), rules)
+		if err != nil {
+			return nil, err
+		}
+		e.indexes[pp] = ix
+	}
+	return e, nil
+}
+
+// Pairs lists the indexed platform pairs, lexicographically sorted and
+// deduplicated.
+func (e *Engine) Pairs() [][2]platform.ID {
+	out := make([][2]platform.ID, 0, len(e.indexes))
+	for pp := range e.indexes {
+		out = append(out, pp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Score returns the model's decision value for one account pair.
+func (e *Engine) Score(pa platform.ID, a int, pb platform.ID, b int) (float64, error) {
+	return e.Model.Score(pa, a, pb, b)
+}
+
+// Link decides whether the pair is the same natural person (score > 0).
+func (e *Engine) Link(pa platform.ID, a int, pb platform.ID, b int) (bool, float64, error) {
+	s, err := e.Model.Score(pa, a, pb, b)
+	if err != nil {
+		return false, 0, err
+	}
+	return s > 0, s, nil
+}
+
+// ScoreBatch scores a batch of pairs in one pass over the worker pool.
+func (e *Engine) ScoreBatch(pa, pb platform.ID, pairs [][2]int) ([]float64, error) {
+	return e.Model.ScoreBatchWorkers(pa, pb, pairs, e.Workers)
+}
+
+// Scored is one top-k result row.
+type Scored struct {
+	B      int     `json:"b"`
+	Score  float64 `json:"score"`
+	Linked bool    `json:"linked"`
+}
+
+// TopK returns A-side account a's k best-scoring B-side candidates on the
+// (pa, pb) index — only the account's candidate shard is scored, batched
+// over the worker pool. Ties break on the lower B id, so results are
+// deterministic at any worker count. k ≤ 0 returns the whole ranked shard.
+func (e *Engine) TopK(pa platform.ID, a int, pb platform.ID, k int) ([]Scored, error) {
+	ix, ok := e.indexes[[2]platform.ID{pa, pb}]
+	if !ok {
+		return nil, fmt.Errorf("serve: no candidate index for %s → %s (artifact pairs: %v)", pa, pb, e.Pairs())
+	}
+	cands, err := ix.Candidates(a)
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([][2]int, len(cands))
+	for i, c := range cands {
+		pairs[i] = [2]int{a, c.B}
+	}
+	scores, err := e.Model.ScoreBatchWorkers(pa, pb, pairs, e.Workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Scored, len(cands))
+	for i, c := range cands {
+		out[i] = Scored{B: c.B, Score: scores[i], Linked: scores[i] > 0}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].B < out[j].B
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out, nil
+}
