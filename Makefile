@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-linalg bench-save bench-compare bench-serve bench-json figures
+.PHONY: ci fmt vet build test race bench bench-linalg bench-save bench-compare bench-serve bench-bundle bench-json figures
 
 ci: fmt vet build test
 
@@ -25,9 +25,10 @@ build:
 test:
 	$(GO) test ./...
 
-# race exercises the worker-pool paths under the race detector — including
-# the serving engine and staged pipeline (TestServe*, *Workers* tests in
-# internal/serve and internal/pipeline match the filter).
+# race exercises the worker-pool paths under the race detector — the
+# serving engines (world- and bundle-backed, TestServe*), the staged
+# pipeline, the parallel figure sweeps and the fanned-out synth generator
+# (*Workers*/*Determinism* tests) all match the filter.
 race:
 	$(GO) test -race -run 'Determinism|Concurrent|Workers|Serve' ./internal/...
 
@@ -71,12 +72,21 @@ bench-compare:
 bench-serve:
 	$(GO) test -run '^$$' -bench 'Serve' -benchmem ./internal/serve/
 
-# bench-json trains a small model through the staged pipeline, round-trips
-# it through the artifact codec and benchmarks the restored engine,
-# writing a machine-readable BENCH_PR3.json snapshot so the perf
-# trajectory has a mechanical data point per PR.
+# bench-bundle compares the two hydra-serve startup paths: artifact+world
+# (rebuilds the feature pipeline and candidate indexes from the dataset)
+# vs self-contained bundle (decodes precomputed views and index shards).
+# The bundle's cold start should beat the world rebuild by orders of
+# magnitude — that gap is the reason the format exists.
+bench-bundle:
+	$(GO) test -run '^$$' -bench 'BundleColdStart' -benchmem -benchtime 1x ./internal/serve/
+
+# bench-json trains a small model through the staged pipeline, persists
+# it both ways and benchmarks the restored engines, writing a machine-
+# readable BENCH_PR4.json snapshot (cold-start world vs bundle plus
+# steady-state query latency) so the perf trajectory has a mechanical
+# data point per PR.
 bench-json:
-	$(GO) run ./cmd/hydra-servebench -json BENCH_PR3.json
+	$(GO) run ./cmd/hydra-servebench -json BENCH_PR4.json
 
 # figures regenerates every figure table (the full experiment suite).
 figures:

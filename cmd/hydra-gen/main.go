@@ -4,9 +4,10 @@
 //
 //	go run ./cmd/hydra-gen -persons 200 -dataset all -o world.json
 //
-// Generation is intentionally single-threaded: the synthetic world is
-// built from one sequential RNG stream, so a worker pool would change the
-// output. Parallelizing it behind per-person seeds is a ROADMAP item.
+// Generation fans out over the -workers pool: every random draw comes
+// from a per-person or per-platform seeded stream, so the emitted world
+// is byte-identical at any worker count (pinned by the synth package's
+// workers test).
 package main
 
 import (
@@ -26,6 +27,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generator seed")
 		out     = flag.String("o", "", "output path (default stdout)")
 		missing = flag.Float64("missing-scale", 1, "missingness multiplier (1 = Figure 2(a) regime)")
+		workers = flag.Int("workers", 0, "worker-pool size for person/account generation; 0 = all cores — the world is byte-identical at any setting")
 	)
 	flag.Parse()
 
@@ -43,6 +45,7 @@ func main() {
 
 	cfg := synth.DefaultConfig(*persons, plats, *seed)
 	cfg.MissingScale = *missing
+	cfg.Workers = *workers
 	world, err := synth.Generate(cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -19,14 +19,15 @@ import (
 
 func main() {
 	var (
-		in        = flag.String("in", "", "input world JSON (from hydra-gen)")
-		paName    = flag.String("pa", "twitter", "first platform id")
-		pbName    = flag.String("pb", "facebook", "second platform id")
-		labelFrac = flag.Float64("label-frac", 0.3, "labeled fraction of true candidate pairs")
-		seed      = flag.Int64("seed", 1, "model seed")
-		workers   = flag.Int("workers", 0, "worker-pool size for the pairwise hot paths; 0 = all cores, 1 = sequential — results are identical at any setting")
-		report    = flag.Bool("report", false, "print the feature-group weight report")
-		saveModel = flag.String("save-model", "", "persist the trained model as an artifact at this path (serve it with hydra-serve)")
+		in         = flag.String("in", "", "input world JSON (from hydra-gen)")
+		paName     = flag.String("pa", "twitter", "first platform id")
+		pbName     = flag.String("pb", "facebook", "second platform id")
+		labelFrac  = flag.Float64("label-frac", 0.3, "labeled fraction of true candidate pairs")
+		seed       = flag.Int64("seed", 1, "model seed")
+		workers    = flag.Int("workers", 0, "worker-pool size for the pairwise hot paths; 0 = all cores, 1 = sequential — results are identical at any setting")
+		report     = flag.Bool("report", false, "print the feature-group weight report")
+		saveModel  = flag.String("save-model", "", "persist the trained model as an artifact at this path (serve it with hydra-serve -model, world file required)")
+		saveBundle = flag.String("save-bundle", "", "pack the trained model plus precomputed serving state into a self-contained bundle at this path (serve it with hydra-serve -bundle, no world file)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -34,14 +35,15 @@ func main() {
 		os.Exit(2)
 	}
 	err := pipeline.RunLink(pipeline.LinkOpts{
-		WorldPath: *in,
-		PA:        *paName,
-		PB:        *pbName,
-		LabelFrac: *labelFrac,
-		Seed:      *seed,
-		Workers:   *workers,
-		Report:    *report,
-		SaveModel: *saveModel,
+		WorldPath:  *in,
+		PA:         *paName,
+		PB:         *pbName,
+		LabelFrac:  *labelFrac,
+		Seed:       *seed,
+		Workers:    *workers,
+		Report:     *report,
+		SaveModel:  *saveModel,
+		SaveBundle: *saveBundle,
 	}, os.Stdout)
 	if err != nil {
 		log.Fatal(err)

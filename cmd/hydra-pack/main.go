@@ -1,0 +1,64 @@
+// Command hydra-pack converts an existing v1 model artifact plus the
+// world file it was trained on into a self-contained v2 serving bundle,
+// offline. Use it to migrate already-trained deployments to world-free
+// serving without retraining:
+//
+//	go run ./cmd/hydra-pack  -model model.json -world world.json -o bundle.json
+//	go run ./cmd/hydra-serve -bundle bundle.json
+//
+// Packing rebuilds the feature system from the artifact's recipe once
+// (fingerprint-checked against the world, exactly like hydra-serve's
+// world-backed startup), snapshots every account view, top-friends slice
+// and candidate index the serving engine queries, and writes them as one
+// versioned bundle. After that the world file — raw posts, trajectories
+// and ground truth included — no longer ships anywhere.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hydra/internal/pipeline"
+)
+
+func main() {
+	var (
+		model   = flag.String("model", "", "model artifact JSON (from hydra-link -save-model)")
+		world   = flag.String("world", "", "world JSON the model was trained on (from hydra-gen)")
+		out     = flag.String("o", "", "output bundle path")
+		workers = flag.Int("workers", 0, "worker-pool size for the index rebuild; 0 = all cores (identical bundle at any setting)")
+	)
+	flag.Parse()
+	if *model == "" || *world == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "usage: hydra-pack -model model.json -world world.json -o bundle.json")
+		os.Exit(2)
+	}
+
+	art, err := pipeline.LoadArtifact(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := pipeline.LoadWorldFile(*world)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := pipeline.BundleFromArtifact(art, ds, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pipeline.SaveBundle(*out, b); err != nil {
+		log.Fatal(err)
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	views := 0
+	for _, v := range b.Views {
+		views += len(v)
+	}
+	fmt.Fprintf(os.Stderr, "packed %s: %d platforms, %d views, %d indexed pairs, top-%d friends, %d bytes — serve it with hydra-serve -bundle\n",
+		*out, len(b.Views), views, len(b.Indexes), b.FriendsK, info.Size())
+}

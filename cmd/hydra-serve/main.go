@@ -1,19 +1,26 @@
 // Command hydra-serve is the query front-end of the train/serve split: it
-// loads a model artifact persisted by hydra-link -save-model plus the
-// world file the model was trained on, and answers score / link / top-k
-// linkage queries without retraining — over stdin by default, or over
-// HTTP with -http:
+// answers score / link / top-k linkage queries without retraining — over
+// stdin by default, or over HTTP with -http. Two deployment modes:
+//
+//   - Self-contained bundle (preferred): -bundle loads a v2 serving
+//     bundle written by hydra-link -save-bundle or hydra-pack. The bundle
+//     carries precomputed account views, friend slices and candidate
+//     indexes, so startup is a decode — no world file, no feature
+//     rebuild, and the raw behavior data never ships to the server.
+//   - Artifact + world: -model loads a v1 artifact plus the -world file
+//     the model was trained on, rebuilding the feature pipeline and the
+//     per-A-side candidate indexes from the raw dataset at startup.
+//
+// Both modes answer every query bit-identically:
 //
 //	go run ./cmd/hydra-gen   -persons 120 -dataset english -o world.json
-//	go run ./cmd/hydra-link  -in world.json -save-model model.json
-//	echo "topk twitter 4 facebook 3" | go run ./cmd/hydra-serve -model model.json -world world.json
-//	go run ./cmd/hydra-serve -model model.json -world world.json -http :8080
+//	go run ./cmd/hydra-link  -in world.json -save-bundle bundle.json
+//	echo "topk twitter 4 facebook 3" | go run ./cmd/hydra-serve -bundle bundle.json
+//	go run ./cmd/hydra-serve -bundle bundle.json -http :8080
 //
-// Startup rebuilds the feature system from the artifact's recipe (bit-
-// exact scores against the training process) and a per-A-side sharded
-// candidate index per platform pair, so top-k queries score only an
-// account's candidate shard, never the full B side. Query batches fan out
-// over the -workers pool.
+// Query batches fan out over the -workers pool. The HTTP server runs
+// with read/write timeouts and a capped request body size, so stalled or
+// abusive clients cannot pin connections or buffer unbounded input.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"hydra/internal/pipeline"
 	"hydra/internal/serve"
@@ -29,35 +37,66 @@ import (
 
 func main() {
 	var (
-		model    = flag.String("model", "", "model artifact JSON (from hydra-link -save-model)")
+		bundle   = flag.String("bundle", "", "self-contained serving bundle JSON (from hydra-link -save-bundle or hydra-pack); replaces -model and -world")
+		model    = flag.String("model", "", "model artifact JSON (from hydra-link -save-model); needs -world")
 		world    = flag.String("world", "", "world JSON the model was trained on (from hydra-gen)")
 		workers  = flag.Int("workers", 0, "worker-pool size for query batches and index building; 0 = all cores")
 		httpAddr = flag.String("http", "", "serve HTTP on this address (e.g. :8080) instead of the stdin REPL")
 	)
 	flag.Parse()
-	if *model == "" || *world == "" {
-		fmt.Fprintln(os.Stderr, "usage: hydra-serve -model model.json -world world.json [-http :8080]")
+
+	var (
+		eng *serve.Engine
+		err error
+	)
+	switch {
+	case *bundle != "":
+		if *model != "" || *world != "" {
+			fmt.Fprintln(os.Stderr, "hydra-serve: -bundle is self-contained; do not combine it with -model/-world")
+			os.Exit(2)
+		}
+		var b *pipeline.Bundle
+		if b, err = pipeline.LoadBundle(*bundle); err != nil {
+			log.Fatal(err)
+		}
+		if eng, err = serve.NewEngineFromBundle(b, *workers); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "bundle restored: %s kernel, %d candidate vectors, %d platforms; indexes for %d platform pairs\n",
+			b.Model.KernelKind, len(b.Model.Xs), len(b.Views), len(eng.Pairs()))
+	case *model != "" && *world != "":
+		var art *pipeline.Artifact
+		if art, err = pipeline.LoadArtifact(*model); err != nil {
+			log.Fatal(err)
+		}
+		ds, err := pipeline.LoadWorldFile(*world)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if eng, err = serve.NewEngine(art, ds, *workers); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "model restored: %s kernel, %d candidate vectors; indexes for %d platform pairs\n",
+			art.Model.KernelKind, len(art.Model.Xs), len(eng.Pairs()))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: hydra-serve -bundle bundle.json [-http :8080]")
+		fmt.Fprintln(os.Stderr, "       hydra-serve -model model.json -world world.json [-http :8080]")
 		os.Exit(2)
 	}
 
-	art, err := pipeline.LoadArtifact(*model)
-	if err != nil {
-		log.Fatal(err)
-	}
-	ds, err := pipeline.LoadWorldFile(*world)
-	if err != nil {
-		log.Fatal(err)
-	}
-	eng, err := serve.NewEngine(art, ds, *workers)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "model restored: %s kernel, %d candidate vectors; indexes for %d platform pairs\n",
-		art.Model.KernelKind, len(art.Model.Xs), len(eng.Pairs()))
-
 	if *httpAddr != "" {
 		fmt.Fprintf(os.Stderr, "serving HTTP on %s (/healthz /score /link /topk)\n", *httpAddr)
-		log.Fatal(http.ListenAndServe(*httpAddr, eng.Handler()))
+		srv := &http.Server{
+			Addr:              *httpAddr,
+			Handler:           eng.Handler(),
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			// Batches fan out over the pool; a minute covers the largest
+			// legitimate batch on a loaded box with headroom.
+			WriteTimeout: 60 * time.Second,
+			IdleTimeout:  2 * time.Minute,
+		}
+		log.Fatal(srv.ListenAndServe())
 	}
 	if err := eng.REPL(os.Stdin, os.Stdout); err != nil {
 		log.Fatal(err)

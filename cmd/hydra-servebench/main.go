@@ -1,12 +1,14 @@
 // Command hydra-servebench benchmarks the serving path end to end:
+// cold-start (artifact + world rebuild vs self-contained bundle decode),
 // single-pair score latency, top-k query latency over the sharded
 // candidate index, and batched score throughput. It trains a small model
-// through the staged pipeline, round-trips it through the artifact codec
-// (so the measured path is exactly what hydra-serve runs), and drives the
-// engine with testing.Benchmark:
+// through the staged pipeline, round-trips it through both codecs (so
+// the measured paths are exactly what hydra-serve runs), verifies the
+// two engines agree bit for bit, and drives the bundle engine with
+// testing.Benchmark:
 //
 //	go run ./cmd/hydra-servebench                    # human-readable
-//	go run ./cmd/hydra-servebench -json BENCH_PR3.json
+//	go run ./cmd/hydra-servebench -json BENCH_PR4.json
 //
 // The -json snapshot gives the perf trajectory a mechanical data point
 // per PR (see make bench-json).
@@ -21,6 +23,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"hydra/internal/blocking"
 	"hydra/internal/core"
@@ -37,17 +40,26 @@ type benchPoint struct {
 	Ops     int     `json:"ops"`
 }
 
-// snapshot is the BENCH_PR3.json schema.
+// snapshot is the BENCH_PR4.json schema.
 type snapshot struct {
-	Bench      string     `json:"bench"`
-	Persons    int        `json:"persons"`
-	Workers    int        `json:"workers"`
-	GoMaxProcs int        `json:"gomaxprocs"`
-	Candidates int        `json:"candidates"`
-	TopKShard  float64    `json:"mean_shard_size"`
-	Single     benchPoint `json:"single_pair_score"`
-	TopK       benchPoint `json:"topk5"`
-	Batch      benchPoint `json:"batch_score"`
+	Bench      string  `json:"bench"`
+	Persons    int     `json:"persons"`
+	Workers    int     `json:"workers"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Candidates int     `json:"candidates"`
+	TopKShard  float64 `json:"mean_shard_size"`
+	// Cold start: decoding + engine construction, best of three runs.
+	// The world path re-systemizes the dataset (LDA included); the
+	// bundle path only decodes precomputed state.
+	ColdWorldMs  float64 `json:"cold_start_world_ms"`
+	ColdBundleMs float64 `json:"cold_start_bundle_ms"`
+	BundleBytes  int     `json:"bundle_bytes"`
+	// Steady state, measured on the bundle-backed engine (the deployed
+	// configuration; the world-backed engine is bit-identical and its
+	// warm-path numbers match).
+	Single benchPoint `json:"single_pair_score"`
+	TopK   benchPoint `json:"topk5"`
+	Batch  benchPoint `json:"batch_score"`
 	// PairsPerSec is the batched-score throughput (candidate pairs scored
 	// per second across the whole candidate set per op).
 	PairsPerSec float64 `json:"batch_pairs_per_sec"`
@@ -58,22 +70,33 @@ func main() {
 		persons  = flag.Int("persons", 100, "world size for the benchmark model")
 		seed     = flag.Int64("seed", 1, "world and model seed")
 		workers  = flag.Int("workers", 0, "engine worker pool (0 = all cores)")
-		jsonPath = flag.String("json", "", "write the snapshot as JSON to this path (e.g. BENCH_PR3.json)")
+		jsonPath = flag.String("json", "", "write the snapshot as JSON to this path (e.g. BENCH_PR4.json)")
 	)
 	flag.Parse()
 
-	eng, cands, err := buildEngine(*persons, *seed, *workers)
+	env, err := buildEnv(*persons, *seed, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}
+	eng, cands := env.bundleEng, env.cands
 	pa, pb := platform.Twitter, platform.Facebook
-	fmt.Fprintf(os.Stderr, "engine ready: %d candidates over %d persons; workers=%d gomaxprocs=%d\n",
-		len(cands), *persons, *workers, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(os.Stderr, "engines ready: %d candidates over %d persons; workers=%d gomaxprocs=%d; bundle %d bytes\n",
+		len(cands), *persons, *workers, runtime.GOMAXPROCS(0), len(env.bundleBytes))
 
-	// Warm the pair cache once so every benchmark measures the steady
-	// state of a long-lived server, not first-touch feature assembly.
-	if _, err := eng.ScoreBatch(pa, pb, cands); err != nil {
+	// Sanity: the bundle engine must serve the world engine's exact bits
+	// before its numbers mean anything.
+	worldScores, err := env.worldEng.ScoreBatch(pa, pb, cands)
+	if err != nil {
 		log.Fatal(err)
+	}
+	bundleScores, err := eng.ScoreBatch(pa, pb, cands)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range worldScores {
+		if worldScores[i] != bundleScores[i] {
+			log.Fatalf("engines disagree on pair %d: world %v vs bundle %v", i, worldScores[i], bundleScores[i])
+		}
 	}
 
 	single := testing.Benchmark(func(b *testing.B) {
@@ -101,20 +124,25 @@ func main() {
 	})
 
 	snap := snapshot{
-		Bench:      "serve",
-		Persons:    *persons,
-		Workers:    *workers,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Candidates: len(cands),
-		TopKShard:  float64(len(cands)) / float64(len(as)),
-		Single:     point(single),
-		TopK:       point(topk),
-		Batch:      point(batch),
+		Bench:        "serve-bundle",
+		Persons:      *persons,
+		Workers:      *workers,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Candidates:   len(cands),
+		TopKShard:    float64(len(cands)) / float64(len(as)),
+		ColdWorldMs:  env.coldWorldMs,
+		ColdBundleMs: env.coldBundleMs,
+		BundleBytes:  len(env.bundleBytes),
+		Single:       point(single),
+		TopK:         point(topk),
+		Batch:        point(batch),
 	}
 	if ns := point(batch).NsPerOp; ns > 0 {
 		snap.PairsPerSec = float64(len(cands)) / (ns / 1e9)
 	}
 
+	fmt.Printf("cold start (world):  %12.1f ms   (artifact restore: systemize + index build)\n", snap.ColdWorldMs)
+	fmt.Printf("cold start (bundle): %12.1f ms   (decode precomputed views/indexes, %d bytes)\n", snap.ColdBundleMs, snap.BundleBytes)
 	fmt.Printf("single-pair score:   %12.0f ns/op  (%d ops)\n", snap.Single.NsPerOp, snap.Single.Ops)
 	fmt.Printf("topk(5) query:       %12.0f ns/op  (%d ops, mean shard %.1f)\n", snap.TopK.NsPerOp, snap.TopK.Ops, snap.TopKShard)
 	fmt.Printf("batched score:       %12.0f ns/op  (%d ops, %d pairs/op, %.0f pairs/s)\n",
@@ -155,13 +183,43 @@ func aSide(cands [][2]int) []int {
 	return out
 }
 
-// buildEngine trains a model on a synthetic world through the staged
-// pipeline, round-trips it through the artifact codec, and restores it
-// into a serving engine — the exact hydra-serve startup path, minus disk.
-func buildEngine(persons int, seed int64, workers int) (*serve.Engine, [][2]int, error) {
+// benchEnv is everything the benchmark drives: both engines, the
+// candidate list, and the measured cold-start times.
+type benchEnv struct {
+	worldEng     *serve.Engine
+	bundleEng    *serve.Engine
+	cands        [][2]int
+	bundleBytes  []byte
+	coldWorldMs  float64
+	coldBundleMs float64
+}
+
+// coldStart returns the best-of-reps wall-clock milliseconds of fn —
+// the startup paths dominate by orders of magnitude, so min-of-3 is
+// plenty to shed scheduler noise.
+func coldStart(reps int, fn func() error) (float64, error) {
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		ms := float64(time.Since(t0).Nanoseconds()) / 1e6
+		if r == 0 || ms < best {
+			best = ms
+		}
+	}
+	return best, nil
+}
+
+// buildEnv trains a model on a synthetic world through the staged
+// pipeline, persists it both ways (artifact and bundle), and measures
+// both hydra-serve startup paths from their serialized forms — exactly
+// what a process start pays, minus only the file read.
+func buildEnv(persons int, seed int64, workers int) (*benchEnv, error) {
 	world, err := synth.Generate(synth.DefaultConfig(persons, platform.EnglishPlatforms, seed))
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	var people []int
 	for i := 0; i < persons/2; i++ {
@@ -175,7 +233,7 @@ func buildEngine(persons int, seed int64, workers int) (*serve.Engine, [][2]int,
 		FeatCfg:      features.DefaultConfig(seed),
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	rules := blocking.DefaultRules()
 	rules.Workers = workers
@@ -185,33 +243,72 @@ func buildEngine(persons int, seed int64, workers int) (*serve.Engine, [][2]int,
 		Label: core.LabelOpts{LabelFraction: 0.3, NegPerPos: 2, UsePreMatched: true, Seed: seed},
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	hcfg := core.DefaultConfig(seed)
 	hcfg.Workers = workers
 	fitted, err := pipeline.Fit(blocked, hcfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	art, err := fitted.Artifact()
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	var buf bytes.Buffer
-	if err := pipeline.WriteArtifact(&buf, art); err != nil {
-		return nil, nil, err
+	var abuf bytes.Buffer
+	if err := pipeline.WriteArtifact(&abuf, art); err != nil {
+		return nil, err
 	}
-	art2, err := pipeline.ReadArtifact(&buf)
+	bundle, err := fitted.Bundle(workers)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	eng, err := serve.NewEngine(art2, world.Dataset, workers)
+	var bbuf bytes.Buffer
+	if err := pipeline.WriteBundle(&bbuf, bundle); err != nil {
+		return nil, err
+	}
+	var wbuf bytes.Buffer
+	if err := platform.Encode(&wbuf, world.Dataset); err != nil {
+		return nil, err
+	}
+
+	env := &benchEnv{bundleBytes: bbuf.Bytes()}
+	env.coldWorldMs, err = coldStart(3, func() error {
+		art2, err := pipeline.ReadArtifact(bytes.NewReader(abuf.Bytes()))
+		if err != nil {
+			return err
+		}
+		ds, err := pipeline.LoadWorld(bytes.NewReader(wbuf.Bytes()))
+		if err != nil {
+			return err
+		}
+		env.worldEng, err = serve.NewEngine(art2, ds, workers)
+		return err
+	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	var cands [][2]int
+	env.coldBundleMs, err = coldStart(3, func() error {
+		b2, err := pipeline.ReadBundle(bytes.NewReader(bbuf.Bytes()))
+		if err != nil {
+			return err
+		}
+		env.bundleEng, err = serve.NewEngineFromBundle(b2, workers)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	for _, c := range blocked.Task.Blocks[0].Cands {
-		cands = append(cands, [2]int{c.A, c.B})
+		env.cands = append(env.cands, [2]int{c.A, c.B})
 	}
-	return eng, cands, nil
+	// Warm both engines' pair caches so the steady-state numbers reflect
+	// a long-lived server, not first-touch feature assembly.
+	if _, err := env.worldEng.ScoreBatch(platform.Twitter, platform.Facebook, env.cands); err != nil {
+		return nil, err
+	}
+	if _, err := env.bundleEng.ScoreBatch(platform.Twitter, platform.Facebook, env.cands); err != nil {
+		return nil, err
+	}
+	return env, nil
 }

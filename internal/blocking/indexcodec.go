@@ -1,0 +1,40 @@
+package blocking
+
+import (
+	"fmt"
+
+	"hydra/internal/platform"
+)
+
+// IndexParts is the serializable state of a per-A-side candidate index:
+// the platform pair, the rules it was filtered with, and every shard
+// verbatim. A serving bundle carries one per indexed platform pair so a
+// snapshot-backed engine never re-runs the O(N_A · N_B) blocking scan.
+type IndexParts struct {
+	PA    platform.ID   `json:"pa"`
+	PB    platform.ID   `json:"pb"`
+	Rules Rules         `json:"rules"`
+	ByA   [][]Candidate `json:"by_a"`
+}
+
+// Parts extracts the index's serializable state. The runtime-only
+// Rules.Workers knob is zeroed so the encoded bytes are canonical for a
+// given index regardless of how parallel the build was.
+func (ix *Index) Parts() IndexParts {
+	rules := ix.Rules
+	rules.Workers = 0
+	return IndexParts{PA: ix.PA, PB: ix.PB, Rules: rules, ByA: ix.byA}
+}
+
+// IndexFromParts rebuilds an Index from decoded parts. The shards are
+// shared with the parts, matching the Index contract that Candidates
+// returns read-only state.
+func IndexFromParts(p IndexParts) (*Index, error) {
+	if p.PA == "" || p.PB == "" {
+		return nil, fmt.Errorf("blocking: index parts missing platform pair (%q, %q)", p.PA, p.PB)
+	}
+	if len(p.ByA) == 0 {
+		return nil, fmt.Errorf("blocking: index parts for %s → %s have no shards", p.PA, p.PB)
+	}
+	return &Index{PA: p.PA, PB: p.PB, Rules: p.Rules, byA: p.ByA}, nil
+}

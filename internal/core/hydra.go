@@ -47,6 +47,21 @@ type Config struct {
 	Workers int
 }
 
+// DefaultTopFriends is the paper's core-structure size: Eqn 18 averages
+// over the top-3 most-interacting friends on each side. Config.TopFriends
+// ≤ 0 resolves to this everywhere (imputation and bundle packing share
+// the constant, so a packed friend depth always covers serving).
+const DefaultTopFriends = 3
+
+// ResolvedTopFriends returns the imputation depth Score will actually
+// use: TopFriends when positive, DefaultTopFriends otherwise.
+func (c Config) ResolvedTopFriends() int {
+	if c.TopFriends > 0 {
+		return c.TopFriends
+	}
+	return DefaultTopFriends
+}
+
 // DefaultConfig returns the calibrated parameters (the values a grid search
 // over the validation set selects in the paper's Section 7.1).
 func DefaultConfig(seed int64) Config {
@@ -118,7 +133,11 @@ type Diagnostics struct {
 // Model is a trained HYDRA linkage function (Eqn 12): the kernel expansion
 // over all candidate pairs.
 type Model struct {
-	sys   *System
+	// src answers the feature queries scoring needs; it is the training
+	// System when the model was just trained, or a snapshot Store when it
+	// was restored from a serving bundle — scores are bit-identical
+	// either way.
+	src   Source
 	cfg   Config
 	kern  kernel.Func
 	xs    []linalg.Vector
@@ -255,7 +274,7 @@ func train(sys *System, task *Task, cfg Config, warmMap map[labelKey]float64) (*
 	kern := pickKernel(cfg, xs)
 	gram := kernel.GramWorkers(kern, xs, cfg.Workers)
 
-	m := &Model{sys: sys, cfg: cfg, kern: kern, xs: xs}
+	m := &Model{src: sys, cfg: cfg, kern: kern, xs: xs}
 	m.Diag.N, m.Diag.NL = n, nl
 	m.Diag.MDensity = density
 
@@ -480,7 +499,7 @@ func (m *Model) Decision(x linalg.Vector) float64 {
 // Score computes the decision value for an account pair, applying the
 // model's imputation variant.
 func (m *Model) Score(pa platform.ID, a int, pb platform.ID, b int) (float64, error) {
-	x, err := m.sys.Impute(pa, a, pb, b, m.cfg.Variant, m.cfg.TopFriends)
+	x, err := m.src.Impute(pa, a, pb, b, m.cfg.Variant, m.cfg.TopFriends)
 	if err != nil {
 		return 0, err
 	}

@@ -60,13 +60,14 @@ func (m *Model) Parts() (ModelParts, error) {
 	return p, nil
 }
 
-// ModelFromParts rebuilds a servable Model over sys. sys must present the
-// same feature space the model was trained on (same dataset, lexicons and
-// feature config) for scores to be meaningful; with an identical system
-// the restored model is bit-exact.
-func ModelFromParts(sys *System, p ModelParts) (*Model, error) {
-	if sys == nil {
-		return nil, fmt.Errorf("core: ModelFromParts needs a system")
+// ModelFromParts rebuilds a servable Model over any Source — a freshly
+// systemized dataset (System) or a snapshot store restored from a bundle
+// (Store). src must present the same feature space the model was trained
+// on (same dataset, lexicons and feature config) for scores to be
+// meaningful; with an identical source the restored model is bit-exact.
+func ModelFromParts(src Source, p ModelParts) (*Model, error) {
+	if src == nil {
+		return nil, fmt.Errorf("core: ModelFromParts needs a source")
 	}
 	if len(p.Xs) == 0 {
 		return nil, fmt.Errorf("core: model parts have no candidate vectors")
@@ -86,7 +87,7 @@ func ModelFromParts(sys *System, p ModelParts) (*Model, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown kernel kind %q", p.KernelKind)
 	}
-	m := &Model{sys: sys, cfg: p.Cfg, kern: kern, xs: p.Xs, alpha: p.Alpha, bias: p.Bias}
+	m := &Model{src: src, cfg: p.Cfg, kern: kern, xs: p.Xs, alpha: p.Alpha, bias: p.Bias}
 	m.Diag = p.Diag
 	return m, nil
 }

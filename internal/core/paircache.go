@@ -1,0 +1,82 @@
+package core
+
+import (
+	"sync"
+
+	"hydra/internal/features"
+	"hydra/internal/platform"
+)
+
+type pairKey struct {
+	pa, pb platform.ID
+	a, b   int
+}
+
+// pairCache is the mutex-guarded pair-vector memo shared by both Source
+// halves. Cached vectors are pure memos of a deterministic computation,
+// so eviction only ever costs a recompute — it never changes a result.
+// The zero value is ready to use.
+type pairCache struct {
+	mu sync.Mutex
+	m  map[pairKey]features.PairVector
+	// cap, when positive, bounds the cache (see limit).
+	cap int
+}
+
+// lookup returns the cached vector for key, if present.
+func (c *pairCache) lookup(key pairKey) (features.PairVector, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pv, ok := c.m[key]
+	return pv, ok
+}
+
+// store memoizes one computed pair vector, evicting arbitrary entries
+// first if a cap is set. When two goroutines race on an uncached pair
+// both compute the same deterministic vector and one write wins.
+func (c *pairCache) store(key pairKey, pv features.PairVector) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[pairKey]features.PairVector)
+	}
+	if _, exists := c.m[key]; !exists {
+		c.evictLocked(1)
+	}
+	c.m[key] = pv
+}
+
+// evictLocked drops arbitrary cache entries until inserting `incoming`
+// new ones stays within the cap (no-op when uncapped).
+func (c *pairCache) evictLocked(incoming int) {
+	if c.cap <= 0 {
+		return
+	}
+	for len(c.m) > c.cap-incoming {
+		evicted := false
+		for k := range c.m {
+			delete(c.m, k)
+			evicted = true
+			break
+		}
+		if !evicted {
+			return // cap smaller than incoming; nothing left to drop
+		}
+	}
+}
+
+// limit bounds the cache to at most n entries, trimming immediately if it
+// is already larger (n ≤ 0 restores the default unbounded behavior).
+func (c *pairCache) limit(n int) {
+	c.mu.Lock()
+	c.cap = n
+	c.evictLocked(0)
+	c.mu.Unlock()
+}
+
+// size reports the number of cached pair vectors.
+func (c *pairCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"hydra/internal/features"
+	"hydra/internal/graph"
+	"hydra/internal/linalg"
+	"hydra/internal/platform"
+	"hydra/internal/vision"
+)
+
+// Source is the query-time contract shared by the two halves of the old
+// monolithic System: the dataset-backed builder (System, which constructs
+// views lazily from raw platform data) and the snapshot-backed Store
+// (which answers the same questions from precomputed state with no
+// dataset at all). Everything Model scoring and the serving engine touch
+// goes through this interface, so a trained model serves identically over
+// either half.
+type Source interface {
+	// Views returns the per-account feature views of a platform, indexed
+	// by local account id.
+	Views(id platform.ID) ([]*features.AccountView, error)
+	// RawPair returns the (cached) unimputed pair vector between account
+	// a on platform pa and account b on platform pb.
+	RawPair(pa platform.ID, a int, pb platform.ID, b int) (features.PairVector, error)
+	// Impute returns the pair vector with missing dimensions filled
+	// according to the variant (HYDRA-M's Eqn 18 or HYDRA-Z's zeros).
+	Impute(pa platform.ID, a int, pb platform.ID, b int, v Variant, topFriends int) (linalg.Vector, error)
+	// Faces exposes the simulated face matcher (blocking uses it).
+	Faces() *vision.Matcher
+	// LimitPairCache bounds the pair-vector cache (n ≤ 0 = unbounded).
+	LimitPairCache(n int)
+	// CacheSize reports the number of cached pair vectors (diagnostics).
+	CacheSize() int
+}
+
+// friendsFn resolves the top-k most-interacting friends of a local
+// account — from the live interaction graph in the builder, from the
+// persisted adjacency slices in the snapshot store.
+type friendsFn func(id platform.ID, local, k int) ([]graph.Friend, error)
+
+// imputePair is the shared Impute implementation of both Source halves:
+// the variant dispatch and the friend-based imputation of Eqn 18, with
+// the friend lookup abstracted so the builder reads the live graph and
+// the store reads its precomputed top-friends slices. topFriends is the
+// core-structure size (the paper uses the top-3 most-interacting friends
+// on each side); when fewer friends exist the average runs over the pairs
+// that do (the natural generalization of Eqn 18's fixed /9).
+func imputePair(src Source, pa platform.ID, a int, pb platform.ID, b int,
+	v Variant, topFriends int, friends friendsFn) (linalg.Vector, error) {
+
+	pv, err := src.RawPair(pa, a, pb, b)
+	if err != nil {
+		return nil, err
+	}
+	x := pv.X.Clone()
+	if v == HydraZ {
+		return x, nil // missing dims are already zero
+	}
+	missing := false
+	for _, m := range pv.Mask {
+		if !m {
+			missing = true
+			break
+		}
+	}
+	if !missing {
+		return x, nil
+	}
+	if topFriends <= 0 {
+		topFriends = DefaultTopFriends
+	}
+	friendsA, err := friends(pa, a, topFriends)
+	if err != nil {
+		return nil, err
+	}
+	friendsB, err := friends(pb, b, topFriends)
+	if err != nil {
+		return nil, err
+	}
+	if len(friendsA) == 0 || len(friendsB) == 0 {
+		return x, nil // no social context: fall back to zeros
+	}
+	// Average the friends' cross-pair similarity per missing dimension
+	// (Eqn 18); friend pairs missing the dimension contribute zero, as the
+	// paper prescribes.
+	dim := len(x)
+	sums := linalg.NewVector(dim)
+	count := float64(len(friendsA) * len(friendsB))
+	for _, fa := range friendsA {
+		for _, fb := range friendsB {
+			fpv, err := src.RawPair(pa, fa.ID, pb, fb.ID)
+			if err != nil {
+				return nil, err
+			}
+			for d := range sums {
+				if fpv.Mask[d] {
+					sums[d] += fpv.X[d]
+				}
+			}
+		}
+	}
+	for d := range x {
+		if !pv.Mask[d] {
+			x[d] = sums[d] / count
+		}
+	}
+	return x, nil
+}
+
+// checkPairRange validates a pair's local account ids against the view
+// slices, with the same error both Source halves report.
+func checkPairRange(pa platform.ID, a int, pb platform.ID, b int, va, vb []*features.AccountView) error {
+	if a < 0 || a >= len(va) || b < 0 || b >= len(vb) {
+		return fmt.Errorf("core: pair (%d,%d) out of range (%s has %d, %s has %d)",
+			a, b, pa, len(va), pb, len(vb))
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hydra/internal/features"
+	"hydra/internal/graph"
+	"hydra/internal/linalg"
+	"hydra/internal/platform"
+	"hydra/internal/vision"
+)
+
+// Store is the snapshot-backed half of the Source split: it answers the
+// same Views/RawPair/Impute/Faces contract as the dataset-backed System,
+// but from precomputed state — decoded account views, top-friends
+// adjacency slices and the face-matcher parameters — with no dataset, no
+// LDA and no raw behavior data at all. A serving process restores one
+// from a pipeline.Bundle; with views snapshotted from the system a model
+// was trained on, every answer is bit-identical to the builder's.
+//
+// A Store is immutable after NewStore apart from its mutex-guarded pair
+// cache, so it is safe for concurrent queries.
+type Store struct {
+	pipe  *features.Pipeline
+	views map[platform.ID][]*features.AccountView
+	// friends[id][local] holds account local's most-interacting friends,
+	// best first — the top-friendsK prefix of the live graph's
+	// TopFriends ranking, which is all HYDRA-M imputation (Eqn 18) ever
+	// reads at query time.
+	friends  map[platform.ID][][]graph.Friend
+	friendsK int
+	faces    *vision.Matcher
+	pairs    pairCache
+}
+
+var _ Source = (*Store)(nil)
+
+// NewStore assembles a snapshot store from decoded state. friends must
+// hold, for every platform in views, one slice per account with its top
+// friendsK most-interacting friends in rank order (shorter when the
+// account's degree is smaller).
+func NewStore(pipe *features.Pipeline, views map[platform.ID][]*features.AccountView,
+	friends map[platform.ID][][]graph.Friend, friendsK int, faces *vision.Matcher) (*Store, error) {
+
+	if pipe == nil {
+		return nil, fmt.Errorf("core: NewStore needs a pipeline")
+	}
+	if len(views) == 0 {
+		return nil, fmt.Errorf("core: NewStore needs at least one platform of views")
+	}
+	if friendsK <= 0 {
+		return nil, fmt.Errorf("core: NewStore needs a positive friendsK, got %d", friendsK)
+	}
+	if faces == nil {
+		return nil, fmt.Errorf("core: NewStore needs the face-matcher state")
+	}
+	for id, v := range views {
+		fr, ok := friends[id]
+		if !ok {
+			return nil, fmt.Errorf("core: store has views but no friend slices for %s", id)
+		}
+		if len(fr) != len(v) {
+			return nil, fmt.Errorf("core: %s has %d views but %d friend slices", id, len(v), len(fr))
+		}
+	}
+	return &Store{pipe: pipe, views: views, friends: friends, friendsK: friendsK, faces: faces}, nil
+}
+
+// Platforms lists the snapshotted platform ids in sorted order.
+func (st *Store) Platforms() []platform.ID {
+	out := make([]platform.ID, 0, len(st.views))
+	for id := range st.views {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FriendsK returns the per-account friend-slice depth the snapshot was
+// packed with (imputation can use any topFriends up to this).
+func (st *Store) FriendsK() int { return st.friendsK }
+
+// Faces exposes the restored face matcher.
+func (st *Store) Faces() *vision.Matcher { return st.faces }
+
+// Views returns the snapshotted account views of a platform.
+func (st *Store) Views(id platform.ID) ([]*features.AccountView, error) {
+	v, ok := st.views[id]
+	if !ok {
+		return nil, fmt.Errorf("core: platform %s not in snapshot (have %v)", id, st.Platforms())
+	}
+	return v, nil
+}
+
+// RawPair returns the (cached) unimputed pair vector, computed from the
+// snapshotted views exactly as the builder computes it from fresh ones.
+func (st *Store) RawPair(pa platform.ID, a int, pb platform.ID, b int) (features.PairVector, error) {
+	key := pairKey{pa, pb, a, b}
+	if pv, ok := st.pairs.lookup(key); ok {
+		return pv, nil
+	}
+	va, err := st.Views(pa)
+	if err != nil {
+		return features.PairVector{}, err
+	}
+	vb, err := st.Views(pb)
+	if err != nil {
+		return features.PairVector{}, err
+	}
+	if err := checkPairRange(pa, a, pb, b, va, vb); err != nil {
+		return features.PairVector{}, err
+	}
+	pv := st.pipe.Pair(va[a], vb[b])
+	st.pairs.store(key, pv)
+	return pv, nil
+}
+
+// Impute returns the pair vector with missing dimensions filled according
+// to the variant, resolving friends from the snapshot's adjacency slices
+// (see imputePair for the shared Eqn-18 implementation).
+func (st *Store) Impute(pa platform.ID, a int, pb platform.ID, b int, v Variant, topFriends int) (linalg.Vector, error) {
+	return imputePair(st, pa, a, pb, b, v, topFriends, st.storedFriends)
+}
+
+// storedFriends returns the top-k prefix of an account's persisted friend
+// slice. The slices are stored in the live graph's rank order, so any
+// prefix up to friendsK equals what TopFriends would have returned.
+func (st *Store) storedFriends(id platform.ID, local, k int) ([]graph.Friend, error) {
+	fr, ok := st.friends[id]
+	if !ok {
+		return nil, fmt.Errorf("core: platform %s not in snapshot (have %v)", id, st.Platforms())
+	}
+	if local < 0 || local >= len(fr) {
+		return nil, fmt.Errorf("core: account %d out of range (%s snapshot has %d)", local, id, len(fr))
+	}
+	if k > st.friendsK {
+		return nil, fmt.Errorf("core: imputation wants top-%d friends but the snapshot stores top-%d — repack the bundle with a larger TopFriends", k, st.friendsK)
+	}
+	f := fr[local]
+	if k < len(f) {
+		f = f[:k]
+	}
+	return f, nil
+}
+
+// LimitPairCache bounds the pair-vector cache (n ≤ 0 = unbounded); see
+// System.LimitPairCache for the serving rationale.
+func (st *Store) LimitPairCache(n int) { st.pairs.limit(n) }
+
+// CacheSize reports the number of cached pair vectors (diagnostics).
+func (st *Store) CacheSize() int { return st.pairs.size() }

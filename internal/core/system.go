@@ -7,12 +7,12 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 
 	"hydra/internal/attr"
 	"hydra/internal/features"
+	"hydra/internal/graph"
 	"hydra/internal/linalg"
 	"hydra/internal/platform"
 	"hydra/internal/vision"
@@ -38,29 +38,25 @@ func (v Variant) String() string {
 	return "HYDRA-Z"
 }
 
-// System holds the trained feature pipeline and per-account views for one
-// dataset, with caching for pair vectors. It is shared by HYDRA and the
-// feature-based baselines so every method sees identical features. The
-// view and pair caches are mutex-guarded, so a System is safe for
-// concurrent use — the parallel feature assembly, evaluation and
-// experiment sweeps all share one instance.
+// System is the dataset-backed half of the Source split: the trained
+// feature pipeline over a raw dataset, building per-account views lazily
+// and imputing through the live interaction graph. It is what training
+// runs against; a Store answers the same Source contract from a snapshot
+// with no dataset. The view and pair caches are mutex-guarded, so a
+// System is safe for concurrent use — the parallel feature assembly,
+// evaluation and experiment sweeps all share one instance.
 type System struct {
 	DS   *platform.Dataset
 	Pipe *features.Pipeline
 
-	mu        sync.Mutex
-	views     map[platform.ID][]*features.AccountView
-	pairCache map[pairKey]features.PairVector
-	// pairCacheCap, when positive, bounds pairCache (see LimitPairCache).
-	pairCacheCap int
-	faces        *vision.Matcher
-	seed         int64
+	mu    sync.Mutex
+	views map[platform.ID][]*features.AccountView
+	pairs pairCache
+	faces *vision.Matcher
+	seed  int64
 }
 
-type pairKey struct {
-	pa, pb platform.ID
-	a, b   int
-}
+var _ Source = (*System)(nil)
 
 // NewSystem builds the pipeline (attribute importance from the provided
 // labeled profile pairs, LDA over the corpus) and prepares lazy view
@@ -71,12 +67,11 @@ func NewSystem(ds *platform.Dataset, labeled []attr.LabeledPair, lx features.Lex
 		return nil, err
 	}
 	return &System{
-		DS:        ds,
-		Pipe:      pipe,
-		views:     make(map[platform.ID][]*features.AccountView),
-		pairCache: make(map[pairKey]features.PairVector),
-		faces:     vision.NewMatcher(cfg.Seed),
-		seed:      cfg.Seed,
+		DS:    ds,
+		Pipe:  pipe,
+		views: make(map[platform.ID][]*features.AccountView),
+		faces: vision.NewMatcher(cfg.Seed),
+		seed:  cfg.Seed,
 	}, nil
 }
 
@@ -128,11 +123,10 @@ func (s *System) Embeddings(id platform.ID) ([]linalg.Vector, error) {
 // pair both compute the same deterministic vector and one write wins.
 func (s *System) RawPair(pa platform.ID, a int, pb platform.ID, b int) (features.PairVector, error) {
 	key := pairKey{pa, pb, a, b}
-	s.mu.Lock()
-	if pv, ok := s.pairCache[key]; ok {
-		s.mu.Unlock()
+	if pv, ok := s.pairs.lookup(key); ok {
 		return pv, nil
 	}
+	s.mu.Lock()
 	va, err := s.viewsLocked(pa)
 	if err != nil {
 		s.mu.Unlock()
@@ -144,39 +138,12 @@ func (s *System) RawPair(pa platform.ID, a int, pb platform.ID, b int) (features
 		return features.PairVector{}, err
 	}
 	s.mu.Unlock()
-	if a < 0 || a >= len(va) || b < 0 || b >= len(vb) {
-		return features.PairVector{}, fmt.Errorf("core: pair (%d,%d) out of range (%s has %d, %s has %d)",
-			a, b, pa, len(va), pb, len(vb))
+	if err := checkPairRange(pa, a, pb, b, va, vb); err != nil {
+		return features.PairVector{}, err
 	}
 	pv := s.Pipe.Pair(va[a], vb[b])
-	s.mu.Lock()
-	if _, exists := s.pairCache[key]; !exists {
-		s.evictPairsLocked(1)
-	}
-	s.pairCache[key] = pv
-	s.mu.Unlock()
+	s.pairs.store(key, pv)
 	return pv, nil
-}
-
-// evictPairsLocked drops arbitrary cache entries until inserting `incoming`
-// new ones stays within the cap (no-op when uncapped). Cached vectors are
-// pure memos of a deterministic computation, so which entries go only
-// costs a possible recompute — it never changes any result.
-func (s *System) evictPairsLocked(incoming int) {
-	if s.pairCacheCap <= 0 {
-		return
-	}
-	for len(s.pairCache) > s.pairCacheCap-incoming {
-		evicted := false
-		for k := range s.pairCache {
-			delete(s.pairCache, k)
-			evicted = true
-			break
-		}
-		if !evicted {
-			return // cap smaller than incoming; nothing left to drop
-		}
-	}
 }
 
 // LimitPairCache bounds the pair-vector cache to at most n entries,
@@ -187,86 +154,27 @@ func (s *System) evictPairsLocked(incoming int) {
 // cache monotonically until OOM — the serve engine caps it at startup.
 // Eviction is arbitrary-entry, and correctness never depends on cache
 // contents.
-func (s *System) LimitPairCache(n int) {
-	s.mu.Lock()
-	s.pairCacheCap = n
-	s.evictPairsLocked(0)
-	s.mu.Unlock()
-}
+func (s *System) LimitPairCache(n int) { s.pairs.limit(n) }
 
 // Impute returns the pair vector with missing dimensions filled according
-// to the variant. topFriends is the core-structure size (the paper uses the
-// top-3 most-interacting friends on each side); when fewer friends exist
-// the average runs over the pairs that do (the natural generalization of
-// Eqn 18's fixed /9).
+// to the variant, resolving friends through the live interaction graph
+// (see imputePair for the shared Eqn-18 implementation).
 func (s *System) Impute(pa platform.ID, a int, pb platform.ID, b int, v Variant, topFriends int) (linalg.Vector, error) {
-	pv, err := s.RawPair(pa, a, pb, b)
+	return imputePair(s, pa, a, pb, b, v, topFriends, s.graphFriends)
+}
+
+// graphFriends reads the top-k most-interacting friends off the dataset's
+// live interaction graph.
+func (s *System) graphFriends(id platform.ID, local, k int) ([]graph.Friend, error) {
+	p, err := s.DS.Platform(id)
 	if err != nil {
 		return nil, err
 	}
-	x := pv.X.Clone()
-	if v == HydraZ {
-		return x, nil // missing dims are already zero
-	}
-	missing := false
-	for _, m := range pv.Mask {
-		if !m {
-			missing = true
-			break
-		}
-	}
-	if !missing {
-		return x, nil
-	}
-	if topFriends <= 0 {
-		topFriends = 3
-	}
-	platA, err := s.DS.Platform(pa)
-	if err != nil {
-		return nil, err
-	}
-	platB, err := s.DS.Platform(pb)
-	if err != nil {
-		return nil, err
-	}
-	friendsA := platA.Graph.TopFriends(a, topFriends)
-	friendsB := platB.Graph.TopFriends(b, topFriends)
-	if len(friendsA) == 0 || len(friendsB) == 0 {
-		return x, nil // no social context: fall back to zeros
-	}
-	// Average the friends' cross-pair similarity per missing dimension
-	// (Eqn 18); friend pairs missing the dimension contribute zero, as the
-	// paper prescribes.
-	dim := len(x)
-	sums := linalg.NewVector(dim)
-	count := float64(len(friendsA) * len(friendsB))
-	for _, fa := range friendsA {
-		for _, fb := range friendsB {
-			fpv, err := s.RawPair(pa, fa.ID, pb, fb.ID)
-			if err != nil {
-				return nil, err
-			}
-			for d := range sums {
-				if fpv.Mask[d] {
-					sums[d] += fpv.X[d]
-				}
-			}
-		}
-	}
-	for d := range x {
-		if !pv.Mask[d] {
-			x[d] = sums[d] / count
-		}
-	}
-	return x, nil
+	return p.Graph.TopFriends(local, k), nil
 }
 
 // CacheSize reports the number of cached pair vectors (diagnostics).
-func (s *System) CacheSize() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.pairCache)
-}
+func (s *System) CacheSize() int { return s.pairs.size() }
 
 // LabeledProfilePairs assembles attribute-importance training pairs from
 // ground truth: for the given persons, the true cross-platform profile pair

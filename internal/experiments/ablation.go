@@ -3,13 +3,15 @@ package experiments
 import (
 	"hydra/internal/core"
 	"hydra/internal/features"
+	"hydra/internal/parallel"
 	"hydra/internal/platform"
 	"hydra/internal/synth"
 )
 
 // AblationStructure measures HYDRA with and without the structure
 // consistency objective (γ_M = 0) across label budgets — isolating the
-// contribution of Section 6.2.
+// contribution of Section 6.2. The (fraction × mode) grid fans out over
+// the worker pool with index-ordered collection, like the figure sweeps.
 func AblationStructure(cfg Config) (*Result, error) {
 	st, err := newSetup(setupOpts{
 		persons:   cfg.persons(90),
@@ -25,25 +27,38 @@ func AblationStructure(cfg Config) (*Result, error) {
 		Title:  "Structure consistency on/off (γ_M = default vs 0)",
 		XLabel: "labeled-frac",
 	}
-	for _, frac := range []float64{0.08, 0.15, 0.3, 0.5} {
-		opts := core.LabelOpts{LabelFraction: frac, NegPerPos: 2, UsePreMatched: false, Seed: cfg.Seed}
-		task, err := st.task(platform.Twitter, platform.Facebook, opts)
-		if err != nil {
-			return nil, err
-		}
-		for _, mode := range []struct {
-			name   string
-			gammaM float64
-		}{{"with-structure", core.DefaultConfig(cfg.Seed).GammaM}, {"no-structure", 0}} {
-			hcfg := cfg.hydraConfig()
-			hcfg.GammaM = mode.gammaM
-			linker := &core.HydraLinker{Cfg: hcfg}
-			conf, secs, err := runLinker(st.sys, linker, task, cfg.Workers)
-			if err != nil {
-				res.Note("%s at frac %.2f failed: %v", mode.name, frac, err)
+	fractions := []float64{0.08, 0.15, 0.3, 0.5}
+	modes := []struct {
+		name   string
+		gammaM float64
+	}{{"with-structure", core.DefaultConfig(cfg.Seed).GammaM}, {"no-structure", 0}}
+
+	pinned := *st
+	pinned.workers = parallel.Inner(len(fractions), cfg.Workers)
+	tasks, err := parallel.MapErr(cfg.Workers, len(fractions), func(fi int) (*core.Task, error) {
+		opts := core.LabelOpts{LabelFraction: fractions[fi], NegPerPos: 2, UsePreMatched: false, Seed: cfg.Seed}
+		return pinned.task(platform.Twitter, platform.Facebook, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	inner := innerWorkers(len(fractions)*len(modes), cfg)
+	outs := parallel.Map(cfg.Workers, len(fractions)*len(modes), func(i int) runResult {
+		fi, mi := i/len(modes), i%len(modes)
+		hcfg := cfg.hydraConfig()
+		hcfg.GammaM = modes[mi].gammaM
+		hcfg.Workers = inner
+		linker := &core.HydraLinker{Cfg: hcfg}
+		return runPoint(st.sys, linker, tasks[fi], inner)
+	})
+	for fi, frac := range fractions {
+		for mi, mode := range modes {
+			out := outs[fi*len(modes)+mi]
+			if out.err != nil {
+				res.Note("%s at frac %.2f failed: %v", mode.name, frac, out.err)
 				continue
 			}
-			res.AddPoint(mode.name, frac, conf.Precision(), conf.Recall(), secs)
+			res.AddPoint(mode.name, frac, out.conf.Precision(), out.conf.Recall(), out.secs)
 		}
 	}
 	res.Note("expected: structure helps most at small label budgets")
@@ -80,8 +95,12 @@ func AblationTopicKernel(cfg Config) (*Result, error) {
 		}, "chi-square", "hist-intersect")
 }
 
-// featureAblation runs HYDRA twice with a toggled feature-pipeline option
-// over the same world and reports both curves.
+// featureAblation runs HYDRA with a toggled feature-pipeline option over
+// the same world and reports both curves. The two toggled systems build
+// in parallel (each owns an LDA train), then the (system × fraction)
+// points — block construction plus train/eval — fan out over the pool;
+// collection is index-ordered, so the output matches the sequential
+// loops at any worker count.
 func featureAblation(cfg Config, figID, title string,
 	toggle func(*features.Config, bool), onName, offName string) (*Result, error) {
 
@@ -97,35 +116,54 @@ func featureAblation(cfg Config, figID, title string,
 	labeled := core.LabeledProfilePairs(w.Dataset, platform.Twitter, platform.Facebook, people)
 	res := &Result{Figure: figID, Title: title, XLabel: "labeled-frac"}
 
-	for _, on := range []bool{true, false} {
+	toggles := []bool{true, false}
+	fractions := []float64{0.2, 0.4}
+	systems, err := parallel.MapErr(cfg.Workers, len(toggles), func(ti int) (*core.System, error) {
+		fcfg := features.DefaultConfig(cfg.Seed)
+		fcfg.LDAIterations = 25
+		fcfg.MaxLDADocs = 2000
+		toggle(&fcfg, toggles[ti])
+		return core.NewSystem(w.Dataset, labeled, features.Lexicons{
+			Genre: w.Lexicons.Genre, Sentiment: w.Lexicons.Sentiment,
+		}, fcfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	type pointOut struct {
+		run      runResult
+		buildErr error
+	}
+	inner := innerWorkers(len(toggles)*len(fractions), cfg)
+	outs := parallel.Map(cfg.Workers, len(toggles)*len(fractions), func(i int) pointOut {
+		ti, fi := i/len(fractions), i%len(fractions)
+		opts := core.LabelOpts{LabelFraction: fractions[fi], NegPerPos: 2, UsePreMatched: false, Seed: cfg.Seed}
+		block, err := core.BuildBlock(systems[ti], platform.Twitter, platform.Facebook, rulesFor(inner), opts)
+		if err != nil {
+			return pointOut{buildErr: err}
+		}
+		task := &core.Task{Blocks: []*core.Block{block}}
+		hcfg := cfg.hydraConfig()
+		hcfg.Workers = inner
+		linker := &core.HydraLinker{Cfg: hcfg}
+		return pointOut{run: runPoint(systems[ti], linker, task, inner)}
+	})
+	for ti, on := range toggles {
 		name := onName
 		if !on {
 			name = offName
 		}
-		fcfg := features.DefaultConfig(cfg.Seed)
-		fcfg.LDAIterations = 25
-		fcfg.MaxLDADocs = 2000
-		toggle(&fcfg, on)
-		sys, err := core.NewSystem(w.Dataset, labeled, features.Lexicons{
-			Genre: w.Lexicons.Genre, Sentiment: w.Lexicons.Sentiment,
-		}, fcfg)
-		if err != nil {
-			return nil, err
-		}
-		for _, frac := range []float64{0.2, 0.4} {
-			opts := core.LabelOpts{LabelFraction: frac, NegPerPos: 2, UsePreMatched: false, Seed: cfg.Seed}
-			block, err := core.BuildBlock(sys, platform.Twitter, platform.Facebook, rulesFor(cfg.Workers), opts)
-			if err != nil {
-				return nil, err
+		for fi, frac := range fractions {
+			out := outs[ti*len(fractions)+fi]
+			if out.buildErr != nil {
+				return nil, out.buildErr
 			}
-			task := &core.Task{Blocks: []*core.Block{block}}
-			linker := &core.HydraLinker{Cfg: cfg.hydraConfig()}
-			conf, secs, err := runLinker(sys, linker, task, cfg.Workers)
-			if err != nil {
-				res.Note("%s at frac %.2f failed: %v", name, frac, err)
+			if out.run.err != nil {
+				res.Note("%s at frac %.2f failed: %v", name, frac, out.run.err)
 				continue
 			}
-			res.AddPoint(name, frac, conf.Precision(), conf.Recall(), secs)
+			res.AddPoint(name, frac, out.run.conf.Precision(), out.run.conf.Recall(), out.run.secs)
 		}
 	}
 	return res, nil

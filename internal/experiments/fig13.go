@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"hydra/internal/core"
+	"hydra/internal/parallel"
 	"hydra/internal/platform"
 )
 
@@ -10,6 +11,10 @@ import (
 // to English-platform accounts over the full seven-platform world. The
 // paper observes an overall performance drop (different writing styles and
 // social circles) with HYDRA still dominating the baselines.
+//
+// The (fraction × method) grid fans out over the worker pool like the
+// fig8–fig12 sweeps, with index-ordered collection so the result table is
+// identical to the sequential loop at any worker count.
 func Figure13(cfg Config) (*Result, error) {
 	st, err := newSetup(setupOpts{
 		persons:   cfg.persons(90),
@@ -30,19 +35,34 @@ func Figure13(cfg Config) (*Result, error) {
 		Title:  "Performance across culturally different platforms (all seven networks)",
 		XLabel: "labeled-frac",
 	}
-	for _, frac := range []float64{0.2, 0.35, 0.5} {
-		opts := core.LabelOpts{LabelFraction: frac, NegPerPos: 2, UsePreMatched: true, Seed: cfg.Seed}
-		task, err := st.multiTask(pairs, opts)
-		if err != nil {
-			return nil, err
-		}
-		for _, linker := range allLinkers(cfg.Seed, cfg.Workers) {
-			conf, secs, err := runLinker(st.sys, linker, task, cfg.Workers)
-			if err != nil {
-				res.Note("%s at frac %.2f failed: %v", linker.Name(), frac, err)
+	fractions := []float64{0.2, 0.35, 0.5}
+	// Per-fraction tasks first (each deterministic from its seed), with
+	// the nested blocking fan-out pinned to stay within the pool budget.
+	pinned := *st
+	pinned.workers = parallel.Inner(len(fractions), cfg.Workers)
+	tasks, err := parallel.MapErr(cfg.Workers, len(fractions), func(fi int) (*core.Task, error) {
+		opts := core.LabelOpts{LabelFraction: fractions[fi], NegPerPos: 2, UsePreMatched: true, Seed: cfg.Seed}
+		return pinned.multiTask(pairs, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	names := allLinkers(cfg.Seed, 1)
+	nLinkers := len(names)
+	inner := innerWorkers(len(fractions)*nLinkers, cfg)
+	outs := parallel.Map(cfg.Workers, len(fractions)*nLinkers, func(i int) runResult {
+		fi, li := i/nLinkers, i%nLinkers
+		linker := allLinkers(cfg.Seed, inner)[li]
+		return runPoint(st.sys, linker, tasks[fi], inner)
+	})
+	for fi, frac := range fractions {
+		for li := 0; li < nLinkers; li++ {
+			out := outs[fi*nLinkers+li]
+			if out.err != nil {
+				res.Note("%s at frac %.2f failed: %v", names[li].Name(), frac, out.err)
 				continue
 			}
-			res.AddPoint(linker.Name(), frac, conf.Precision(), conf.Recall(), secs)
+			res.AddPoint(names[li].Name(), frac, out.conf.Precision(), out.conf.Recall(), out.secs)
 		}
 	}
 	res.Note("paper shape: obvious performance drop vs single-culture linkage, HYDRA still best")

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"hydra/internal/core"
+	"hydra/internal/parallel"
 	"hydra/internal/platform"
 )
 
@@ -10,6 +11,12 @@ import (
 // paper: both variants achieve high precision and recall, with HYDRA-M
 // consistently on top — the friend-based imputation (Eqn 18) beats zero
 // filling.
+//
+// Each (dataset, size) cell owns a fresh world, so the cells — world
+// generation, systemization and task build included — fan out over the
+// worker pool, then the (cell × variant) train/eval grid fans out again;
+// index-ordered collection keeps the table identical to the sequential
+// loops at any worker count.
 func Figure15(cfg Config) (*Result, error) {
 	res := &Result{
 		Figure: "Figure 15",
@@ -25,34 +32,62 @@ func Figure15(cfg Config) (*Result, error) {
 		{"chinese", platform.ChinesePlatforms, chinesePairs},
 	}
 	sizes := []int{50, 80, 110}
-	for _, ds := range datasets {
+	variants := []core.Variant{core.HydraM, core.HydraZ}
+
+	type cellSpec struct {
+		dsIdx, size int
+	}
+	var cells []cellSpec
+	for di := range datasets {
 		for _, size := range sizes {
-			st, err := newSetup(setupOpts{
-				persons:      cfg.persons(size),
-				platforms:    ds.plats,
-				seed:         cfg.Seed + int64(size),
-				workers:      cfg.Workers,
-				missingScale: 1.25, // stressed missing-information regime
-			})
-			if err != nil {
-				return nil, err
+			cells = append(cells, cellSpec{dsIdx: di, size: size})
+		}
+	}
+	type cellState struct {
+		st   *setup
+		task *core.Task
+	}
+	cellWorkers := parallel.Inner(len(cells), cfg.Workers)
+	states, err := parallel.MapErr(cfg.Workers, len(cells), func(ci int) (cellState, error) {
+		c := cells[ci]
+		st, err := newSetup(setupOpts{
+			persons:      cfg.persons(c.size),
+			platforms:    datasets[c.dsIdx].plats,
+			seed:         cfg.Seed + int64(c.size),
+			workers:      cellWorkers,
+			missingScale: 1.25, // stressed missing-information regime
+		})
+		if err != nil {
+			return cellState{}, err
+		}
+		task, err := st.multiTask(datasets[c.dsIdx].pairs, core.DefaultLabelOpts(cfg.Seed))
+		if err != nil {
+			return cellState{}, err
+		}
+		return cellState{st: st, task: task}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	inner := innerWorkers(len(cells)*len(variants), cfg)
+	outs := parallel.Map(cfg.Workers, len(cells)*len(variants), func(i int) runResult {
+		ci, vi := i/len(variants), i%len(variants)
+		hcfg := cfg.hydraConfig()
+		hcfg.Variant = variants[vi]
+		hcfg.Workers = inner
+		linker := &core.HydraLinker{Cfg: hcfg}
+		return runPoint(states[ci].st.sys, linker, states[ci].task, inner)
+	})
+	for ci, c := range cells {
+		for vi, variant := range variants {
+			out := outs[ci*len(variants)+vi]
+			if out.err != nil {
+				res.Note("%s/%s at %d users failed: %v", datasets[c.dsIdx].name, variant, c.size, out.err)
+				continue
 			}
-			task, err := st.multiTask(ds.pairs, core.DefaultLabelOpts(cfg.Seed))
-			if err != nil {
-				return nil, err
-			}
-			for _, variant := range []core.Variant{core.HydraM, core.HydraZ} {
-				hcfg := cfg.hydraConfig()
-				hcfg.Variant = variant
-				linker := &core.HydraLinker{Cfg: hcfg}
-				conf, secs, err := runLinker(st.sys, linker, task, cfg.Workers)
-				if err != nil {
-					res.Note("%s/%s at %d users failed: %v", ds.name, variant, size, err)
-					continue
-				}
-				res.AddPoint(ds.name+"/"+variant.String(), float64(cfg.persons(size)),
-					conf.Precision(), conf.Recall(), secs)
-			}
+			res.AddPoint(datasets[c.dsIdx].name+"/"+variant.String(), float64(cfg.persons(c.size)),
+				out.conf.Precision(), out.conf.Recall(), out.secs)
 		}
 	}
 	res.Note("paper shape: both variants strong; HYDRA-M ≥ HYDRA-Z throughout")

@@ -2,21 +2,11 @@ package experiments
 
 import "testing"
 
-// TestFigureWorkersDeterminism asserts that a parallel sweep produces the
-// same figure as the sequential one: identical series, x values, precision
-// and recall (wall-clock columns differ by nature and are excluded).
-func TestFigureWorkersDeterminism(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full figure run")
-	}
-	seq, err := Figure10(Config{Scale: 0.25, Seed: 3, Workers: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	par, err := Figure10(Config{Scale: 0.25, Seed: 3, Workers: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
+// diffFigures asserts two runs of one figure produced identical series,
+// x values, precision and recall (wall-clock columns differ by nature and
+// are excluded) and identical notes.
+func diffFigures(t *testing.T, seq, par *Result) {
+	t.Helper()
 	if len(seq.Series) != len(par.Series) {
 		t.Fatalf("series count differs: %d vs %d", len(par.Series), len(seq.Series))
 	}
@@ -39,5 +29,45 @@ func TestFigureWorkersDeterminism(t *testing.T) {
 		if par.Notes[i] != seq.Notes[i] {
 			t.Fatalf("note %d differs:\n  parallel:   %s\n  sequential: %s", i, par.Notes[i], seq.Notes[i])
 		}
+	}
+}
+
+// TestFigureWorkersDeterminism asserts that a parallel sweep produces the
+// same figure as the sequential one.
+func TestFigureWorkersDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure run")
+	}
+	seq, err := Figure10(Config{Scale: 0.25, Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Figure10(Config{Scale: 0.25, Seed: 3, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffFigures(t, seq, par)
+}
+
+// TestAblationWorkersDeterminism covers the PR-4 fan-outs: the structure
+// ablation's (fraction × mode) grid and the feature ablation's parallel
+// system build, both of which must match their sequential runs exactly.
+func TestAblationWorkersDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ablation run")
+	}
+	for name, fn := range map[string]func(Config) (*Result, error){
+		"structure": AblationStructure,
+		"pooling":   AblationPooling,
+	} {
+		seq, err := fn(Config{Scale: 0.25, Seed: 5, Workers: 1})
+		if err != nil {
+			t.Fatalf("%s sequential: %v", name, err)
+		}
+		par, err := fn(Config{Scale: 0.25, Seed: 5, Workers: 4})
+		if err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+		diffFigures(t, seq, par)
 	}
 }

@@ -120,23 +120,33 @@ func NewPipeline(ds *platform.Dataset, labeled []attr.LabeledPair, lx Lexicons, 
 		faces:      vision.NewMatcher(cfg.Seed),
 		genre:      gm,
 		sent:       topic.NewSentimentModel(lx.Sentiment),
-		sensors: []temporal.Sensor{
-			temporal.LocationSensor{SigmaKm: cfg.LocationSigmaKm},
-			temporal.MediaSensor{},
-		},
+		sensors:    pairSensors(cfg),
 	}
-	if cfg.UseHistogramIntersection {
-		k := kernel.HistogramIntersection{}
-		p.topicSim = func(a, b linalg.Vector) float64 { return k.Eval(a, b) }
-	} else {
-		k := kernel.NewChiSquare(1)
-		p.topicSim = func(a, b linalg.Vector) float64 { return k.Eval(a, b) }
-	}
+	p.topicSim = topicSimFor(cfg)
 	if err := p.trainLDA(ds); err != nil {
 		return nil, err
 	}
 	p.buildNames()
 	return p, nil
+}
+
+// pairSensors builds the multi-resolution sensor bank from the config —
+// shared by the trained pipeline and the query-only restored one.
+func pairSensors(cfg Config) []temporal.Sensor {
+	return []temporal.Sensor{
+		temporal.LocationSensor{SigmaKm: cfg.LocationSigmaKm},
+		temporal.MediaSensor{},
+	}
+}
+
+// topicSimFor selects the per-bucket distribution-similarity kernel.
+func topicSimFor(cfg Config) temporal.Similarity {
+	if cfg.UseHistogramIntersection {
+		k := kernel.HistogramIntersection{}
+		return func(a, b linalg.Vector) float64 { return k.Eval(a, b) }
+	}
+	k := kernel.NewChiSquare(1)
+	return func(a, b linalg.Vector) float64 { return k.Eval(a, b) }
 }
 
 // trainLDA builds the vocabulary and topic model from the dataset corpus.
@@ -248,8 +258,13 @@ type tokDoc struct {
 	ids  []int
 }
 
-// BuildView preprocesses one account.
+// BuildView preprocesses one account. It needs the view-construction
+// models (LDA, vocabulary, lexicons), so it must not be called on a
+// query-only pipeline restored via PipelineFromParts.
 func (p *Pipeline) BuildView(acc *platform.Account) *AccountView {
+	if p.lda == nil {
+		panic("features: BuildView on a query-only pipeline (restored via PipelineFromParts); snapshot views instead")
+	}
 	v := &AccountView{Acc: acc}
 	var docs []tokDoc
 	for _, post := range acc.Posts {

@@ -1,0 +1,249 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"hydra/internal/blocking"
+	"hydra/internal/core"
+	"hydra/internal/features"
+	"hydra/internal/graph"
+	"hydra/internal/platform"
+	"hydra/internal/vision"
+)
+
+// BundleVersion is the current bundle wire version. It continues the
+// artifact's version line (the artifact is format v1, the bundle is
+// format v2: the artifact plus everything the v1 recipe recomputed from
+// the world file). Readers and writers reject any other value outright —
+// the bundle carries raw model coefficients and precomputed views, and a
+// silent cross-version reinterpretation would serve wrong scores.
+const BundleVersion = 2
+
+// Bundle is a self-contained serving unit: everything `hydra-serve`
+// needs to answer score/link/top-k/batch queries, with no world file and
+// no feature retraining. Where the v1 Artifact persists *recipes* (feature
+// config + lexicons + labeled persons) that rebuild query state from the
+// raw dataset, the bundle persists the query state itself:
+//
+//   - the query-only pipeline parts (feature config, observation span,
+//     learned attribute importance) that Pair evaluation needs,
+//   - every platform's per-account views — embeddings plus the
+//     per-modality fields Pipeline.Pair reads,
+//   - the top-friends adjacency slices HYDRA-M imputation (Eqn 18)
+//     consumes, cut at the model's TopFriends depth,
+//   - the simulated face-matcher state,
+//   - the trained model parts (kernel, support vectors, duals, bias),
+//   - the per-A-side blocking.Index shards top-k queries score against.
+//
+// All floats survive the JSON round trip exactly (Go's float64 encoding
+// is shortest-unique), so a bundle-backed engine is bit-identical to the
+// world-backed one it was packed from over the bundle's serving surface:
+// every platform appearing in Pairs. Platforms the artifact never served
+// (possible when the training world had more than the serving pairs) are
+// deliberately not packed — the two engines agree on every in-surface
+// query and both reject out-of-surface platforms, though with different
+// error text (the snapshot says "not in snapshot", the builder reports a
+// dataset miss).
+type Bundle struct {
+	Version int `json:"version"`
+
+	// Query-time feature state.
+	Pipeline features.PipelineParts               `json:"pipeline"`
+	Views    map[platform.ID][]features.ViewParts `json:"views"`
+	Friends  map[platform.ID][][]graph.Friend     `json:"friends"`
+	// FriendsK is the per-account depth the Friends slices were cut at
+	// (= the model's resolved TopFriends).
+	FriendsK int            `json:"friends_k"`
+	Faces    vision.Matcher `json:"faces"`
+
+	// Trained model.
+	Model core.ModelParts `json:"model"`
+
+	// Serving surface: the indexed platform pairs and the prebuilt
+	// candidate indexes (one per pair, in Pairs order, deduplicated).
+	// Each index carries the blocking rules it was filtered with, so
+	// there is no separate top-level rules field to drift from them.
+	Pairs   [][2]platform.ID      `json:"pairs"`
+	Indexes []blocking.IndexParts `json:"indexes"`
+
+	// Provenance: the training world's identity, carried over from the
+	// artifact for operability (a bundle never needs the world again).
+	WorldPersons     int    `json:"world_persons"`
+	WorldFingerprint string `json:"world_fingerprint"`
+}
+
+// Bundle packs the fitted pipeline prefix into a self-contained serving
+// bundle: it snapshots every view, friend slice and candidate index the
+// artifact's recipes would otherwise rebuild from the world at serving
+// startup. workers pins the index-build parallelism (≤ 0 = all cores;
+// identical bundle at any setting).
+func (f *FitState) Bundle(workers int) (*Bundle, error) {
+	art, err := f.Artifact()
+	if err != nil {
+		return nil, err
+	}
+	return packBundle(f.Sys, f.DS, art, workers)
+}
+
+// BundleFromArtifact converts an existing v1 artifact plus its training
+// world into a v2 bundle offline — the cmd/hydra-pack path. The world
+// must be the one the artifact was trained on (fingerprint-checked by
+// Restore); the resulting bundle then replaces both files.
+func BundleFromArtifact(a *Artifact, ds *platform.Dataset, workers int) (*Bundle, error) {
+	st, _, err := a.Restore(ds)
+	if err != nil {
+		return nil, err
+	}
+	return packBundle(st.Sys, ds, a, workers)
+}
+
+// packBundle snapshots the system's query state for the artifact's
+// serving surface.
+func packBundle(sys *core.System, ds *platform.Dataset, a *Artifact, workers int) (*Bundle, error) {
+	b := &Bundle{
+		Version:  BundleVersion,
+		Pipeline: sys.Pipe.Parts(),
+		Views:    make(map[platform.ID][]features.ViewParts),
+		Friends:  make(map[platform.ID][][]graph.Friend),
+		FriendsK: a.Model.Cfg.ResolvedTopFriends(),
+		Faces:    *sys.Faces(),
+		Model:    a.Model,
+		Pairs:    a.Pairs,
+
+		WorldPersons:     a.WorldPersons,
+		WorldFingerprint: a.WorldFingerprint,
+	}
+	for _, id := range bundlePlatforms(a.Pairs) {
+		views, err := sys.Views(id)
+		if err != nil {
+			return nil, err
+		}
+		plat, err := ds.Platform(id)
+		if err != nil {
+			return nil, err
+		}
+		parts := make([]features.ViewParts, len(views))
+		friends := make([][]graph.Friend, len(views))
+		for i, v := range views {
+			parts[i] = features.SnapshotView(v)
+			friends[i] = plat.Graph.TopFriends(i, b.FriendsK)
+		}
+		b.Views[id] = parts
+		b.Friends[id] = friends
+	}
+	rules := a.Rules
+	rules.Workers = workers
+	seen := make(map[[2]platform.ID]bool, len(a.Pairs))
+	for _, pp := range a.Pairs {
+		if seen[pp] {
+			continue
+		}
+		seen[pp] = true
+		platA, err := ds.Platform(pp[0])
+		if err != nil {
+			return nil, err
+		}
+		platB, err := ds.Platform(pp[1])
+		if err != nil {
+			return nil, err
+		}
+		ix, err := blocking.BuildIndex(platA, platB, sys.Faces(), rules)
+		if err != nil {
+			return nil, err
+		}
+		b.Indexes = append(b.Indexes, ix.Parts())
+	}
+	return b, nil
+}
+
+// bundlePlatforms lists every platform appearing on either side of the
+// serving pairs, sorted and deduplicated.
+func bundlePlatforms(pairs [][2]platform.ID) []platform.ID {
+	set := make(map[platform.ID]bool, 2*len(pairs))
+	for _, pp := range pairs {
+		set[pp[0]] = true
+		set[pp[1]] = true
+	}
+	out := make([]platform.ID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Store restores the bundle's query state into a snapshot-backed
+// core.Store — the world-free half of the Source split. It rejects a
+// bundle whose friend slices are shallower than the packed model's
+// imputation depth (only reachable through a corrupted or hand-edited
+// bundle — packBundle cuts the slices at exactly that depth), so the
+// mismatch fails at load time instead of on the first HYDRA-M query
+// with missing dimensions.
+func (b *Bundle) Store() (*core.Store, error) {
+	if need := b.Model.Cfg.ResolvedTopFriends(); b.FriendsK < need {
+		return nil, fmt.Errorf("pipeline: bundle packs top-%d friends but its model imputes with top-%d — repack the bundle", b.FriendsK, need)
+	}
+	pipe, err := features.PipelineFromParts(b.Pipeline)
+	if err != nil {
+		return nil, err
+	}
+	views := make(map[platform.ID][]*features.AccountView, len(b.Views))
+	for id, parts := range b.Views {
+		vs := make([]*features.AccountView, len(parts))
+		for i := range parts {
+			vs[i] = features.RestoreView(parts[i], id, i)
+		}
+		views[id] = vs
+	}
+	faces := b.Faces
+	return core.NewStore(pipe, views, b.Friends, b.FriendsK, &faces)
+}
+
+// WriteBundle encodes the bundle as JSON.
+func WriteBundle(w io.Writer, b *Bundle) error {
+	if b.Version != BundleVersion {
+		return fmt.Errorf("pipeline: refusing to write bundle version %d (current %d)", b.Version, BundleVersion)
+	}
+	return json.NewEncoder(w).Encode(b)
+}
+
+// SaveBundle writes the bundle to a file.
+func SaveBundle(path string, b *Bundle) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBundle(f, b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadBundle decodes a bundle and rejects version mismatches — including
+// a v1 artifact fed to the bundle reader, which fails here instead of
+// serving from half-empty state.
+func ReadBundle(r io.Reader) (*Bundle, error) {
+	var b Bundle
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("pipeline: decode bundle: %w", err)
+	}
+	if b.Version != BundleVersion {
+		return nil, fmt.Errorf("pipeline: bundle version %d, this build reads version %d", b.Version, BundleVersion)
+	}
+	return &b, nil
+}
+
+// LoadBundle reads a bundle from a file.
+func LoadBundle(path string) (*Bundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBundle(f)
+}

@@ -27,8 +27,13 @@ type LinkOpts struct {
 	// Report prints the feature-group weight report.
 	Report bool
 	// SaveModel, when non-empty, persists the trained model as an
-	// artifact at this path for hydra-serve.
+	// artifact at this path for hydra-serve (needs the world file at
+	// serving time).
 	SaveModel string
+	// SaveBundle, when non-empty, packs the trained model plus all
+	// precomputed serving state into a self-contained bundle at this
+	// path — hydra-serve -bundle then needs no world file at all.
+	SaveBundle string
 }
 
 // RunLink is cmd/hydra-link's whole flow on the staged pipeline, printing
@@ -99,6 +104,16 @@ func RunLink(o LinkOpts, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "saved model artifact to %s\n", o.SaveModel)
+	}
+	if o.SaveBundle != "" {
+		bundle, err := fitted.Bundle(o.Workers)
+		if err != nil {
+			return err
+		}
+		if err := SaveBundle(o.SaveBundle, bundle); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "saved serving bundle to %s\n", o.SaveBundle)
 	}
 	return nil
 }

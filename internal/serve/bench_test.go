@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"bytes"
 	"testing"
 
+	"hydra/internal/pipeline"
 	"hydra/internal/platform"
 )
 
@@ -59,6 +61,43 @@ func BenchmarkServeBatch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.eng.ScoreBatch(platform.Twitter, platform.Facebook, pairs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBundleColdStartWorld measures the artifact+world startup
+// path from the serialized artifact: decode it, restore the feature
+// system from the recipe (LDA retrain included) and rebuild the
+// candidate indexes from the dataset.
+func BenchmarkBundleColdStartWorld(b *testing.B) {
+	e, _ := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		art, err := pipeline.ReadArtifact(bytes.NewReader(e.artBytes))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := NewEngine(art, e.ds, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBundleColdStartBundle measures the self-contained startup
+// path from the serialized bundle: decode the precomputed views and
+// index shards and restore the snapshot store — no dataset, no
+// retraining. The gap to ColdStartWorld is the point of the bundle
+// format.
+func BenchmarkBundleColdStartBundle(b *testing.B) {
+	e, _ := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bundle, err := pipeline.ReadBundle(bytes.NewReader(e.bundleBytes))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := NewEngineFromBundle(bundle, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

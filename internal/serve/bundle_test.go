@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hydra/internal/core"
+	"hydra/internal/pipeline"
+	"hydra/internal/platform"
+)
+
+// TestServeBundleEquivalence locks the tentpole contract: the
+// snapshot-backed engine answers the full query surface — score, link,
+// top-k (full shard and truncated) and batch — bit-identical to the
+// world-backed engine it was packed from. It runs under `make race`
+// alongside the other Serve tests.
+func TestServeBundleEquivalence(t *testing.T) {
+	e := getEnv(t)
+	if !reflect.DeepEqual(e.eng.Pairs(), e.beng.Pairs()) {
+		t.Fatalf("indexed pairs differ: %v vs %v", e.eng.Pairs(), e.beng.Pairs())
+	}
+	b := e.task.Blocks[0]
+	if len(b.Cands) == 0 {
+		t.Fatal("no candidates")
+	}
+
+	// Score + link over every candidate pair.
+	for _, c := range b.Cands {
+		want, err := e.eng.Score(b.PA, c.A, b.PB, c.B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.beng.Score(b.PA, c.A, b.PB, c.B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("bundle score differs for (%d,%d): %v vs %v", c.A, c.B, got, want)
+		}
+		wl, ws, err := e.eng.Link(b.PA, c.A, b.PB, c.B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gl, gs, err := e.beng.Link(b.PA, c.A, b.PB, c.B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gl != wl || gs != ws {
+			t.Fatalf("bundle link differs for (%d,%d): (%v,%v) vs (%v,%v)", c.A, c.B, gl, gs, wl, ws)
+		}
+	}
+
+	// Batch over the whole candidate set in one pass.
+	pairs := make([][2]int, len(b.Cands))
+	for i, c := range b.Cands {
+		pairs[i] = [2]int{c.A, c.B}
+	}
+	want, err := e.eng.ScoreBatch(b.PA, b.PB, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.beng.ScoreBatch(b.PA, b.PB, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("bundle batch scores differ")
+	}
+
+	// Top-k for every A-side account: the full ranked shard and a
+	// truncated prefix.
+	views, err := e.eng.Sys.Views(b.PA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < len(views); a++ {
+		full, err := e.eng.TopK(b.PA, a, b.PB, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bfull, err := e.beng.TopK(b.PA, a, b.PB, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(bfull, full) {
+			t.Fatalf("a=%d: bundle top-k shard differs:\n%v\nvs\n%v", a, bfull, full)
+		}
+		top3, err := e.eng.TopK(b.PA, a, b.PB, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		btop3, err := e.beng.TopK(b.PA, a, b.PB, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(btop3, top3) {
+			t.Fatalf("a=%d: bundle top-3 differs", a)
+		}
+	}
+}
+
+// TestServeBundleREPLMatchesWorld diffs the two engines' REPL output byte
+// for byte over every command — the human-facing surface, including the
+// top-k username column that must come from the snapshot views rather
+// than the (absent) dataset.
+func TestServeBundleREPLMatchesWorld(t *testing.T) {
+	e := getEnv(t)
+	script := strings.Join([]string{
+		"pairs",
+		"score twitter 0 facebook 0",
+		"link twitter 1 facebook 2",
+		"topk twitter 0 facebook 5",
+		"topk twitter 3 facebook",
+		"batch twitter facebook 0:0 0:1 1:2",
+		"score twitter 9999 facebook 0",
+		"quit",
+	}, "\n")
+	var worldOut, bundleOut bytes.Buffer
+	if err := e.eng.REPL(strings.NewReader(script), &worldOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.beng.REPL(strings.NewReader(script), &bundleOut); err != nil {
+		t.Fatal(err)
+	}
+	if worldOut.String() != bundleOut.String() {
+		t.Fatalf("REPL output differs:\n--- world ---\n%s--- bundle ---\n%s", worldOut.String(), bundleOut.String())
+	}
+	if !strings.Contains(worldOut.String(), `"`) {
+		t.Fatal("top-k output carries no usernames")
+	}
+}
+
+// TestServeBundleStoreShape sanity-checks the snapshot store the bundle
+// engine runs on: both platforms present, friend slices cut at the
+// model's TopFriends, and the ground-truth person id scrubbed from every
+// restored view.
+func TestServeBundleStoreShape(t *testing.T) {
+	e := getEnv(t)
+	store, ok := e.beng.Sys.(*core.Store)
+	if !ok {
+		t.Fatalf("bundle engine source is %T, want *core.Store", e.beng.Sys)
+	}
+	wantPlats := []platform.ID{platform.Facebook, platform.Twitter}
+	if !reflect.DeepEqual(store.Platforms(), wantPlats) {
+		t.Fatalf("store platforms = %v", store.Platforms())
+	}
+	if store.FriendsK() != 3 {
+		t.Fatalf("store friendsK = %d, want the default top-3", store.FriendsK())
+	}
+	for _, id := range wantPlats {
+		views, err := store.Views(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worldViews, err := e.eng.Sys.Views(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(views) != len(worldViews) {
+			t.Fatalf("%s: %d snapshot views vs %d world views", id, len(views), len(worldViews))
+		}
+		for i, v := range views {
+			if v.Acc.Person != -1 {
+				t.Fatalf("%s account %d: snapshot leaked person id %d", id, i, v.Acc.Person)
+			}
+			if len(v.Acc.Posts) != 0 {
+				t.Fatalf("%s account %d: snapshot leaked %d raw posts", id, i, len(v.Acc.Posts))
+			}
+		}
+	}
+	// Imputation deeper than the packed slices must fail loudly, not
+	// silently average over a truncated core structure.
+	if _, err := store.Impute(platform.Twitter, 0, platform.Facebook, 0, core.HydraM, store.FriendsK()+1); err == nil {
+		t.Fatal("expected error imputing beyond the packed friend depth")
+	}
+}
+
+// TestServeBundleVersionGate asserts both directions of the version gate
+// and that the two formats cannot be confused for each other.
+func TestServeBundleVersionGate(t *testing.T) {
+	e := getEnv(t)
+	bad := *e.bundle
+	bad.Version = 3
+	var buf bytes.Buffer
+	if err := pipeline.WriteBundle(&buf, &bad); err == nil {
+		t.Fatal("expected write rejection for version 3")
+	}
+	bad.Version = pipeline.BundleVersion
+	buf.Reset()
+	if err := pipeline.WriteBundle(&buf, &bad); err != nil {
+		t.Fatal(err)
+	}
+	raw := bytes.Replace(buf.Bytes(), []byte(`"version":2`), []byte(`"version":1`), 1)
+	if _, err := pipeline.ReadBundle(bytes.NewReader(raw)); err == nil {
+		t.Fatal("expected read rejection for version 1")
+	}
+	// A v1 artifact fed to the bundle reader must be rejected too.
+	var abuf bytes.Buffer
+	if err := pipeline.WriteArtifact(&abuf, e.art); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipeline.ReadBundle(&abuf); err == nil {
+		t.Fatal("expected the bundle reader to reject a v1 artifact")
+	}
+	// A bundle whose friend slices are shallower than the model's
+	// imputation depth must fail at load time, not on the first query.
+	shallow := *e.bundle
+	shallow.FriendsK = shallow.Model.Cfg.ResolvedTopFriends() - 1
+	if _, err := shallow.Store(); err == nil {
+		t.Fatal("expected Store to reject a friend depth below the model's imputation depth")
+	}
+}
+
+// TestServeHTTPHardening locks the long-lived-serving protections: 405
+// for wrong methods on every endpoint and 413 for oversized POST bodies.
+func TestServeHTTPHardening(t *testing.T) {
+	e := getEnv(t)
+	srv := httptest.NewServer(e.beng.Handler())
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		method, path string
+		want         int
+	}{
+		{http.MethodGet, "/score", http.StatusMethodNotAllowed},
+		{http.MethodDelete, "/link", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/topk?pa=twitter&a=0&pb=facebook", http.StatusMethodNotAllowed},
+	} {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("%s %s = %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+		}
+	}
+
+	// A body past MaxRequestBody gets 413 instead of being buffered.
+	big := `{"pa":"twitter","pb":"facebook","pairs":[` +
+		strings.Repeat(`[0,0],`, MaxRequestBody/6) + `[0,0]]}`
+	resp, err := http.Post(srv.URL+"/score", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized POST = %d, want %d", resp.StatusCode, http.StatusRequestEntityTooLarge)
+	}
+	// A maximal legitimate batch still works.
+	resp, err = http.Post(srv.URL+"/score", "application/json",
+		strings.NewReader(`{"pa":"twitter","pb":"facebook","pairs":[[0,0]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small POST after hardening = %d", resp.StatusCode)
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -17,7 +18,15 @@ import (
 //	GET  /topk?pa=&a=&pb=&k=                       ranked candidates
 //
 // Batch bodies go through ScoreBatch, so one request fans its pairs over
-// the worker pool.
+// the worker pool. The front-end is hardened for long-lived serving:
+// wrong methods get 405, POST bodies are capped at MaxRequestBody (413
+// beyond it), and cmd/hydra-serve adds read/write timeouts on the server
+// so a stalled client cannot pin a connection forever.
+
+// MaxRequestBody caps a POST body. The largest legitimate batch over a
+// laptop-scale world is well under a megabyte of pair ids; anything
+// bigger is a mistake or abuse, and decoding it would buffer the lot.
+const MaxRequestBody = 1 << 20
 
 // scoreRequest is the body of POST /score and /link.
 type scoreRequest struct {
@@ -44,8 +53,15 @@ func (e *Engine) handleScore(decide bool) http.HandlerFunc {
 			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
 			return
 		}
+		r.Body = http.MaxBytesReader(w, r.Body, MaxRequestBody)
 		var req scoreRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				httpError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("request body exceeds %d bytes", MaxRequestBody))
+				return
+			}
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -71,6 +87,10 @@ func (e *Engine) handleScore(decide bool) http.HandlerFunc {
 }
 
 func (e *Engine) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
 	q := r.URL.Query()
 	a, errA := strconv.Atoi(q.Get("a"))
 	if errA != nil {

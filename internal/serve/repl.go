@@ -90,11 +90,13 @@ func (e *Engine) serveLine(line string, w io.Writer) {
 			fmt.Fprintf(w, "error: %v\n", err)
 			return
 		}
-		platB, _ := e.Sys.DS.Platform(pb)
+		// Usernames come from the views, so the lookup works identically
+		// over a world-backed System and a world-free snapshot Store.
+		views, _ := e.Sys.Views(pb)
 		for rank, sc := range res {
 			name := ""
-			if platB != nil {
-				name = platB.Account(sc.B).Profile.Username
+			if sc.B >= 0 && sc.B < len(views) {
+				name = views[sc.B].Acc.Profile.Username
 			}
 			fmt.Fprintf(w, "%2d. b=%d score=%+.6f linked=%v %q\n", rank+1, sc.B, sc.Score, sc.Linked, name)
 		}

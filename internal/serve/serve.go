@@ -1,14 +1,22 @@
-// Package serve is HYDRA's query front-end: it loads a persisted model
-// artifact plus the world file it was trained on and answers score, link
-// and top-k linkage queries without retraining — the serving half of the
-// train/serve split.
+// Package serve is HYDRA's query front-end: it answers score, link and
+// top-k linkage queries against a persisted model without retraining —
+// the serving half of the train/serve split. Two startup paths feed the
+// same engine:
+//
+//   - NewEngine loads a v1 model artifact plus the world file it was
+//     trained on, rebuilding the feature pipeline and candidate indexes
+//     from the raw dataset (the builder-backed path), and
+//   - NewEngineFromBundle loads a self-contained v2 bundle — precomputed
+//     views, friend slices and index shards — and serves with no world
+//     file at all (the snapshot-backed path), bit-identical to the
+//     builder but with a cold start that only decodes, never retrains.
 //
 // Scoring batches ride the existing Workers-governed kernel/feature hot
-// paths (Model.ScoreBatchWorkers fans pairs over the pool; the System's
+// paths (Model.ScoreBatchWorkers fans pairs over the pool; the source's
 // pair cache is mutex-guarded and shared across queries, so repeated
 // queries get warmer). Top-k queries never scan the full B side: each
 // A-side account's candidates come from a per-A-side sharded
-// blocking.Index built once at startup from the artifact's rules.
+// blocking.Index built (or decoded) once at startup.
 package serve
 
 import (
@@ -22,10 +30,12 @@ import (
 )
 
 // Engine answers linkage queries against one restored model. It is
-// immutable after NewEngine apart from the System's internal caches and
-// safe for concurrent queries.
+// immutable after construction apart from the source's internal caches
+// and safe for concurrent queries.
 type Engine struct {
-	Sys   *core.System
+	// Sys is the feature source behind the model: a dataset-backed
+	// core.System (world path) or a snapshot core.Store (bundle path).
+	Sys   core.Source
 	Model *core.Model
 	// Workers pins the per-query batch parallelism (≤ 0 = all cores).
 	Workers int
@@ -74,6 +84,41 @@ func NewEngine(art *pipeline.Artifact, ds *platform.Dataset, workers int) (*Engi
 			return nil, err
 		}
 		e.indexes[pp] = ix
+	}
+	return e, nil
+}
+
+// NewEngineFromBundle restores a self-contained serving bundle: the
+// snapshot store answers all feature queries and the prebuilt candidate
+// indexes are decoded, so startup never touches a dataset. The store's
+// pair cache is capped at DefaultPairCacheEntries, like NewEngine's.
+func NewEngineFromBundle(b *pipeline.Bundle, workers int) (*Engine, error) {
+	store, err := b.Store()
+	if err != nil {
+		return nil, err
+	}
+	store.LimitPairCache(DefaultPairCacheEntries)
+	model, err := core.ModelFromParts(store, b.Model)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		Sys:     store,
+		Model:   model,
+		Workers: workers,
+		indexes: make(map[[2]platform.ID]*blocking.Index, len(b.Indexes)),
+	}
+	for _, parts := range b.Indexes {
+		ix, err := blocking.IndexFromParts(parts)
+		if err != nil {
+			return nil, err
+		}
+		e.indexes[[2]platform.ID{parts.PA, parts.PB}] = ix
+	}
+	for _, pp := range b.Pairs {
+		if _, ok := e.indexes[pp]; !ok {
+			return nil, fmt.Errorf("serve: bundle lists pair %s → %s but carries no index for it", pp[0], pp[1])
+		}
 	}
 	return e, nil
 }

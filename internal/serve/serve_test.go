@@ -19,11 +19,22 @@ import (
 
 // testEnv is the shared serving fixture: a model trained through the
 // staged pipeline, round-tripped through the artifact codec and restored
-// into an engine — built once because training dominates test time.
+// into an engine — built once because training dominates test time. The
+// same fit is also packed into a bundle (round-tripped through the
+// bundle codec) and restored into a second, world-free engine, so every
+// test can diff the two startup paths.
 type testEnv struct {
-	eng     *Engine
+	eng     *Engine // world-backed: artifact + dataset
+	beng    *Engine // snapshot-backed: bundle only
 	trained *core.Model
 	task    *core.Task
+	ds      *platform.Dataset
+	art     *pipeline.Artifact
+	bundle  *pipeline.Bundle
+	// Serialized forms, so the cold-start benchmarks pay the decode a
+	// real process start pays.
+	artBytes    []byte
+	bundleBytes []byte
 }
 
 var (
@@ -80,6 +91,7 @@ func buildEnv() (testEnv, error) {
 	if err := pipeline.WriteArtifact(&buf, art); err != nil {
 		return testEnv{}, err
 	}
+	artBytes := append([]byte(nil), buf.Bytes()...)
 	art2, err := pipeline.ReadArtifact(&buf)
 	if err != nil {
 		return testEnv{}, err
@@ -88,7 +100,34 @@ func buildEnv() (testEnv, error) {
 	if err != nil {
 		return testEnv{}, err
 	}
-	return testEnv{eng: eng, trained: fitted.Linker.Model(), task: blocked.Task}, nil
+	bundle, err := fitted.Bundle(0)
+	if err != nil {
+		return testEnv{}, err
+	}
+	var bbuf bytes.Buffer
+	if err := pipeline.WriteBundle(&bbuf, bundle); err != nil {
+		return testEnv{}, err
+	}
+	bundleBytes := append([]byte(nil), bbuf.Bytes()...)
+	bundle2, err := pipeline.ReadBundle(&bbuf)
+	if err != nil {
+		return testEnv{}, err
+	}
+	beng, err := NewEngineFromBundle(bundle2, 0)
+	if err != nil {
+		return testEnv{}, err
+	}
+	return testEnv{
+		eng:         eng,
+		beng:        beng,
+		trained:     fitted.Linker.Model(),
+		task:        blocked.Task,
+		ds:          w.Dataset,
+		art:         art2,
+		bundle:      bundle2,
+		artBytes:    artBytes,
+		bundleBytes: bundleBytes,
+	}, nil
 }
 
 // TestEngineScoresBitExact asserts the restored engine serves the same

@@ -9,6 +9,7 @@ import (
 
 	"hydra/internal/graph"
 	"hydra/internal/linalg"
+	"hydra/internal/parallel"
 	"hydra/internal/platform"
 	"hydra/internal/temporal"
 	"hydra/internal/topic"
@@ -56,6 +57,12 @@ type Config struct {
 	Communities int
 	// MeanFriends is the target mean real-world degree.
 	MeanFriends float64
+
+	// Workers pins the generation fan-out (≤ 0 = all cores). Every
+	// random draw comes from a per-person or per-platform seeded stream
+	// (see subRNG), so the generated world is byte-identical at any
+	// worker count.
+	Workers int
 }
 
 // DefaultConfig returns the calibrated world configuration used by tests
@@ -115,7 +122,36 @@ var attrMissingBase = map[platform.AttrName]float64{
 	platform.AttrEmail:  0.65,
 }
 
-// Generate builds the world.
+// The generator draws every random quantity from an independent seeded
+// stream keyed by (purpose, index) rather than one sequential stream, so
+// the expensive parts — latent persons and per-account rendering — fan
+// out over the worker pool with byte-identical output at any worker
+// count. The stream tags below keep unrelated draws from ever sharing a
+// PRNG state.
+const (
+	streamPerson = iota + 1
+	streamGraphIntra
+	streamGraphInter
+	streamTilt
+	streamPerm
+	streamAccount
+	streamEdges
+)
+
+// subRNG derives a deterministic PRNG for one (tag, parts...) stream of
+// the seeded generation, mixing the parts with splitmix64-style odd
+// constants so nearby indices land far apart in seed space.
+func subRNG(seed int64, tag uint64, parts ...uint64) *rand.Rand {
+	h := uint64(seed)*0x9E3779B97F4A7C15 + tag*0xC2B2AE3D27D4EB4F
+	for _, p := range parts {
+		h ^= p + 0x9E3779B97F4A7C15 + (h << 6) + (h >> 2)
+		h *= 0xFF51AFD7ED558CCD
+	}
+	return rand.New(rand.NewSource(int64(h & 0x7FFFFFFFFFFFFFFF)))
+}
+
+// Generate builds the world, fanning the per-person and per-account work
+// over cfg.Workers (≤ 0 = all cores; identical world at any setting).
 func Generate(cfg Config) (*World, error) {
 	if cfg.Persons <= 0 {
 		return nil, fmt.Errorf("synth: Persons must be positive, got %d", cfg.Persons)
@@ -126,28 +162,28 @@ func Generate(cfg Config) (*World, error) {
 	if !cfg.Span.Valid() {
 		return nil, fmt.Errorf("synth: invalid time span")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	lx := BuildLexicons(cfg.Topics, cfg.WordsPerTopic)
 
-	// 1. Latent persons.
+	// 1. Latent persons, one seeded stream each.
 	persons := make([]*Person, cfg.Persons)
-	for i := range persons {
-		persons[i] = randPerson(rng, i, cfg.Topics, len(cfg.Platforms), cfg.Communities)
-	}
+	parallel.For(cfg.Workers, cfg.Persons, func(i int) {
+		persons[i] = randPerson(subRNG(cfg.Seed, streamPerson, uint64(i)), i,
+			cfg.Topics, len(cfg.Platforms), cfg.Communities)
+	})
 
 	// 2. Real-world friendship graph with planted communities.
-	real := realWorldGraph(rng, persons, cfg)
+	real := realWorldGraph(persons, cfg)
 
 	// 3. Per-platform topic tilt (platform difference).
 	tilts := make(map[platform.ID]linalg.Vector, len(cfg.Platforms))
-	for _, pid := range cfg.Platforms {
-		tilts[pid] = dirichlet(rng, cfg.Topics, 0.5)
+	for pi, pid := range cfg.Platforms {
+		tilts[pid] = dirichlet(subRNG(cfg.Seed, streamTilt, uint64(pi)), cfg.Topics, 0.5)
 	}
 
-	// 4. Project each platform.
+	// 4. Project each platform (accounts fan out inside).
 	ds := platform.NewDataset(cfg.Span)
 	for pi, pid := range cfg.Platforms {
-		p, err := projectPlatform(rng, pid, pi, persons, real, tilts[pid], lx, cfg)
+		p, err := projectPlatform(pid, pi, persons, real, tilts[pid], lx, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -159,8 +195,10 @@ func Generate(cfg Config) (*World, error) {
 }
 
 // realWorldGraph plants community structure: dense intra-community edges,
-// sparse inter-community ones, with interaction-count weights.
-func realWorldGraph(rng *rand.Rand, persons []*Person, cfg Config) *graph.Graph {
+// sparse inter-community ones, with interaction-count weights. Each
+// community draws from its own seeded stream (graph mutation itself stays
+// sequential — the edge work is cheap next to account rendering).
+func realWorldGraph(persons []*Person, cfg Config) *graph.Graph {
 	n := len(persons)
 	g := graph.New(n)
 	byComm := make(map[int][]int)
@@ -172,14 +210,15 @@ func realWorldGraph(rng *rand.Rand, persons []*Person, cfg Config) *graph.Graph 
 		}
 	}
 	// Intra-community: aim for ~80% of MeanFriends within the community.
-	// Communities are visited in id order to keep the PRNG stream
-	// deterministic for a fixed seed.
+	// Communities are visited in id order; each has its own stream, so
+	// the edge set never depends on visit interleaving.
 	for comm := 0; comm <= maxComm; comm++ {
 		members := byComm[comm]
 		m := len(members)
 		if m < 2 {
 			continue
 		}
+		rng := subRNG(cfg.Seed, streamGraphIntra, uint64(comm))
 		pIntra := cfg.MeanFriends * 0.8 / float64(m-1)
 		if pIntra > 1 {
 			pIntra = 1
@@ -193,6 +232,7 @@ func realWorldGraph(rng *rand.Rand, persons []*Person, cfg Config) *graph.Graph 
 		}
 	}
 	// Inter-community: the remaining ~20%.
+	rng := subRNG(cfg.Seed, streamGraphInter)
 	interEdges := int(cfg.MeanFriends * 0.2 * float64(n) / 2)
 	for k := 0; k < interEdges; k++ {
 		u, v := rng.Intn(n), rng.Intn(n)
@@ -203,8 +243,12 @@ func realWorldGraph(rng *rand.Rand, persons []*Person, cfg Config) *graph.Graph 
 	return g
 }
 
-// projectPlatform renders one platform's view of the world.
-func projectPlatform(rng *rand.Rand, pid platform.ID, pIdx int, persons []*Person,
+// projectPlatform renders one platform's view of the world. Account
+// rendering — the generation hot path — fans each person out on the
+// worker pool with a per-(platform, person) seeded stream; the local-id
+// permutation and the friendship projection keep their own platform-level
+// streams, so the platform is identical at any worker count.
+func projectPlatform(pid platform.ID, pIdx int, persons []*Person,
 	real *graph.Graph, tilt linalg.Vector, lx *Lexicons, cfg Config) (*platform.Platform, error) {
 
 	n := len(persons)
@@ -215,14 +259,15 @@ func projectPlatform(rng *rand.Rand, pid platform.ID, pIdx int, persons []*Perso
 	}
 
 	// Shuffle person -> local id so identities never leak through indices.
-	perm := rng.Perm(n)
+	perm := subRNG(cfg.Seed, streamPerm, uint64(pIdx)).Perm(n)
 	localOf := make([]int, n)
 	for local, person := range perm {
 		localOf[person] = local
 	}
 
 	p := &platform.Platform{ID: pid, Graph: graph.New(n), Accounts: make([]*platform.Account, n)}
-	for person := 0; person < n; person++ {
+	parallel.For(cfg.Workers, n, func(person int) {
+		rng := subRNG(cfg.Seed, streamAccount, uint64(pIdx), uint64(person))
 		pe := persons[person]
 		local := localOf[person]
 		acc := &platform.Account{
@@ -240,9 +285,10 @@ func projectPlatform(rng *rand.Rand, pid platform.ID, pIdx int, persons []*Perso
 		acc.Posts = renderPosts(rng, pe, tilt, lx, cfg, activity)
 		acc.Events = renderEvents(rng, pe, cfg, activity)
 		p.Accounts[local] = acc
-	}
+	})
 
 	// Project friendships.
+	rng := subRNG(cfg.Seed, streamEdges, uint64(pIdx))
 	for u := 0; u < n; u++ {
 		for _, v := range real.Neighbors(u) {
 			if u < v && rng.Float64() < cfg.EdgeCoverage {
