@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-linalg bench-save bench-compare bench-serve bench-bundle bench-json figures
+.PHONY: ci fmt vet build test race bench bench-smoke bench-linalg bench-save bench-compare bench-serve bench-bundle bench-json figures
 
-ci: fmt vet build test
+ci: fmt vet build test bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -31,6 +31,12 @@ test:
 # (*Workers*/*Determinism* tests) all match the filter.
 race:
 	$(GO) test -race -run 'Determinism|Concurrent|Workers|Serve' ./internal/...
+
+# bench-smoke runs every serve benchmark once (-benchtime=1x) as part of
+# make ci — not for numbers, but so the bench harness itself (fixtures,
+# pooled buffers, the v2/v3 decode paths) cannot rot between perf PRs.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Serve' -benchtime=1x ./internal/serve/
 
 # bench runs the parallel hot-path microbenchmarks at 1 and 4 cores so the
 # worker-pool speedup (and the pinned sequential baseline) is visible.
@@ -82,11 +88,11 @@ bench-bundle:
 
 # bench-json trains a small model through the staged pipeline, persists
 # it both ways and benchmarks the restored engines, writing a machine-
-# readable BENCH_PR4.json snapshot (cold-start world vs bundle plus
-# steady-state query latency) so the perf trajectory has a mechanical
-# data point per PR.
+# readable BENCH_PR5.json snapshot (cold-start world vs bundle, v2 vs v3
+# bundle bytes + decode, steady-state query latency + allocs/op) so the
+# perf trajectory has a mechanical data point per PR.
 bench-json:
-	$(GO) run ./cmd/hydra-servebench -json BENCH_PR4.json
+	$(GO) run ./cmd/hydra-servebench -prev BENCH_PR4.json -json BENCH_PR5.json
 
 # figures regenerates every figure table (the full experiment suite).
 figures:

@@ -1,5 +1,5 @@
 // Command hydra-pack converts an existing v1 model artifact plus the
-// world file it was trained on into a self-contained v2 serving bundle,
+// world file it was trained on into a self-contained v3 serving bundle,
 // offline. Use it to migrate already-trained deployments to world-free
 // serving without retraining:
 //

@@ -2,7 +2,7 @@
 // answers score / link / top-k linkage queries without retraining — over
 // stdin by default, or over HTTP with -http. Two deployment modes:
 //
-//   - Self-contained bundle (preferred): -bundle loads a v2 serving
+//   - Self-contained bundle (preferred): -bundle loads a v3 serving
 //     bundle written by hydra-link -save-bundle or hydra-pack. The bundle
 //     carries precomputed account views, friend slices and candidate
 //     indexes, so startup is a decode — no world file, no feature

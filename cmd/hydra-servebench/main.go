@@ -1,14 +1,15 @@
 // Command hydra-servebench benchmarks the serving path end to end:
-// cold-start (artifact + world rebuild vs self-contained bundle decode),
-// single-pair score latency, top-k query latency over the sharded
-// candidate index, and batched score throughput. It trains a small model
-// through the staged pipeline, round-trips it through both codecs (so
-// the measured paths are exactly what hydra-serve runs), verifies the
-// two engines agree bit for bit, and drives the bundle engine with
-// testing.Benchmark:
+// cold-start (artifact + world rebuild vs self-contained bundle decode,
+// v2 JSON vs v3 binary sections), single-pair score latency, top-k query
+// latency over the sharded candidate index, and batched score
+// throughput — with allocations per op, so the zero-alloc steady state
+// is a measured number, not a claim. It trains a small model through the
+// staged pipeline, round-trips it through both codecs (so the measured
+// paths are exactly what hydra-serve runs), verifies the engines agree
+// bit for bit, and drives the bundle engine with testing.Benchmark:
 //
 //	go run ./cmd/hydra-servebench                    # human-readable
-//	go run ./cmd/hydra-servebench -json BENCH_PR4.json
+//	go run ./cmd/hydra-servebench -json BENCH_PR5.json
 //
 // The -json snapshot gives the perf trajectory a mechanical data point
 // per PR (see make bench-json).
@@ -36,11 +37,13 @@ import (
 
 // benchPoint is one benchmark's snapshot.
 type benchPoint struct {
-	NsPerOp float64 `json:"ns_per_op"`
-	Ops     int     `json:"ops"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	Ops         int     `json:"ops"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// snapshot is the BENCH_PR4.json schema.
+// snapshot is the BENCH_PR5.json schema.
 type snapshot struct {
 	Bench      string  `json:"bench"`
 	Persons    int     `json:"persons"`
@@ -48,12 +51,20 @@ type snapshot struct {
 	GoMaxProcs int     `json:"gomaxprocs"`
 	Candidates int     `json:"candidates"`
 	TopKShard  float64 `json:"mean_shard_size"`
+	// SupportVectors is the compacted support-set size — the kernel
+	// evaluations one warm Score pays.
+	SupportVectors int `json:"support_vectors"`
 	// Cold start: decoding + engine construction, best of three runs.
 	// The world path re-systemizes the dataset (LDA included); the
-	// bundle path only decodes precomputed state.
+	// bundle path (v3 binary) only decodes precomputed state.
 	ColdWorldMs  float64 `json:"cold_start_world_ms"`
 	ColdBundleMs float64 `json:"cold_start_bundle_ms"`
-	BundleBytes  int     `json:"bundle_bytes"`
+	// Bundle format comparison: the same model packed as legacy v2 JSON
+	// and as v3 binary sections, with best-of-five decode times.
+	BundleV2Bytes    int     `json:"bundle_v2_bytes"`
+	BundleV3Bytes    int     `json:"bundle_v3_bytes"`
+	BundleV2DecodeMs float64 `json:"bundle_v2_decode_ms"`
+	BundleV3DecodeMs float64 `json:"bundle_v3_decode_ms"`
 	// Steady state, measured on the bundle-backed engine (the deployed
 	// configuration; the world-backed engine is bit-identical and its
 	// warm-path numbers match).
@@ -63,6 +74,55 @@ type snapshot struct {
 	// PairsPerSec is the batched-score throughput (candidate pairs scored
 	// per second across the whole candidate set per op).
 	PairsPerSec float64 `json:"batch_pairs_per_sec"`
+	// Before carries the headline numbers of the previous PR's snapshot
+	// (-prev) so one file shows the delta.
+	Before *beforeBlock `json:"before,omitempty"`
+}
+
+// beforeBlock is the previous snapshot's headline numbers, lifted via
+// -prev so before and after live in one file.
+type beforeBlock struct {
+	Source           string  `json:"source"`
+	ColdBundleMs     float64 `json:"cold_start_bundle_ms"`
+	BundleBytes      int     `json:"bundle_bytes"`
+	SingleNsPerOp    float64 `json:"single_pair_score_ns_per_op"`
+	TopK5NsPerOp     float64 `json:"topk5_ns_per_op"`
+	BatchNsPerOp     float64 `json:"batch_score_ns_per_op"`
+	BatchPairsPerSec float64 `json:"batch_pairs_per_sec"`
+}
+
+// loadBefore reads the headline numbers out of a previous snapshot; its
+// schema only needs the fields both generations share.
+func loadBefore(path string) (*beforeBlock, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var old struct {
+		ColdBundleMs float64    `json:"cold_start_bundle_ms"`
+		BundleBytes  int        `json:"bundle_bytes"`
+		BundleV3     int        `json:"bundle_v3_bytes"`
+		Single       benchPoint `json:"single_pair_score"`
+		TopK         benchPoint `json:"topk5"`
+		Batch        benchPoint `json:"batch_score"`
+		PairsPerSec  float64    `json:"batch_pairs_per_sec"`
+	}
+	if err := json.Unmarshal(raw, &old); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", path, err)
+	}
+	bytes := old.BundleBytes
+	if bytes == 0 {
+		bytes = old.BundleV3
+	}
+	return &beforeBlock{
+		Source:           path,
+		ColdBundleMs:     old.ColdBundleMs,
+		BundleBytes:      bytes,
+		SingleNsPerOp:    old.Single.NsPerOp,
+		TopK5NsPerOp:     old.TopK.NsPerOp,
+		BatchNsPerOp:     old.Batch.NsPerOp,
+		BatchPairsPerSec: old.PairsPerSec,
+	}, nil
 }
 
 func main() {
@@ -70,7 +130,8 @@ func main() {
 		persons  = flag.Int("persons", 100, "world size for the benchmark model")
 		seed     = flag.Int64("seed", 1, "world and model seed")
 		workers  = flag.Int("workers", 0, "engine worker pool (0 = all cores)")
-		jsonPath = flag.String("json", "", "write the snapshot as JSON to this path (e.g. BENCH_PR4.json)")
+		jsonPath = flag.String("json", "", "write the snapshot as JSON to this path (e.g. BENCH_PR5.json)")
+		prevPath = flag.String("prev", "", "embed this previous snapshot's headline numbers as a before block (e.g. BENCH_PR4.json)")
 	)
 	flag.Parse()
 
@@ -80,8 +141,8 @@ func main() {
 	}
 	eng, cands := env.bundleEng, env.cands
 	pa, pb := platform.Twitter, platform.Facebook
-	fmt.Fprintf(os.Stderr, "engines ready: %d candidates over %d persons; workers=%d gomaxprocs=%d; bundle %d bytes\n",
-		len(cands), *persons, *workers, runtime.GOMAXPROCS(0), len(env.bundleBytes))
+	fmt.Fprintf(os.Stderr, "engines ready: %d candidates over %d persons; workers=%d gomaxprocs=%d; bundle v3 %d bytes (v2 %d)\n",
+		len(cands), *persons, *workers, runtime.GOMAXPROCS(0), len(env.bundleV3Bytes), len(env.bundleV2Bytes))
 
 	// Sanity: the bundle engine must serve the world engine's exact bits
 	// before its numbers mean anything.
@@ -100,6 +161,7 @@ func main() {
 	}
 
 	single := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			c := cands[i%len(cands)]
 			if _, err := eng.Score(pa, c[0], pb, c[1]); err != nil {
@@ -108,45 +170,76 @@ func main() {
 		}
 	})
 	as := aSide(cands)
+	var topkDst []serve.Scored
 	topk := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.TopK(pa, as[i%len(as)], pb, 5); err != nil {
+			var err error
+			if topkDst, err = eng.TopKAppend(topkDst[:0], pa, as[i%len(as)], pb, 5); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
+	batchOut := make([]float64, len(cands))
 	batch := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.ScoreBatch(pa, pb, cands); err != nil {
+			if err := eng.Model.ScoreBatchInto(pa, pb, cands, eng.Workers, batchOut); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 
 	snap := snapshot{
-		Bench:        "serve-bundle",
-		Persons:      *persons,
-		Workers:      *workers,
-		GoMaxProcs:   runtime.GOMAXPROCS(0),
-		Candidates:   len(cands),
-		TopKShard:    float64(len(cands)) / float64(len(as)),
-		ColdWorldMs:  env.coldWorldMs,
-		ColdBundleMs: env.coldBundleMs,
-		BundleBytes:  len(env.bundleBytes),
-		Single:       point(single),
-		TopK:         point(topk),
-		Batch:        point(batch),
+		Bench:          "serve-bundle",
+		Persons:        *persons,
+		Workers:        *workers,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Candidates:     len(cands),
+		TopKShard:      float64(len(cands)) / float64(len(as)),
+		SupportVectors: eng.Model.NumSupport(),
+		ColdWorldMs:    env.coldWorldMs,
+		ColdBundleMs:   env.coldBundleMs,
+		BundleV2Bytes:  len(env.bundleV2Bytes),
+		BundleV3Bytes:  len(env.bundleV3Bytes),
+		Single:         point(single),
+		TopK:           point(topk),
+		Batch:          point(batch),
 	}
-	if ns := point(batch).NsPerOp; ns > 0 {
+	snap.BundleV2DecodeMs, err = coldStart(5, func() error {
+		_, err := pipeline.ReadBundle(bytes.NewReader(env.bundleV2Bytes))
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap.BundleV3DecodeMs, err = coldStart(5, func() error {
+		_, err := pipeline.ReadBundle(bytes.NewReader(env.bundleV3Bytes))
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ns := snap.Batch.NsPerOp; ns > 0 {
 		snap.PairsPerSec = float64(len(cands)) / (ns / 1e9)
 	}
+	if *prevPath != "" {
+		snap.Before, err = loadBefore(*prevPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 
-	fmt.Printf("cold start (world):  %12.1f ms   (artifact restore: systemize + index build)\n", snap.ColdWorldMs)
-	fmt.Printf("cold start (bundle): %12.1f ms   (decode precomputed views/indexes, %d bytes)\n", snap.ColdBundleMs, snap.BundleBytes)
-	fmt.Printf("single-pair score:   %12.0f ns/op  (%d ops)\n", snap.Single.NsPerOp, snap.Single.Ops)
-	fmt.Printf("topk(5) query:       %12.0f ns/op  (%d ops, mean shard %.1f)\n", snap.TopK.NsPerOp, snap.TopK.Ops, snap.TopKShard)
-	fmt.Printf("batched score:       %12.0f ns/op  (%d ops, %d pairs/op, %.0f pairs/s)\n",
-		snap.Batch.NsPerOp, snap.Batch.Ops, snap.Candidates, snap.PairsPerSec)
+	fmt.Printf("cold start (world):  %12.1f ms    (artifact restore: systemize + index build)\n", snap.ColdWorldMs)
+	fmt.Printf("cold start (bundle): %12.1f ms    (v3 decode, %d bytes)\n", snap.ColdBundleMs, snap.BundleV3Bytes)
+	fmt.Printf("bundle decode:       v2 %.1f ms / %d bytes   v3 %.1f ms / %d bytes\n",
+		snap.BundleV2DecodeMs, snap.BundleV2Bytes, snap.BundleV3DecodeMs, snap.BundleV3Bytes)
+	fmt.Printf("single-pair score:   %12.0f ns/op  (%d ops, %d allocs/op, %d B/op, %d SVs)\n",
+		snap.Single.NsPerOp, snap.Single.Ops, snap.Single.AllocsPerOp, snap.Single.BytesPerOp, snap.SupportVectors)
+	fmt.Printf("topk(5) query:       %12.0f ns/op  (%d ops, %d allocs/op, %d B/op, mean shard %.1f)\n",
+		snap.TopK.NsPerOp, snap.TopK.Ops, snap.TopK.AllocsPerOp, snap.TopK.BytesPerOp, snap.TopKShard)
+	fmt.Printf("batched score:       %12.0f ns/op  (%d ops, %d allocs/op, %d pairs/op, %.0f pairs/s)\n",
+		snap.Batch.NsPerOp, snap.Batch.Ops, snap.Batch.AllocsPerOp, snap.Candidates, snap.PairsPerSec)
 
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
@@ -165,9 +258,15 @@ func main() {
 	}
 }
 
-// point converts a testing result.
+// point converts a testing result (allocation stats are populated
+// because every benchmark calls b.ReportAllocs).
 func point(r testing.BenchmarkResult) benchPoint {
-	return benchPoint{NsPerOp: float64(r.NsPerOp()), Ops: r.N}
+	return benchPoint{
+		NsPerOp:     float64(r.NsPerOp()),
+		Ops:         r.N,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
 }
 
 // aSide lists the distinct A-side accounts of the candidate set in order.
@@ -184,18 +283,20 @@ func aSide(cands [][2]int) []int {
 }
 
 // benchEnv is everything the benchmark drives: both engines, the
-// candidate list, and the measured cold-start times.
+// candidate list, both bundle encodings, and the measured cold-start
+// times.
 type benchEnv struct {
-	worldEng     *serve.Engine
-	bundleEng    *serve.Engine
-	cands        [][2]int
-	bundleBytes  []byte
-	coldWorldMs  float64
-	coldBundleMs float64
+	worldEng      *serve.Engine
+	bundleEng     *serve.Engine
+	cands         [][2]int
+	bundleV2Bytes []byte
+	bundleV3Bytes []byte
+	coldWorldMs   float64
+	coldBundleMs  float64
 }
 
 // coldStart returns the best-of-reps wall-clock milliseconds of fn —
-// the startup paths dominate by orders of magnitude, so min-of-3 is
+// the startup paths dominate by orders of magnitude, so min-of-reps is
 // plenty to shed scheduler noise.
 func coldStart(reps int, fn func() error) (float64, error) {
 	best := 0.0
@@ -213,9 +314,10 @@ func coldStart(reps int, fn func() error) (float64, error) {
 }
 
 // buildEnv trains a model on a synthetic world through the staged
-// pipeline, persists it both ways (artifact and bundle), and measures
-// both hydra-serve startup paths from their serialized forms — exactly
-// what a process start pays, minus only the file read.
+// pipeline, persists it both ways (artifact and bundle, the bundle in
+// both wire formats), and measures both hydra-serve startup paths from
+// their serialized forms — exactly what a process start pays, minus only
+// the file read.
 func buildEnv(persons int, seed int64, workers int) (*benchEnv, error) {
 	world, err := synth.Generate(synth.DefaultConfig(persons, platform.EnglishPlatforms, seed))
 	if err != nil {
@@ -267,12 +369,18 @@ func buildEnv(persons int, seed int64, workers int) (*benchEnv, error) {
 	if err := pipeline.WriteBundle(&bbuf, bundle); err != nil {
 		return nil, err
 	}
+	v2 := *bundle
+	v2.Version = pipeline.BundleVersionJSON
+	var b2buf bytes.Buffer
+	if err := pipeline.WriteBundle(&b2buf, &v2); err != nil {
+		return nil, err
+	}
 	var wbuf bytes.Buffer
 	if err := platform.Encode(&wbuf, world.Dataset); err != nil {
 		return nil, err
 	}
 
-	env := &benchEnv{bundleBytes: bbuf.Bytes()}
+	env := &benchEnv{bundleV3Bytes: bbuf.Bytes(), bundleV2Bytes: b2buf.Bytes()}
 	env.coldWorldMs, err = coldStart(3, func() error {
 		art2, err := pipeline.ReadArtifact(bytes.NewReader(abuf.Bytes()))
 		if err != nil {
@@ -289,7 +397,7 @@ func buildEnv(persons int, seed int64, workers int) (*benchEnv, error) {
 		return nil, err
 	}
 	env.coldBundleMs, err = coldStart(3, func() error {
-		b2, err := pipeline.ReadBundle(bytes.NewReader(bbuf.Bytes()))
+		b2, err := pipeline.ReadBundle(bytes.NewReader(env.bundleV3Bytes))
 		if err != nil {
 			return err
 		}

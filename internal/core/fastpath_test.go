@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"hydra/internal/platform"
+)
+
+// referenceScore is the pre-fast-path scalar serving path, kept verbatim
+// as the bit-exactness oracle: impute through the Source, then walk the
+// FULL candidate expansion skipping α=0 entries per call — exactly what
+// Model.Score did before support compaction and batching.
+func referenceScore(t *testing.T, m *Model, pa platform.ID, a int, pb platform.ID, b int) float64 {
+	t.Helper()
+	x, err := m.src.Impute(pa, a, pb, b, m.cfg.Variant, m.cfg.TopFriends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.bias
+	for j, xj := range m.xs {
+		if m.alpha[j] == 0 {
+			continue
+		}
+		s += m.alpha[j] * m.kern.Eval(xj, x)
+	}
+	return s
+}
+
+// TestFastPathWorkersBitExact locks the serving fast path to the scalar
+// reference on the full candidate surface: Score, ScoreBatchWorkers and
+// ScoreBatchInto must reproduce the pre-compaction per-pair loop bit for
+// bit at one and at four workers.
+func TestFastPathWorkersBitExact(t *testing.T) {
+	const seed = 21
+	_, sys := buildSystem(t, 30, platform.EnglishPlatforms, seed)
+	task := buildTask(t, sys, platform.Twitter, platform.Facebook, DefaultLabelOpts(seed))
+	m, err := Train(sys, task, DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := task.Blocks[0]
+	pairs := make([][2]int, len(blk.Cands))
+	want := make([]float64, len(blk.Cands))
+	for i, c := range blk.Cands {
+		pairs[i] = [2]int{c.A, c.B}
+		want[i] = referenceScore(t, m, blk.PA, c.A, blk.PB, c.B)
+	}
+	for i, c := range blk.Cands {
+		got, err := m.Score(blk.PA, c.A, blk.PB, c.B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want[i] {
+			t.Fatalf("Score(%d,%d) = %v, reference scalar path %v", c.A, c.B, got, want[i])
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := m.ScoreBatchWorkers(blk.PA, blk.PB, pairs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: batch score %d = %v, reference %v", workers, i, got[i], want[i])
+			}
+		}
+		// Run the Into form twice on the same model to exercise the
+		// recycled scratch, not just fresh buffers.
+		out := make([]float64, len(pairs))
+		for rep := 0; rep < 2; rep++ {
+			if err := m.ScoreBatchInto(blk.PA, blk.PB, pairs, workers, out); err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if out[i] != want[i] {
+					t.Fatalf("workers=%d rep=%d: ScoreBatchInto %d = %v, reference %v", workers, rep, i, out[i], want[i])
+				}
+			}
+		}
+	}
+	if m.NumSupport() > len(pairs) {
+		t.Fatalf("support set %d larger than candidate set %d", m.NumSupport(), len(pairs))
+	}
+}
+
+// TestCompactionZeroedDualsBitExact zeroes a spread of dual coefficients
+// in a trained model's parts, restores it (which compacts the support
+// set once), and asserts the compacted model scores bit-identically to
+// the reference loop that re-skips the zeros on every call.
+func TestCompactionZeroedDualsBitExact(t *testing.T) {
+	const seed = 22
+	_, sys := buildSystem(t, 24, platform.EnglishPlatforms, seed)
+	task := buildTask(t, sys, platform.Twitter, platform.Facebook, DefaultLabelOpts(seed))
+	m, err := Train(sys, task, DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := m.Parts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero every third dual (first and last included) without touching
+	// the trained model's slice.
+	alpha := parts.Alpha.Clone()
+	zeroed := 0
+	for j := range alpha {
+		if j%3 == 0 || j == len(alpha)-1 {
+			if alpha[j] != 0 {
+				zeroed++
+			}
+			alpha[j] = 0
+		}
+	}
+	if zeroed == 0 {
+		t.Fatal("fixture zeroed no duals; pick a different seed")
+	}
+	parts.Alpha = alpha
+	restored, err := ModelFromParts(sys, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonzero := 0
+	for _, a := range alpha {
+		if a != 0 {
+			nonzero++
+		}
+	}
+	if restored.NumSupport() != nonzero {
+		t.Fatalf("compacted support = %d, want %d non-zero duals", restored.NumSupport(), nonzero)
+	}
+	for _, c := range task.Blocks[0].Cands {
+		want := referenceScore(t, restored, task.Blocks[0].PA, c.A, task.Blocks[0].PB, c.B)
+		got, err := restored.Score(task.Blocks[0].PA, c.A, task.Blocks[0].PB, c.B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("compacted score (%d,%d) = %v, reference %v", c.A, c.B, got, want)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"hydra/internal/blocking"
 	"hydra/internal/kernel"
@@ -145,6 +146,16 @@ type Model struct {
 	bias  float64
 	dual  *rememberedDual
 	Diag  Diagnostics
+
+	// Serving fast path, prepared once by prepareServing (see batch.go):
+	// the α≠0 support set packed into one dense row-major matrix (svXs
+	// are row views into svMat, svAlpha the matching coefficients), the
+	// pass-through friend resolver, and the pooled per-query scratch.
+	svMat         *linalg.Matrix
+	svXs          []linalg.Vector
+	svAlpha       []float64
+	directFriends friendResolver
+	scratch       sync.Pool
 }
 
 // Train runs Algorithm 1 on the task. For p=1 this is the exact convex
@@ -328,6 +339,7 @@ func train(sys *System, task *Task, cfg Config, warmMap map[labelKey]float64) (*
 			m.dual.beta[k] = finalBeta[i]
 		}
 	}
+	m.prepareServing()
 	return m, nil
 }
 
@@ -484,25 +496,31 @@ func medianDistance(xs []linalg.Vector) float64 {
 }
 
 // Decision evaluates the linkage function f(x) = Σ α_j K(x_j, x) + b on an
-// already-imputed feature vector.
+// already-imputed feature vector. It walks the compacted, densely packed
+// support set in ascending candidate order — the same float addition
+// sequence as the pre-compaction loop that skipped α=0 entries per call,
+// so the value is bit-identical.
 func (m *Model) Decision(x linalg.Vector) float64 {
 	s := m.bias
-	for j, xj := range m.xs {
-		if m.alpha[j] == 0 {
-			continue
-		}
-		s += m.alpha[j] * m.kern.Eval(xj, x)
+	for j, xj := range m.svXs {
+		s += m.svAlpha[j] * m.kern.Eval(xj, x)
 	}
 	return s
 }
 
 // Score computes the decision value for an account pair, applying the
-// model's imputation variant.
+// model's imputation variant. It is the batch fast path at batch size
+// one: imputation and the kernel fold run on pooled scratch, so a warm
+// Score allocates nothing.
 func (m *Model) Score(pa platform.ID, a int, pb platform.ID, b int) (float64, error) {
-	x, err := m.src.Impute(pa, a, pb, b, m.cfg.Variant, m.cfg.TopFriends)
+	sc := m.getScratch()
+	defer m.scratch.Put(sc)
+	x, err := sc.imp.imputePairInto(sc.single(), m.src, m.directFriends,
+		pa, a, pb, b, m.cfg.Variant, m.cfg.TopFriends)
 	if err != nil {
 		return 0, err
 	}
+	sc.setSingle(x)
 	return m.Decision(x), nil
 }
 

@@ -5,7 +5,6 @@ import (
 
 	"hydra/internal/kernel"
 	"hydra/internal/linalg"
-	"hydra/internal/parallel"
 	"hydra/internal/platform"
 )
 
@@ -89,25 +88,20 @@ func ModelFromParts(src Source, p ModelParts) (*Model, error) {
 	}
 	m := &Model{src: src, cfg: p.Cfg, kern: kern, xs: p.Xs, alpha: p.Alpha, bias: p.Bias}
 	m.Diag = p.Diag
+	m.prepareServing()
 	return m, nil
 }
 
 // ScoreBatchWorkers scores a batch of account pairs between two platforms
-// on the worker pool (≤ 0 = all cores): each pair's imputation and kernel
-// expansion runs independently and lands in its own output slot, so the
-// scores are identical at any worker count. This is the serving hot path —
-// a top-k query or an HTTP score batch fans its pairs out here.
+// through the batched serving fast path (see ScoreBatchInto): the batch
+// is imputed into pooled feature rows, all kernel values are evaluated in
+// one blocked pass over the packed support set, and α and the bias are
+// folded per pair — bit-identical to per-pair Score at any worker count
+// (≤ 0 = all cores). This is the serving hot path — a top-k query or an
+// HTTP score batch lands here.
 func (m *Model) ScoreBatchWorkers(pa platform.ID, pb platform.ID, pairs [][2]int, workers int) ([]float64, error) {
 	out := make([]float64, len(pairs))
-	err := parallel.ForErr(workers, len(pairs), func(i int) error {
-		s, err := m.Score(pa, pairs[i][0], pb, pairs[i][1])
-		if err != nil {
-			return err
-		}
-		out[i] = s
-		return nil
-	})
-	if err != nil {
+	if err := m.ScoreBatchInto(pa, pb, pairs, workers, out); err != nil {
 		return nil, err
 	}
 	return out, nil

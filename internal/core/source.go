@@ -27,6 +27,12 @@ type Source interface {
 	// Impute returns the pair vector with missing dimensions filled
 	// according to the variant (HYDRA-M's Eqn 18 or HYDRA-Z's zeros).
 	Impute(pa platform.ID, a int, pb platform.ID, b int, v Variant, topFriends int) (linalg.Vector, error)
+	// Friends resolves the top-k most-interacting friends of a local
+	// account (the Eqn-18 core structure) — from the live interaction
+	// graph in the builder, from the persisted adjacency slices in the
+	// snapshot store. The serving fast path resolves friends itself (once
+	// per A-side account per batch) instead of going through Impute.
+	Friends(id platform.ID, local, k int) ([]graph.Friend, error)
 	// Faces exposes the simulated face matcher (blocking uses it).
 	Faces() *vision.Matcher
 	// LimitPairCache bounds the pair-vector cache (n ≤ 0 = unbounded).
@@ -35,26 +41,46 @@ type Source interface {
 	CacheSize() int
 }
 
-// friendsFn resolves the top-k most-interacting friends of a local
-// account — from the live interaction graph in the builder, from the
-// persisted adjacency slices in the snapshot store.
-type friendsFn func(id platform.ID, local, k int) ([]graph.Friend, error)
+// friendResolver resolves the top-k most-interacting friends of a local
+// account. The plain Impute path reads straight through the Source; the
+// serving fast path plugs in a per-batch memo (friendMemo) that caches
+// the A side across rows sharing an account.
+type friendResolver interface {
+	resolveFriends(id platform.ID, local, k int) ([]graph.Friend, error)
+}
 
-// imputePair is the shared Impute implementation of both Source halves:
-// the variant dispatch and the friend-based imputation of Eqn 18, with
-// the friend lookup abstracted so the builder reads the live graph and
-// the store reads its precomputed top-friends slices. topFriends is the
+// sourceFriends adapts a Source's Friends method as a friendResolver.
+type sourceFriends struct{ src Source }
+
+func (sf sourceFriends) resolveFriends(id platform.ID, local, k int) ([]graph.Friend, error) {
+	return sf.src.Friends(id, local, k)
+}
+
+// imputeScratch holds the reusable buffers of pair imputation: the
+// Eqn-18 per-dimension accumulator. The zero value is ready to use; the
+// serving fast path recycles instances through a pool so a warm query
+// allocates nothing.
+type imputeScratch struct {
+	sums linalg.Vector
+}
+
+// imputePairInto is the shared Impute implementation of both Source
+// halves: the variant dispatch and the friend-based imputation of Eqn 18,
+// with the friend lookup abstracted so the builder reads the live graph
+// and the store reads its precomputed top-friends slices. The imputed
+// vector is appended to dst[:0] (pass nil to allocate a fresh, caller-
+// owned vector) and returned, possibly regrown. topFriends is the
 // core-structure size (the paper uses the top-3 most-interacting friends
 // on each side); when fewer friends exist the average runs over the pairs
 // that do (the natural generalization of Eqn 18's fixed /9).
-func imputePair(src Source, pa platform.ID, a int, pb platform.ID, b int,
-	v Variant, topFriends int, friends friendsFn) (linalg.Vector, error) {
+func (sc *imputeScratch) imputePairInto(dst linalg.Vector, src Source, fr friendResolver,
+	pa platform.ID, a int, pb platform.ID, b int, v Variant, topFriends int) (linalg.Vector, error) {
 
 	pv, err := src.RawPair(pa, a, pb, b)
 	if err != nil {
 		return nil, err
 	}
-	x := pv.X.Clone()
+	x := append(dst[:0], pv.X...)
 	if v == HydraZ {
 		return x, nil // missing dims are already zero
 	}
@@ -71,11 +97,11 @@ func imputePair(src Source, pa platform.ID, a int, pb platform.ID, b int,
 	if topFriends <= 0 {
 		topFriends = DefaultTopFriends
 	}
-	friendsA, err := friends(pa, a, topFriends)
+	friendsA, err := fr.resolveFriends(pa, a, topFriends)
 	if err != nil {
 		return nil, err
 	}
-	friendsB, err := friends(pb, b, topFriends)
+	friendsB, err := fr.resolveFriends(pb, b, topFriends)
 	if err != nil {
 		return nil, err
 	}
@@ -86,7 +112,11 @@ func imputePair(src Source, pa platform.ID, a int, pb platform.ID, b int,
 	// (Eqn 18); friend pairs missing the dimension contribute zero, as the
 	// paper prescribes.
 	dim := len(x)
-	sums := linalg.NewVector(dim)
+	sums := sc.sums[:0]
+	for d := 0; d < dim; d++ {
+		sums = append(sums, 0)
+	}
+	sc.sums = sums
 	count := float64(len(friendsA) * len(friendsB))
 	for _, fa := range friendsA {
 		for _, fb := range friendsB {
@@ -107,6 +137,14 @@ func imputePair(src Source, pa platform.ID, a int, pb platform.ID, b int,
 		}
 	}
 	return x, nil
+}
+
+// imputePair is the one-shot, allocating form of imputePairInto — the
+// Impute implementation behind both Source halves.
+func imputePair(src Source, pa platform.ID, a int, pb platform.ID, b int,
+	v Variant, topFriends int) (linalg.Vector, error) {
+	var sc imputeScratch
+	return sc.imputePairInto(nil, src, sourceFriends{src}, pa, a, pb, b, v, topFriends)
 }
 
 // checkPairRange validates a pair's local account ids against the view

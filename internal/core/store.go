@@ -118,15 +118,15 @@ func (st *Store) RawPair(pa platform.ID, a int, pb platform.ID, b int) (features
 
 // Impute returns the pair vector with missing dimensions filled according
 // to the variant, resolving friends from the snapshot's adjacency slices
-// (see imputePair for the shared Eqn-18 implementation).
+// (see imputePairInto for the shared Eqn-18 implementation).
 func (st *Store) Impute(pa platform.ID, a int, pb platform.ID, b int, v Variant, topFriends int) (linalg.Vector, error) {
-	return imputePair(st, pa, a, pb, b, v, topFriends, st.storedFriends)
+	return imputePair(st, pa, a, pb, b, v, topFriends)
 }
 
-// storedFriends returns the top-k prefix of an account's persisted friend
+// Friends returns the top-k prefix of an account's persisted friend
 // slice. The slices are stored in the live graph's rank order, so any
 // prefix up to friendsK equals what TopFriends would have returned.
-func (st *Store) storedFriends(id platform.ID, local, k int) ([]graph.Friend, error) {
+func (st *Store) Friends(id platform.ID, local, k int) ([]graph.Friend, error) {
 	fr, ok := st.friends[id]
 	if !ok {
 		return nil, fmt.Errorf("core: platform %s not in snapshot (have %v)", id, st.Platforms())

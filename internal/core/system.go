@@ -158,14 +158,14 @@ func (s *System) LimitPairCache(n int) { s.pairs.limit(n) }
 
 // Impute returns the pair vector with missing dimensions filled according
 // to the variant, resolving friends through the live interaction graph
-// (see imputePair for the shared Eqn-18 implementation).
+// (see imputePairInto for the shared Eqn-18 implementation).
 func (s *System) Impute(pa platform.ID, a int, pb platform.ID, b int, v Variant, topFriends int) (linalg.Vector, error) {
-	return imputePair(s, pa, a, pb, b, v, topFriends, s.graphFriends)
+	return imputePair(s, pa, a, pb, b, v, topFriends)
 }
 
-// graphFriends reads the top-k most-interacting friends off the dataset's
+// Friends reads the top-k most-interacting friends off the dataset's
 // live interaction graph.
-func (s *System) graphFriends(id platform.ID, local, k int) ([]graph.Friend, error) {
+func (s *System) Friends(id platform.ID, local, k int) ([]graph.Friend, error) {
 	p, err := s.DS.Platform(id)
 	if err != nil {
 		return nil, err

@@ -160,3 +160,38 @@ func TestCacheConcurrentRows(t *testing.T) {
 		t.Fatalf("misses %d < %d rows", misses, len(xs))
 	}
 }
+
+// TestCrossGramIntoWorkersDeterminism asserts the into-variant behind the
+// serving fast path writes the same bits as the allocating CrossGram at
+// any worker count, that a reused output matrix is fully overwritten, and
+// that the warm single-worker path allocates nothing.
+func TestCrossGramIntoWorkersDeterminism(t *testing.T) {
+	as := randomVectors(23, 17, 7)
+	bs := randomVectors(9, 17, 8)
+	for _, k := range []Func{Linear{}, NewRBF(0.9)} {
+		want := CrossGramWorkers(k, as, bs, 1)
+		out := linalg.NewMatrix(len(as), len(bs))
+		for pass := 0; pass < 2; pass++ { // second pass overwrites stale contents
+			for _, w := range []int{1, 2, 4, 0} {
+				for i := range out.Data {
+					out.Data[i] = -12345
+				}
+				CrossGramInto(k, as, bs, out, w)
+				for i := range want.Data {
+					if out.Data[i] != want.Data[i] {
+						t.Fatalf("%s workers=%d: element %d differs: %v vs %v", k.Name(), w, i, out.Data[i], want.Data[i])
+					}
+				}
+			}
+		}
+		if avg := testing.AllocsPerRun(50, func() { CrossGramInto(k, as, bs, out, 1) }); avg > 0 {
+			t.Fatalf("%s: CrossGramInto at one worker allocates %.2f times/op, want 0", k.Name(), avg)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for a shape-mismatched output matrix")
+		}
+	}()
+	CrossGramInto(Linear{}, as, bs, linalg.NewMatrix(1, 1), 1)
+}

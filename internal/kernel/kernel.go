@@ -149,13 +149,40 @@ func CrossGram(k Func, as, bs []linalg.Vector) *linalg.Matrix {
 // count (≤ 0 = all cores), parallelized by row.
 func CrossGramWorkers(k Func, as, bs []linalg.Vector, workers int) *linalg.Matrix {
 	m := linalg.NewMatrix(len(as), len(bs))
-	parallel.For(workers, len(as), func(i int) {
+	CrossGramInto(k, as, bs, m, workers)
+	return m
+}
+
+// CrossGramInto is CrossGramWorkers writing into a caller-provided matrix
+// of shape len(as)×len(bs) — the serving fast path calls it every query
+// with a pooled matrix, so the steady state allocates nothing. Cell (i,j)
+// is k.Eval(as[i], bs[j]), each evaluated independently and written to its
+// own slot, so the contents are bit-identical at any worker count; with
+// one worker the loop runs inline on the calling goroutine (no closure,
+// no goroutines — zero allocations).
+func CrossGramInto(k Func, as, bs []linalg.Vector, out *linalg.Matrix, workers int) {
+	if out.Rows != len(as) || out.Cols != len(bs) {
+		panic(fmt.Sprintf("kernel: CrossGramInto shape mismatch: out %dx%d for %dx%d gram",
+			out.Rows, out.Cols, len(as), len(bs)))
+	}
+	n := len(as)
+	if w := parallel.Workers(workers); w == 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			a := as[i]
+			row := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j, b := range bs {
+				row[j] = k.Eval(a, b)
+			}
+		}
+		return
+	}
+	parallel.For(workers, n, func(i int) {
 		a := as[i]
+		row := out.Data[i*out.Cols : (i+1)*out.Cols]
 		for j, b := range bs {
-			m.Set(i, j, k.Eval(a, b))
+			row[j] = k.Eval(a, b)
 		}
 	})
-	return m
 }
 
 // Cache memoizes kernel evaluations over a fixed sample set, keyed by index

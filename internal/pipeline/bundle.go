@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -16,12 +17,23 @@ import (
 )
 
 // BundleVersion is the current bundle wire version. It continues the
-// artifact's version line (the artifact is format v1, the bundle is
-// format v2: the artifact plus everything the v1 recipe recomputed from
-// the world file). Readers and writers reject any other value outright —
-// the bundle carries raw model coefficients and precomputed views, and a
+// artifact's version line: the artifact is format v1; format v2 is the
+// all-JSON bundle (the artifact plus everything the v1 recipe recomputed
+// from the world file); format v3 keeps the v2 JSON payload for the
+// small structured state but moves the bulky numeric sections — account
+// views, top-friends slices, index shards, support vectors — into
+// length-prefixed binary sections (see bundlebin.go), cutting bundle
+// bytes and cold-start decode time. Writers emit the version stamped on
+// the bundle (v3 from the packers, v2 only for migration tooling);
+// ReadBundle accepts both and rejects everything else outright — the
+// bundle carries raw model coefficients and precomputed views, and a
 // silent cross-version reinterpretation would serve wrong scores.
-const BundleVersion = 2
+const BundleVersion = 3
+
+// BundleVersionJSON is the legacy all-JSON bundle format, still read
+// (and writable by stamping a bundle with this version) through one
+// deprecation window so already-packed deployments keep serving.
+const BundleVersionJSON = 2
 
 // Bundle is a self-contained serving unit: everything `hydra-serve`
 // needs to answer score/link/top-k/batch queries, with no world file and
@@ -90,7 +102,7 @@ func (f *FitState) Bundle(workers int) (*Bundle, error) {
 }
 
 // BundleFromArtifact converts an existing v1 artifact plus its training
-// world into a v2 bundle offline — the cmd/hydra-pack path. The world
+// world into a current-format bundle offline — the cmd/hydra-pack path. The world
 // must be the one the artifact was trained on (fingerprint-checked by
 // Restore); the resulting bundle then replaces both files.
 func BundleFromArtifact(a *Artifact, ds *platform.Dataset, workers int) (*Bundle, error) {
@@ -203,12 +215,18 @@ func (b *Bundle) Store() (*core.Store, error) {
 	return core.NewStore(pipe, views, b.Friends, b.FriendsK, &faces)
 }
 
-// WriteBundle encodes the bundle as JSON.
+// WriteBundle encodes the bundle in the wire format its Version stamps:
+// v3 as the binary-section format, v2 as legacy all-JSON (for migration
+// tooling and the compatibility tests). Anything else is refused.
 func WriteBundle(w io.Writer, b *Bundle) error {
-	if b.Version != BundleVersion {
-		return fmt.Errorf("pipeline: refusing to write bundle version %d (current %d)", b.Version, BundleVersion)
+	switch b.Version {
+	case BundleVersion:
+		return writeBundleV3(w, b)
+	case BundleVersionJSON:
+		return json.NewEncoder(w).Encode(b)
+	default:
+		return fmt.Errorf("pipeline: refusing to write bundle version %d (current %d, legacy JSON %d)", b.Version, BundleVersion, BundleVersionJSON)
 	}
-	return json.NewEncoder(w).Encode(b)
 }
 
 // SaveBundle writes the bundle to a file.
@@ -224,16 +242,22 @@ func SaveBundle(path string, b *Bundle) error {
 	return f.Close()
 }
 
-// ReadBundle decodes a bundle and rejects version mismatches — including
-// a v1 artifact fed to the bundle reader, which fails here instead of
-// serving from half-empty state.
+// ReadBundle decodes a bundle in either supported wire format — v3
+// binary (sniffed by its magic) or legacy v2 JSON — and rejects version
+// mismatches, including a v1 artifact fed to the bundle reader, which
+// fails here instead of serving from half-empty state.
 func ReadBundle(r io.Reader) (*Bundle, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(bundleMagic))
+	if err == nil && string(head) == bundleMagic {
+		return readBundleV3(br)
+	}
 	var b Bundle
-	if err := json.NewDecoder(r).Decode(&b); err != nil {
+	if err := json.NewDecoder(br).Decode(&b); err != nil {
 		return nil, fmt.Errorf("pipeline: decode bundle: %w", err)
 	}
-	if b.Version != BundleVersion {
-		return nil, fmt.Errorf("pipeline: bundle version %d, this build reads version %d", b.Version, BundleVersion)
+	if b.Version != BundleVersionJSON {
+		return nil, fmt.Errorf("pipeline: JSON bundle version %d, this build reads JSON version %d (or binary version %d)", b.Version, BundleVersionJSON, BundleVersion)
 	}
 	return &b, nil
 }

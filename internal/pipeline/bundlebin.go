@@ -1,0 +1,554 @@
+package pipeline
+
+// Bundle format v3: the binary-section encoding behind WriteBundle and
+// ReadBundle. The v2 bundle was one JSON document; at serving scale its
+// bulk is numeric — account views (temporal events, post times, topic /
+// genre / sentiment distributions, embeddings), top-friends slices,
+// index shards and the model's support vectors — and JSON spends ~20
+// text bytes plus parsing per float64 where 8 raw bytes round-trip the
+// exact bits for free. v3 therefore splits the file:
+//
+//	"HYB3"                         4-byte magic (ReadBundle sniffs it)
+//	u64 header length              little-endian
+//	header JSON                    everything small or stringly: the
+//	                               pipeline parts, per-view profile
+//	                               strings, face matcher, model config +
+//	                               bias + diagnostics, pairs, index
+//	                               rules, provenance
+//	4 × (u64 length | payload)     binary sections, fixed order: model
+//	                               (support vectors + duals), view
+//	                               numerics, friend slices, index shards
+//
+// Every section is length-prefixed so a future reader can skip what it
+// does not know. All integers are little-endian and fixed width; floats
+// are raw IEEE-754 bits (bit-exact by construction — stronger than the
+// shortest-unique decimal argument the JSON formats rely on). Slices are
+// written with a presence byte before the count so nil and empty — which
+// encoding/json also distinguishes — survive the round trip, keeping a
+// v3 decode deep-equal to the bundle that was written. Times are stored
+// as Unix nanoseconds and restored in UTC, which is exactly what the v2
+// JSON round trip produced for the UTC timestamps the pipeline works in,
+// so a v3-restored engine answers byte-identically to a v2-restored one.
+// The format is golden-pinned by TestBundleV3GoldenFormat.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"hydra/internal/blocking"
+	"hydra/internal/core"
+	"hydra/internal/features"
+	"hydra/internal/graph"
+	"hydra/internal/linalg"
+	"hydra/internal/platform"
+	"hydra/internal/temporal"
+	"hydra/internal/vision"
+)
+
+// bundleMagic identifies a v3 binary bundle; it is deliberately invalid
+// as the first bytes of a JSON document.
+const bundleMagic = "HYB3"
+
+// bundleHeaderV3 is the JSON header: the bundle minus its binary
+// sections, plus the per-view profile strings the view section omits.
+type bundleHeaderV3 struct {
+	Version  int                          `json:"version"`
+	Pipeline features.PipelineParts       `json:"pipeline"`
+	Views    map[platform.ID][]viewMetaV3 `json:"views"`
+	FriendsK int                          `json:"friends_k"`
+	Faces    vision.Matcher               `json:"faces"`
+	Model    modelMetaV3                  `json:"model"`
+	Pairs    [][2]platform.ID             `json:"pairs"`
+	Indexes  []indexMetaV3                `json:"indexes"`
+
+	WorldPersons     int    `json:"world_persons"`
+	WorldFingerprint string `json:"world_fingerprint"`
+}
+
+// viewMetaV3 is the stringly half of a features.ViewParts; the numeric
+// half lives in the view section.
+type viewMetaV3 struct {
+	Username string                       `json:"username"`
+	Attrs    map[platform.AttrName]string `json:"attrs,omitempty"`
+	AvatarID uint64                       `json:"avatar_id,omitempty"`
+	Unique   []string                     `json:"unique,omitempty"`
+}
+
+// modelMetaV3 is core.ModelParts minus the support vectors and duals,
+// which live in the model section.
+type modelMetaV3 struct {
+	Cfg         core.Config      `json:"cfg"`
+	KernelKind  string           `json:"kernel_kind"`
+	KernelSigma float64          `json:"kernel_sigma,omitempty"`
+	Bias        float64          `json:"bias"`
+	Diag        core.Diagnostics `json:"diag"`
+}
+
+// indexMetaV3 is a blocking.IndexParts minus its shards, which live in
+// the index section.
+type indexMetaV3 struct {
+	PA    platform.ID    `json:"pa"`
+	PB    platform.ID    `json:"pb"`
+	Rules blocking.Rules `json:"rules"`
+}
+
+// writeBundleV3 encodes the bundle as magic + JSON header + binary
+// sections. The section payloads are assembled in memory first (their
+// length prefixes need final sizes); a 100-person bundle's sections are
+// ~1 MB, so this costs one transient buffer, not a second bundle.
+func writeBundleV3(w io.Writer, b *Bundle) error {
+	plats := sortedPlatformIDs(b.Views)
+	header := bundleHeaderV3{
+		Version:  BundleVersion,
+		Pipeline: b.Pipeline,
+		Views:    make(map[platform.ID][]viewMetaV3, len(b.Views)),
+		FriendsK: b.FriendsK,
+		Faces:    b.Faces,
+		Model: modelMetaV3{
+			Cfg:         b.Model.Cfg,
+			KernelKind:  b.Model.KernelKind,
+			KernelSigma: b.Model.KernelSigma,
+			Bias:        b.Model.Bias,
+			Diag:        b.Model.Diag,
+		},
+		Pairs:            b.Pairs,
+		WorldPersons:     b.WorldPersons,
+		WorldFingerprint: b.WorldFingerprint,
+	}
+	for id, views := range b.Views {
+		metas := make([]viewMetaV3, len(views))
+		for i, v := range views {
+			metas[i] = viewMetaV3{Username: v.Username, Attrs: v.Attrs, AvatarID: v.AvatarID, Unique: v.Unique}
+		}
+		header.Views[id] = metas
+	}
+	for _, ix := range b.Indexes {
+		header.Indexes = append(header.Indexes, indexMetaV3{PA: ix.PA, PB: ix.PB, Rules: ix.Rules})
+	}
+	headerJSON, err := json.Marshal(header)
+	if err != nil {
+		return fmt.Errorf("pipeline: encode v3 header: %w", err)
+	}
+
+	var model, views, friends, indexes binSection
+	model.putVecs(b.Model.Xs)
+	model.putVec(b.Model.Alpha)
+	for _, id := range plats {
+		vs := b.Views[id]
+		views.putU32(uint32(len(vs)))
+		for _, v := range vs {
+			views.putEvents(v.Events)
+			views.putTimes(v.PostTimes)
+			views.putVecs(v.TopicDists)
+			views.putVecs(v.GenreDists)
+			views.putVecs(v.SentDists)
+			views.putVec(v.Embedding)
+		}
+		fs := b.Friends[id]
+		friends.putU32(uint32(len(fs)))
+		for _, fr := range fs {
+			friends.putFriends(fr)
+		}
+	}
+	for _, ix := range b.Indexes {
+		indexes.putShards(ix.ByA)
+	}
+
+	if _, err := io.WriteString(w, bundleMagic); err != nil {
+		return err
+	}
+	var lenBuf [8]byte
+	writeBlock := func(p []byte) error {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		if _, err := w.Write(lenBuf[:]); err != nil {
+			return err
+		}
+		_, err := w.Write(p)
+		return err
+	}
+	if err := writeBlock(headerJSON); err != nil {
+		return err
+	}
+	for _, sec := range []*binSection{&model, &views, &friends, &indexes} {
+		if sec.err != nil {
+			return fmt.Errorf("pipeline: encode v3 sections: %w", sec.err)
+		}
+		if err := writeBlock(sec.buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readBundleV3 decodes magic + header + sections back into a Bundle.
+func readBundleV3(r io.Reader) (*Bundle, error) {
+	magic := make([]byte, len(bundleMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("pipeline: read bundle magic: %w", err)
+	}
+	if string(magic) != bundleMagic {
+		return nil, fmt.Errorf("pipeline: bad bundle magic %q", magic)
+	}
+	readBlock := func(what string) ([]byte, error) {
+		var lenBuf [8]byte
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			return nil, fmt.Errorf("pipeline: read v3 %s length: %w", what, err)
+		}
+		n := binary.LittleEndian.Uint64(lenBuf[:])
+		const maxSection = 1 << 33 // 8 GiB: far above any real bundle, far below a length-corruption OOM
+		if n > maxSection {
+			return nil, fmt.Errorf("pipeline: v3 %s claims %d bytes — corrupt bundle", what, n)
+		}
+		p := make([]byte, n)
+		if _, err := io.ReadFull(r, p); err != nil {
+			return nil, fmt.Errorf("pipeline: read v3 %s: %w", what, err)
+		}
+		return p, nil
+	}
+	headerJSON, err := readBlock("header")
+	if err != nil {
+		return nil, err
+	}
+	var header bundleHeaderV3
+	if err := json.Unmarshal(headerJSON, &header); err != nil {
+		return nil, fmt.Errorf("pipeline: decode v3 header: %w", err)
+	}
+	if header.Version != BundleVersion {
+		return nil, fmt.Errorf("pipeline: binary bundle version %d, this build reads version %d", header.Version, BundleVersion)
+	}
+	var secs [4]binSection
+	for i, what := range []string{"model section", "view section", "friend section", "index section"} {
+		p, err := readBlock(what)
+		if err != nil {
+			return nil, err
+		}
+		secs[i] = binSection{buf: p}
+	}
+	model, views, friends, indexes := &secs[0], &secs[1], &secs[2], &secs[3]
+
+	b := &Bundle{
+		Version:  header.Version,
+		Pipeline: header.Pipeline,
+		Views:    make(map[platform.ID][]features.ViewParts, len(header.Views)),
+		Friends:  make(map[platform.ID][][]graph.Friend, len(header.Views)),
+		FriendsK: header.FriendsK,
+		Faces:    header.Faces,
+		Model: core.ModelParts{
+			Cfg:         header.Model.Cfg,
+			KernelKind:  header.Model.KernelKind,
+			KernelSigma: header.Model.KernelSigma,
+			Bias:        header.Model.Bias,
+			Diag:        header.Model.Diag,
+		},
+		Pairs:            header.Pairs,
+		WorldPersons:     header.WorldPersons,
+		WorldFingerprint: header.WorldFingerprint,
+	}
+	b.Model.Xs = model.vecs()
+	b.Model.Alpha = model.vec()
+
+	for _, id := range sortedPlatformIDs(header.Views) {
+		metas := header.Views[id]
+		nv := int(views.u32())
+		if nv != len(metas) {
+			return nil, fmt.Errorf("pipeline: v3 view section has %d accounts for %s, header lists %d", nv, id, len(metas))
+		}
+		vs := make([]features.ViewParts, nv)
+		for i := 0; i < nv; i++ {
+			vs[i] = features.ViewParts{
+				Username:   metas[i].Username,
+				Attrs:      metas[i].Attrs,
+				AvatarID:   metas[i].AvatarID,
+				Unique:     metas[i].Unique,
+				Events:     views.events(),
+				PostTimes:  views.times(),
+				TopicDists: views.vecs(),
+				GenreDists: views.vecs(),
+				SentDists:  views.vecs(),
+				Embedding:  views.vec(),
+			}
+		}
+		b.Views[id] = vs
+		nf := int(friends.u32())
+		if nf != nv {
+			return nil, fmt.Errorf("pipeline: v3 friend section has %d accounts for %s, view section has %d", nf, id, nv)
+		}
+		frs := make([][]graph.Friend, nf)
+		for i := 0; i < nf; i++ {
+			frs[i] = friends.friends()
+		}
+		b.Friends[id] = frs
+	}
+	for _, meta := range header.Indexes {
+		b.Indexes = append(b.Indexes, blocking.IndexParts{
+			PA: meta.PA, PB: meta.PB, Rules: meta.Rules, ByA: indexes.shards(),
+		})
+	}
+	for i, sec := range []*binSection{model, views, friends, indexes} {
+		if sec.err != nil {
+			return nil, fmt.Errorf("pipeline: decode v3 section %d: %w", i, sec.err)
+		}
+		if sec.off != len(sec.buf) {
+			return nil, fmt.Errorf("pipeline: v3 section %d has %d trailing bytes — corrupt bundle", i, len(sec.buf)-sec.off)
+		}
+	}
+	return b, nil
+}
+
+// sortedPlatformIDs returns a platform-keyed map's ids in sorted order —
+// the order the binary sections are laid out in, and the same order the
+// JSON header's map keys marshal in, so writer and reader agree without
+// a separate section directory.
+func sortedPlatformIDs[T any](m map[platform.ID]T) []platform.ID {
+	out := make([]platform.ID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// binSection is a little-endian, length-prefixed binary buffer: the
+// writer appends, the reader consumes from off. The first error sticks;
+// readers return zero values after it so decode loops stay simple and
+// the caller checks err once at the end.
+type binSection struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (s *binSection) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+func (s *binSection) putU8(v uint8)   { s.buf = append(s.buf, v) }
+func (s *binSection) putU32(v uint32) { s.buf = binary.LittleEndian.AppendUint32(s.buf, v) }
+func (s *binSection) putU64(v uint64) { s.buf = binary.LittleEndian.AppendUint64(s.buf, v) }
+func (s *binSection) putI64(v int64)  { s.putU64(uint64(v)) }
+func (s *binSection) putF64(v float64) {
+	s.putU64(math.Float64bits(v))
+}
+
+// putLen writes a presence byte and the length, preserving nil vs empty.
+func (s *binSection) putLen(n int, isNil bool) {
+	if isNil {
+		s.putU8(0)
+		return
+	}
+	s.putU8(1)
+	s.putU32(uint32(n))
+}
+
+func (s *binSection) putVec(v linalg.Vector) {
+	s.putLen(len(v), v == nil)
+	for _, x := range v {
+		s.putF64(x)
+	}
+}
+
+func (s *binSection) putVecs(vs []linalg.Vector) {
+	s.putLen(len(vs), vs == nil)
+	for _, v := range vs {
+		s.putVec(v)
+	}
+}
+
+func (s *binSection) putTimes(ts []time.Time) {
+	s.putLen(len(ts), ts == nil)
+	for _, t := range ts {
+		s.putI64(t.UnixNano())
+	}
+}
+
+func (s *binSection) putEvents(es []temporal.Event) {
+	s.putLen(len(es), es == nil)
+	for _, e := range es {
+		s.putI64(e.Time.UnixNano())
+		s.putF64(e.Lat)
+		s.putF64(e.Lon)
+		s.putU64(e.MediaID)
+	}
+}
+
+func (s *binSection) putFriends(fs []graph.Friend) {
+	s.putLen(len(fs), fs == nil)
+	for _, f := range fs {
+		s.putI64(int64(f.ID))
+		s.putF64(f.Weight)
+	}
+}
+
+func (s *binSection) putShards(byA [][]blocking.Candidate) {
+	s.putLen(len(byA), byA == nil)
+	for _, shard := range byA {
+		s.putLen(len(shard), shard == nil)
+		for _, c := range shard {
+			if c.A < 0 || c.A > math.MaxUint32 || c.B < 0 || c.B > math.MaxUint32 {
+				s.fail(fmt.Errorf("candidate ids (%d, %d) out of the u32 range the index section encodes", c.A, c.B))
+				return
+			}
+			s.putU32(uint32(c.A))
+			s.putU32(uint32(c.B))
+			s.putF64(c.Score)
+			if c.PreMatched {
+				s.putU8(1)
+			} else {
+				s.putU8(0)
+			}
+		}
+	}
+}
+
+func (s *binSection) take(n int) []byte {
+	if s.err != nil {
+		return nil
+	}
+	if s.off+n > len(s.buf) {
+		s.fail(fmt.Errorf("section truncated at byte %d (want %d more)", s.off, n))
+		return nil
+	}
+	p := s.buf[s.off : s.off+n]
+	s.off += n
+	return p
+}
+
+func (s *binSection) u8() uint8 {
+	p := s.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (s *binSection) u32() uint32 {
+	p := s.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+func (s *binSection) u64() uint64 {
+	p := s.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+func (s *binSection) i64() int64   { return int64(s.u64()) }
+func (s *binSection) f64() float64 { return math.Float64frombits(s.u64()) }
+
+// sliceLen reads a presence byte and length; ok is false for nil.
+func (s *binSection) sliceLen() (n int, ok bool) {
+	if s.u8() == 0 {
+		return 0, false
+	}
+	n = int(s.u32())
+	// Each encoded element of every slice type is at least 1 byte, so a
+	// length beyond the remaining bytes is corruption — fail now rather
+	// than letting make() balloon.
+	if s.err == nil && n > len(s.buf)-s.off {
+		s.fail(fmt.Errorf("slice of %d elements at byte %d exceeds section size %d", n, s.off, len(s.buf)))
+		return 0, false
+	}
+	return n, true
+}
+
+func (s *binSection) vec() linalg.Vector {
+	n, ok := s.sliceLen()
+	if !ok || s.err != nil {
+		return nil
+	}
+	v := make(linalg.Vector, n)
+	for i := range v {
+		v[i] = s.f64()
+	}
+	return v
+}
+
+func (s *binSection) vecs() []linalg.Vector {
+	n, ok := s.sliceLen()
+	if !ok || s.err != nil {
+		return nil
+	}
+	vs := make([]linalg.Vector, n)
+	for i := range vs {
+		vs[i] = s.vec()
+	}
+	return vs
+}
+
+func (s *binSection) times() []time.Time {
+	n, ok := s.sliceLen()
+	if !ok || s.err != nil {
+		return nil
+	}
+	ts := make([]time.Time, n)
+	for i := range ts {
+		ts[i] = time.Unix(0, s.i64()).UTC()
+	}
+	return ts
+}
+
+func (s *binSection) events() []temporal.Event {
+	n, ok := s.sliceLen()
+	if !ok || s.err != nil {
+		return nil
+	}
+	es := make([]temporal.Event, n)
+	for i := range es {
+		es[i] = temporal.Event{
+			Time:    time.Unix(0, s.i64()).UTC(),
+			Lat:     s.f64(),
+			Lon:     s.f64(),
+			MediaID: s.u64(),
+		}
+	}
+	return es
+}
+
+func (s *binSection) friends() []graph.Friend {
+	n, ok := s.sliceLen()
+	if !ok || s.err != nil {
+		return nil
+	}
+	fs := make([]graph.Friend, n)
+	for i := range fs {
+		fs[i] = graph.Friend{ID: int(s.i64()), Weight: s.f64()}
+	}
+	return fs
+}
+
+func (s *binSection) shards() [][]blocking.Candidate {
+	n, ok := s.sliceLen()
+	if !ok || s.err != nil {
+		return nil
+	}
+	byA := make([][]blocking.Candidate, n)
+	for i := range byA {
+		m, ok := s.sliceLen()
+		if !ok || s.err != nil {
+			continue
+		}
+		shard := make([]blocking.Candidate, m)
+		for j := range shard {
+			shard[j] = blocking.Candidate{
+				A:          int(s.u32()),
+				B:          int(s.u32()),
+				Score:      s.f64(),
+				PreMatched: s.u8() == 1,
+			}
+		}
+		byA[i] = shard
+	}
+	return byA
+}

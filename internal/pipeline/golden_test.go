@@ -21,8 +21,10 @@ import (
 	"hydra/internal/vision"
 )
 
-// The golden-file tests pin the two wire formats byte for byte: the v1
-// model artifact and the v2 serving bundle. The fixtures are hand-built
+// The golden-file tests pin the three wire formats byte for byte: the v1
+// model artifact, the legacy v2 JSON bundle (still readable and
+// writable through the migration window) and the current v3
+// binary-section bundle. The fixtures are hand-built
 // (no training involved), so these tests fail on codec drift — a renamed
 // JSON key, a dropped field, a changed version constant — and on nothing
 // else. An accidental change here would corrupt every deployed model, so
@@ -89,7 +91,7 @@ func fixtureArtifact() *Artifact {
 	}
 }
 
-func fixtureBundle() *Bundle {
+func fixtureBundle(version int) *Bundle {
 	t0 := time.Date(2012, 6, 1, 0, 0, 0, 0, time.UTC)
 	span := temporal.Range{Start: t0, End: t0.AddDate(1, 0, 0)}
 	view := func(name string, avatar uint64) features.ViewParts {
@@ -107,7 +109,7 @@ func fixtureBundle() *Bundle {
 		}
 	}
 	return &Bundle{
-		Version: BundleVersion,
+		Version: version,
 		Pipeline: features.PipelineParts{
 			Cfg:  fixtureFeatCfg(),
 			Span: span,
@@ -179,12 +181,13 @@ func TestArtifactGoldenFormat(t *testing.T) {
 	}
 }
 
-// TestBundleGoldenFormat pins bundle v2 the same way, and additionally
-// asserts the golden bundle still restores into a working snapshot store
-// (the whole point of the format).
-func TestBundleGoldenFormat(t *testing.T) {
-	b := fixtureBundle()
-	golden := checkGolden(t, "bundle_v2.golden.json", func(buf *bytes.Buffer) error {
+// checkBundleGolden pins one bundle wire format: golden bytes, decode
+// round trip, and that the decoded bundle still restores into a working
+// snapshot store (the whole point of the format).
+func checkBundleGolden(t *testing.T, version int, goldenName string) {
+	t.Helper()
+	b := fixtureBundle(version)
+	golden := checkGolden(t, goldenName, func(buf *bytes.Buffer) error {
 		return WriteBundle(buf, b)
 	})
 	decoded, err := ReadBundle(bytes.NewReader(golden))
@@ -207,4 +210,14 @@ func TestBundleGoldenFormat(t *testing.T) {
 	if _, err := core.ModelFromParts(store, decoded.Model); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestBundleGoldenFormat pins the legacy v2 JSON bundle.
+func TestBundleGoldenFormat(t *testing.T) {
+	checkBundleGolden(t, BundleVersionJSON, "bundle_v2.golden.json")
+}
+
+// TestBundleV3GoldenFormat pins the v3 binary-section bundle.
+func TestBundleV3GoldenFormat(t *testing.T) {
+	checkBundleGolden(t, BundleVersion, "bundle_v3.golden.bin")
 }

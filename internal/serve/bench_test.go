@@ -9,7 +9,10 @@ import (
 )
 
 // benchEnv reuses the test fixture; training dominates setup, so the
-// benchmarks share one engine. The pair cache is pre-warmed with a full
+// benchmarks share one engine — the bundle-backed one, the deployed
+// configuration and the one whose snapshot store serves friend lookups
+// allocation-free (the world-backed engine is bit-identical but ranks
+// live-graph friends per miss). The pair cache is pre-warmed with a full
 // batch so the numbers reflect a long-lived server's steady state.
 func benchEnv(b *testing.B) (testEnv, [][2]int) {
 	b.Helper()
@@ -22,45 +25,88 @@ func benchEnv(b *testing.B) (testEnv, [][2]int) {
 	for i, c := range blk.Cands {
 		pairs[i] = [2]int{c.A, c.B}
 	}
-	if _, err := env.eng.ScoreBatch(blk.PA, blk.PB, pairs); err != nil {
+	if _, err := env.beng.ScoreBatch(blk.PA, blk.PB, pairs); err != nil {
 		b.Fatal(err)
 	}
 	return env, pairs
 }
 
 // BenchmarkServeScore measures single-pair score latency on the serving
-// path (warm pair cache: kernel expansion over the support vectors).
+// path (warm pair cache: batched kernel fold over the compacted support
+// set). Allocs/op is the zero-alloc steady-state claim, measured.
 func BenchmarkServeScore(b *testing.B) {
 	e, pairs := benchEnv(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := pairs[i%len(pairs)]
-		if _, err := e.eng.Score(platform.Twitter, p[0], platform.Facebook, p[1]); err != nil {
+		if _, err := e.beng.Score(platform.Twitter, p[0], platform.Facebook, p[1]); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-// BenchmarkServeTopK measures a top-k query: one sharded index lookup plus
-// a batched scoring pass over the shard.
+// BenchmarkServeTopK measures a top-k query: one sharded index lookup,
+// a batched scoring pass over the shard, and bounded partial selection —
+// through the recycled-buffer TopKAppend, so the steady state is
+// allocation-free.
 func BenchmarkServeTopK(b *testing.B) {
 	e, pairs := benchEnv(b)
+	var dst []Scored
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a := pairs[i%len(pairs)][0]
-		if _, err := e.eng.TopK(platform.Twitter, a, platform.Facebook, 5); err != nil {
+		var err error
+		if dst, err = e.beng.TopKAppend(dst[:0], platform.Twitter, a, platform.Facebook, 5); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 // BenchmarkServeBatch measures batched score throughput over the whole
-// candidate set (pairs/op = len(pairs)).
+// candidate set (pairs/op = len(pairs)) into a reused output slice.
 func BenchmarkServeBatch(b *testing.B) {
 	e, pairs := benchEnv(b)
+	out := make([]float64, len(pairs))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.eng.ScoreBatch(platform.Twitter, platform.Facebook, pairs); err != nil {
+		if err := e.beng.Model.ScoreBatchInto(platform.Twitter, platform.Facebook, pairs, e.beng.Workers, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeBundleDecodeV2 and ...V3 isolate the bundle decode the
+// two wire formats pay at cold start — the v3 binary sections exist to
+// win exactly this comparison.
+func BenchmarkServeBundleDecodeV2(b *testing.B) {
+	e, _ := benchEnv(b)
+	v2 := *e.bundle
+	v2.Version = pipeline.BundleVersionJSON
+	var buf bytes.Buffer
+	if err := pipeline.WriteBundle(&buf, &v2); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.ReadBundle(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServeBundleDecodeV3(b *testing.B) {
+	e, _ := benchEnv(b)
+	b.SetBytes(int64(len(e.bundleBytes)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.ReadBundle(bytes.NewReader(e.bundleBytes)); err != nil {
 			b.Fatal(err)
 		}
 	}

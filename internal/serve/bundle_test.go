@@ -180,16 +180,18 @@ func TestServeBundleStoreShape(t *testing.T) {
 }
 
 // TestServeBundleVersionGate asserts both directions of the version gate
-// and that the two formats cannot be confused for each other.
+// and that the formats cannot be confused for each other.
 func TestServeBundleVersionGate(t *testing.T) {
 	e := getEnv(t)
 	bad := *e.bundle
-	bad.Version = 3
+	bad.Version = pipeline.BundleVersion + 1
 	var buf bytes.Buffer
 	if err := pipeline.WriteBundle(&buf, &bad); err == nil {
-		t.Fatal("expected write rejection for version 3")
+		t.Fatalf("expected write rejection for unknown version %d", bad.Version)
 	}
-	bad.Version = pipeline.BundleVersion
+	// The legacy v2 JSON format still writes and reads through the
+	// migration window — but a v1 stamp inside it is rejected.
+	bad.Version = pipeline.BundleVersionJSON
 	buf.Reset()
 	if err := pipeline.WriteBundle(&buf, &bad); err != nil {
 		t.Fatal(err)
@@ -197,6 +199,17 @@ func TestServeBundleVersionGate(t *testing.T) {
 	raw := bytes.Replace(buf.Bytes(), []byte(`"version":2`), []byte(`"version":1`), 1)
 	if _, err := pipeline.ReadBundle(bytes.NewReader(raw)); err == nil {
 		t.Fatal("expected read rejection for version 1")
+	}
+	// Same for a tampered version stamp inside a v3 binary header.
+	v3 := *e.bundle
+	v3.Version = pipeline.BundleVersion
+	buf.Reset()
+	if err := pipeline.WriteBundle(&buf, &v3); err != nil {
+		t.Fatal(err)
+	}
+	raw = bytes.Replace(buf.Bytes(), []byte(`"version":3`), []byte(`"version":9`), 1)
+	if _, err := pipeline.ReadBundle(bytes.NewReader(raw)); err == nil {
+		t.Fatal("expected read rejection for a tampered v3 header version")
 	}
 	// A v1 artifact fed to the bundle reader must be rejected too.
 	var abuf bytes.Buffer

@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	"hydra/internal/pipeline"
+)
+
+// TestServeTopKSelectionMatchesSort locks the bounded partial selection
+// to an independent reference: score the account's whole candidate shard
+// pair by pair, full-sort by the exact (score desc, B asc) comparator,
+// truncate — for k ∈ {1, 5, len(shard)} plus the k ≤ 0 whole-shard form,
+// at one and four workers.
+func TestServeTopKSelectionMatchesSort(t *testing.T) {
+	e := getEnv(t)
+	blk := e.task.Blocks[0]
+	for _, workers := range []int{1, 4} {
+		eng, err := NewEngineFromBundle(e.bundle, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checked := 0
+		for a := 0; a < 12; a++ {
+			// Independent shard reconstruction: the union of index shards
+			// equals the generated candidate set, and row a's shard holds
+			// exactly its candidates.
+			var ref []Scored
+			for _, c := range blk.Cands {
+				if c.A != a {
+					continue
+				}
+				s, err := eng.Score(blk.PA, a, blk.PB, c.B)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref = append(ref, Scored{B: c.B, Score: s, Linked: s > 0})
+			}
+			sort.Slice(ref, func(i, j int) bool {
+				if ref[i].Score != ref[j].Score {
+					return ref[i].Score > ref[j].Score
+				}
+				return ref[i].B < ref[j].B
+			})
+			for _, k := range []int{1, 5, len(ref), 0} {
+				want := ref
+				if k > 0 && k < len(ref) {
+					want = ref[:k]
+				}
+				got, err := eng.TopK(blk.PA, a, blk.PB, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("workers=%d a=%d k=%d: %d rows, want %d", workers, a, k, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("workers=%d a=%d k=%d row %d: %+v, want %+v", workers, a, k, i, got[i], want[i])
+					}
+				}
+				checked += len(want)
+			}
+		}
+		if checked == 0 {
+			t.Fatal("no shards checked")
+		}
+	}
+}
+
+// TestSteadyStateAllocs guards the zero-alloc property of the warm
+// serving fast path on the deployed (bundle-backed, single-worker)
+// configuration: Score and the recycled-buffer TopKAppend must not
+// allocate at all, and the allocating TopK wrapper only for its result
+// slice. Run outside the race filter on purpose — the race runtime's own
+// bookkeeping would show up in the counts.
+func TestSteadyStateAllocs(t *testing.T) {
+	e := getEnv(t)
+	eng, err := NewEngineFromBundle(e.bundle, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := e.task.Blocks[0]
+	pairs := make([][2]int, len(blk.Cands))
+	for i, c := range blk.Cands {
+		pairs[i] = [2]int{c.A, c.B}
+	}
+	// Warm: fill the pair cache (candidate and friend pairs) and grow
+	// every pooled buffer to its steady-state size.
+	if _, err := eng.ScoreBatch(blk.PA, blk.PB, pairs); err != nil {
+		t.Fatal(err)
+	}
+	var dst []Scored
+	if dst, err = eng.TopKAppend(dst[:0], blk.PA, pairs[0][0], blk.PB, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	p := pairs[0]
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := eng.Score(blk.PA, p[0], blk.PB, p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 0 {
+		t.Fatalf("warm Engine.Score allocates %.2f times/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		var err error
+		if dst, err = eng.TopKAppend(dst[:0], blk.PA, p[0], blk.PB, 5); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 0 {
+		t.Fatalf("warm Engine.TopKAppend allocates %.2f times/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := eng.TopK(blk.PA, p[0], blk.PB, 5); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 1 {
+		t.Fatalf("warm Engine.TopK allocates %.2f times/op, want ≤ 1 (its result slice)", avg)
+	}
+	scores := make([]float64, len(pairs))
+	if avg := testing.AllocsPerRun(50, func() {
+		if err := eng.Model.ScoreBatchInto(blk.PA, blk.PB, pairs, 1, scores); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 0 {
+		t.Fatalf("warm ScoreBatchInto allocates %.2f times/op, want 0", avg)
+	}
+}
+
+// TestServeBundleV2V3ByteIdentical asserts the two bundle wire formats
+// of one model restore into engines whose serving output is byte
+// identical: same REPL transcript, same scores, same top-k rows.
+func TestServeBundleV2V3ByteIdentical(t *testing.T) {
+	e := getEnv(t)
+
+	engineFor := func(version int) *Engine {
+		t.Helper()
+		b := *e.bundle
+		b.Version = version
+		var buf bytes.Buffer
+		if err := pipeline.WriteBundle(&buf, &b); err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := pipeline.ReadBundle(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewEngineFromBundle(decoded, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	engV2 := engineFor(pipeline.BundleVersionJSON)
+	engV3 := engineFor(pipeline.BundleVersion)
+
+	script := strings.Join([]string{
+		"pairs",
+		"score twitter 0 facebook 0",
+		"link twitter 1 facebook 1",
+		"topk twitter 0 facebook 5",
+		"topk twitter 1 facebook 0",
+		"batch twitter facebook 0:0 0:1 1:0 2:2",
+		"quit",
+	}, "\n")
+	var outV2, outV3 bytes.Buffer
+	if err := engV2.REPL(strings.NewReader(script), &outV2); err != nil {
+		t.Fatal(err)
+	}
+	if err := engV3.REPL(strings.NewReader(script), &outV3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(outV2.Bytes(), outV3.Bytes()) {
+		t.Fatalf("REPL output differs between v2 and v3 bundles:\n--- v2 ---\n%s\n--- v3 ---\n%s", outV2.String(), outV3.String())
+	}
+
+	blk := e.task.Blocks[0]
+	for _, c := range blk.Cands {
+		s2, err := engV2.Score(blk.PA, c.A, blk.PB, c.B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s3, err := engV3.Score(blk.PA, c.A, blk.PB, c.B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s2 != s3 {
+			t.Fatalf("score (%d,%d) differs between v2 (%v) and v3 (%v) bundles", c.A, c.B, s2, s3)
+		}
+	}
+}

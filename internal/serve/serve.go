@@ -6,22 +6,28 @@
 //   - NewEngine loads a v1 model artifact plus the world file it was
 //     trained on, rebuilding the feature pipeline and candidate indexes
 //     from the raw dataset (the builder-backed path), and
-//   - NewEngineFromBundle loads a self-contained v2 bundle — precomputed
+//   - NewEngineFromBundle loads a self-contained serving bundle (v3
+//     binary sections or legacy v2 JSON) — precomputed
 //     views, friend slices and index shards — and serves with no world
 //     file at all (the snapshot-backed path), bit-identical to the
 //     builder but with a cold start that only decodes, never retrains.
 //
-// Scoring batches ride the existing Workers-governed kernel/feature hot
-// paths (Model.ScoreBatchWorkers fans pairs over the pool; the source's
-// pair cache is mutex-guarded and shared across queries, so repeated
-// queries get warmer). Top-k queries never scan the full B side: each
-// A-side account's candidates come from a per-A-side sharded
-// blocking.Index built (or decoded) once at startup.
+// Queries run on the serving fast path (core.Model.ScoreBatchInto): the
+// batch imputes into pooled feature rows, all kernel values evaluate in
+// one blocked Workers-governed pass over the compacted support set, and
+// α and the bias fold per pair — bit-identical to the scalar loop and
+// allocation-free once warm (the source's pair cache is mutex-guarded
+// and shared across queries, so repeated queries get warmer). Top-k
+// queries never scan the full B side: each A-side account's candidates
+// come from a per-A-side sharded blocking.Index built (or decoded) once
+// at startup, and the shard ranks by bounded partial selection rather
+// than a full sort.
 package serve
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"hydra/internal/blocking"
 	"hydra/internal/core"
@@ -31,7 +37,7 @@ import (
 
 // Engine answers linkage queries against one restored model. It is
 // immutable after construction apart from the source's internal caches
-// and safe for concurrent queries.
+// and the query-scratch pool, and safe for concurrent queries.
 type Engine struct {
 	// Sys is the feature source behind the model: a dataset-backed
 	// core.System (world path) or a snapshot core.Store (bundle path).
@@ -41,6 +47,7 @@ type Engine struct {
 	Workers int
 
 	indexes map[[2]platform.ID]*blocking.Index
+	scratch sync.Pool
 }
 
 // DefaultPairCacheEntries bounds the System's pair-vector cache in a
@@ -170,34 +177,107 @@ type Scored struct {
 // over the worker pool. Ties break on the lower B id, so results are
 // deterministic at any worker count. k ≤ 0 returns the whole ranked shard.
 func (e *Engine) TopK(pa platform.ID, a int, pb platform.ID, k int) ([]Scored, error) {
+	return e.TopKAppend(nil, pa, a, pb, k)
+}
+
+// topkScratch is the pooled per-query state of a top-k query: the pair
+// list fed to the batch scorer, its score slots, the bounded selection
+// window, and a reusable sorter over it (sort.Slice's closure would
+// allocate every whole-shard query; a pooled sort.Interface does not).
+type topkScratch struct {
+	pairs  [][2]int
+	scores []float64
+	sel    []Scored
+	sorter scoredSorter
+}
+
+// scoredSorter sorts a Scored slice by (score descending, B ascending).
+type scoredSorter struct{ s []Scored }
+
+func (ss *scoredSorter) Len() int      { return len(ss.s) }
+func (ss *scoredSorter) Swap(i, j int) { ss.s[i], ss.s[j] = ss.s[j], ss.s[i] }
+func (ss *scoredSorter) Less(i, j int) bool {
+	return scoredBefore(ss.s[i].Score, ss.s[i].B, ss.s[j])
+}
+
+// TopKAppend is TopK appending its results to dst (which may be nil) —
+// the allocation-free form: with a recycled dst, a warm query's pair
+// list, scores, selection window and sorter all come from the engine's
+// pool and the steady state allocates nothing.
+//
+// A bounded-k ranking runs as partial selection instead of sorting the
+// whole scored shard: candidates are inserted into a k-sized window kept
+// ordered by (score descending, B ascending) — the exact comparator the
+// full sort uses, a strict total order over a shard's distinct B ids, so
+// the window always equals the first k rows of the sorted shard.
+// Whole-shard queries (k ≤ 0 or k ≥ shard size) sort instead, avoiding
+// the window's O(n·k) shifting.
+func (e *Engine) TopKAppend(dst []Scored, pa platform.ID, a int, pb platform.ID, k int) ([]Scored, error) {
 	ix, ok := e.indexes[[2]platform.ID{pa, pb}]
 	if !ok {
-		return nil, fmt.Errorf("serve: no candidate index for %s → %s (artifact pairs: %v)", pa, pb, e.Pairs())
+		return dst, fmt.Errorf("serve: no candidate index for %s → %s (artifact pairs: %v)", pa, pb, e.Pairs())
 	}
 	cands, err := ix.Candidates(a)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
-	pairs := make([][2]int, len(cands))
-	for i, c := range cands {
-		pairs[i] = [2]int{a, c.B}
+	sc, _ := e.scratch.Get().(*topkScratch)
+	if sc == nil {
+		sc = &topkScratch{}
 	}
-	scores, err := e.Model.ScoreBatchWorkers(pa, pb, pairs, e.Workers)
-	if err != nil {
-		return nil, err
+	defer e.scratch.Put(sc)
+	pairs := sc.pairs[:0]
+	for _, c := range cands {
+		pairs = append(pairs, [2]int{a, c.B})
 	}
-	out := make([]Scored, len(cands))
-	for i, c := range cands {
-		out[i] = Scored{B: c.B, Score: scores[i], Linked: scores[i] > 0}
+	sc.pairs = pairs
+	if cap(sc.scores) < len(cands) {
+		sc.scores = make([]float64, len(cands))
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+	scores := sc.scores[:len(cands)]
+	if err := e.Model.ScoreBatchInto(pa, pb, pairs, e.Workers, scores); err != nil {
+		return dst, err
+	}
+	kk := k
+	if kk <= 0 || kk > len(cands) {
+		kk = len(cands)
+	}
+	sel := sc.sel[:0]
+	if kk == len(cands) {
+		// Whole-shard ranking: a full sort beats the insertion window's
+		// O(n·k) shifting once k is the shard itself.
+		for i, c := range cands {
+			sel = append(sel, Scored{B: c.B, Score: scores[i], Linked: scores[i] > 0})
 		}
-		return out[i].B < out[j].B
-	})
-	if k > 0 && k < len(out) {
-		out = out[:k]
+		sc.sorter.s = sel
+		sort.Sort(&sc.sorter)
+	} else {
+		for i, c := range cands {
+			s := scores[i]
+			if len(sel) == kk {
+				if !scoredBefore(s, c.B, sel[kk-1]) {
+					continue // not better than the window's worst
+				}
+				sel = sel[:kk-1] // drop the worst, insert below
+			}
+			pos := len(sel)
+			for pos > 0 && scoredBefore(s, c.B, sel[pos-1]) {
+				pos--
+			}
+			sel = append(sel, Scored{})
+			copy(sel[pos+1:], sel[pos:])
+			sel[pos] = Scored{B: c.B, Score: s, Linked: s > 0}
+		}
 	}
-	return out, nil
+	sc.sel = sel
+	return append(dst, sel...), nil
+}
+
+// scoredBefore reports whether a candidate with the given score and B id
+// ranks strictly before r in the (score descending, B ascending) order.
+func scoredBefore(score float64, b int, r Scored) bool {
+	if score != r.Score {
+		return score > r.Score
+	}
+	return b < r.B
 }
