@@ -25,12 +25,14 @@ build:
 test:
 	$(GO) test ./...
 
-# race exercises the worker-pool paths under the race detector — the
-# serving engines (world- and bundle-backed, TestServe*), the staged
-# pipeline, the parallel figure sweeps and the fanned-out synth generator
-# (*Workers*/*Determinism* tests) all match the filter.
+# race exercises the worker-pool and serving concurrency paths under the
+# race detector — the serving engines (world- and bundle-backed,
+# TestServe*, including the hot-swap drills), the scatter-gather router
+# (TestRouter*), the staged pipeline, the parallel figure sweeps and the
+# fanned-out synth generator (*Workers*/*Determinism* tests) all match
+# the filter.
 race:
-	$(GO) test -race -run 'Determinism|Concurrent|Workers|Serve' ./internal/...
+	$(GO) test -race -run 'Determinism|Concurrent|Workers|Serve|Router' ./internal/...
 
 # bench-smoke runs every serve benchmark once (-benchtime=1x) as part of
 # make ci — not for numbers, but so the bench harness itself (fixtures,
@@ -88,11 +90,12 @@ bench-bundle:
 
 # bench-json trains a small model through the staged pipeline, persists
 # it both ways and benchmarks the restored engines, writing a machine-
-# readable BENCH_PR5.json snapshot (cold-start world vs bundle, v2 vs v3
-# bundle bytes + decode, steady-state query latency + allocs/op) so the
-# perf trajectory has a mechanical data point per PR.
+# readable BENCH_PR6.json snapshot (cold-start world vs bundle, v2 vs v3
+# bundle bytes + decode, steady-state query latency + allocs/op, router
+# scatter-gather top-k over 4 in-process shards, hot-swap pause p99) so
+# the perf trajectory has a mechanical data point per PR.
 bench-json:
-	$(GO) run ./cmd/hydra-servebench -prev BENCH_PR4.json -json BENCH_PR5.json
+	$(GO) run ./cmd/hydra-servebench -prev BENCH_PR5.json -json BENCH_PR6.json
 
 # figures regenerates every figure table (the full experiment suite).
 figures:

@@ -12,6 +12,17 @@
 // and candidate index the serving engine queries, and writes them as one
 // versioned bundle. After that the world file — raw posts, trajectories
 // and ground truth included — no longer ships anywhere.
+//
+// With -shards N the bundle is split into N self-contained sub-bundles
+// for a scatter-gather deployment: each holds the model and configs in
+// full plus the views, friends and index rows of the B-side accounts a
+// seeded consistent hash assigns to it (and the views of their friends,
+// which Eqn-18 imputation needs). Shard k lands next to -o as
+// name.shard0.ext … name.shardN-1.ext; serve each with hydra-serve and
+// front them with hydra-router. Re-shard an already-packed bundle with
+// -bundle instead of -model/-world:
+//
+//	go run ./cmd/hydra-pack -bundle bundle.bin -shards 4 -generation 2 -o bundle.bin
 package main
 
 import (
@@ -19,39 +30,87 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"hydra/internal/pipeline"
 )
 
 func main() {
 	var (
-		model   = flag.String("model", "", "model artifact JSON (from hydra-link -save-model)")
-		world   = flag.String("world", "", "world JSON the model was trained on (from hydra-gen)")
-		out     = flag.String("o", "", "output bundle path")
-		workers = flag.Int("workers", 0, "worker-pool size for the index rebuild; 0 = all cores (identical bundle at any setting)")
+		model      = flag.String("model", "", "model artifact JSON (from hydra-link -save-model)")
+		world      = flag.String("world", "", "world JSON the model was trained on (from hydra-gen)")
+		inBundle   = flag.String("bundle", "", "existing bundle to (re-)shard instead of packing from -model/-world")
+		out        = flag.String("o", "", "output bundle path (with -shards, the base name for name.shardK.ext files)")
+		workers    = flag.Int("workers", 0, "worker-pool size for the index rebuild; 0 = all cores (identical bundle at any setting)")
+		shards     = flag.Int("shards", 1, "split the bundle into this many self-contained shards (1 = no split)")
+		seed       = flag.Uint64("hash-seed", 0, "seed of the consistent hash that assigns B-side accounts to shards")
+		generation = flag.Uint64("generation", 1, "bundle generation stamped on each shard; hot swap requires strictly newer")
 	)
 	flag.Parse()
-	if *model == "" || *world == "" || *out == "" {
-		fmt.Fprintln(os.Stderr, "usage: hydra-pack -model model.json -world world.json -o bundle.json")
+	if *out == "" || (*inBundle == "" && (*model == "" || *world == "")) {
+		fmt.Fprintln(os.Stderr, "usage: hydra-pack -model model.json -world world.json -o bundle.json [-shards N]")
+		fmt.Fprintln(os.Stderr, "       hydra-pack -bundle bundle.bin -shards N [-generation G] -o bundle.bin")
+		os.Exit(2)
+	}
+	if *inBundle != "" && (*model != "" || *world != "") {
+		fmt.Fprintln(os.Stderr, "hydra-pack: -bundle re-shards an existing bundle; do not combine it with -model/-world")
 		os.Exit(2)
 	}
 
-	art, err := pipeline.LoadArtifact(*model)
+	var (
+		b   *pipeline.Bundle
+		err error
+	)
+	if *inBundle != "" {
+		if b, err = pipeline.LoadBundle(*inBundle); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		art, err := pipeline.LoadArtifact(*model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, err := pipeline.LoadWorldFile(*world)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if b, err = pipeline.BundleFromArtifact(art, ds, *workers); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *shards <= 1 {
+		if err := pipeline.SaveBundle(*out, b); err != nil {
+			log.Fatal(err)
+		}
+		report(*out, b)
+		return
+	}
+
+	subs, err := pipeline.SplitBundle(b, *shards, *seed, *generation)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ds, err := pipeline.LoadWorldFile(*world)
-	if err != nil {
-		log.Fatal(err)
+	for _, sb := range subs {
+		path := shardPath(*out, sb.Shard.Index)
+		if err := pipeline.SaveBundle(path, sb); err != nil {
+			log.Fatal(err)
+		}
+		report(path, sb)
 	}
-	b, err := pipeline.BundleFromArtifact(art, ds, *workers)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := pipeline.SaveBundle(*out, b); err != nil {
-		log.Fatal(err)
-	}
-	info, err := os.Stat(*out)
+	fmt.Fprintf(os.Stderr, "split into %d shards (hash seed %d, generation %d) — serve each with hydra-serve and front them with hydra-router\n",
+		*shards, *seed, *generation)
+}
+
+// shardPath derives shard k's file name: bundle.bin -> bundle.shard0.bin.
+func shardPath(out string, k int) string {
+	ext := filepath.Ext(out)
+	return fmt.Sprintf("%s.shard%d%s", strings.TrimSuffix(out, ext), k, ext)
+}
+
+func report(path string, b *pipeline.Bundle) {
+	info, err := os.Stat(path)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,6 +118,10 @@ func main() {
 	for _, v := range b.Views {
 		views += len(v)
 	}
-	fmt.Fprintf(os.Stderr, "packed %s: %d platforms, %d views, %d indexed pairs, top-%d friends, %d bytes — serve it with hydra-serve -bundle\n",
-		*out, len(b.Views), views, len(b.Indexes), b.FriendsK, info.Size())
+	suffix := "serve it with hydra-serve -bundle"
+	if b.Shard != nil {
+		suffix = fmt.Sprintf("shard %d/%d", b.Shard.Index, b.Shard.Count)
+	}
+	fmt.Fprintf(os.Stderr, "packed %s: %d platforms, %d views, %d indexed pairs, top-%d friends, %d bytes — %s\n",
+		path, len(b.Views), views, len(b.Indexes), b.FriendsK, info.Size(), suffix)
 }

@@ -18,30 +18,50 @@
 //	echo "topk twitter 4 facebook 3" | go run ./cmd/hydra-serve -bundle bundle.json
 //	go run ./cmd/hydra-serve -bundle bundle.json -http :8080
 //
-// Query batches fan out over the -workers pool. The HTTP server runs
-// with read/write timeouts and a capped request body size, so stalled or
+// The HTTP server is built for long-lived serving:
+//
+//   - SIGHUP re-reads the -bundle file and hot-swaps it in atomically.
+//     In-flight queries finish on the generation they started on; the
+//     swap is refused if the new bundle's generation is not strictly
+//     newer or its shard topology differs (see serve.Swappable).
+//   - SIGINT/SIGTERM drain gracefully: the listener closes, in-flight
+//     requests get -drain-timeout to finish, then the process exits.
+//   - /metrics exposes per-endpoint Prometheus counters and latency
+//     histograms; -log-requests writes one JSON line per request.
+//   - /healthz reports the bundle generation and shard descriptor, which
+//     hydra-router uses to verify a coherent serving set.
+//
+// Query batches fan out over the -workers pool. The server runs with
+// read/write timeouts and a capped request body size, so stalled or
 // abusive clients cannot pin connections or buffer unbounded input.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"hydra/internal/obs"
 	"hydra/internal/pipeline"
 	"hydra/internal/serve"
 )
 
 func main() {
 	var (
-		bundle   = flag.String("bundle", "", "self-contained serving bundle JSON (from hydra-link -save-bundle or hydra-pack); replaces -model and -world")
-		model    = flag.String("model", "", "model artifact JSON (from hydra-link -save-model); needs -world")
-		world    = flag.String("world", "", "world JSON the model was trained on (from hydra-gen)")
-		workers  = flag.Int("workers", 0, "worker-pool size for query batches and index building; 0 = all cores")
-		httpAddr = flag.String("http", "", "serve HTTP on this address (e.g. :8080) instead of the stdin REPL")
+		bundle       = flag.String("bundle", "", "self-contained serving bundle (from hydra-link -save-bundle or hydra-pack); replaces -model and -world")
+		model        = flag.String("model", "", "model artifact JSON (from hydra-link -save-model); needs -world")
+		world        = flag.String("world", "", "world JSON the model was trained on (from hydra-gen)")
+		workers      = flag.Int("workers", 0, "worker-pool size for query batches and index building; 0 = all cores")
+		httpAddr     = flag.String("http", "", "serve HTTP on this address (e.g. :8080) instead of the stdin REPL")
+		logRequests  = flag.Bool("log-requests", false, "write one JSON log line per HTTP request to stderr")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long in-flight requests get to finish on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -55,15 +75,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "hydra-serve: -bundle is self-contained; do not combine it with -model/-world")
 			os.Exit(2)
 		}
-		var b *pipeline.Bundle
-		if b, err = pipeline.LoadBundle(*bundle); err != nil {
+		eng, err = loadBundleEngine(*bundle, *workers)
+		if err != nil {
 			log.Fatal(err)
 		}
-		if eng, err = serve.NewEngineFromBundle(b, *workers); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "bundle restored: %s kernel, %d candidate vectors, %d platforms; indexes for %d platform pairs\n",
-			b.Model.KernelKind, len(b.Model.Xs), len(b.Views), len(eng.Pairs()))
 	case *model != "" && *world != "":
 		var art *pipeline.Artifact
 		if art, err = pipeline.LoadArtifact(*model); err != nil {
@@ -84,21 +99,97 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *httpAddr != "" {
-		fmt.Fprintf(os.Stderr, "serving HTTP on %s (/healthz /score /link /topk)\n", *httpAddr)
-		srv := &http.Server{
-			Addr:              *httpAddr,
-			Handler:           eng.Handler(),
-			ReadHeaderTimeout: 5 * time.Second,
-			ReadTimeout:       30 * time.Second,
-			// Batches fan out over the pool; a minute covers the largest
-			// legitimate batch on a loaded box with headroom.
-			WriteTimeout: 60 * time.Second,
-			IdleTimeout:  2 * time.Minute,
+	if *httpAddr == "" {
+		if err := eng.REPL(os.Stdin, os.Stdout); err != nil {
+			log.Fatal(err)
 		}
-		log.Fatal(srv.ListenAndServe())
+		return
 	}
-	if err := eng.REPL(os.Stdin, os.Stdout); err != nil {
-		log.Fatal(err)
+
+	holder := serve.NewSwappable(eng)
+	metrics := obs.NewMetrics()
+	mux := http.NewServeMux()
+	mux.Handle("/", holder.Handler())
+	mux.Handle("/metrics", metrics.Handler())
+	var logs io.Writer
+	if *logRequests {
+		logs = os.Stderr
 	}
+	handler := obs.Middleware(mux, metrics, logs)
+
+	fmt.Fprintf(os.Stderr, "serving HTTP on %s (/healthz /score /link /topk /metrics)\n", *httpAddr)
+	srv := &http.Server{
+		Addr:              *httpAddr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		// Batches fan out over the pool; a minute covers the largest
+		// legitimate batch on a loaded box with headroom.
+		WriteTimeout: 60 * time.Second,
+		IdleTimeout:  2 * time.Minute,
+	}
+
+	// SIGHUP hot-swaps the bundle; SIGINT/SIGTERM drain and exit.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	for {
+		select {
+		case err := <-errCh:
+			if err != nil && err != http.ErrServerClosed {
+				log.Fatal(err)
+			}
+			return
+		case sig := <-sigs:
+			switch sig {
+			case syscall.SIGHUP:
+				if *bundle == "" {
+					fmt.Fprintln(os.Stderr, "SIGHUP ignored: hot swap needs -bundle (world-backed engines rebuild on restart)")
+					continue
+				}
+				next, err := loadBundleEngine(*bundle, *workers)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "swap refused: %v — keeping current generation\n", err)
+					continue
+				}
+				if _, err := holder.Swap(next); err != nil {
+					fmt.Fprintf(os.Stderr, "swap refused: %v — keeping current generation\n", err)
+					continue
+				}
+				_, gen := holder.Current()
+				fmt.Fprintf(os.Stderr, "swapped in generation %d from %s; in-flight queries finish on the old generation\n", gen, *bundle)
+			default:
+				fmt.Fprintf(os.Stderr, "%s: draining (up to %s) …\n", sig, *drainTimeout)
+				ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+				err := srv.Shutdown(ctx)
+				cancel()
+				if err != nil {
+					log.Fatalf("drain incomplete after %s: %v", *drainTimeout, err)
+				}
+				fmt.Fprintln(os.Stderr, "drained; bye")
+				return
+			}
+		}
+	}
+}
+
+// loadBundleEngine reads a bundle file and builds its engine — startup
+// and every SIGHUP swap go through the same path.
+func loadBundleEngine(path string, workers int) (*serve.Engine, error) {
+	b, err := pipeline.LoadBundle(path)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := serve.NewEngineFromBundle(b, workers)
+	if err != nil {
+		return nil, err
+	}
+	shard := ""
+	if b.Shard != nil {
+		shard = fmt.Sprintf(", shard %d/%d gen %d", b.Shard.Index, b.Shard.Count, b.Shard.Generation)
+	}
+	fmt.Fprintf(os.Stderr, "bundle restored: %s kernel, %d candidate vectors, %d platforms; indexes for %d platform pairs%s\n",
+		b.Model.KernelKind, len(b.Model.Xs), len(b.Views), len(eng.Pairs()), shard)
+	return eng, nil
 }

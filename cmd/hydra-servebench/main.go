@@ -17,12 +17,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -32,6 +34,7 @@ import (
 	"hydra/internal/pipeline"
 	"hydra/internal/platform"
 	"hydra/internal/serve"
+	"hydra/internal/serve/router"
 	"hydra/internal/synth"
 )
 
@@ -71,6 +74,13 @@ type snapshot struct {
 	Single benchPoint `json:"single_pair_score"`
 	TopK   benchPoint `json:"topk5"`
 	Batch  benchPoint `json:"batch_score"`
+	// Distributed serving: top-k fanned out over RouterShards in-process
+	// shards and merged exactly, and the p99 latency of top-k queries
+	// racing a stream of hot bundle swaps (the "pause" a swap inflicts,
+	// which the atomic-pointer design keeps at plain query latency).
+	RouterShards   int        `json:"router_shards"`
+	RouterTopK     benchPoint `json:"router_topk5"`
+	SwapPauseP99Ms float64    `json:"swap_pause_p99_ms"`
 	// PairsPerSec is the batched-score throughput (candidate pairs scored
 	// per second across the whole candidate set per op).
 	PairsPerSec float64 `json:"batch_pairs_per_sec"`
@@ -190,6 +200,26 @@ func main() {
 		}
 	})
 
+	// Distributed serving: scatter-gather top-k over in-process shards.
+	const routerShards = 4
+	rt, err := buildRouter(env.bundle, routerShards, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	routerTopK := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := rt.TopK(ctx, pa, as[i%len(as)], pb, 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	swapP99, err := swapPauseP99(env.bundle, pa, pb, as, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	snap := snapshot{
 		Bench:          "serve-bundle",
 		Persons:        *persons,
@@ -205,6 +235,9 @@ func main() {
 		Single:         point(single),
 		TopK:           point(topk),
 		Batch:          point(batch),
+		RouterShards:   routerShards,
+		RouterTopK:     point(routerTopK),
+		SwapPauseP99Ms: swapP99,
 	}
 	snap.BundleV2DecodeMs, err = coldStart(5, func() error {
 		_, err := pipeline.ReadBundle(bytes.NewReader(env.bundleV2Bytes))
@@ -240,6 +273,10 @@ func main() {
 		snap.TopK.NsPerOp, snap.TopK.Ops, snap.TopK.AllocsPerOp, snap.TopK.BytesPerOp, snap.TopKShard)
 	fmt.Printf("batched score:       %12.0f ns/op  (%d ops, %d allocs/op, %d pairs/op, %.0f pairs/s)\n",
 		snap.Batch.NsPerOp, snap.Batch.Ops, snap.Batch.AllocsPerOp, snap.Candidates, snap.PairsPerSec)
+	fmt.Printf("router topk(5):      %12.0f ns/op  (%d ops, %d allocs/op, %d in-process shards, exact merge)\n",
+		snap.RouterTopK.NsPerOp, snap.RouterTopK.Ops, snap.RouterTopK.AllocsPerOp, snap.RouterShards)
+	fmt.Printf("swap pause p99:      %12.3f ms    (topk latency racing a stream of hot bundle swaps)\n",
+		snap.SwapPauseP99Ms)
 
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
@@ -288,11 +325,91 @@ func aSide(cands [][2]int) []int {
 type benchEnv struct {
 	worldEng      *serve.Engine
 	bundleEng     *serve.Engine
+	bundle        *pipeline.Bundle
 	cands         [][2]int
 	bundleV2Bytes []byte
 	bundleV3Bytes []byte
 	coldWorldMs   float64
 	coldBundleMs  float64
+}
+
+// buildRouter splits the bundle into count shards, builds one in-process
+// engine per shard and fronts them with a refreshed Router — the
+// all-in-one-process form of the sharded deployment, which prices the
+// scatter-gather machinery itself (goroutine fan-out + exact merge)
+// without network noise.
+func buildRouter(b *pipeline.Bundle, count, workers int) (*router.Router, error) {
+	subs, err := pipeline.SplitBundle(b, count, 7, 1)
+	if err != nil {
+		return nil, err
+	}
+	shards := make([][]router.Backend, count)
+	for i, sb := range subs {
+		eng, err := serve.NewEngineFromBundle(sb, workers)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = []router.Backend{&router.Local{Src: eng, Label: fmt.Sprintf("local-%d", i)}}
+	}
+	rt, err := router.New(shards, router.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.Refresh(context.Background()); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// swapPauseP99 measures what a hot bundle swap costs in-flight queries:
+// one goroutine hammers top-k through a Swappable while another installs
+// a stream of new generations; the p99 of the observed query latencies
+// is the "pause". The atomic-pointer swap path has no lock on the query
+// side, so this should sit at plain topk latency.
+func swapPauseP99(b *pipeline.Bundle, pa, pb platform.ID, as []int, workers int) (float64, error) {
+	const gens = 20
+	engines := make([]*serve.Engine, gens)
+	for g := range engines {
+		subs, err := pipeline.SplitBundle(b, 1, 7, uint64(g+1))
+		if err != nil {
+			return 0, err
+		}
+		if engines[g], err = serve.NewEngineFromBundle(subs[0], workers); err != nil {
+			return 0, err
+		}
+	}
+	s := serve.NewSwappable(engines[0])
+	done := make(chan error, 1)
+	go func() {
+		for _, next := range engines[1:] {
+			if _, err := s.Swap(next); err != nil {
+				done <- err
+				return
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+		done <- nil
+	}()
+	var lat []float64
+	var dst []serve.Scored
+	for i := 0; ; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				return 0, err
+			}
+			sort.Float64s(lat)
+			return lat[(len(lat)*99)/100], nil
+		default:
+		}
+		eng, _ := s.Current()
+		t0 := time.Now()
+		var err error
+		if dst, err = eng.TopKAppend(dst[:0], pa, as[i%len(as)], pb, 5); err != nil {
+			return 0, err
+		}
+		lat = append(lat, float64(time.Since(t0).Nanoseconds())/1e6)
+	}
 }
 
 // coldStart returns the best-of-reps wall-clock milliseconds of fn —
@@ -380,7 +497,7 @@ func buildEnv(persons int, seed int64, workers int) (*benchEnv, error) {
 		return nil, err
 	}
 
-	env := &benchEnv{bundleV3Bytes: bbuf.Bytes(), bundleV2Bytes: b2buf.Bytes()}
+	env := &benchEnv{bundle: bundle, bundleV3Bytes: bbuf.Bytes(), bundleV2Bytes: b2buf.Bytes()}
 	env.coldWorldMs, err = coldStart(3, func() error {
 		art2, err := pipeline.ReadArtifact(bytes.NewReader(abuf.Bytes()))
 		if err != nil {

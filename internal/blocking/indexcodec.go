@@ -26,6 +26,31 @@ func (ix *Index) Parts() IndexParts {
 	return IndexParts{PA: ix.PA, PB: ix.PB, Rules: rules, ByA: ix.byA}
 }
 
+// RestrictB returns a copy of the parts whose candidate rows keep only
+// the B-side accounts owned admits — the shard-slice extraction behind
+// sharded serving bundles. Every A-side row is retained (A sides are
+// replicated across shards); a row that loses all its candidates becomes
+// an empty, non-nil slice, while rows that were nil stay nil. The
+// disjoint union of RestrictB over a partition of the B side is exactly
+// the original parts, which is what lets a scatter-gather router merge
+// per-shard top-k answers into the unsplit index's answer.
+func (p IndexParts) RestrictB(owned func(b int) bool) IndexParts {
+	byA := make([][]Candidate, len(p.ByA))
+	for i, row := range p.ByA {
+		if row == nil {
+			continue
+		}
+		kept := make([]Candidate, 0, len(row))
+		for _, c := range row {
+			if owned(c.B) {
+				kept = append(kept, c)
+			}
+		}
+		byA[i] = kept
+	}
+	return IndexParts{PA: p.PA, PB: p.PB, Rules: p.Rules, ByA: byA}
+}
+
 // IndexFromParts rebuilds an Index from decoded parts. The shards are
 // shared with the parts, matching the Index contract that Candidates
 // returns read-only state.

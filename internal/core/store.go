@@ -31,7 +31,13 @@ type Store struct {
 	friends  map[platform.ID][][]graph.Friend
 	friendsK int
 	faces    *vision.Matcher
-	pairs    pairCache
+	// present marks, per restricted platform, which accounts' state this
+	// snapshot actually carries (nil map / missing platform = all of it).
+	// A sharded serving bundle restricts its B-side platforms to the
+	// shard's slice plus its friend closure; queries touching anything
+	// else fail here, loudly, instead of scoring a zeroed view.
+	present map[platform.ID][]bool
+	pairs   pairCache
 }
 
 var _ Source = (*Store)(nil)
@@ -65,6 +71,28 @@ func NewStore(pipe *features.Pipeline, views map[platform.ID][]*features.Account
 		}
 	}
 	return &Store{pipe: pipe, views: views, friends: friends, friendsK: friendsK, faces: faces}, nil
+}
+
+// Restrict marks the store as a partial snapshot: for each listed
+// platform, only the accounts whose flag is true have real state; every
+// other account of that platform is a placeholder whose use is an error.
+// Platforms not listed stay fully available. Called once at restore time
+// (before any queries), so the field needs no locking.
+func (st *Store) Restrict(present map[platform.ID][]bool) {
+	st.present = present
+}
+
+// checkPresent rejects a query touching an account this partial
+// snapshot does not carry.
+func (st *Store) checkPresent(id platform.ID, local int) error {
+	if st.present == nil {
+		return nil
+	}
+	p, ok := st.present[id]
+	if !ok || (local >= 0 && local < len(p) && p[local]) {
+		return nil
+	}
+	return fmt.Errorf("core: %s account %d is not packed in this shard — route it by the bundle's shard descriptor", id, local)
 }
 
 // Platforms lists the snapshotted platform ids in sorted order.
@@ -111,6 +139,12 @@ func (st *Store) RawPair(pa platform.ID, a int, pb platform.ID, b int) (features
 	if err := checkPairRange(pa, a, pb, b, va, vb); err != nil {
 		return features.PairVector{}, err
 	}
+	if err := st.checkPresent(pa, a); err != nil {
+		return features.PairVector{}, err
+	}
+	if err := st.checkPresent(pb, b); err != nil {
+		return features.PairVector{}, err
+	}
 	pv := st.pipe.Pair(va[a], vb[b])
 	st.pairs.store(key, pv)
 	return pv, nil
@@ -133,6 +167,9 @@ func (st *Store) Friends(id platform.ID, local, k int) ([]graph.Friend, error) {
 	}
 	if local < 0 || local >= len(fr) {
 		return nil, fmt.Errorf("core: account %d out of range (%s snapshot has %d)", local, id, len(fr))
+	}
+	if err := st.checkPresent(id, local); err != nil {
+		return nil, err
 	}
 	if k > st.friendsK {
 		return nil, fmt.Errorf("core: imputation wants top-%d friends but the snapshot stores top-%d — repack the bundle with a larger TopFriends", k, st.friendsK)

@@ -1,0 +1,205 @@
+// Package obs is the serving tier's observability: per-endpoint request
+// counters, error counters and latency histograms exposed in Prometheus
+// text format on /metrics, plus optional JSON request logs. It is
+// dependency-free on purpose — the exposition format is a few lines of
+// text, and hand-rolling it keeps the serving binaries self-contained.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning the
+// microsecond in-process path through multi-second degraded fan-outs.
+var latencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// endpointStats is one endpoint's counters. Everything is atomic so the
+// hot path never takes a lock.
+type endpointStats struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64 // responses with status >= 400
+	buckets  []atomic.Uint64
+	sum      atomic.Uint64 // latency sum in nanoseconds
+}
+
+func (s *endpointStats) observe(d time.Duration, status int) {
+	s.requests.Add(1)
+	if status >= 400 {
+		s.errors.Add(1)
+	}
+	s.sum.Add(uint64(d.Nanoseconds()))
+	sec := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			s.buckets[i].Add(1)
+			return
+		}
+	}
+	// Beyond the last bound: counted only in +Inf (requests).
+}
+
+// Metrics collects per-endpoint serving metrics and renders them in
+// Prometheus text exposition format. The zero value is not usable; call
+// NewMetrics.
+type Metrics struct {
+	mu        sync.RWMutex
+	endpoints map[string]*endpointStats
+	start     time.Time
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{endpoints: make(map[string]*endpointStats), start: time.Now()}
+}
+
+func (m *Metrics) stats(endpoint string) *endpointStats {
+	m.mu.RLock()
+	s := m.endpoints[endpoint]
+	m.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s = m.endpoints[endpoint]; s == nil {
+		s = &endpointStats{buckets: make([]atomic.Uint64, len(latencyBuckets))}
+		m.endpoints[endpoint] = s
+	}
+	return s
+}
+
+// Observe records one completed request.
+func (m *Metrics) Observe(endpoint string, d time.Duration, status int) {
+	m.stats(endpoint).observe(d, status)
+}
+
+// Render writes the registry in Prometheus text exposition format.
+func (m *Metrics) Render(w io.Writer) {
+	m.mu.RLock()
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "# HELP hydra_uptime_seconds Seconds since the process started serving.\n")
+	fmt.Fprintf(w, "# TYPE hydra_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "hydra_uptime_seconds %g\n", time.Since(m.start).Seconds())
+
+	fmt.Fprintf(w, "# HELP hydra_requests_total Requests served, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE hydra_requests_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(w, "hydra_requests_total{endpoint=%q} %d\n", name, m.endpoints[name].requests.Load())
+	}
+
+	fmt.Fprintf(w, "# HELP hydra_request_errors_total Responses with status >= 400, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE hydra_request_errors_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(w, "hydra_request_errors_total{endpoint=%q} %d\n", name, m.endpoints[name].errors.Load())
+	}
+
+	fmt.Fprintf(w, "# HELP hydra_request_duration_seconds Request latency, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE hydra_request_duration_seconds histogram\n")
+	for _, name := range names {
+		s := m.endpoints[name]
+		var cum uint64
+		for i, ub := range latencyBuckets {
+			cum += s.buckets[i].Load()
+			fmt.Fprintf(w, "hydra_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n", name, formatBound(ub), cum)
+		}
+		fmt.Fprintf(w, "hydra_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, s.requests.Load())
+		fmt.Fprintf(w, "hydra_request_duration_seconds_sum{endpoint=%q} %g\n", name, float64(s.sum.Load())/1e9)
+		fmt.Fprintf(w, "hydra_request_duration_seconds_count{endpoint=%q} %d\n", name, s.requests.Load())
+	}
+	m.mu.RUnlock()
+}
+
+// formatBound renders a bucket bound the way Prometheus expects
+// (shortest exact decimal, no exponent for these magnitudes).
+func formatBound(ub float64) string {
+	return trimZeros(fmt.Sprintf("%.5f", ub))
+}
+
+func trimZeros(s string) string {
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// Handler serves the registry as a /metrics endpoint.
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		m.Render(w)
+	})
+}
+
+// statusRecorder captures the response status for metrics and logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// requestLog is one line of the JSON request log.
+type requestLog struct {
+	Time     string  `json:"time"`
+	Method   string  `json:"method"`
+	Path     string  `json:"path"`
+	Status   int     `json:"status"`
+	Millis   float64 `json:"ms"`
+	Remote   string  `json:"remote,omitempty"`
+	Endpoint string  `json:"endpoint"`
+}
+
+// Middleware wraps an HTTP handler with metrics collection and, when
+// logs is non-nil, one JSON log line per request. The endpoint label is
+// the request path, which for the serving tier's fixed mux is a closed
+// set (no cardinality explosion).
+func Middleware(next http.Handler, m *Metrics, logs io.Writer) http.Handler {
+	var logMu sync.Mutex
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		d := time.Since(start)
+		endpoint := r.URL.Path
+		if m != nil {
+			m.Observe(endpoint, d, rec.status)
+		}
+		if logs != nil {
+			line, err := json.Marshal(requestLog{
+				Time:     start.UTC().Format(time.RFC3339Nano),
+				Method:   r.Method,
+				Path:     r.URL.Path,
+				Status:   rec.status,
+				Millis:   float64(d.Nanoseconds()) / 1e6,
+				Remote:   r.RemoteAddr,
+				Endpoint: endpoint,
+			})
+			if err == nil {
+				logMu.Lock()
+				logs.Write(append(line, '\n'))
+				logMu.Unlock()
+			}
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsExposition(t *testing.T) {
+	m := NewMetrics()
+	m.Observe("/score", 200*time.Microsecond, 200)
+	m.Observe("/score", 2*time.Millisecond, 200)
+	m.Observe("/score", 40*time.Millisecond, 400)
+	m.Observe("/topk", 90*time.Microsecond, 200)
+
+	var buf bytes.Buffer
+	m.Render(&buf)
+	out := buf.String()
+
+	for _, want := range []string{
+		`hydra_requests_total{endpoint="/score"} 3`,
+		`hydra_requests_total{endpoint="/topk"} 1`,
+		`hydra_request_errors_total{endpoint="/score"} 1`,
+		`hydra_request_errors_total{endpoint="/topk"} 0`,
+		`hydra_request_duration_seconds_count{endpoint="/score"} 3`,
+		`hydra_request_duration_seconds_bucket{endpoint="/topk",le="0.0001"} 1`,
+		`hydra_request_duration_seconds_bucket{endpoint="/score",le="+Inf"} 3`,
+		"# TYPE hydra_request_duration_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Bucket counts must be cumulative: 200µs lands in le=0.00025, so
+	// every later bound includes it.
+	if !strings.Contains(out, `hydra_request_duration_seconds_bucket{endpoint="/score",le="0.00025"} 1`) {
+		t.Errorf("expected 200µs observation in le=0.00025 bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `hydra_request_duration_seconds_bucket{endpoint="/score",le="0.0025"} 2`) {
+		t.Errorf("expected cumulative count 2 at le=0.0025:\n%s", out)
+	}
+}
+
+func TestMiddlewareMetricsAndLogs(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/bad" {
+			http.Error(w, "nope", http.StatusBadRequest)
+			return
+		}
+		w.Write([]byte("ok"))
+	})
+	m := NewMetrics()
+	var logBuf bytes.Buffer
+	h := Middleware(inner, m, &logBuf)
+
+	for _, path := range []string{"/ok", "/ok", "/bad"} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+	}
+
+	var buf bytes.Buffer
+	m.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, `hydra_requests_total{endpoint="/ok"} 2`) {
+		t.Errorf("middleware did not count /ok requests:\n%s", out)
+	}
+	if !strings.Contains(out, `hydra_request_errors_total{endpoint="/bad"} 1`) {
+		t.Errorf("middleware did not count /bad error:\n%s", out)
+	}
+
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 log lines, got %d: %q", len(lines), logBuf.String())
+	}
+	var last struct {
+		Method string  `json:"method"`
+		Path   string  `json:"path"`
+		Status int     `json:"status"`
+		Millis float64 `json:"ms"`
+		Time   string  `json:"time"`
+	}
+	if err := json.Unmarshal([]byte(lines[2]), &last); err != nil {
+		t.Fatalf("log line is not JSON: %v: %q", err, lines[2])
+	}
+	if last.Method != "GET" || last.Path != "/bad" || last.Status != http.StatusBadRequest {
+		t.Errorf("log line fields wrong: %+v", last)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, last.Time); err != nil {
+		t.Errorf("log timestamp not RFC3339: %v", err)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	m := NewMetrics()
+	m.Observe("/link", time.Millisecond, 200)
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("want text/plain content type, got %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "hydra_requests_total") {
+		t.Errorf("handler body missing metrics:\n%s", rec.Body.String())
+	}
+}

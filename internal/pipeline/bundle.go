@@ -82,6 +82,12 @@ type Bundle struct {
 	Pairs   [][2]platform.ID      `json:"pairs"`
 	Indexes []blocking.IndexParts `json:"indexes"`
 
+	// Shard stamps a sub-bundle of a sharded split (see SplitBundle):
+	// which slice of the B-side candidate space it owns, under which hash
+	// seed, and which pack generation it belongs to. nil means unsharded —
+	// the bundle carries the whole candidate space.
+	Shard *ShardDesc `json:"shard,omitempty"`
+
 	// Provenance: the training world's identity, carried over from the
 	// artifact for operability (a bundle never needs the world again).
 	WorldPersons     int    `json:"world_persons"`
@@ -212,13 +218,26 @@ func (b *Bundle) Store() (*core.Store, error) {
 		views[id] = vs
 	}
 	faces := b.Faces
-	return core.NewStore(pipe, views, b.Friends, b.FriendsK, &faces)
+	st, err := core.NewStore(pipe, views, b.Friends, b.FriendsK, &faces)
+	if err != nil {
+		return nil, err
+	}
+	// A sub-bundle of a sharded split carries only its slice of the
+	// B side (plus the friend closure); mark everything else absent so a
+	// mis-routed query fails loudly instead of scoring a zeroed view.
+	if present := b.PresentViews(); present != nil {
+		st.Restrict(present)
+	}
+	return st, nil
 }
 
 // WriteBundle encodes the bundle in the wire format its Version stamps:
 // v3 as the binary-section format, v2 as legacy all-JSON (for migration
 // tooling and the compatibility tests). Anything else is refused.
 func WriteBundle(w io.Writer, b *Bundle) error {
+	if err := b.Shard.Validate(); err != nil {
+		return err
+	}
 	switch b.Version {
 	case BundleVersion:
 		return writeBundleV3(w, b)
@@ -258,6 +277,9 @@ func ReadBundle(r io.Reader) (*Bundle, error) {
 	}
 	if b.Version != BundleVersionJSON {
 		return nil, fmt.Errorf("pipeline: JSON bundle version %d, this build reads JSON version %d (or binary version %d)", b.Version, BundleVersionJSON, BundleVersion)
+	}
+	if err := b.Shard.Validate(); err != nil {
+		return nil, err
 	}
 	return &b, nil
 }

@@ -65,6 +65,7 @@ type bundleHeaderV3 struct {
 	Model    modelMetaV3                  `json:"model"`
 	Pairs    [][2]platform.ID             `json:"pairs"`
 	Indexes  []indexMetaV3                `json:"indexes"`
+	Shard    *ShardDesc                   `json:"shard,omitempty"`
 
 	WorldPersons     int    `json:"world_persons"`
 	WorldFingerprint string `json:"world_fingerprint"`
@@ -117,6 +118,7 @@ func writeBundleV3(w io.Writer, b *Bundle) error {
 			Diag:        b.Model.Diag,
 		},
 		Pairs:            b.Pairs,
+		Shard:            b.Shard,
 		WorldPersons:     b.WorldPersons,
 		WorldFingerprint: b.WorldFingerprint,
 	}
@@ -221,6 +223,9 @@ func readBundleV3(r io.Reader) (*Bundle, error) {
 	if header.Version != BundleVersion {
 		return nil, fmt.Errorf("pipeline: binary bundle version %d, this build reads version %d", header.Version, BundleVersion)
 	}
+	if err := header.Shard.Validate(); err != nil {
+		return nil, err
+	}
 	var secs [4]binSection
 	for i, what := range []string{"model section", "view section", "friend section", "index section"} {
 		p, err := readBlock(what)
@@ -246,6 +251,7 @@ func readBundleV3(r io.Reader) (*Bundle, error) {
 			Diag:        header.Model.Diag,
 		},
 		Pairs:            header.Pairs,
+		Shard:            header.Shard,
 		WorldPersons:     header.WorldPersons,
 		WorldFingerprint: header.WorldFingerprint,
 	}

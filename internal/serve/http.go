@@ -12,7 +12,8 @@ import (
 
 // The HTTP front-end mirrors the REPL commands as JSON endpoints:
 //
-//	GET  /healthz                          liveness + indexed pairs
+//	GET  /healthz                          liveness + indexed pairs +
+//	                                       bundle generation + shard descriptor
 //	POST /score  {"pa","pb","pairs":[[a,b],...]}   batch scores
 //	POST /link   (same body)                       scores + decisions
 //	GET  /topk?pa=&a=&pb=&k=                       ranked candidates
@@ -22,6 +23,12 @@ import (
 // wrong methods get 405, POST bodies are capped at MaxRequestBody (413
 // beyond it), and cmd/hydra-serve adds read/write timeouts on the server
 // so a stalled client cannot pin a connection forever.
+//
+// Handlers are built over an EngineSource, not a bare engine: each
+// request loads the current (engine, generation) pair exactly once and
+// stamps the generation into its response, so a hot bundle swap never
+// mixes generations inside one response and the scatter-gather router
+// can verify that a fan-out was answered by a single generation.
 
 // MaxRequestBody caps a POST body. The largest legitimate batch over a
 // laptop-scale world is well under a megabyte of pair ids; anything
@@ -35,19 +42,31 @@ type scoreRequest struct {
 	Pairs [][2]int    `json:"pairs"`
 }
 
-// Handler returns the HTTP front-end.
-func (e *Engine) Handler() http.Handler {
+// Handler returns the HTTP front-end over a fixed engine (no swapping).
+func (e *Engine) Handler() http.Handler { return HandlerFor(e) }
+
+// Handler returns the HTTP front-end over whatever engine generation is
+// currently installed — the hot-swappable form cmd/hydra-serve runs.
+func (s *Swappable) Handler() http.Handler { return HandlerFor(s) }
+
+// HandlerFor builds the HTTP front-end over an EngineSource.
+func HandlerFor(src EngineSource) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, map[string]any{"ok": true, "pairs": e.Pairs()})
+		eng, gen := src.Current()
+		resp := map[string]any{"ok": true, "pairs": eng.Pairs(), "generation": gen}
+		if d := eng.ShardDesc(); d != nil {
+			resp["shard"] = d
+		}
+		writeJSON(w, resp)
 	})
-	mux.HandleFunc("/score", e.handleScore(false))
-	mux.HandleFunc("/link", e.handleScore(true))
-	mux.HandleFunc("/topk", e.handleTopK)
+	mux.HandleFunc("/score", handleScore(src, false))
+	mux.HandleFunc("/link", handleScore(src, true))
+	mux.HandleFunc("/topk", handleTopK(src))
 	return mux
 }
 
-func (e *Engine) handleScore(decide bool) http.HandlerFunc {
+func handleScore(src EngineSource, decide bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
@@ -69,12 +88,13 @@ func (e *Engine) handleScore(decide bool) http.HandlerFunc {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("empty pairs"))
 			return
 		}
-		scores, err := e.ScoreBatch(req.PA, req.PB, req.Pairs)
+		eng, gen := src.Current()
+		scores, err := eng.ScoreBatch(req.PA, req.PB, req.Pairs)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		resp := map[string]any{"scores": scores}
+		resp := map[string]any{"scores": scores, "generation": gen}
 		if decide {
 			linked := make([]bool, len(scores))
 			for i, s := range scores {
@@ -86,31 +106,34 @@ func (e *Engine) handleScore(decide bool) http.HandlerFunc {
 	}
 }
 
-func (e *Engine) handleTopK(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
-		return
-	}
-	q := r.URL.Query()
-	a, errA := strconv.Atoi(q.Get("a"))
-	if errA != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad a=%q", q.Get("a")))
-		return
-	}
-	k := 5
-	if s := q.Get("k"); s != "" {
-		var err error
-		if k, err = strconv.Atoi(s); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad k=%q", s))
+func handleTopK(src EngineSource) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
 			return
 		}
+		q := r.URL.Query()
+		a, errA := strconv.Atoi(q.Get("a"))
+		if errA != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad a=%q", q.Get("a")))
+			return
+		}
+		k := 5
+		if s := q.Get("k"); s != "" {
+			var err error
+			if k, err = strconv.Atoi(s); err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad k=%q", s))
+				return
+			}
+		}
+		eng, gen := src.Current()
+		res, err := eng.TopK(platform.ID(q.Get("pa")), a, platform.ID(q.Get("pb")), k)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, map[string]any{"results": res, "generation": gen})
 	}
-	res, err := e.TopK(platform.ID(q.Get("pa")), a, platform.ID(q.Get("pb")), k)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	writeJSON(w, map[string]any{"results": res})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,0 +1,471 @@
+// Package router is the scatter-gather tier over sharded serving
+// bundles: it owns no model state at all, only the shard descriptor a
+// coherent set of hydra-serve replicas reports, and answers the same
+// score/link/top-k surface as a single engine by
+//
+//   - routing score and link queries to the one shard the consistent
+//     hash assigns the B-side account to (the descriptor is
+//     self-certifying, so routing needs no lookup table),
+//   - fanning top-k queries out to every shard and merging the per-shard
+//     heaps with the engine's exact (score desc, B asc) tie-break —
+//     shards partition the candidate space, so the merge reproduces the
+//     single-process answer bit for bit,
+//   - failing over between replicas of a shard (per-attempt timeout,
+//     retry on the next replica) and, when a whole shard is down,
+//     returning a degraded top-k response flagged with the missing
+//     shards instead of an error,
+//   - pinning every response to a single bundle generation: each
+//     sub-response reports the generation that answered it, and a
+//     fan-out straddling a hot swap is retried until one generation
+//     answers all of it.
+package router
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hydra/internal/pipeline"
+	"hydra/internal/platform"
+	"hydra/internal/serve"
+)
+
+// Options tune the router's failure handling.
+type Options struct {
+	// Timeout bounds one attempt against one replica (default 2s).
+	Timeout time.Duration
+	// Rings is how many passes over a shard's replica ring to make
+	// before declaring the shard down (default 2: every replica gets a
+	// retry).
+	Rings int
+}
+
+func (o Options) timeout() time.Duration {
+	if o.Timeout <= 0 {
+		return 2 * time.Second
+	}
+	return o.Timeout
+}
+
+func (o Options) rings() int {
+	if o.Rings <= 0 {
+		return 2
+	}
+	return o.Rings
+}
+
+// Router fans linkage queries out over shard replicas. Construct with
+// New, then Refresh once to verify the set is coherent before serving.
+// All methods are safe for concurrent use.
+type Router struct {
+	shards [][]Backend
+	opts   Options
+
+	// pref is the per-shard preferred replica (the last one that
+	// answered), so a down replica is skipped without paying its timeout
+	// on every query.
+	pref []atomic.Int32
+
+	mu sync.RWMutex
+	// topo is the canonical split every shard must agree on (its Index
+	// field is meaningless here). nil means a single unsharded backend —
+	// the router degenerates to a proxy with failover.
+	topo  *pipeline.ShardDesc
+	pairs [][2]platform.ID
+	gens  []uint64 // last generation each shard reported (Refresh/queries)
+}
+
+// New builds a router over shards[i] = the replicas of shard i. At least
+// one shard with one replica is required; the set is not contacted until
+// Refresh.
+func New(shards [][]Backend, opts Options) (*Router, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("router: no shards configured")
+	}
+	for i, reps := range shards {
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("router: shard %d has no replicas", i)
+		}
+	}
+	return &Router{
+		shards: shards,
+		opts:   opts,
+		pref:   make([]atomic.Int32, len(shards)),
+		gens:   make([]uint64, len(shards)),
+	}, nil
+}
+
+// NumShards returns the configured shard count.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// Refresh health-checks every shard and verifies the set is coherent:
+// every shard slot answers with the matching shard index, and all agree
+// on the split (count, hash seed, restricted platforms). Generations may
+// legitimately differ mid-rolling-swap; per-query generation pinning
+// handles that, so Refresh records them without failing. Must succeed
+// once before the router serves; call again (e.g. on SIGHUP) to re-probe
+// after a swap or topology repair.
+func (r *Router) Refresh(ctx context.Context) error {
+	healths := make([]Health, len(r.shards))
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i := range r.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = r.callShard(ctx, i, func(cctx context.Context, b Backend) error {
+				h, err := b.Health(cctx)
+				if err == nil {
+					healths[i] = h
+				}
+				return err
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("router: shard %d unreachable: %w", i, err)
+		}
+	}
+	var topo *pipeline.ShardDesc
+	gens := make([]uint64, len(r.shards))
+	for i, h := range healths {
+		gens[i] = h.Generation
+		d := h.Shard
+		if d == nil {
+			if len(r.shards) > 1 {
+				return fmt.Errorf("router: shard %d serves an unsharded bundle but %d shards are configured — pack with hydra-pack -shards %d",
+					i, len(r.shards), len(r.shards))
+			}
+			continue // single unsharded backend: plain proxy mode
+		}
+		if d.Count != len(r.shards) {
+			return fmt.Errorf("router: shard %d's bundle is a %d-way split but %d shards are configured", i, d.Count, len(r.shards))
+		}
+		if d.Index != i {
+			return fmt.Errorf("router: backend in shard slot %d serves shard %d — membership list out of order", i, d.Index)
+		}
+		if topo == nil {
+			topo = d
+		} else if !topo.SameTopology(d) {
+			return fmt.Errorf("router: shard %d's split (seed %d, b-side %v) does not match shard %d's (seed %d, b-side %v)",
+				i, d.Seed, d.BSide, topo.Index, topo.Seed, topo.BSide)
+		}
+	}
+	r.mu.Lock()
+	r.topo = topo
+	r.pairs = healths[0].Pairs
+	r.gens = gens
+	r.mu.Unlock()
+	return nil
+}
+
+// Pairs returns the platform pairs the serving set reported at the last
+// Refresh.
+func (r *Router) Pairs() [][2]platform.ID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.pairs
+}
+
+// shardFor resolves which shard owns B-side account b, by the same
+// consistent hash the bundles were split with.
+func (r *Router) shardFor(pb platform.ID, b int) (int, error) {
+	r.mu.RLock()
+	topo := r.topo
+	r.mu.RUnlock()
+	if topo == nil {
+		if len(r.shards) == 1 {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("router: not refreshed — call Refresh before serving")
+	}
+	s := topo.ShardOf(pb, b)
+	if s < 0 {
+		return 0, fmt.Errorf("router: platform %s is not a sharded B side (sharded: %v) — only A→B queries route", pb, topo.BSide)
+	}
+	return s, nil
+}
+
+// callShard runs fn against shard si's replicas until one succeeds:
+// starting at the preferred (last-good) replica, each attempt under its
+// own timeout, walking the ring opts.Rings times. Query errors (see
+// queryError) propagate immediately — another replica would answer the
+// same.
+func (r *Router) callShard(ctx context.Context, si int, fn func(context.Context, Backend) error) error {
+	reps := r.shards[si]
+	start := int(r.pref[si].Load())
+	var lastErr error
+	for ring := 0; ring < r.opts.rings(); ring++ {
+		for j := 0; j < len(reps); j++ {
+			if ctx.Err() != nil {
+				return fmt.Errorf("router: shard %d: %w", si, ctx.Err())
+			}
+			idx := (start + j) % len(reps)
+			cctx, cancel := context.WithTimeout(ctx, r.opts.timeout())
+			err := fn(cctx, reps[idx])
+			cancel()
+			if err == nil {
+				r.pref[si].Store(int32(idx))
+				return nil
+			}
+			if IsQueryError(err) {
+				return err
+			}
+			lastErr = fmt.Errorf("%s: %w", reps[idx].Name(), err)
+		}
+	}
+	return fmt.Errorf("router: shard %d down (%d replicas, %d rings): %w", si, len(reps), r.opts.rings(), lastErr)
+}
+
+// noteGen records the freshest generation a shard has been seen serving.
+func (r *Router) noteGen(si int, gen uint64) {
+	r.mu.Lock()
+	if gen > r.gens[si] {
+		r.gens[si] = gen
+	}
+	r.mu.Unlock()
+}
+
+// Score returns the decision value for one pair, routed to the shard
+// owning the B-side account, plus the bundle generation that answered.
+func (r *Router) Score(ctx context.Context, pa platform.ID, a int, pb platform.ID, b int) (float64, uint64, error) {
+	scores, gen, err := r.ScoreBatch(ctx, pa, pb, [][2]int{{a, b}})
+	if err != nil {
+		return 0, 0, err
+	}
+	return scores[0], gen, nil
+}
+
+// Link decides whether the pair is the same natural person (score > 0).
+func (r *Router) Link(ctx context.Context, pa platform.ID, a int, pb platform.ID, b int) (bool, float64, uint64, error) {
+	s, gen, err := r.Score(ctx, pa, a, pb, b)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	return s > 0, s, gen, nil
+}
+
+// ScoreBatch scores a batch of pairs, scattering each pair to the shard
+// owning its B-side account and reassembling the scores in input order.
+// The whole batch is answered by one bundle generation: if a hot swap
+// lands mid-scatter, the batch is retried against the new generation.
+// Scores need every owner alive — a down shard fails the batch (there is
+// no honest partial answer to "score these pairs").
+func (r *Router) ScoreBatch(ctx context.Context, pa, pb platform.ID, pairs [][2]int) ([]float64, uint64, error) {
+	if len(pairs) == 0 {
+		return nil, 0, fmt.Errorf("router: empty batch")
+	}
+	groups := make(map[int][]int) // shard -> indexes into pairs
+	for i, p := range pairs {
+		si, err := r.shardFor(pb, p[1])
+		if err != nil {
+			return nil, 0, err
+		}
+		groups[si] = append(groups[si], i)
+	}
+	var lastGens []uint64
+	for attempt := 0; attempt < 2; attempt++ {
+		scores := make([]float64, len(pairs))
+		gens := make([]uint64, 0, len(groups))
+		var genMu sync.Mutex
+		var wg sync.WaitGroup
+		errs := make([]error, 0, len(groups))
+		for si, idxs := range groups {
+			wg.Add(1)
+			go func(si int, idxs []int) {
+				defer wg.Done()
+				sub := make([][2]int, len(idxs))
+				for j, i := range idxs {
+					sub[j] = pairs[i]
+				}
+				err := r.callShard(ctx, si, func(cctx context.Context, b Backend) error {
+					ss, gen, err := b.ScoreBatch(cctx, pa, pb, sub)
+					if err != nil {
+						return err
+					}
+					if len(ss) != len(sub) {
+						return fmt.Errorf("%d scores for %d pairs", len(ss), len(sub))
+					}
+					for j, i := range idxs {
+						scores[i] = ss[j]
+					}
+					genMu.Lock()
+					gens = append(gens, gen)
+					genMu.Unlock()
+					r.noteGen(si, gen)
+					return nil
+				})
+				if err != nil {
+					genMu.Lock()
+					errs = append(errs, err)
+					genMu.Unlock()
+				}
+			}(si, idxs)
+		}
+		wg.Wait()
+		if len(errs) > 0 {
+			return nil, 0, errs[0]
+		}
+		if uniform(gens) {
+			return scores, gens[0], nil
+		}
+		lastGens = gens
+	}
+	return nil, 0, fmt.Errorf("router: batch straddled concurrent bundle swaps (generations %v) — retry", lastGens)
+}
+
+// TopKResult is a scatter-gather top-k answer. Degraded marks a partial
+// merge: FailedShards were down after failover, so their slices of the
+// candidate space are missing from Results (every present row is still
+// exact — shards partition the space, so survivors' rows are unaffected).
+type TopKResult struct {
+	Results    []serve.Scored `json:"results"`
+	Generation uint64         `json:"generation"`
+	Degraded   bool           `json:"degraded,omitempty"`
+	// FailedShards lists the down shards of a degraded response.
+	FailedShards []int `json:"failed_shards,omitempty"`
+}
+
+// TopK returns account a's k best-scoring B-side candidates across the
+// whole sharded candidate space: every live shard ranks its own slice
+// and the router merges the heaps with the engine's exact (score desc,
+// B asc) tie-break — bit-identical to a single engine over the unsplit
+// bundle when all shards answer. k ≤ 0 returns the full merged ranking.
+// One bundle generation answers the whole fan-out: a scatter straddling
+// a hot swap is re-fanned-out, and if generations still differ (a
+// rolling swap in progress), the answer comes from the newest-generation
+// shards alone, with the stale ones flagged in FailedShards — a response
+// never mixes generations. A shard that stays down after replica
+// failover likewise makes the response Degraded instead of an error.
+func (r *Router) TopK(ctx context.Context, pa platform.ID, a int, pb platform.ID, k int) (TopKResult, error) {
+	type shardAnswer struct {
+		res []serve.Scored
+		gen uint64
+		err error
+	}
+	for attempt := 0; ; attempt++ {
+		answers := make([]shardAnswer, len(r.shards))
+		var wg sync.WaitGroup
+		for si := range r.shards {
+			wg.Add(1)
+			go func(si int) {
+				defer wg.Done()
+				answers[si].err = r.callShard(ctx, si, func(cctx context.Context, b Backend) error {
+					res, gen, err := b.TopK(cctx, pa, a, pb, k)
+					if err != nil {
+						return err
+					}
+					answers[si].res, answers[si].gen = res, gen
+					r.noteGen(si, gen)
+					return nil
+				})
+			}(si)
+		}
+		wg.Wait()
+		var gens []uint64
+		for _, ans := range answers {
+			if ans.err != nil {
+				if IsQueryError(ans.err) {
+					return TopKResult{}, ans.err
+				}
+				continue
+			}
+			gens = append(gens, ans.gen)
+		}
+		if len(gens) == 0 {
+			var firstErr error
+			for _, ans := range answers {
+				if ans.err != nil {
+					firstErr = ans.err
+					break
+				}
+			}
+			return TopKResult{}, fmt.Errorf("router: all %d shards down: %w", len(r.shards), firstErr)
+		}
+		if !uniform(gens) && attempt == 0 {
+			continue // swap landed mid-scatter; re-fan-out on the new generation
+		}
+		// Merge the newest generation's answers; anything older (a rolling
+		// swap's stragglers) degrades rather than mixes.
+		target := gens[0]
+		for _, g := range gens {
+			if g > target {
+				target = g
+			}
+		}
+		var (
+			merged []serve.Scored
+			failed []int
+		)
+		for si, ans := range answers {
+			if ans.err != nil || ans.gen != target {
+				failed = append(failed, si)
+				continue
+			}
+			merged = append(merged, ans.res...)
+		}
+		sort.Slice(merged, func(i, j int) bool { return serve.ScoredLess(merged[i], merged[j]) })
+		if k > 0 && len(merged) > k {
+			merged = merged[:k]
+		}
+		return TopKResult{
+			Results:      merged,
+			Generation:   target,
+			Degraded:     len(failed) > 0,
+			FailedShards: failed,
+		}, nil
+	}
+}
+
+// ShardStatus is one shard's row in the router's health report.
+type ShardStatus struct {
+	Shard      int    `json:"shard"`
+	Replicas   int    `json:"replicas"`
+	Healthy    bool   `json:"healthy"`
+	Generation uint64 `json:"generation,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// Status live-probes every shard (through replica failover) and reports
+// per-shard health — the router /healthz body.
+func (r *Router) Status(ctx context.Context) []ShardStatus {
+	out := make([]ShardStatus, len(r.shards))
+	var wg sync.WaitGroup
+	for si := range r.shards {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			st := ShardStatus{Shard: si, Replicas: len(r.shards[si])}
+			err := r.callShard(ctx, si, func(cctx context.Context, b Backend) error {
+				h, err := b.Health(cctx)
+				if err != nil {
+					return err
+				}
+				st.Healthy = h.OK
+				st.Generation = h.Generation
+				return nil
+			})
+			if err != nil {
+				st.Error = err.Error()
+			}
+			out[si] = st
+		}(si)
+	}
+	wg.Wait()
+	return out
+}
+
+// uniform reports whether all generations in the slice are equal.
+func uniform(gens []uint64) bool {
+	for _, g := range gens[1:] {
+		if g != gens[0] {
+			return false
+		}
+	}
+	return len(gens) > 0
+}

@@ -46,6 +46,14 @@ type Engine struct {
 	// Workers pins the per-query batch parallelism (≤ 0 = all cores).
 	Workers int
 
+	// shard is the bundle's shard descriptor when the engine serves a
+	// sub-bundle of a sharded split (nil for a whole-space engine): the
+	// engine then owns one slice of the B side and refuses score/link
+	// queries for accounts the consistent hash assigns elsewhere, so a
+	// mis-routed query errors instead of imputing against missing state.
+	shard      *pipeline.ShardDesc
+	generation uint64
+
 	indexes map[[2]platform.ID]*blocking.Index
 	scratch sync.Pool
 }
@@ -113,7 +121,14 @@ func NewEngineFromBundle(b *pipeline.Bundle, workers int) (*Engine, error) {
 		Sys:     store,
 		Model:   model,
 		Workers: workers,
+		shard:   b.Shard,
 		indexes: make(map[[2]platform.ID]*blocking.Index, len(b.Indexes)),
+	}
+	if b.Shard != nil {
+		if err := b.Shard.Validate(); err != nil {
+			return nil, err
+		}
+		e.generation = b.Shard.Generation
 	}
 	for _, parts := range b.Indexes {
 		ix, err := blocking.IndexFromParts(parts)
@@ -146,14 +161,36 @@ func (e *Engine) Pairs() [][2]platform.ID {
 	return out
 }
 
+// ShardDesc returns the shard descriptor of a sub-bundle engine, nil for
+// a whole-space engine.
+func (e *Engine) ShardDesc() *pipeline.ShardDesc { return e.shard }
+
+// Generation returns the bundle generation the engine serves (0 when the
+// bundle carries no shard stamp).
+func (e *Engine) Generation() uint64 { return e.generation }
+
+// checkOwned rejects a query for a B-side account the engine's shard
+// does not own. The consistent hash is the same one the router routes
+// by, so the error only fires on mis-routed (or routerless) queries.
+func (e *Engine) checkOwned(pb platform.ID, b int) error {
+	if e.shard == nil || e.shard.Owns(pb, b) {
+		return nil
+	}
+	return fmt.Errorf("serve: %s account %d belongs to shard %d of %d (this is shard %d) — route the query through hydra-router",
+		pb, b, e.shard.ShardOf(pb, b), e.shard.Count, e.shard.Index)
+}
+
 // Score returns the model's decision value for one account pair.
 func (e *Engine) Score(pa platform.ID, a int, pb platform.ID, b int) (float64, error) {
+	if err := e.checkOwned(pb, b); err != nil {
+		return 0, err
+	}
 	return e.Model.Score(pa, a, pb, b)
 }
 
 // Link decides whether the pair is the same natural person (score > 0).
 func (e *Engine) Link(pa platform.ID, a int, pb platform.ID, b int) (bool, float64, error) {
-	s, err := e.Model.Score(pa, a, pb, b)
+	s, err := e.Score(pa, a, pb, b)
 	if err != nil {
 		return false, 0, err
 	}
@@ -162,6 +199,13 @@ func (e *Engine) Link(pa platform.ID, a int, pb platform.ID, b int) (bool, float
 
 // ScoreBatch scores a batch of pairs in one pass over the worker pool.
 func (e *Engine) ScoreBatch(pa, pb platform.ID, pairs [][2]int) ([]float64, error) {
+	if e.shard != nil {
+		for _, p := range pairs {
+			if err := e.checkOwned(pb, p[1]); err != nil {
+				return nil, err
+			}
+		}
+	}
 	return e.Model.ScoreBatchWorkers(pa, pb, pairs, e.Workers)
 }
 
@@ -271,6 +315,14 @@ func (e *Engine) TopKAppend(dst []Scored, pa platform.ID, a int, pb platform.ID,
 	}
 	sc.sel = sel
 	return append(dst, sel...), nil
+}
+
+// ScoredLess is the engine's exact result order — (score descending,
+// B ascending) — exported so the scatter-gather router merges per-shard
+// top-k answers with the identical tie-break the single-process engine
+// sorts by.
+func ScoredLess(x, y Scored) bool {
+	return scoredBefore(x.Score, x.B, y)
 }
 
 // scoredBefore reports whether a candidate with the given score and B id

@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"hydra/internal/pipeline"
+)
+
+// shardEngines splits the shared env bundle with the given generation
+// and builds one engine per shard. count=1 is the single-box form —
+// everything owned, but stamped and swappable.
+func shardEngines(t *testing.T, count int, gen uint64) []*Engine {
+	t.Helper()
+	e := getEnv(t)
+	subs, err := pipeline.SplitBundle(e.bundle, count, 7, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := make([]*Engine, count)
+	for i, sb := range subs {
+		if engines[i], err = NewEngineFromBundle(sb, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return engines
+}
+
+// TestServeSwapGates pins the versioned-swap contract: stale
+// generations, topology changes and shard-index changes are refused;
+// strictly newer same-topology bundles swap in and out-swapped engines
+// keep answering.
+func TestServeSwapGates(t *testing.T) {
+	gen1 := shardEngines(t, 2, 1)
+	gen2 := shardEngines(t, 2, 2)
+
+	s := NewSwappable(gen1[0])
+	if _, g := s.Current(); g != 1 {
+		t.Fatalf("initial generation = %d, want 1", g)
+	}
+
+	// Stale: same generation back in.
+	if _, err := s.Swap(gen1[0]); err == nil {
+		t.Error("re-installing the serving generation did not error")
+	}
+	// Wrong shard index of the same split.
+	if _, err := s.Swap(gen2[1]); err == nil {
+		t.Error("swapping in the wrong shard index did not error")
+	}
+	// Topology change: different seed re-homes accounts.
+	e := getEnv(t)
+	otherSeed, err := pipeline.SplitBundle(e.bundle, 2, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherEng, err := NewEngineFromBundle(otherSeed[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Swap(otherEng); err == nil {
+		t.Error("swapping across split topologies did not error")
+	}
+	// Sharded -> unsharded is a topology change too.
+	if _, err := s.Swap(e.beng); err == nil {
+		t.Error("swapping a sharded serve to an unsharded bundle did not error")
+	}
+
+	// The legitimate swap: same shard, strictly newer generation.
+	prev, err := s.Swap(gen2[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev != gen1[0] {
+		t.Error("Swap did not return the out-swapped engine")
+	}
+	if eng, g := s.Current(); g != 2 || eng != gen2[0] {
+		t.Fatalf("after swap: generation %d", g)
+	}
+	// Now gen1 is stale.
+	if _, err := s.Swap(gen1[0]); err == nil {
+		t.Error("swapping back to the old generation did not error")
+	}
+
+	// The out-swapped engine still answers — in-flight queries finishing
+	// on the old generation depend on it.
+	pair := e.eng.Pairs()[0]
+	if _, err := prev.TopK(pair[0], 0, pair[1], 3); err != nil {
+		t.Fatalf("out-swapped engine stopped answering: %v", err)
+	}
+
+	// Unsharded engines (generation 0 on both sides) swap unversioned.
+	u := NewSwappable(e.beng)
+	if _, err := u.Swap(e.beng); err != nil {
+		t.Fatalf("unversioned swap refused: %v", err)
+	}
+}
+
+// TestServeShardOwnershipGate asserts a sharded engine refuses score and
+// link queries for B-side accounts it does not own, instead of
+// answering them wrong off a zeroed view.
+func TestServeShardOwnershipGate(t *testing.T) {
+	e := getEnv(t)
+	engines := shardEngines(t, 2, 1)
+	pair := e.eng.Pairs()[0]
+	nB := 0
+	for _, ix := range e.bundle.Indexes {
+		if ix.PA == pair[0] && ix.PB == pair[1] {
+			nB = len(e.bundle.Views[ix.PB])
+		}
+	}
+	if nB == 0 {
+		t.Fatal("no B-side views in fixture")
+	}
+	checked := 0
+	for b := 0; b < nB; b++ {
+		for i, eng := range engines {
+			owns := eng.ShardDesc().ShardOf(pair[1], b) == i
+			_, err := eng.Score(pair[0], 0, pair[1], b)
+			if owns && err != nil {
+				t.Fatalf("shard %d refused owned account %d: %v", i, b, err)
+			}
+			if !owns {
+				if err == nil {
+					t.Fatalf("shard %d answered non-owned account %d", i, b)
+				}
+				if !strings.Contains(err.Error(), "hydra-router") {
+					t.Fatalf("ownership error does not point at the router: %v", err)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("every account owned by every shard — gate never exercised")
+	}
+}
+
+// TestServeSwapConcurrentQueries hammers the HTTP front-end through a
+// Swappable while generations swap underneath it: every response must
+// succeed and carry a single valid generation — nothing dropped, nothing
+// mixed. Run under -race this doubles as the data-race proof for the
+// atomic swap path.
+func TestServeSwapConcurrentQueries(t *testing.T) {
+	e := getEnv(t)
+	pair := e.eng.Pairs()[0]
+	engines := make([]*Engine, 0, 4)
+	for gen := uint64(1); gen <= 4; gen++ {
+		engines = append(engines, shardEngines(t, 1, gen)...)
+	}
+	s := NewSwappable(engines[0])
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := srv.Client().Get(srv.URL + "/topk?pa=" + string(pair[0]) + "&a=0&pb=" + string(pair[1]) + "&k=3")
+				if err != nil {
+					errCh <- err
+					return
+				}
+				var body struct {
+					Results    []Scored `json:"results"`
+					Generation uint64   `json:"generation"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&body)
+				resp.Body.Close()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if resp.StatusCode != 200 || body.Generation < 1 || body.Generation > 4 {
+					errCh <- &json.UnsupportedValueError{}
+					return
+				}
+			}
+		}()
+	}
+	for _, next := range engines[1:] {
+		if _, err := s.Swap(next); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatalf("query failed during swaps: %v", err)
+	default:
+	}
+	if _, g := s.Current(); g != 4 {
+		t.Fatalf("final generation = %d, want 4", g)
+	}
+}
+
+// TestServeShardTopKPartition asserts each 1-of-N shard's TopK is the
+// single engine's ranking filtered to the accounts it owns — the
+// property the router's exact merge is built on.
+func TestServeShardTopKPartition(t *testing.T) {
+	e := getEnv(t)
+	engines := shardEngines(t, 3, 1)
+	pair := e.eng.Pairs()[0]
+	nA := len(e.bundle.Views[pair[0]])
+	for a := 0; a < nA; a++ {
+		full, err := e.beng.TopK(pair[0], a, pair[1], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, eng := range engines {
+			var want []Scored
+			for _, s := range full {
+				if eng.ShardDesc().ShardOf(pair[1], s.B) == i {
+					want = append(want, s)
+				}
+			}
+			got, err := eng.TopK(pair[0], a, pair[1], 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("a=%d shard %d: TopK %+v, want filtered %+v", a, i, got, want)
+			}
+		}
+	}
+}
