@@ -28,15 +28,16 @@ test:
 # race exercises the worker-pool and serving concurrency paths under the
 # race detector — the serving engines (world- and bundle-backed,
 # TestServe*, including the hot-swap drills), the scatter-gather router
-# (TestRouter*), the staged pipeline, the parallel figure sweeps and the
-# fanned-out synth generator (*Workers*/*Determinism* tests) all match
-# the filter.
+# (TestRouter*), the two-tier prescreen oracles (TestPrescreen*), the
+# staged pipeline, the parallel figure sweeps and the fanned-out synth
+# generator (*Workers*/*Determinism* tests) all match the filter.
 race:
-	$(GO) test -race -run 'Determinism|Concurrent|Workers|Serve|Router' ./internal/...
+	$(GO) test -race -run 'Determinism|Concurrent|Workers|Serve|Router|Prescreen' ./internal/...
 
 # bench-smoke runs every serve benchmark once (-benchtime=1x) as part of
 # make ci — not for numbers, but so the bench harness itself (fixtures,
-# pooled buffers, the v2/v3 decode paths) cannot rot between perf PRs.
+# pooled buffers, the v2/v3 decode paths, the wide-shard exact vs
+# two-tier prescreen pair) cannot rot between perf PRs.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Serve' -benchtime=1x ./internal/serve/
 
@@ -90,12 +91,13 @@ bench-bundle:
 
 # bench-json trains a small model through the staged pipeline, persists
 # it both ways and benchmarks the restored engines, writing a machine-
-# readable BENCH_PR6.json snapshot (cold-start world vs bundle, v2 vs v3
+# readable BENCH_PR7.json snapshot (cold-start world vs bundle, v2 vs v3
 # bundle bytes + decode, steady-state query latency + allocs/op, router
-# scatter-gather top-k over 4 in-process shards, hot-swap pause p99) so
+# scatter-gather top-k over 4 in-process shards, hot-swap pause p99, and
+# the two-tier prescreen's recall-vs-speedup curve on wide shards) so
 # the perf trajectory has a mechanical data point per PR.
 bench-json:
-	$(GO) run ./cmd/hydra-servebench -prev BENCH_PR5.json -json BENCH_PR6.json
+	$(GO) run ./cmd/hydra-servebench -prev BENCH_PR6.json -json BENCH_PR7.json
 
 # figures regenerates every figure table (the full experiment suite).
 figures:

@@ -35,6 +35,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -86,6 +87,20 @@ func main() {
 	fmt.Fprintf(os.Stderr, "routing over %d shards, %d platform pairs\n", rt.NumShards(), len(rt.Pairs()))
 
 	metrics := obs.NewMetrics()
+	// Every successful shard health probe (startup refresh, SIGHUP, and
+	// each /healthz live-probe) republished as per-shard prescreen
+	// gauges, so one router /metrics page shows pruning health fleet-wide.
+	rt.SetHealthObserver(func(shard int, h router.Health) {
+		s := obs.ShardPrescreen{}
+		if ph := h.Prescreen; ph != nil {
+			s = obs.ShardPrescreen{
+				Enabled: ph.Enabled, Features: ph.Features, Eps: ph.Eps,
+				Queries: ph.Queries, Survivors: ph.Survivors,
+				Pruned: ph.Pruned, Skipped: ph.Skipped,
+			}
+		}
+		metrics.SetShardPrescreen(strconv.Itoa(shard), s)
+	})
 	mux := http.NewServeMux()
 	mux.Handle("/", rt.Handler())
 	mux.Handle("/metrics", metrics.Handler())

@@ -61,9 +61,14 @@ func main() {
 		workers      = flag.Int("workers", 0, "worker-pool size for query batches and index building; 0 = all cores")
 		httpAddr     = flag.String("http", "", "serve HTTP on this address (e.g. :8080) instead of the stdin REPL")
 		logRequests  = flag.Bool("log-requests", false, "write one JSON log line per HTTP request to stderr")
+		prescreen    = flag.String("prescreen", "on", "two-tier approximate prescreen for top-k queries: on|off; off forces exact-only scoring (answers are bit-identical either way, off just skips the pruning)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long in-flight requests get to finish on SIGINT/SIGTERM")
 	)
 	flag.Parse()
+	if *prescreen != "on" && *prescreen != "off" {
+		fmt.Fprintf(os.Stderr, "hydra-serve: -prescreen must be on or off, got %q\n", *prescreen)
+		os.Exit(2)
+	}
 
 	var (
 		eng *serve.Engine
@@ -99,6 +104,10 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *prescreen == "off" {
+		eng.SetPrescreenEnabled(false)
+	}
+
 	if *httpAddr == "" {
 		if err := eng.REPL(os.Stdin, os.Stdout); err != nil {
 			log.Fatal(err)
@@ -106,8 +115,9 @@ func main() {
 		return
 	}
 
-	holder := serve.NewSwappable(eng)
 	metrics := obs.NewMetrics()
+	eng.SetPrescreenObserver(metrics)
+	holder := serve.NewSwappable(eng)
 	mux := http.NewServeMux()
 	mux.Handle("/", holder.Handler())
 	mux.Handle("/metrics", metrics.Handler())
@@ -153,6 +163,10 @@ func main() {
 					fmt.Fprintf(os.Stderr, "swap refused: %v — keeping current generation\n", err)
 					continue
 				}
+				if *prescreen == "off" {
+					next.SetPrescreenEnabled(false)
+				}
+				next.SetPrescreenObserver(metrics)
 				if _, err := holder.Swap(next); err != nil {
 					fmt.Fprintf(os.Stderr, "swap refused: %v — keeping current generation\n", err)
 					continue

@@ -84,9 +84,45 @@ type snapshot struct {
 	// PairsPerSec is the batched-score throughput (candidate pairs scored
 	// per second across the whole candidate set per op).
 	PairsPerSec float64 `json:"batch_pairs_per_sec"`
+	// Prescreen is the two-tier scoring benchmark: exact vs
+	// prescreen+rescore top-k over production-shaped (full cross product)
+	// shards, with the recall-vs-speedup curve across ε safety factors.
+	Prescreen *prescreenSection `json:"prescreen,omitempty"`
 	// Before carries the headline numbers of the previous PR's snapshot
 	// (-prev) so one file shows the delta.
 	Before *beforeBlock `json:"before,omitempty"`
+}
+
+// prescreenCurvePoint is one safety factor's row of the
+// recall-vs-speedup curve. Certified marks factors ≥ 1, where the
+// margin still covers the measured worst-case error and recall is
+// guaranteed 1; sub-1 factors deliberately shrink the margin below
+// certification to show where the cliff is.
+type prescreenCurvePoint struct {
+	Safety        float64    `json:"safety"`
+	Eps           float64    `json:"eps"`
+	Certified     bool       `json:"certified"`
+	TopK          benchPoint `json:"topk5"`
+	Speedup       float64    `json:"speedup_vs_exact"`
+	MeanSurvivors float64    `json:"mean_survivors"`
+	Recall        float64    `json:"recall_at_5"`
+}
+
+// prescreenSection is the two-tier scoring block of the snapshot. The
+// headline fields are the bundle's shipped configuration; RecallAt5 is
+// asserted to be exactly 1.0 before the snapshot is written.
+type prescreenSection struct {
+	Features      int                   `json:"features"`
+	EpsRaw        float64               `json:"eps_raw"`
+	Safety        float64               `json:"safety"`
+	Eps           float64               `json:"eps"`
+	WideShard     float64               `json:"wide_shard_size"`
+	Exact         benchPoint            `json:"wide_topk5_exact"`
+	TopK          benchPoint            `json:"wide_topk5_prescreen"`
+	Speedup       float64               `json:"speedup_vs_exact"`
+	MeanSurvivors float64               `json:"mean_survivors"`
+	RecallAt5     float64               `json:"recall_at_5"`
+	Curve         []prescreenCurvePoint `json:"speedup_curve"`
 }
 
 // beforeBlock is the previous snapshot's headline numbers, lifted via
@@ -219,6 +255,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	prescreen, err := benchPrescreen(env.bundle, pa, pb, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	snap := snapshot{
 		Bench:          "serve-bundle",
@@ -238,6 +278,7 @@ func main() {
 		RouterShards:   routerShards,
 		RouterTopK:     point(routerTopK),
 		SwapPauseP99Ms: swapP99,
+		Prescreen:      prescreen,
 	}
 	snap.BundleV2DecodeMs, err = coldStart(5, func() error {
 		_, err := pipeline.ReadBundle(bytes.NewReader(env.bundleV2Bytes))
@@ -277,6 +318,18 @@ func main() {
 		snap.RouterTopK.NsPerOp, snap.RouterTopK.Ops, snap.RouterTopK.AllocsPerOp, snap.RouterShards)
 	fmt.Printf("swap pause p99:      %12.3f ms    (topk latency racing a stream of hot bundle swaps)\n",
 		snap.SwapPauseP99Ms)
+	fmt.Printf("wide topk(5) exact:  %12.0f ns/op  (full cross-product shard, %.0f candidates)\n",
+		prescreen.Exact.NsPerOp, prescreen.WideShard)
+	fmt.Printf("wide topk(5) 2-tier: %12.0f ns/op  (%.1fx, %d-feature prescreen, ε=%.4g, mean survivors %.1f, recall %.3f)\n",
+		prescreen.TopK.NsPerOp, prescreen.Speedup, prescreen.Features, prescreen.Eps, prescreen.MeanSurvivors, prescreen.RecallAt5)
+	for _, cp := range prescreen.Curve {
+		cert := "certified"
+		if !cp.Certified {
+			cert = "UNCERTIFIED"
+		}
+		fmt.Printf("  safety %4.2f: %9.0f ns/op  %5.2fx  survivors %5.1f  recall %.3f  (%s)\n",
+			cp.Safety, cp.TopK.NsPerOp, cp.Speedup, cp.MeanSurvivors, cp.Recall, cert)
+	}
 
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
@@ -536,4 +589,146 @@ func buildEnv(persons int, seed int64, workers int) (*benchEnv, error) {
 		return nil, err
 	}
 	return env, nil
+}
+
+// wideIndexBundle returns a copy of b whose candidate indexes hold the
+// full A×B cross product — production-shaped shards, where a top-k
+// query actually has candidates to prune. The blocked indexes of the
+// benchmark world average ~3 candidates per shard, below the two-tier
+// path's engagement floor.
+func wideIndexBundle(b *pipeline.Bundle) *pipeline.Bundle {
+	c := *b
+	c.Indexes = make([]blocking.IndexParts, len(b.Indexes))
+	for i, ix := range b.Indexes {
+		na := len(b.Views[ix.PA])
+		nb := len(b.Views[ix.PB])
+		byA := make([][]blocking.Candidate, na)
+		for a := 0; a < na; a++ {
+			shard := make([]blocking.Candidate, nb)
+			for bb := 0; bb < nb; bb++ {
+				shard[bb] = blocking.Candidate{A: a, B: bb}
+			}
+			byA[a] = shard
+		}
+		c.Indexes[i] = blocking.IndexParts{PA: ix.PA, PB: ix.PB, Rules: ix.Rules, ByA: byA}
+	}
+	return &c
+}
+
+// benchPrescreen prices the two-tier scorer against the exact engine on
+// full cross-product shards and sweeps the safety factor to map recall
+// against speedup. The bundle's shipped configuration is the headline;
+// its recall is asserted to be exactly 1.0 — the certified-exactness
+// claim, measured rather than trusted.
+func benchPrescreen(b *pipeline.Bundle, pa, pb platform.ID, workers int) (*prescreenSection, error) {
+	if b.Prescreen == nil {
+		return nil, fmt.Errorf("bundle carries no prescreen — packBundle should have built one")
+	}
+	wb := wideIndexBundle(b)
+	na := len(wb.Views[pa])
+	nb := len(wb.Views[pb])
+
+	exactEng, err := serve.NewEngineFromBundle(wb, workers)
+	if err != nil {
+		return nil, err
+	}
+	exactEng.SetPrescreenEnabled(false)
+	// Reference rankings (also warms the exact engine's pair cache).
+	ref := make([][]serve.Scored, na)
+	for a := 0; a < na; a++ {
+		if ref[a], err = exactEng.TopK(pa, a, pb, 5); err != nil {
+			return nil, err
+		}
+	}
+	var dst []serve.Scored
+	exact := testing.Benchmark(func(bb *testing.B) {
+		bb.ReportAllocs()
+		for i := 0; i < bb.N; i++ {
+			if dst, err = exactEng.TopKAppend(dst[:0], pa, i%na, pb, 5); err != nil {
+				bb.Fatal(err)
+			}
+		}
+	})
+
+	// One engine per safety factor: scalars change, the projection (W, B,
+	// V) is shared. Factors below 1 shrink the margin under the measured
+	// worst-case error — deliberately uncertified, to locate the recall
+	// cliff the certified margin keeps clear of.
+	sec := &prescreenSection{
+		Features:  b.Prescreen.Features,
+		EpsRaw:    b.Prescreen.EpsRaw,
+		Safety:    b.Prescreen.Safety,
+		Eps:       b.Prescreen.Eps,
+		WideShard: float64(nb),
+		Exact:     point(exact),
+	}
+	for _, safety := range []float64{0.25, 0.5, 1, b.Prescreen.Safety, 3} {
+		ps := *b.Prescreen
+		ps.Safety = safety
+		ps.Eps = b.Prescreen.EpsRaw * safety
+		if safety < 1 {
+			ps.EpsRaw = ps.Eps // below certification: shrink the floor too
+		}
+		cb := *wb
+		cb.Prescreen = &ps
+		eng, err := serve.NewEngineFromBundle(&cb, workers)
+		if err != nil {
+			return nil, err
+		}
+		// Recall against the exact reference (also warms the engine).
+		matched, total := 0, 0
+		for a := 0; a < na; a++ {
+			got, err := eng.TopK(pa, a, pb, 5)
+			if err != nil {
+				return nil, err
+			}
+			rows := make(map[serve.Scored]bool, len(got))
+			for _, r := range got {
+				rows[r] = true
+			}
+			for _, r := range ref[a] {
+				total++
+				if rows[r] {
+					matched++
+				}
+			}
+		}
+		recall := 1.0
+		if total > 0 {
+			recall = float64(matched) / float64(total)
+		}
+		res := testing.Benchmark(func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				if dst, err = eng.TopKAppend(dst[:0], pa, i%na, pb, 5); err != nil {
+					bb.Fatal(err)
+				}
+			}
+		})
+		cp := prescreenCurvePoint{
+			Safety:    safety,
+			Eps:       ps.Eps,
+			Certified: safety >= 1,
+			TopK:      point(res),
+			Recall:    recall,
+		}
+		if cp.TopK.NsPerOp > 0 {
+			cp.Speedup = sec.Exact.NsPerOp / cp.TopK.NsPerOp
+		}
+		if ph := eng.PrescreenHealth(); ph != nil && ph.Queries > 0 {
+			cp.MeanSurvivors = float64(ph.Survivors) / float64(ph.Queries)
+		}
+		sec.Curve = append(sec.Curve, cp)
+		if safety == b.Prescreen.Safety {
+			sec.TopK = cp.TopK
+			sec.Speedup = cp.Speedup
+			sec.MeanSurvivors = cp.MeanSurvivors
+			sec.RecallAt5 = cp.Recall
+		}
+	}
+	if sec.RecallAt5 != 1.0 {
+		return nil, fmt.Errorf("shipped prescreen (safety %g) measured recall %.4f ≠ 1.0 — the certified margin is broken",
+			b.Prescreen.Safety, sec.RecallAt5)
+	}
+	return sec, nil
 }

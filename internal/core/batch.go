@@ -131,6 +131,7 @@ func (fm *friendMemo) resolveFriends(id platform.ID, local, k int) ([]graph.Frie
 type scoreScratch struct {
 	imp   imputeScratch   // Eqn-18 accumulator (single-worker impute)
 	rows  []linalg.Vector // per-row imputed feature buffers
+	sub   []linalg.Vector // row-header views for subset rescoring
 	kdata []float64       // backing array of the kernel value matrix
 	km    linalg.Matrix   // header over kdata, reshaped per query
 	memo  friendMemo      // A-side friend memo
@@ -152,6 +153,16 @@ func (sc *scoreScratch) single() linalg.Vector {
 }
 
 func (sc *scoreScratch) setSingle(x linalg.Vector) { sc.rows[0] = x }
+
+// ensureSub returns an n-slot buffer of row headers for subset views
+// over the imputed rows — no feature data is copied, the views alias
+// sc.rows' buffers.
+func (sc *scoreScratch) ensureSub(n int) []linalg.Vector {
+	if cap(sc.sub) < n {
+		sc.sub = make([]linalg.Vector, n)
+	}
+	return sc.sub[:n]
+}
 
 // ensureKmat reshapes the pooled kernel matrix to rows×cols.
 func (sc *scoreScratch) ensureKmat(rows, cols int) *linalg.Matrix {

@@ -156,6 +156,13 @@ type Model struct {
 	svAlpha       []float64
 	directFriends friendResolver
 	scratch       sync.Pool
+
+	// pre is the optional approximate prescreen (see prescreen.go):
+	// attached from a bundle's prescreen section via SetPrescreen, nil
+	// for exact-only serving. It never changes a served value — top-k
+	// uses it to skip candidates provably outside the top k, and the
+	// exact path rescores everything else.
+	pre *prescreenState
 }
 
 // Train runs Algorithm 1 on the task. For p=1 this is the exact convex

@@ -1,0 +1,509 @@
+package core
+
+// The approximate prescreen behind the two-tier top-k path. The exact
+// decision function (Eqn 12) costs one RBF evaluation per support
+// vector per candidate — the support-set floor no amount of batching
+// breaks. The prescreen replaces that expansion with a single m-term
+// feature fold f̃(x) = bias + Σ V_i·φ_i(x) fitted once at build time,
+// where the basis mixes two optional blocks of equal per-feature cost
+// (one dim-length pass each):
+//
+//   - random Fourier features of the learned RBF bandwidth (see
+//     internal/kernel's RFF): φ_i(x) = cos(W_i·x + B_i) from the seeded
+//     draw. Measured on real bundles, a pure-RFF fold needs several
+//     hundred features before its certified margin prunes anything —
+//     the global cosines average away the spiky RBF mixture — at which
+//     point the fold costs more than the exact expansion it fronts.
+//   - a reduced support expansion: φ_j(x) = K(c_j, x) with centers c_j
+//     the highest-|α| support vectors. The decision function literally
+//     lives in the span of such bumps, so 64 of them fit it an order
+//     of magnitude tighter than 64 cosines; this block is what the
+//     packers ship (RFF = 0), and the RFF block remains for models
+//     whose support sets are too small or too diffuse to subsample.
+//
+// The approximation never decides anything. At build time the maximum
+// prescreen error is measured over every training candidate plus the
+// packer's sample of actual query-space imputed vectors — exhaustive
+// for bundles whose serving cross product fits the sample cap — and
+// inflated by a safety factor into the certified margin ε; a top-k
+// query then only uses f̃ to *skip* candidates provably outside the
+// running k-th best (f̃ < kth − ε ⇒ f < kth), and the survivors are
+// rescored by the exact batched kernel, which alone produces output.
+// Scores, rankings and tie-breaks therefore stay bit-identical to the
+// exact-only engine by construction — see serve.Engine.TopKAppend and
+// the TestPrescreenBitExact / property oracles.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hydra/internal/kernel"
+	"hydra/internal/linalg"
+	"hydra/internal/parallel"
+	"hydra/internal/platform"
+)
+
+// DefaultPrescreenFeatures is the RFF feature count m the packers build
+// with: small enough that a prescreen score (one m-dim cosine fold)
+// stays far below the support-set cost it replaces, large enough that
+// the empirical margin ε still prunes (ε shrinks ~1/√m).
+const DefaultPrescreenFeatures = 64
+
+// DefaultPrescreenSafety inflates the empirically measured maximum
+// error into the certified margin ε when the packer could only SAMPLE
+// the query cross product: the factor covers the pairs the sample did
+// not contain. A packer that enumerated the cross product exhaustively
+// passes Safety = 1 — the measured maximum then IS the true maximum
+// over every query the bundle can be asked.
+const DefaultPrescreenSafety = 2
+
+// prescreenSeedMix decorrelates the RFF projection stream from every
+// other consumer of Config.Seed (the synth generator, shard hashing).
+const prescreenSeedMix = 0x5ca1ab1e
+
+// prescreenRidge scales the ridge term of the collapsed-vector fit,
+// relative to the features' weighted mean square (trace(ZᵀΩZ)/m).
+const prescreenRidge = 1e-5
+
+// prescreenIRLSRounds bounds the iteratively reweighted refits that
+// push the fit from least-squares toward minimax: each round reweights
+// every point by its squared residual, so the worst-fitted pairs — the
+// ones that set ε — dominate the next solve. Plain least squares leaves
+// ε 2–4× larger at the same feature count.
+const prescreenIRLSRounds = 12
+
+// prescreenIRLSFloor keeps perfectly-fitted points from dropping out of
+// the reweighted solve entirely.
+const prescreenIRLSFloor = 1e-3
+
+// PrescreenParts is the serialized prescreen: everything a server needs
+// to score approximately without paying the build (the projection, the
+// collapsed decision vector and the certified margin). It rides bundles
+// as an optional section — absent parts mean exact-only serving.
+type PrescreenParts struct {
+	// Features is the total fold length m; Dim the input dimensionality
+	// each feature row spans. RFF of the m features are cosines from
+	// the seeded Fourier draw; the remaining m−RFF are reduced-set
+	// kernel bumps at the Centers rows.
+	Features int `json:"features"`
+	RFF      int `json:"rff"`
+	Dim      int `json:"dim"`
+	// Seed drew the Fourier projection; kept so a rebuild reproduces
+	// the bytes (recorded even when RFF = 0).
+	Seed int64 `json:"seed"`
+	// W is the RFF×Dim projection (row-major) and B the RFF phases of
+	// the underlying kernel.RFF map. Both empty when RFF = 0.
+	W linalg.Vector `json:"w"`
+	B linalg.Vector `json:"b"`
+	// C holds the (Features−RFF)×Dim reduced-set centers (row-major,
+	// zero-padded rows of the model's highest-|α| support vectors) and
+	// Sigma the RBF bandwidth their bumps are evaluated at.
+	C     linalg.Vector `json:"c"`
+	Sigma float64       `json:"sigma"`
+	// V is the fitted decision vector over the concatenated basis:
+	// f̃(x) = bias + Σ_{i<RFF} V[i]·cos(W_i·x + B[i])
+	//              + Σ_{j} V[RFF+j]·exp(−‖C_j − x‖² / 2σ²).
+	V linalg.Vector `json:"v"`
+	// EpsRaw is the maximum |f − f̃| measured at build time over every
+	// training candidate and query-space sample; Eps = EpsRaw·Safety is
+	// the certified margin queries prune with.
+	EpsRaw float64 `json:"eps_raw"`
+	Safety float64 `json:"safety"`
+	Eps    float64 `json:"eps"`
+}
+
+// Validate checks the parts' internal consistency (shape and margin).
+func (p *PrescreenParts) Validate() error {
+	if p.Features <= 0 || p.Dim <= 0 {
+		return fmt.Errorf("core: prescreen parts need positive shape, got %d features over dim %d", p.Features, p.Dim)
+	}
+	if p.RFF < 0 || p.RFF > p.Features {
+		return fmt.Errorf("core: prescreen claims %d Fourier features of %d total", p.RFF, p.Features)
+	}
+	if len(p.W) != p.RFF*p.Dim {
+		return fmt.Errorf("core: prescreen projection has %d entries, want %d×%d", len(p.W), p.RFF, p.Dim)
+	}
+	if len(p.B) != p.RFF {
+		return fmt.Errorf("core: prescreen has %d phases for %d Fourier features", len(p.B), p.RFF)
+	}
+	rs := p.Features - p.RFF
+	if len(p.C) != rs*p.Dim {
+		return fmt.Errorf("core: prescreen centers have %d entries, want %d×%d", len(p.C), rs, p.Dim)
+	}
+	if rs > 0 && (math.IsNaN(p.Sigma) || p.Sigma <= 0) {
+		return fmt.Errorf("core: prescreen reduced-set bandwidth σ=%g is not usable", p.Sigma)
+	}
+	if len(p.V) != p.Features {
+		return fmt.Errorf("core: prescreen has %d fitted weights for %d features", len(p.V), p.Features)
+	}
+	if math.IsNaN(p.Eps) || p.Eps < 0 {
+		return fmt.Errorf("core: prescreen margin ε=%g is not a valid bound", p.Eps)
+	}
+	if p.Eps < p.EpsRaw {
+		return fmt.Errorf("core: prescreen margin ε=%g below the measured error %g — pruning would not be certified", p.Eps, p.EpsRaw)
+	}
+	return nil
+}
+
+// PrescreenOpts tunes BuildPrescreen; the zero value selects the
+// defaults (DefaultPrescreenFeatures, DefaultPrescreenSafety, a seed
+// derived from the model's training seed).
+type PrescreenOpts struct {
+	// Features is the total fold length; RFF of them are Fourier
+	// cosines (0 = the all-reduced-set default the packers ship).
+	Features int
+	RFF      int
+	Safety   float64
+	// Seed overrides the projection seed when non-zero.
+	Seed int64
+	// Queries is a sample of query-time imputed pair vectors (see
+	// Model.ImputedPairRows) drawn from the bundle's serving cross
+	// product. The training candidates alone badly under-represent the
+	// query distribution — arbitrary pairs impute into regions no
+	// labeled candidate occupies, and a prescreen fitted and certified
+	// only on candidates measures an ε many times too small out there.
+	// Every sample joins both the fit and the certification; a packer
+	// that could not enumerate the cross product exhaustively covers
+	// the unsampled remainder with Safety > 1.
+	Queries []linalg.Vector
+}
+
+// BuildPrescreen builds the approximate prescreen for a trained RBF
+// model from its serialized parts: it assembles the feature basis (the
+// seeded RFF draw when opts.RFF > 0, highest-|α| support vectors as
+// reduced-set centers for the rest), fits the decision vector by
+// iteratively reweighted ridge regression, and certifies the margin ε
+// empirically over every training candidate plus every supplied
+// query-space sample. The build is a pure function of (parts, opts) —
+// packing the same model twice yields byte-identical prescreen
+// sections. Non-RBF models have neither a Fourier feature map nor
+// bandwidthed bumps; they serve exact-only.
+func BuildPrescreen(p ModelParts, opts PrescreenOpts) (*PrescreenParts, error) {
+	if p.KernelKind != KernelRBF {
+		return nil, fmt.Errorf("core: prescreen needs an RBF model, got kernel %q", p.KernelKind)
+	}
+	if p.KernelSigma <= 0 {
+		return nil, fmt.Errorf("core: prescreen needs a positive bandwidth, got %g", p.KernelSigma)
+	}
+	if len(p.Xs) == 0 || len(p.Alpha) != len(p.Xs) {
+		return nil, fmt.Errorf("core: prescreen got %d duals for %d candidate vectors", len(p.Alpha), len(p.Xs))
+	}
+	m := opts.Features
+	if m <= 0 {
+		m = DefaultPrescreenFeatures
+	}
+	safety := opts.Safety
+	if safety <= 0 {
+		safety = DefaultPrescreenSafety
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = p.Cfg.Seed + prescreenSeedMix
+	}
+	// The point set the fit and certification run over: every training
+	// candidate, then every query-space sample.
+	pts := make([]linalg.Vector, 0, len(p.Xs)+len(opts.Queries))
+	pts = append(pts, p.Xs...)
+	pts = append(pts, opts.Queries...)
+	dim := 0
+	for _, x := range pts {
+		if len(x) > dim {
+			dim = len(x)
+		}
+	}
+	nRFF := opts.RFF
+	if nRFF < 0 || nRFF > m {
+		return nil, fmt.Errorf("core: prescreen wants %d Fourier features of %d total", nRFF, m)
+	}
+	var wRFF, bRFF linalg.Vector
+	if nRFF > 0 {
+		rff, err := kernel.NewRFF(p.KernelSigma, dim, nRFF, seed)
+		if err != nil {
+			return nil, err
+		}
+		wRFF, bRFF = linalg.Vector(rff.W), linalg.Vector(rff.B)
+	}
+
+	// Reduced-set centers: the highest-|α| support vectors, zero-padded
+	// to dim. |α| ranks how much of the decision surface each support
+	// vector carries; ties break on candidate index so the build stays
+	// a pure function of (parts, opts).
+	type ranked struct {
+		idx int
+		mag float64
+	}
+	var sv []ranked
+	for j, a := range p.Alpha {
+		if a != 0 {
+			sv = append(sv, ranked{j, math.Abs(a)})
+		}
+	}
+	sort.Slice(sv, func(i, j int) bool {
+		if sv[i].mag != sv[j].mag {
+			return sv[i].mag > sv[j].mag
+		}
+		return sv[i].idx < sv[j].idx
+	})
+	nRS := m - nRFF
+	if nRS > len(sv) {
+		// Fewer support vectors than requested bumps: shrink the fold
+		// rather than duplicating centers into a singular fit.
+		nRS = len(sv)
+		m = nRFF + nRS
+	}
+	centers := make(linalg.Vector, nRS*dim)
+	for i := 0; i < nRS; i++ {
+		copy(centers[i*dim:(i+1)*dim], p.Xs[sv[i].idx])
+	}
+
+	out := PrescreenParts{
+		Features: m, RFF: nRFF, Dim: dim, Seed: seed,
+		W: wRFF, B: bRFF,
+		C: centers, Sigma: p.KernelSigma,
+		Safety: safety,
+	}
+	sigma2 := 2 * p.KernelSigma * p.KernelSigma
+	// Exact decision values at every point, accumulated bias-first —
+	// the same float sequence Decision and the batched scorer run, so
+	// the certification below measures the gap against the value a
+	// query will actually compare with. Minus bias they double as the
+	// regression targets.
+	y := make([]float64, len(pts))
+	for i, x := range pts {
+		s := p.Bias
+		for j, a := range p.Alpha {
+			if a == 0 {
+				continue
+			}
+			s += a * math.Exp(-linalg.SqDist(p.Xs[j], x)/sigma2)
+		}
+		y[i] = s
+	}
+	// Feature rows, computed once. The cosine block goes through
+	// kernel.DotPhase and the bump block through the same SqDist/Exp
+	// the query fold runs, so the fit lives in exactly the query's
+	// float space.
+	feats := make([]float64, len(pts)*m)
+	for i, x := range pts {
+		z := feats[i*m : (i+1)*m]
+		for k := 0; k < nRFF; k++ {
+			z[k] = math.Cos(kernel.DotPhase(wRFF[k*dim:(k+1)*dim], x, bRFF[k]))
+		}
+		for j := 0; j < nRS; j++ {
+			z[nRFF+j] = math.Exp(-linalg.SqDist(centers[j*dim:(j+1)*dim], x) / sigma2)
+		}
+	}
+	// Iteratively reweighted ridge solves of ΩZ·V ≈ Ω(y − bias): the
+	// first round is plain least squares; each following round weights
+	// every point by its squared residual, so the solve concentrates on
+	// the worst-fitted pairs — ε is a max, not an average, and minimax
+	// pressure is what shrinks it. All loops run in ascending point
+	// order and the normal equations are solved by Cholesky, so the
+	// build stays deterministic.
+	weight := make([]float64, len(pts))
+	for i := range weight {
+		weight[i] = 1
+	}
+	gram := linalg.NewMatrix(m, m)
+	for round := 0; round < prescreenIRLSRounds; round++ {
+		for i := range gram.Data {
+			gram.Data[i] = 0
+		}
+		rhs := linalg.NewVector(m)
+		trace := 0.0
+		for i := range pts {
+			z := feats[i*m : (i+1)*m]
+			wi := weight[i]
+			for r := 0; r < m; r++ {
+				zr := z[r]
+				rhs[r] += wi * zr * (y[i] - p.Bias)
+				row := gram.Row(r)
+				for c := 0; c <= r; c++ {
+					row[c] += wi * zr * z[c]
+				}
+				trace += wi * zr * zr
+			}
+		}
+		for r := 0; r < m; r++ {
+			for c := r + 1; c < m; c++ {
+				gram.Set(r, c, gram.At(c, r))
+			}
+		}
+		gram.AddDiag(prescreenRidge * trace / float64(m))
+		chol, err := gram.Cholesky(1e-12)
+		if err != nil {
+			return nil, fmt.Errorf("core: prescreen ridge solve: %w", err)
+		}
+		out.V = linalg.SolveCholesky(chol, rhs)
+		for i := range pts {
+			z := feats[i*m : (i+1)*m]
+			s := 0.0
+			for r := 0; r < m; r++ {
+				s += out.V[r] * z[r]
+			}
+			res := math.Abs(y[i]-p.Bias-s) + prescreenIRLSFloor
+			weight[i] = res * res
+		}
+	}
+
+	// Certify the margin over every point by literally running the
+	// query fold (not the cached feature rows — any divergence between
+	// the two would void the bound, so the measurement uses the serving
+	// code path). ε is the worst observed gap inflated by the safety
+	// factor, nudged up one ulp so a Safety = 1 exhaustive bound stays
+	// on the safe side of the last rounding.
+	ps := newPrescreenState(&out)
+	for i, x := range pts {
+		if gap := math.Abs(y[i] - ps.score(x, p.Bias)); gap > out.EpsRaw {
+			out.EpsRaw = gap
+		}
+	}
+	out.Eps = math.Nextafter(out.EpsRaw*safety, math.Inf(1))
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// prescreenState is the query-time form of PrescreenParts: plain slices
+// the hot fold walks without re-validating shapes.
+type prescreenState struct {
+	parts      *PrescreenParts
+	dim        int
+	rff, rs    int
+	w, b, c, v []float64
+	sigma2     float64
+	eps        float64
+}
+
+func newPrescreenState(p *PrescreenParts) *prescreenState {
+	return &prescreenState{
+		parts: p, dim: p.Dim, rff: p.RFF, rs: p.Features - p.RFF,
+		w: p.W, b: p.B, c: p.C, v: p.V,
+		sigma2: 2 * p.Sigma * p.Sigma, eps: p.Eps,
+	}
+}
+
+// score evaluates the fold f̃(x) = bias + Σ v_i·cos(w_i·x + b_i)
+//   - Σ v_{rff+j}·exp(−‖c_j − x‖²/2σ²).
+//
+// Both blocks run the identical float sequence (kernel.DotPhase,
+// linalg.SqDist) the build's certification ran, in the same
+// accumulation order — the measured ε is only valid because of that.
+func (ps *prescreenState) score(x linalg.Vector, bias float64) float64 {
+	s := bias
+	d := ps.dim
+	for i := 0; i < ps.rff; i++ {
+		s += ps.v[i] * math.Cos(kernel.DotPhase(ps.w[i*d:(i+1)*d], x, ps.b[i]))
+	}
+	for j := 0; j < ps.rs; j++ {
+		s += ps.v[ps.rff+j] * math.Exp(-linalg.SqDist(ps.c[j*d:(j+1)*d], x)/ps.sigma2)
+	}
+	return s
+}
+
+// SetPrescreen attaches validated prescreen parts to the model (the
+// bundle restore path). The parts must span at least the model's
+// feature dimensionality; a narrower projection would silently ignore
+// trailing features and void the certified margin.
+func (m *Model) SetPrescreen(p *PrescreenParts) error {
+	if p == nil {
+		m.pre = nil
+		return nil
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if m.svMat != nil && m.svMat.Cols > p.Dim {
+		return fmt.Errorf("core: prescreen spans dim %d but the model's features span %d — rebuild the prescreen", p.Dim, m.svMat.Cols)
+	}
+	m.pre = newPrescreenState(p)
+	return nil
+}
+
+// ClearPrescreen detaches the prescreen; the model serves exact-only.
+func (m *Model) ClearPrescreen() { m.pre = nil }
+
+// HasPrescreen reports whether an approximate prescreen is attached.
+func (m *Model) HasPrescreen() bool { return m.pre != nil }
+
+// Prescreen returns the attached prescreen parts (nil when exact-only).
+// Callers must treat them as read-only.
+func (m *Model) Prescreen() *PrescreenParts {
+	if m.pre == nil {
+		return nil
+	}
+	return m.pre.parts
+}
+
+// PrescreenEps returns the certified pruning margin ε (0 without a
+// prescreen — but callers gate on HasPrescreen, not on ε).
+func (m *Model) PrescreenEps() float64 {
+	if m.pre == nil {
+		return 0
+	}
+	return m.pre.eps
+}
+
+// ImputedPairRows returns one copy of the imputed feature vector per
+// account pair — exactly the x every scoring path (exact batch, single
+// pair, prescreen fold) evaluates for that pair. The packer samples the
+// serving cross product through this to fit and certify the prescreen
+// over the true query distribution instead of only the training
+// candidates. Imputation is a pure per-pair function, so the rows are
+// bit-identical at any worker count.
+func (m *Model) ImputedPairRows(pa platform.ID, pb platform.ID, pairs [][2]int, workers int) ([]linalg.Vector, error) {
+	n := len(pairs)
+	if n == 0 {
+		return nil, nil
+	}
+	sc := m.getScratch()
+	defer m.scratch.Put(sc)
+	rows := sc.ensureRows(n)
+	if err := m.imputeBatch(sc, rows, pa, pb, pairs, workers); err != nil {
+		return nil, err
+	}
+	out := make([]linalg.Vector, n)
+	for i, r := range rows {
+		out[i] = append(linalg.Vector(nil), r...)
+	}
+	return out, nil
+}
+
+// PrescreenBatchInto computes approximate scores f̃ for a batch of
+// account pairs into out, on the same pooled impute path as
+// ScoreBatchInto — zero steady-state allocations. Each slot is a pure
+// per-pair function, so the values are bit-identical at any worker
+// count; they are bounded by |f − f̃| ≤ ε only in the certified sense
+// and MUST NOT be served — they exist to order and prune candidates
+// ahead of the exact rescore.
+func (m *Model) PrescreenBatchInto(pa platform.ID, pb platform.ID, pairs [][2]int, workers int, out []float64) error {
+	if m.pre == nil {
+		return fmt.Errorf("core: model has no prescreen attached")
+	}
+	if len(out) != len(pairs) {
+		return fmt.Errorf("core: PrescreenBatchInto got %d output slots for %d pairs", len(out), len(pairs))
+	}
+	n := len(pairs)
+	if n == 0 {
+		return nil
+	}
+	sc := m.getScratch()
+	defer m.scratch.Put(sc)
+	rows := sc.ensureRows(n)
+	if err := m.imputeBatch(sc, rows, pa, pb, pairs, workers); err != nil {
+		return err
+	}
+	ps, bias := m.pre, m.bias
+	if w := parallel.Workers(workers); w == 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = ps.score(rows[i], bias)
+		}
+		return nil
+	}
+	parallel.For(workers, n, func(i int) {
+		out[i] = ps.score(rows[i], bias)
+	})
+	return nil
+}

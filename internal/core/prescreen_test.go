@@ -1,0 +1,235 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"hydra/internal/linalg"
+	"hydra/internal/platform"
+)
+
+// trainedParts trains a small model through the real pipeline and
+// returns its serialized parts — the input BuildPrescreen sees at pack
+// time.
+func trainedParts(t *testing.T) (*System, *Task, ModelParts) {
+	t.Helper()
+	const seed = 2
+	_, sys := buildSystem(t, 30, platform.EnglishPlatforms, seed)
+	task := buildTask(t, sys, platform.Twitter, platform.Facebook, DefaultLabelOpts(seed))
+	m, err := Train(sys, task, DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := m.Parts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, task, parts
+}
+
+// TestBuildPrescreenDeterministicAndCertified asserts the build is a
+// pure function of its inputs (two builds are deep-equal, so packed
+// bundles stay byte-reproducible) and that the certified margin really
+// bounds the prescreen error on every training candidate.
+func TestBuildPrescreenDeterministicAndCertified(t *testing.T) {
+	_, _, parts := trainedParts(t)
+	ps, err := BuildPrescreen(parts, PrescreenOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps2, err := BuildPrescreen(parts, PrescreenOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ps, ps2) {
+		t.Fatal("two builds from the same parts differ")
+	}
+	if ps.Eps <= 0 || ps.Eps < ps.EpsRaw {
+		t.Fatalf("margin ε=%g (raw %g) is not a usable certified bound", ps.Eps, ps.EpsRaw)
+	}
+	state := newPrescreenState(ps)
+	sigma2 := 2 * parts.KernelSigma * parts.KernelSigma
+	worst := 0.0
+	for _, x := range parts.Xs {
+		exact := parts.Bias
+		for j, a := range parts.Alpha {
+			if a == 0 {
+				continue
+			}
+			exact += a * math.Exp(-linalg.SqDist(parts.Xs[j], x)/sigma2)
+		}
+		if gap := math.Abs(exact - state.score(x, parts.Bias)); gap > worst {
+			worst = gap
+		}
+	}
+	if worst > ps.EpsRaw {
+		t.Fatalf("observed error %g exceeds the measured EpsRaw %g", worst, ps.EpsRaw)
+	}
+}
+
+// TestBuildPrescreenRejectsNonRBF asserts non-RBF models serve
+// exact-only rather than getting an uncertifiable prescreen.
+func TestBuildPrescreenRejectsNonRBF(t *testing.T) {
+	_, _, parts := trainedParts(t)
+	bad := parts
+	bad.KernelKind = KernelLinear
+	bad.KernelSigma = 0
+	if _, err := BuildPrescreen(bad, PrescreenOpts{}); err == nil {
+		t.Fatal("expected error for a linear-kernel model")
+	}
+}
+
+// TestPrescreenPartsValidate asserts tampered parts are rejected before
+// they can mis-prune.
+func TestPrescreenPartsValidate(t *testing.T) {
+	_, _, parts := trainedParts(t)
+	ps, err := BuildPrescreen(parts, PrescreenOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *ps
+	bad.Eps = bad.EpsRaw / 2
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for ε below the measured error")
+	}
+	bad = *ps
+	bad.C = bad.C[:len(bad.C)-1]
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for truncated centers")
+	}
+	bad = *ps
+	bad.Sigma = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for a zeroed reduced-set bandwidth")
+	}
+	bad = *ps
+	bad.V = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for a missing fitted vector")
+	}
+	mixed, err := BuildPrescreen(parts, PrescreenOpts{Features: 48, RFF: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad = *mixed
+	bad.W = bad.W[:len(bad.W)-1]
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for a truncated Fourier projection")
+	}
+}
+
+// TestBuildPrescreenMixedBasis keeps the Fourier block of the format
+// honest: a build that asks for cosine features alongside the
+// reduced-set bumps must stay deterministic and certified too.
+func TestBuildPrescreenMixedBasis(t *testing.T) {
+	_, _, parts := trainedParts(t)
+	ps, err := BuildPrescreen(parts, PrescreenOpts{Features: 48, RFF: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.RFF != 16 || ps.Features != 48 {
+		t.Fatalf("asked for 16 of 48 Fourier features, got %d of %d", ps.RFF, ps.Features)
+	}
+	if len(ps.W) != 16*ps.Dim || len(ps.B) != 16 || len(ps.C) != 32*ps.Dim || len(ps.V) != 48 {
+		t.Fatalf("mixed-basis shapes wrong: |W|=%d |B|=%d |C|=%d |V|=%d dim=%d", len(ps.W), len(ps.B), len(ps.C), len(ps.V), ps.Dim)
+	}
+	ps2, err := BuildPrescreen(parts, PrescreenOpts{Features: 48, RFF: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ps, ps2) {
+		t.Fatal("two mixed-basis builds from the same parts differ")
+	}
+	state := newPrescreenState(ps)
+	sigma2 := 2 * parts.KernelSigma * parts.KernelSigma
+	for _, x := range parts.Xs {
+		exact := parts.Bias
+		for j, a := range parts.Alpha {
+			if a == 0 {
+				continue
+			}
+			exact += a * math.Exp(-linalg.SqDist(parts.Xs[j], x)/sigma2)
+		}
+		if gap := math.Abs(exact - state.score(x, parts.Bias)); gap > ps.EpsRaw {
+			t.Fatalf("mixed-basis error %g exceeds the measured EpsRaw %g", gap, ps.EpsRaw)
+		}
+	}
+}
+
+// TestPrescreenBatchIntoMatchesState asserts the batched prescreen path
+// equals the scalar fold on the imputed vectors, at 1 and 4 workers —
+// the determinism the two-tier rescore order relies on — and that the
+// margin holds on real query pairs, not just training candidates.
+func TestPrescreenBatchIntoMatchesState(t *testing.T) {
+	sys, task, parts := trainedParts(t)
+	ps, err := BuildPrescreen(parts, PrescreenOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ModelFromParts(sys, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetPrescreen(ps); err != nil {
+		t.Fatal(err)
+	}
+	if !m.HasPrescreen() || m.PrescreenEps() != ps.Eps {
+		t.Fatal("prescreen not attached")
+	}
+	b := task.Blocks[0]
+	pairs := make([][2]int, len(b.Cands))
+	for i, c := range b.Cands {
+		pairs[i] = [2]int{c.A, c.B}
+	}
+	var want []float64
+	for _, workers := range []int{1, 4} {
+		got := make([]float64, len(pairs))
+		if err := m.PrescreenBatchInto(b.PA, b.PB, pairs, workers, got); err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=4: prescreen score %d differs: %v vs %v", i, got[i], want[i])
+			}
+		}
+	}
+	exact, err := m.ScoreBatchWorkers(b.PA, b.PB, pairs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact {
+		if gap := math.Abs(exact[i] - want[i]); gap > ps.Eps {
+			t.Fatalf("pair %d: |f − f̃| = %g exceeds the certified ε = %g", i, gap, ps.Eps)
+		}
+	}
+}
+
+// TestSetPrescreenRejectsNarrowProjection asserts a projection narrower
+// than the model's feature space is refused — it would silently ignore
+// trailing features and void the certified margin.
+func TestSetPrescreenRejectsNarrowProjection(t *testing.T) {
+	sys, _, parts := trainedParts(t)
+	ps, err := BuildPrescreen(parts, PrescreenOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ModelFromParts(sys, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow := *ps
+	narrow.Dim = ps.Dim - 1
+	narrow.W = ps.W[:narrow.RFF*narrow.Dim]
+	narrow.C = ps.C[:(narrow.Features-narrow.RFF)*narrow.Dim]
+	if err := m.SetPrescreen(&narrow); err == nil {
+		t.Fatal("expected error for a projection narrower than the feature space")
+	}
+	if m.HasPrescreen() {
+		t.Fatal("failed SetPrescreen must not attach")
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+// The two-tier query lease. Profiling the two-tier top-k path showed
+// Eqn-18 imputation — not the kernel fold — dominating it: the
+// prescreen pass imputed every candidate, then the exact rescore of the
+// survivors imputed them again through ScoreBatchInto, and the double
+// impute ate the entire pruning win. TwoTier fixes that by leasing the
+// batch's imputed rows across the whole query: one impute pass feeds
+// the prescreen fold AND every exact rescore chunk. Reuse is bit-exact
+// by construction — imputation is a pure per-pair function, so the
+// retained row IS the row a fresh ScoreBatchInto would rebuild, and the
+// kernel fold below runs the identical float sequence on it.
+
+import (
+	"fmt"
+
+	"hydra/internal/kernel"
+	"hydra/internal/linalg"
+	"hydra/internal/parallel"
+	"hydra/internal/platform"
+)
+
+// TwoTier is a leased two-tier scoring batch: the pairs' imputed
+// feature rows, held on pooled scratch from BeginTwoTier until End, so
+// the exact rescore of any candidate subset skips re-imputation. The
+// zero value is inert; a value is only usable between a successful
+// BeginTwoTier and the matching End.
+type TwoTier struct {
+	m    *Model
+	sc   *scoreScratch
+	rows []linalg.Vector
+}
+
+// BeginTwoTier imputes the batch once, folds the approximate prescreen
+// scores into pre (len(pre) must equal len(pairs)), and parks the
+// imputed rows in t for exact subset rescoring. The prescreen values
+// obey the same contract as PrescreenBatchInto: bit-identical at any
+// worker count, bounded by ε only in the certified sense, never served.
+// Every successful call must be paired with t.End(), which returns the
+// lease to the model's scratch pool.
+func (m *Model) BeginTwoTier(t *TwoTier, pa platform.ID, pb platform.ID, pairs [][2]int, workers int, pre []float64) error {
+	if m.pre == nil {
+		return fmt.Errorf("core: model has no prescreen attached")
+	}
+	if len(pre) != len(pairs) {
+		return fmt.Errorf("core: BeginTwoTier got %d prescreen slots for %d pairs", len(pre), len(pairs))
+	}
+	n := len(pairs)
+	sc := m.getScratch()
+	rows := sc.ensureRows(n)
+	if err := m.imputeBatch(sc, rows, pa, pb, pairs, workers); err != nil {
+		m.scratch.Put(sc)
+		return err
+	}
+	ps, bias := m.pre, m.bias
+	if w := parallel.Workers(workers); w == 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			pre[i] = ps.score(rows[i], bias)
+		}
+	} else {
+		parallel.For(workers, n, func(i int) {
+			pre[i] = ps.score(rows[i], bias)
+		})
+	}
+	t.m, t.sc, t.rows = m, sc, rows
+	return nil
+}
+
+// ScoreSubset exactly scores the leased rows idx (indices into the
+// BeginTwoTier batch) into out, len(out) = len(idx). It runs the same
+// blocked kernel pass and α/bias fold as ScoreBatchInto — and each
+// output slot depends only on its own row, never on the batch around it
+// — so the values are bit-identical to what ScoreBatchInto would
+// return for those pairs, at any worker count and any chunking. These
+// ARE the served scores.
+func (t *TwoTier) ScoreSubset(idx []int, workers int, out []float64) error {
+	if t.sc == nil {
+		return fmt.Errorf("core: ScoreSubset outside a BeginTwoTier lease")
+	}
+	if len(out) != len(idx) {
+		return fmt.Errorf("core: ScoreSubset got %d output slots for %d rows", len(out), len(idx))
+	}
+	n := len(idx)
+	if n == 0 {
+		return nil
+	}
+	m := t.m
+	sub := t.sc.ensureSub(n)
+	for i, id := range idx {
+		if id < 0 || id >= len(t.rows) {
+			return fmt.Errorf("core: ScoreSubset row %d outside the leased batch of %d", id, len(t.rows))
+		}
+		sub[i] = t.rows[id]
+	}
+	km := t.sc.ensureKmat(len(m.svXs), n)
+	kernel.CrossGramInto(m.kern, m.svXs, sub, km, workers)
+	for i := range out {
+		out[i] = m.bias
+	}
+	for j, a := range m.svAlpha {
+		row := km.Data[j*n : (j+1)*n]
+		for i, kv := range row {
+			out[i] += a * kv
+		}
+	}
+	return nil
+}
+
+// End returns the lease to the scratch pool and resets t to its inert
+// zero state. Safe to call on an inert value.
+func (t *TwoTier) End() {
+	if t.sc != nil {
+		t.m.scratch.Put(t.sc)
+	}
+	t.m, t.sc, t.rows = nil, nil, nil
+}

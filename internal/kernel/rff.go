@@ -1,0 +1,90 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hydra/internal/linalg"
+)
+
+// RFF is a random Fourier feature map for the RBF kernel (Rahimi &
+// Recht): z(x) = sqrt(2/m)·cos(Wx + b) with rows of W drawn from
+// N(0, σ⁻²·I) and phases b from U[0, 2π), so E[z(x)·z(y)] = K(x, y).
+// The projection is drawn once from a caller-pinned seed, so two maps
+// built with the same (σ, dim, m, seed) are bit-identical — the
+// serving prescreen relies on this to keep packed bundles reproducible.
+//
+// W is stored row-major (feature i occupies W[i·dim : (i+1)·dim]), the
+// same dense layout compactSupport packs support vectors into, so the
+// per-feature dot product walks contiguous memory.
+type RFF struct {
+	// Dim is the input dimensionality each projection row spans.
+	Dim int
+	// W holds the m×Dim projection, row-major.
+	W []float64
+	// B holds the m phase offsets.
+	B []float64
+	// Scale is sqrt(2/m), the normalization of each cosine feature.
+	Scale float64
+}
+
+// NewRFF draws an m-feature map for an RBF of bandwidth sigma over
+// dim-dimensional inputs, deterministically from seed.
+func NewRFF(sigma float64, dim, m int, seed int64) (*RFF, error) {
+	if sigma <= 0 {
+		return nil, fmt.Errorf("kernel: RFF needs a positive bandwidth, got %g", sigma)
+	}
+	if dim <= 0 || m <= 0 {
+		return nil, fmt.Errorf("kernel: RFF needs positive dimensions, got dim=%d m=%d", dim, m)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	r := &RFF{
+		Dim:   dim,
+		W:     make([]float64, m*dim),
+		B:     make([]float64, m),
+		Scale: math.Sqrt(2 / float64(m)),
+	}
+	// The Fourier transform of exp(-‖δ‖²/(2σ²)) is N(0, σ⁻²·I); drawing
+	// row-by-row keeps the stream order independent of dim-internal
+	// chunking, so the bytes only depend on (σ, dim, m, seed).
+	inv := 1 / sigma
+	for i := range r.W {
+		r.W[i] = rng.NormFloat64() * inv
+	}
+	for i := range r.B {
+		r.B[i] = 2 * math.Pi * rng.Float64()
+	}
+	return r, nil
+}
+
+// M returns the feature count m.
+func (r *RFF) M() int { return len(r.B) }
+
+// FeaturesInto writes z(x) into out (length M). x shorter than Dim is
+// treated as zero-padded — feature pipelines produce fixed-dim vectors,
+// but the guard keeps a stale map from reading past a short input.
+func (r *RFF) FeaturesInto(out []float64, x linalg.Vector) {
+	if len(out) != r.M() {
+		panic(fmt.Sprintf("kernel: RFF FeaturesInto got %d slots for %d features", len(out), r.M()))
+	}
+	if len(x) > r.Dim {
+		panic(fmt.Sprintf("kernel: RFF built for dim %d got a %d-dim input", r.Dim, len(x)))
+	}
+	for i := range out {
+		out[i] = r.Scale * math.Cos(DotPhase(r.W[i*r.Dim:(i+1)*r.Dim], x, r.B[i]))
+	}
+}
+
+// DotPhase returns w·x + b over the overlapping prefix — the cosine
+// argument of one RFF feature. Factored out so the collapsed-vector
+// prescreen in internal/core evaluates features with the identical
+// float operation sequence this map uses, keeping the empirically
+// certified error bound valid at query time.
+func DotPhase(w []float64, x linalg.Vector, b float64) float64 {
+	dot := b
+	for k, xv := range x {
+		dot += w[k] * xv
+	}
+	return dot
+}

@@ -1,0 +1,91 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hydra/internal/linalg"
+)
+
+// TestRFFDeterministicProjection asserts the projection is a pure
+// function of (σ, dim, m, seed) — the property packed bundles rely on
+// for byte-reproducibility — and that a different seed actually draws a
+// different map.
+func TestRFFDeterministicProjection(t *testing.T) {
+	a, err := NewRFF(0.8, 5, 32, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRFF(0.8, 5, 32, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same parameters drew different projections")
+	}
+	c, err := NewRFF(0.8, 5, 32, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.W, c.W) {
+		t.Fatal("different seeds drew the same projection")
+	}
+}
+
+// TestRFFApproximatesRBF asserts z(x)·z(y) tracks K(x, y) with the
+// O(1/√m) Monte-Carlo error the construction promises — a loose
+// statistical bound, but tight enough to catch a wrong spectral scale
+// (σ vs 1/σ) or a dropped sqrt(2/m).
+func TestRFFApproximatesRBF(t *testing.T) {
+	const (
+		dim = 8
+		m   = 4096
+	)
+	sigma := 1.3
+	r, err := NewRFF(sigma, dim, m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewRBF(sigma)
+	rng := rand.New(rand.NewSource(99))
+	zx := make([]float64, m)
+	zy := make([]float64, m)
+	maxErr := 0.0
+	for trial := 0; trial < 30; trial++ {
+		x := make(linalg.Vector, dim)
+		y := make(linalg.Vector, dim)
+		for i := 0; i < dim; i++ {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		r.FeaturesInto(zx, x)
+		r.FeaturesInto(zy, y)
+		var approx float64
+		for i := range zx {
+			approx += zx[i] * zy[i]
+		}
+		if e := math.Abs(approx - k.Eval(x, y)); e > maxErr {
+			maxErr = e
+		}
+	}
+	// Hoeffding at m=4096 puts the error well under 0.1 with overwhelming
+	// probability; a broken map is off by O(1).
+	if maxErr > 0.1 {
+		t.Fatalf("worst kernel approximation error %g at m=%d — feature map is wrong", maxErr, m)
+	}
+}
+
+// TestRFFValidation asserts the constructor rejects degenerate shapes.
+func TestRFFValidation(t *testing.T) {
+	if _, err := NewRFF(0, 4, 8, 1); err == nil {
+		t.Fatal("expected error for zero bandwidth")
+	}
+	if _, err := NewRFF(1, 0, 8, 1); err == nil {
+		t.Fatal("expected error for zero dim")
+	}
+	if _, err := NewRFF(1, 4, 0, 1); err == nil {
+		t.Fatal("expected error for zero feature count")
+	}
+}

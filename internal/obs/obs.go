@@ -55,11 +55,25 @@ type Metrics struct {
 	mu        sync.RWMutex
 	endpoints map[string]*endpointStats
 	start     time.Time
+
+	// Prescreen telemetry (see prescreen.go): survivor histogram and
+	// skip counter fed by the engine, per-shard gauges fed by the
+	// router's health scrapes.
+	preQueries     atomic.Uint64
+	preSum         atomic.Uint64
+	preSkipped     atomic.Uint64
+	preBuckets     []atomic.Uint64
+	shardMu        sync.Mutex
+	shardPrescreen map[string]ShardPrescreen
 }
 
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
-	return &Metrics{endpoints: make(map[string]*endpointStats), start: time.Now()}
+	return &Metrics{
+		endpoints:  make(map[string]*endpointStats),
+		start:      time.Now(),
+		preBuckets: make([]atomic.Uint64, len(survivorBuckets)),
+	}
 }
 
 func (m *Metrics) stats(endpoint string) *endpointStats {
@@ -122,6 +136,8 @@ func (m *Metrics) Render(w io.Writer) {
 		fmt.Fprintf(w, "hydra_request_duration_seconds_count{endpoint=%q} %d\n", name, s.requests.Load())
 	}
 	m.mu.RUnlock()
+
+	m.renderPrescreen(w)
 }
 
 // formatBound renders a bucket bound the way Prometheus expects

@@ -96,6 +96,56 @@ func TestMiddlewareMetricsAndLogs(t *testing.T) {
 	}
 }
 
+// TestPrescreenMetricsExposition pins the survivor histogram, the skip
+// counter and the router's per-shard gauges — the pruning telemetry the
+// two-tier scorer reports through the serve.PrescreenObserver hook.
+func TestPrescreenMetricsExposition(t *testing.T) {
+	m := NewMetrics()
+	m.ObservePrescreen(1)
+	m.ObservePrescreen(7)
+	m.ObservePrescreen(7)
+	m.ObservePrescreen(500) // beyond the last bound: +Inf only
+	m.ObservePrescreenSkipped()
+	m.ObservePrescreenSkipped()
+	m.SetShardPrescreen("shard0", ShardPrescreen{
+		Enabled: true, Features: 64, Eps: 0.25,
+		Queries: 10, Survivors: 42, Pruned: 300, Skipped: 1,
+	})
+	m.SetShardPrescreen("shard1", ShardPrescreen{Enabled: false})
+
+	var buf bytes.Buffer
+	m.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE hydra_prescreen_survivors histogram",
+		`hydra_prescreen_survivors_bucket{le="1"} 1`,
+		`hydra_prescreen_survivors_bucket{le="8"} 3`, // cumulative: 1 + two 7s
+		`hydra_prescreen_survivors_bucket{le="128"} 3`,
+		`hydra_prescreen_survivors_bucket{le="+Inf"} 4`,
+		"hydra_prescreen_survivors_sum 515",
+		"hydra_prescreen_survivors_count 4",
+		"hydra_prescreen_skipped_total 2",
+		`hydra_shard_prescreen{shard="shard0",stat="enabled"} 1`,
+		`hydra_shard_prescreen{shard="shard0",stat="eps"} 0.25`,
+		`hydra_shard_prescreen{shard="shard0",stat="queries"} 10`,
+		`hydra_shard_prescreen{shard="shard0",stat="survivors"} 42`,
+		`hydra_shard_prescreen{shard="shard0",stat="pruned"} 300`,
+		`hydra_shard_prescreen{shard="shard0",stat="skipped"} 1`,
+		`hydra_shard_prescreen{shard="shard1",stat="enabled"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// A re-scrape replaces the gauge, never accumulates.
+	m.SetShardPrescreen("shard0", ShardPrescreen{Enabled: true, Queries: 11})
+	buf.Reset()
+	m.Render(&buf)
+	if !strings.Contains(buf.String(), `hydra_shard_prescreen{shard="shard0",stat="queries"} 11`) {
+		t.Errorf("shard gauge did not replace on re-scrape:\n%s", buf.String())
+	}
+}
+
 func TestMetricsHandler(t *testing.T) {
 	m := NewMetrics()
 	m.Observe("/link", time.Millisecond, 200)

@@ -12,6 +12,7 @@ import (
 	"hydra/internal/core"
 	"hydra/internal/features"
 	"hydra/internal/graph"
+	"hydra/internal/linalg"
 	"hydra/internal/platform"
 	"hydra/internal/vision"
 )
@@ -74,6 +75,13 @@ type Bundle struct {
 
 	// Trained model.
 	Model core.ModelParts `json:"model"`
+
+	// Prescreen is the optional certified approximate prescreen built
+	// at pack time (see core.BuildPrescreen), so servers never pay the
+	// build at cold start. nil — older bundles, non-RBF models, or the
+	// legacy v2 encoding, which drops it — means exact-only serving;
+	// either way the served bits are identical, only top-k work varies.
+	Prescreen *core.PrescreenParts `json:"prescreen,omitempty"`
 
 	// Serving surface: the indexed platform pairs and the prebuilt
 	// candidate indexes (one per pair, in Pairs order, deduplicated).
@@ -175,7 +183,78 @@ func packBundle(sys *core.System, ds *platform.Dataset, a *Artifact, workers int
 		}
 		b.Indexes = append(b.Indexes, ix.Parts())
 	}
+	if a.Model.KernelKind == core.KernelRBF {
+		qs, exhaustive, err := prescreenQueries(sys, a, b, workers)
+		if err != nil {
+			return nil, err
+		}
+		opts := core.PrescreenOpts{Queries: qs}
+		if exhaustive {
+			// Every pair the bundle can ever be asked was certified, so
+			// the measured maximum IS the true maximum — no sampling gap
+			// is left for a safety factor to cover.
+			opts.Safety = 1
+		}
+		ps, err := core.BuildPrescreen(a.Model, opts)
+		if err != nil {
+			return nil, err
+		}
+		b.Prescreen = ps
+	}
 	return b, nil
+}
+
+// prescreenSamplePairs caps, per serving platform pair, how many pairs
+// of the query cross product the prescreen build fits and certifies
+// over. Strided over the na×nb grid, so the sample stays deterministic
+// and spreads evenly across both account axes. Worlds whose cross
+// products fit under the cap are enumerated exhaustively, which makes
+// the certified margin exact (Safety = 1); the cap only exists to keep
+// pack time bounded on very large worlds.
+const prescreenSamplePairs = 16384
+
+// prescreenQueries samples the bundle's serving cross product — every
+// (a, b) a query may present, not just the blocked training candidates —
+// and imputes each sampled pair exactly as the serving scorer will.
+// core.BuildPrescreen fits and certifies the margin over the sample;
+// without this, ε is measured only where training candidates live and
+// undershoots the real query-space error several times over. The
+// second result reports whether every serving pair was enumerated
+// exhaustively rather than sampled.
+func prescreenQueries(sys *core.System, a *Artifact, b *Bundle, workers int) ([]linalg.Vector, bool, error) {
+	m, err := core.ModelFromParts(sys, a.Model)
+	if err != nil {
+		return nil, false, err
+	}
+	var qs []linalg.Vector
+	exhaustive := true
+	seen := make(map[[2]platform.ID]bool, len(a.Pairs))
+	for _, pp := range a.Pairs {
+		if seen[pp] {
+			continue
+		}
+		seen[pp] = true
+		na, nb := len(b.Views[pp[0]]), len(b.Views[pp[1]])
+		total := na * nb
+		if total == 0 {
+			continue
+		}
+		step := 1
+		if total > prescreenSamplePairs {
+			step = (total + prescreenSamplePairs - 1) / prescreenSamplePairs
+			exhaustive = false
+		}
+		sample := make([][2]int, 0, (total+step-1)/step)
+		for idx := 0; idx < total; idx += step {
+			sample = append(sample, [2]int{idx / nb, idx % nb})
+		}
+		rows, err := m.ImputedPairRows(pp[0], pp[1], sample, workers)
+		if err != nil {
+			return nil, false, err
+		}
+		qs = append(qs, rows...)
+	}
+	return qs, exhaustive, nil
 }
 
 // bundlePlatforms lists every platform appearing on either side of the
@@ -242,6 +321,15 @@ func WriteBundle(w io.Writer, b *Bundle) error {
 	case BundleVersion:
 		return writeBundleV3(w, b)
 	case BundleVersionJSON:
+		if b.Prescreen != nil {
+			// The legacy JSON format predates the prescreen; strip it
+			// (on a copy — the caller's bundle is not ours to edit) so
+			// v2 bytes stay exactly what v2-era readers were pinned on.
+			// A v2-restored engine simply serves exact-only.
+			c := *b
+			c.Prescreen = nil
+			b = &c
+		}
 		return json.NewEncoder(w).Encode(b)
 	default:
 		return fmt.Errorf("pipeline: refusing to write bundle version %d (current %d, legacy JSON %d)", b.Version, BundleVersion, BundleVersionJSON)

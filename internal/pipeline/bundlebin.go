@@ -67,8 +67,27 @@ type bundleHeaderV3 struct {
 	Indexes  []indexMetaV3                `json:"indexes"`
 	Shard    *ShardDesc                   `json:"shard,omitempty"`
 
+	// Prescreen announces the optional trailing prescreen section (its
+	// scalars here, its vectors there). Omitted — as every pre-prescreen
+	// bundle omits it — means no fifth section follows and the engine
+	// serves exact-only, so old bundles decode unchanged.
+	Prescreen *prescreenMetaV3 `json:"prescreen,omitempty"`
+
 	WorldPersons     int    `json:"world_persons"`
 	WorldFingerprint string `json:"world_fingerprint"`
+}
+
+// prescreenMetaV3 is a core.PrescreenParts minus its projection,
+// phase and collapsed vectors, which live in the prescreen section.
+type prescreenMetaV3 struct {
+	Features int     `json:"features"`
+	RFF      int     `json:"rff"`
+	Dim      int     `json:"dim"`
+	Seed     int64   `json:"seed"`
+	Sigma    float64 `json:"sigma"`
+	EpsRaw   float64 `json:"eps_raw"`
+	Safety   float64 `json:"safety"`
+	Eps      float64 `json:"eps"`
 }
 
 // viewMetaV3 is the stringly half of a features.ViewParts; the numeric
@@ -132,6 +151,12 @@ func writeBundleV3(w io.Writer, b *Bundle) error {
 	for _, ix := range b.Indexes {
 		header.Indexes = append(header.Indexes, indexMetaV3{PA: ix.PA, PB: ix.PB, Rules: ix.Rules})
 	}
+	if p := b.Prescreen; p != nil {
+		header.Prescreen = &prescreenMetaV3{
+			Features: p.Features, RFF: p.RFF, Dim: p.Dim, Seed: p.Seed,
+			Sigma: p.Sigma, EpsRaw: p.EpsRaw, Safety: p.Safety, Eps: p.Eps,
+		}
+	}
 	headerJSON, err := json.Marshal(header)
 	if err != nil {
 		return fmt.Errorf("pipeline: encode v3 header: %w", err)
@@ -176,7 +201,19 @@ func writeBundleV3(w io.Writer, b *Bundle) error {
 	if err := writeBlock(headerJSON); err != nil {
 		return err
 	}
-	for _, sec := range []*binSection{&model, &views, &friends, &indexes} {
+	secs := []*binSection{&model, &views, &friends, &indexes}
+	if p := b.Prescreen; p != nil {
+		// The prescreen section trails the fixed four, announced by the
+		// header, so a bundle without one is byte-identical to what
+		// pre-prescreen writers produced.
+		var prescreen binSection
+		prescreen.putVec(p.W)
+		prescreen.putVec(p.B)
+		prescreen.putVec(p.C)
+		prescreen.putVec(p.V)
+		secs = append(secs, &prescreen)
+	}
+	for _, sec := range secs {
 		if sec.err != nil {
 			return fmt.Errorf("pipeline: encode v3 sections: %w", sec.err)
 		}
@@ -295,12 +332,34 @@ func readBundleV3(r io.Reader) (*Bundle, error) {
 			PA: meta.PA, PB: meta.PB, Rules: meta.Rules, ByA: indexes.shards(),
 		})
 	}
-	for i, sec := range []*binSection{model, views, friends, indexes} {
+	secList := []*binSection{model, views, friends, indexes}
+	if hp := header.Prescreen; hp != nil {
+		p, err := readBlock("prescreen section")
+		if err != nil {
+			return nil, err
+		}
+		prescreen := &binSection{buf: p}
+		b.Prescreen = &core.PrescreenParts{
+			Features: hp.Features, RFF: hp.RFF, Dim: hp.Dim, Seed: hp.Seed,
+			Sigma: hp.Sigma, EpsRaw: hp.EpsRaw, Safety: hp.Safety, Eps: hp.Eps,
+			W: prescreen.vec(), B: prescreen.vec(), C: prescreen.vec(), V: prescreen.vec(),
+		}
+		secList = append(secList, prescreen)
+	}
+	for i, sec := range secList {
 		if sec.err != nil {
 			return nil, fmt.Errorf("pipeline: decode v3 section %d: %w", i, sec.err)
 		}
 		if sec.off != len(sec.buf) {
 			return nil, fmt.Errorf("pipeline: v3 section %d has %d trailing bytes — corrupt bundle", i, len(sec.buf)-sec.off)
+		}
+	}
+	if b.Prescreen != nil {
+		// Shape-check against the header's announced dimensions here, so
+		// a truncated or hand-edited prescreen fails at load time rather
+		// than mis-pruning a top-k later.
+		if err := b.Prescreen.Validate(); err != nil {
+			return nil, err
 		}
 	}
 	return b, nil

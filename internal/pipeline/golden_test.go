@@ -184,9 +184,8 @@ func TestArtifactGoldenFormat(t *testing.T) {
 // checkBundleGolden pins one bundle wire format: golden bytes, decode
 // round trip, and that the decoded bundle still restores into a working
 // snapshot store (the whole point of the format).
-func checkBundleGolden(t *testing.T, version int, goldenName string) {
+func checkBundleGolden(t *testing.T, b *Bundle, goldenName string) {
 	t.Helper()
-	b := fixtureBundle(version)
 	golden := checkGolden(t, goldenName, func(buf *bytes.Buffer) error {
 		return WriteBundle(buf, b)
 	})
@@ -214,10 +213,89 @@ func checkBundleGolden(t *testing.T, version int, goldenName string) {
 
 // TestBundleGoldenFormat pins the legacy v2 JSON bundle.
 func TestBundleGoldenFormat(t *testing.T) {
-	checkBundleGolden(t, BundleVersionJSON, "bundle_v2.golden.json")
+	checkBundleGolden(t, fixtureBundle(BundleVersionJSON), "bundle_v2.golden.json")
 }
 
-// TestBundleV3GoldenFormat pins the v3 binary-section bundle.
+// TestBundleV3GoldenFormat pins the v3 binary-section bundle without a
+// prescreen — exactly what pre-prescreen writers produced, so this
+// golden doubles as the backward-compatibility gate for old bundles.
 func TestBundleV3GoldenFormat(t *testing.T) {
-	checkBundleGolden(t, BundleVersion, "bundle_v3.golden.bin")
+	checkBundleGolden(t, fixtureBundle(BundleVersion), "bundle_v3.golden.bin")
+}
+
+// fixturePrescreen is a tiny hand-written prescreen consistent with
+// fixtureModelParts' 2-dim feature space: 2 Fourier features plus one
+// reduced-set center, so every field of the wire layout — both basis
+// blocks — appears in the golden bytes.
+func fixturePrescreen() *core.PrescreenParts {
+	return &core.PrescreenParts{
+		Features: 3, RFF: 2, Dim: 2, Seed: 77,
+		W:      linalg.Vector{0.5, -0.25, 1.5, 0.75},
+		B:      linalg.Vector{0.125, 2.5},
+		C:      linalg.Vector{0.375, -1.25},
+		Sigma:  0.8,
+		V:      linalg.Vector{0.0625, -0.03125, 0.5},
+		EpsRaw: 0.25, Safety: 2, Eps: 0.5,
+	}
+}
+
+// TestBundleV3PrescreenGoldenFormat pins the v3 bundle *with* the
+// optional trailing prescreen section, and asserts the decoded parts
+// attach to the restored model (the serving path old bundles skip).
+func TestBundleV3PrescreenGoldenFormat(t *testing.T) {
+	b := fixtureBundle(BundleVersion)
+	b.Prescreen = fixturePrescreen()
+	checkBundleGolden(t, b, "bundle_v3_prescreen.golden.bin")
+	var buf bytes.Buffer
+	if err := WriteBundle(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := ReadBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := decoded.Store()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.ModelFromParts(store, decoded.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetPrescreen(decoded.Prescreen); err != nil {
+		t.Fatal(err)
+	}
+	if !m.HasPrescreen() || m.PrescreenEps() != 0.5 {
+		t.Fatal("decoded prescreen did not attach to the restored model")
+	}
+}
+
+// TestBundleV2DropsPrescreen is the legacy-format gate: writing a
+// prescreen-carrying bundle as v2 JSON produces exactly the bytes the
+// same bundle without a prescreen produces — v2-era readers never see
+// an unknown field — and the caller's bundle is left untouched.
+func TestBundleV2DropsPrescreen(t *testing.T) {
+	with := fixtureBundle(BundleVersionJSON)
+	with.Prescreen = fixturePrescreen()
+	without := fixtureBundle(BundleVersionJSON)
+	var bufWith, bufWithout bytes.Buffer
+	if err := WriteBundle(&bufWith, with); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBundle(&bufWithout, without); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufWith.Bytes(), bufWithout.Bytes()) {
+		t.Fatal("v2 encoding leaked the prescreen into the legacy format")
+	}
+	if with.Prescreen == nil {
+		t.Fatal("WriteBundle mutated the caller's bundle")
+	}
+	decoded, err := ReadBundle(&bufWith)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Prescreen != nil {
+		t.Fatal("v2 round trip resurrected a prescreen")
+	}
 }

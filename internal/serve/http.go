@@ -58,6 +58,12 @@ func HandlerFor(src EngineSource) http.Handler {
 		if d := eng.ShardDesc(); d != nil {
 			resp["shard"] = d
 		}
+		// Prescreen telemetry rides /healthz (never a query response, so
+		// query bodies stay byte-identical with and without a prescreen);
+		// the router scrapes this block into per-shard gauges.
+		if ph := eng.PrescreenHealth(); ph != nil {
+			resp["prescreen"] = ph
+		}
 		writeJSON(w, resp)
 	})
 	mux.HandleFunc("/score", handleScore(src, false))

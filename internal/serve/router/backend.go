@@ -24,6 +24,10 @@ type Health struct {
 	Generation uint64              `json:"generation"`
 	Shard      *pipeline.ShardDesc `json:"shard,omitempty"`
 	Pairs      [][2]platform.ID    `json:"pairs"`
+	// Prescreen is the shard's two-tier pruning telemetry (nil when the
+	// bundle carries no prescreen) — scraped into per-shard gauges on
+	// the router's /metrics.
+	Prescreen *serve.PrescreenHealth `json:"prescreen,omitempty"`
 }
 
 // Backend is one shard replica the router can fan a query out to. Both
@@ -74,7 +78,7 @@ func (l *Local) Name() string {
 
 func (l *Local) Health(ctx context.Context) (Health, error) {
 	eng, gen := l.Src.Current()
-	return Health{OK: true, Generation: gen, Shard: eng.ShardDesc(), Pairs: eng.Pairs()}, nil
+	return Health{OK: true, Generation: gen, Shard: eng.ShardDesc(), Pairs: eng.Pairs(), Prescreen: eng.PrescreenHealth()}, nil
 }
 
 func (l *Local) ScoreBatch(ctx context.Context, pa, pb platform.ID, pairs [][2]int) ([]float64, uint64, error) {

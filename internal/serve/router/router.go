@@ -69,6 +69,11 @@ type Router struct {
 	// on every query.
 	pref []atomic.Int32
 
+	// healthObs, when set (before serving; see SetHealthObserver), is
+	// invoked with every successful per-shard health probe — the hook
+	// cmd/hydra-router uses to publish per-shard prescreen gauges.
+	healthObs func(shard int, h Health)
+
 	mu sync.RWMutex
 	// topo is the canonical split every shard must agree on (its Index
 	// field is meaningless here). nil means a single unsharded backend —
@@ -101,6 +106,17 @@ func New(shards [][]Backend, opts Options) (*Router, error) {
 // NumShards returns the configured shard count.
 func (r *Router) NumShards() int { return len(r.shards) }
 
+// SetHealthObserver installs a callback invoked with every successful
+// per-shard health probe (Refresh and Status). Call before serving —
+// the field is not synchronized against in-flight probes.
+func (r *Router) SetHealthObserver(obs func(shard int, h Health)) { r.healthObs = obs }
+
+func (r *Router) observeHealth(si int, h Health) {
+	if r.healthObs != nil {
+		r.healthObs(si, h)
+	}
+}
+
 // Refresh health-checks every shard and verifies the set is coherent:
 // every shard slot answers with the matching shard index, and all agree
 // on the split (count, hash seed, restricted platforms). Generations may
@@ -120,6 +136,7 @@ func (r *Router) Refresh(ctx context.Context) error {
 				h, err := b.Health(cctx)
 				if err == nil {
 					healths[i] = h
+					r.observeHealth(i, h)
 				}
 				return err
 			})
@@ -429,6 +446,9 @@ type ShardStatus struct {
 	Healthy    bool   `json:"healthy"`
 	Generation uint64 `json:"generation,omitempty"`
 	Error      string `json:"error,omitempty"`
+	// Prescreen relays the shard's two-tier pruning telemetry (nil for
+	// prescreen-less bundles).
+	Prescreen *serve.PrescreenHealth `json:"prescreen,omitempty"`
 }
 
 // Status live-probes every shard (through replica failover) and reports
@@ -448,6 +468,8 @@ func (r *Router) Status(ctx context.Context) []ShardStatus {
 				}
 				st.Healthy = h.OK
 				st.Generation = h.Generation
+				st.Prescreen = h.Prescreen
+				r.observeHealth(si, h)
 				return nil
 			})
 			if err != nil {

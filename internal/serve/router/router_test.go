@@ -569,3 +569,57 @@ func TestRouterRefreshCoherence(t *testing.T) {
 		t.Fatalf("Refresh refused a mid-rolling-swap set: %v", err)
 	}
 }
+
+// TestRouterRelaysPrescreenHealth asserts the router's health surface
+// carries each shard's two-tier pruning telemetry end to end: the Local
+// backend reports the engine's prescreen block, Status relays it per
+// shard, and the health observer (the hook cmd/hydra-router publishes
+// /metrics gauges through) sees every probe.
+func TestRouterRelaysPrescreenHealth(t *testing.T) {
+	e := getEnv(t)
+	if e.bundle.Prescreen == nil {
+		t.Fatal("fixture bundle carries no prescreen")
+	}
+	shards, engines := shardBackends(t, 2, 1)
+	r := newRouter(t, shards)
+	// Status fans its probes over the shards concurrently, so the
+	// observer fires from multiple goroutines — guard the recording map.
+	var seenMu sync.Mutex
+	seen := make(map[int]*serve.PrescreenHealth)
+	r.SetHealthObserver(func(shard int, h Health) {
+		seenMu.Lock()
+		seen[shard] = h.Prescreen
+		seenMu.Unlock()
+	})
+	ctx := context.Background()
+
+	// Drive some top-k traffic so the engines' counters move (wide shards
+	// are not guaranteed here, so only Queries+Skipped is pinned).
+	if _, err := r.TopK(ctx, e.pair[0], 0, e.pair[1], 3); err != nil {
+		t.Fatal(err)
+	}
+	statuses := r.Status(ctx)
+	for _, st := range statuses {
+		if !st.Healthy {
+			t.Fatalf("shard %d unhealthy: %s", st.Shard, st.Error)
+		}
+		if st.Prescreen == nil {
+			t.Fatalf("shard %d status relayed no prescreen health", st.Shard)
+		}
+		if !st.Prescreen.Enabled || st.Prescreen.Eps <= 0 {
+			t.Fatalf("shard %d prescreen health malformed: %+v", st.Shard, st.Prescreen)
+		}
+		if st.Prescreen.Queries+st.Prescreen.Skipped == 0 {
+			t.Fatalf("shard %d saw a top-k but reports no prescreen decisions: %+v", st.Shard, st.Prescreen)
+		}
+		if seen[st.Shard] == nil {
+			t.Fatalf("health observer missed shard %d", st.Shard)
+		}
+	}
+	// A prescreen-less engine reports a nil block all the way through.
+	exact := engines[0]
+	exact.Model.ClearPrescreen()
+	if h, err := (&Local{Src: exact}).Health(ctx); err != nil || h.Prescreen != nil {
+		t.Fatalf("prescreen-less shard leaked health %+v (err %v)", h.Prescreen, err)
+	}
+}

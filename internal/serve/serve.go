@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"hydra/internal/blocking"
 	"hydra/internal/core"
@@ -56,7 +57,40 @@ type Engine struct {
 
 	indexes map[[2]platform.ID]*blocking.Index
 	scratch sync.Pool
+
+	// Prescreen state: prescreenOff is the runtime escape hatch
+	// (hydra-serve -prescreen=off), prescreenObs an optional metrics
+	// sink wired before serving starts, and the counters feed both the
+	// observer-free /healthz block and the router's per-shard stats.
+	// None of it ever changes a served value — with or without the
+	// prescreen the exact scorer alone decides output.
+	prescreenOff atomic.Bool
+	prescreenObs PrescreenObserver
+	preQueries   atomic.Uint64
+	preSurvivors atomic.Uint64
+	prePruned    atomic.Uint64
+	preSkipped   atomic.Uint64
 }
+
+// PrescreenObserver receives prescreen telemetry from top-k queries:
+// the exact-rescored survivor count when the prescreen engaged, or a
+// skip note when a top-k ran exact-only (prescreen absent, disabled, or
+// the shard too small to prune). internal/obs.Metrics implements it.
+type PrescreenObserver interface {
+	ObservePrescreen(survivors int)
+	ObservePrescreenSkipped()
+}
+
+// prescreenMinSlack is the minimum prunable candidate count (shard size
+// minus k) before a top-k query pays the prescreen pass: below it the
+// approximate fold plus the near-certain full rescore costs more than
+// scoring the shard exactly outright.
+const prescreenMinSlack = 8
+
+// prescreenRescoreChunk is the exact-rescore batch size past the
+// initial k seed. Fixed (never worker-derived) so the survivor count —
+// and hence the prescreen stats — is deterministic at any worker count.
+const prescreenRescoreChunk = 16
 
 // DefaultPairCacheEntries bounds the System's pair-vector cache in a
 // serving process (≈ a few hundred bytes per entry; this cap keeps a
@@ -116,6 +150,14 @@ func NewEngineFromBundle(b *pipeline.Bundle, workers int) (*Engine, error) {
 	model, err := core.ModelFromParts(store, b.Model)
 	if err != nil {
 		return nil, err
+	}
+	if b.Prescreen != nil {
+		// Bundles built by current packers carry the prescreen section;
+		// a bundle without one (older packers, non-RBF models) serves
+		// exact-only — same outputs, no pruning.
+		if err := model.SetPrescreen(b.Prescreen); err != nil {
+			return nil, err
+		}
 	}
 	e := &Engine{
 		Sys:     store,
@@ -228,11 +270,22 @@ func (e *Engine) TopK(pa platform.ID, a int, pb platform.ID, k int) ([]Scored, e
 // list fed to the batch scorer, its score slots, the bounded selection
 // window, and a reusable sorter over it (sort.Slice's closure would
 // allocate every whole-shard query; a pooled sort.Interface does not).
+// The pre/order/rids/rscores buffers and the TwoTier lease back the
+// two-tier path: the approximate scores, the (prescreen desc, B asc)
+// candidate order, and the exact-rescore chunks fed back through the
+// batched kernel on the rows the prescreen pass already imputed.
 type topkScratch struct {
 	pairs  [][2]int
 	scores []float64
 	sel    []Scored
 	sorter scoredSorter
+
+	pre       []float64
+	order     []int
+	preSorter preorderSorter
+	tt        core.TwoTier
+	rids      []int
+	rscores   []float64
 }
 
 // scoredSorter sorts a Scored slice by (score descending, B ascending).
@@ -242,6 +295,26 @@ func (ss *scoredSorter) Len() int      { return len(ss.s) }
 func (ss *scoredSorter) Swap(i, j int) { ss.s[i], ss.s[j] = ss.s[j], ss.s[i] }
 func (ss *scoredSorter) Less(i, j int) bool {
 	return scoredBefore(ss.s[i].Score, ss.s[i].B, ss.s[j])
+}
+
+// preorderSorter orders candidate indices by (prescreen score
+// descending, B ascending) — the rescore visit order of the two-tier
+// path. The tie-break makes the order, and with it the survivor stats,
+// deterministic at any worker count.
+type preorderSorter struct {
+	order []int
+	pre   []float64
+	cands []blocking.Candidate
+}
+
+func (ps *preorderSorter) Len() int      { return len(ps.order) }
+func (ps *preorderSorter) Swap(i, j int) { ps.order[i], ps.order[j] = ps.order[j], ps.order[i] }
+func (ps *preorderSorter) Less(i, j int) bool {
+	a, b := ps.order[i], ps.order[j]
+	if ps.pre[a] != ps.pre[b] {
+		return ps.pre[a] > ps.pre[b]
+	}
+	return ps.cands[a].B < ps.cands[b].B
 }
 
 // TopKAppend is TopK appending its results to dst (which may be nil) —
@@ -256,6 +329,13 @@ func (ss *scoredSorter) Less(i, j int) bool {
 // the window always equals the first k rows of the sorted shard.
 // Whole-shard queries (k ≤ 0 or k ≥ shard size) sort instead, avoiding
 // the window's O(n·k) shifting.
+//
+// When the model carries a certified prescreen and the shard leaves
+// enough slack (see prescreenEngages), the query runs the two-tier path
+// instead: approximate scores order the shard, candidates provably
+// outside the running k-th best are skipped, and only the survivors pay
+// the exact batched kernel — same rows, same bits, less work (see
+// topKPrescreen for the exactness argument).
 func (e *Engine) TopKAppend(dst []Scored, pa platform.ID, a int, pb platform.ID, k int) ([]Scored, error) {
 	ix, ok := e.indexes[[2]platform.ID{pa, pb}]
 	if !ok {
@@ -275,16 +355,25 @@ func (e *Engine) TopKAppend(dst []Scored, pa platform.ID, a int, pb platform.ID,
 		pairs = append(pairs, [2]int{a, c.B})
 	}
 	sc.pairs = pairs
+	kk := k
+	if kk <= 0 || kk > len(cands) {
+		kk = len(cands)
+	}
+	if e.prescreenEngages(kk, len(cands)) {
+		sel, err := e.topKPrescreen(sc, pa, pb, cands, kk)
+		if err != nil {
+			return dst, err
+		}
+		sc.sel = sel
+		return append(dst, sel...), nil
+	}
+	e.notePrescreenSkipped()
 	if cap(sc.scores) < len(cands) {
 		sc.scores = make([]float64, len(cands))
 	}
 	scores := sc.scores[:len(cands)]
 	if err := e.Model.ScoreBatchInto(pa, pb, pairs, e.Workers, scores); err != nil {
 		return dst, err
-	}
-	kk := k
-	if kk <= 0 || kk > len(cands) {
-		kk = len(cands)
 	}
 	sel := sc.sel[:0]
 	if kk == len(cands) {
@@ -297,24 +386,179 @@ func (e *Engine) TopKAppend(dst []Scored, pa platform.ID, a int, pb platform.ID,
 		sort.Sort(&sc.sorter)
 	} else {
 		for i, c := range cands {
-			s := scores[i]
-			if len(sel) == kk {
-				if !scoredBefore(s, c.B, sel[kk-1]) {
-					continue // not better than the window's worst
-				}
-				sel = sel[:kk-1] // drop the worst, insert below
-			}
-			pos := len(sel)
-			for pos > 0 && scoredBefore(s, c.B, sel[pos-1]) {
-				pos--
-			}
-			sel = append(sel, Scored{})
-			copy(sel[pos+1:], sel[pos:])
-			sel[pos] = Scored{B: c.B, Score: s, Linked: s > 0}
+			sel = insertScored(sel, kk, c.B, scores[i])
 		}
 	}
 	sc.sel = sel
 	return append(dst, sel...), nil
+}
+
+// insertScored inserts one candidate into the kk-bounded selection
+// window kept ordered by (score descending, B ascending) — the exact
+// comparator the whole-shard sort uses, a strict total order over a
+// shard's distinct B ids, so the window always equals the first kk rows
+// of the sorted scored set regardless of insertion order.
+func insertScored(sel []Scored, kk int, b int, s float64) []Scored {
+	if len(sel) == kk {
+		if !scoredBefore(s, b, sel[kk-1]) {
+			return sel // not better than the window's worst
+		}
+		sel = sel[:kk-1] // drop the worst, insert below
+	}
+	pos := len(sel)
+	for pos > 0 && scoredBefore(s, b, sel[pos-1]) {
+		pos--
+	}
+	sel = append(sel, Scored{})
+	copy(sel[pos+1:], sel[pos:])
+	sel[pos] = Scored{B: b, Score: s, Linked: s > 0}
+	return sel
+}
+
+// prescreenEngages reports whether a top-k query should run the
+// two-tier path: a prescreen is attached and enabled, the query is
+// bounded (kk < shard — a whole-shard ranking needs every exact score
+// anyway), and the shard leaves enough prunable slack to pay for the
+// approximate pass.
+func (e *Engine) prescreenEngages(kk, n int) bool {
+	return kk < n && n-kk >= prescreenMinSlack &&
+		!e.prescreenOff.Load() && e.Model.HasPrescreen()
+}
+
+// topKPrescreen is the two-tier top-k ranking: approximate every
+// candidate with the certified prescreen, visit candidates in
+// (prescreen desc, B asc) order, and exact-rescore in fixed chunks
+// until the remaining prescreen scores sit provably below the running
+// k-th best. sc.pairs must already hold the shard's (a, B) pairs.
+//
+// Exactness: with the certified margin |f − f̃| ≤ ε, a candidate is
+// skipped only when f̃ < kth − ε, hence f ≤ f̃ + ε < kth — strictly
+// below the window's worst *exact* score, so it cannot enter the top k
+// even on a tie-break. The window's k-th best only tightens as chunks
+// land, and every true top-k member satisfies f̃ ≥ f − ε ≥ kth − ε at
+// every point, so it is always rescored. The window inserts exact
+// scores under the engine's strict total order, so the returned rows —
+// scores, ranking, tie-breaks — are bit-identical to the exact path's
+// at any worker count; only the amount of work varies.
+func (e *Engine) topKPrescreen(sc *topkScratch, pa platform.ID, pb platform.ID, cands []blocking.Candidate, kk int) ([]Scored, error) {
+	n := len(cands)
+	if cap(sc.pre) < n {
+		sc.pre = make([]float64, n)
+	}
+	pre := sc.pre[:n]
+	// One impute pass for the whole query: the lease folds the prescreen
+	// over the freshly imputed rows and keeps them for the exact rescore
+	// chunks below — imputation is as costly as the kernel fold, and
+	// paying it twice per survivor used to eat the entire pruning win.
+	if err := e.Model.BeginTwoTier(&sc.tt, pa, pb, sc.pairs, e.Workers, pre); err != nil {
+		return nil, err
+	}
+	defer sc.tt.End()
+	order := sc.order[:0]
+	for i := 0; i < n; i++ {
+		order = append(order, i)
+	}
+	sc.order = order
+	sc.preSorter = preorderSorter{order: order, pre: pre, cands: cands}
+	sort.Sort(&sc.preSorter)
+
+	eps := e.Model.PrescreenEps()
+	sel := sc.sel[:0]
+	var kth float64
+	full := false
+	rescored := 0
+	for i := 0; i < n; {
+		if full && pre[order[i]] < kth-eps {
+			break // sorted descending: every later candidate is certified out too
+		}
+		// Gather the next rescore chunk: the k window seed first, then
+		// fixed-size chunks so the stop rule re-checks against a
+		// tightened kth between batches.
+		chunk := prescreenRescoreChunk
+		if i == 0 {
+			chunk = kk
+		}
+		j := i
+		ri := sc.rids[:0]
+		for j < n && j-i < chunk {
+			if full && pre[order[j]] < kth-eps {
+				break
+			}
+			ri = append(ri, order[j])
+			j++
+		}
+		sc.rids = ri
+		if cap(sc.rscores) < len(ri) {
+			sc.rscores = make([]float64, len(ri))
+		}
+		rs := sc.rscores[:len(ri)]
+		if err := sc.tt.ScoreSubset(ri, e.Workers, rs); err != nil {
+			return nil, err
+		}
+		for t, s := range rs {
+			sel = insertScored(sel, kk, cands[order[i+t]].B, s)
+		}
+		rescored += len(ri)
+		i = j
+		if len(sel) == kk {
+			full, kth = true, sel[kk-1].Score
+		}
+	}
+	e.preQueries.Add(1)
+	e.preSurvivors.Add(uint64(rescored))
+	e.prePruned.Add(uint64(n - rescored))
+	if e.prescreenObs != nil {
+		e.prescreenObs.ObservePrescreen(rescored)
+	}
+	return sel, nil
+}
+
+func (e *Engine) notePrescreenSkipped() {
+	e.preSkipped.Add(1)
+	if e.prescreenObs != nil {
+		e.prescreenObs.ObservePrescreenSkipped()
+	}
+}
+
+// SetPrescreenEnabled toggles the approximate prescreen at runtime (the
+// hydra-serve -prescreen=off escape hatch). Disabling never changes any
+// served value — it only forces every top-k back to the exact path.
+func (e *Engine) SetPrescreenEnabled(on bool) { e.prescreenOff.Store(!on) }
+
+// SetPrescreenObserver wires a metrics sink for prescreen telemetry.
+// Call before the engine starts serving; the field is not synchronized.
+func (e *Engine) SetPrescreenObserver(obs PrescreenObserver) { e.prescreenObs = obs }
+
+// PrescreenHealth is the engine's prescreen block on /healthz: the
+// certified margin and build size plus the running counters, which the
+// router scrapes into per-shard gauges. nil when the model carries no
+// prescreen at all.
+type PrescreenHealth struct {
+	Enabled   bool    `json:"enabled"`
+	Features  int     `json:"features"`
+	Eps       float64 `json:"eps"`
+	Queries   uint64  `json:"queries"`
+	Survivors uint64  `json:"survivors"`
+	Pruned    uint64  `json:"pruned"`
+	Skipped   uint64  `json:"skipped"`
+}
+
+// PrescreenHealth snapshots the prescreen state and counters (nil for
+// an exact-only engine).
+func (e *Engine) PrescreenHealth() *PrescreenHealth {
+	p := e.Model.Prescreen()
+	if p == nil {
+		return nil
+	}
+	return &PrescreenHealth{
+		Enabled:   !e.prescreenOff.Load(),
+		Features:  p.Features,
+		Eps:       p.Eps,
+		Queries:   e.preQueries.Load(),
+		Survivors: e.preSurvivors.Load(),
+		Pruned:    e.prePruned.Load(),
+		Skipped:   e.preSkipped.Load(),
+	}
 }
 
 // ScoredLess is the engine's exact result order — (score descending,
