@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke bench-linalg bench-save bench-compare bench-serve bench-bundle bench-json figures
+.PHONY: ci fmt vet build test race bench bench-smoke bench-linalg bench-save bench-compare bench-serve bench-bundle bench-json profile-topk figures
 
 ci: fmt vet build test bench-smoke
 
@@ -29,10 +29,13 @@ test:
 # race detector — the serving engines (world- and bundle-backed,
 # TestServe*, including the hot-swap drills), the scatter-gather router
 # (TestRouter*), the two-tier prescreen oracles (TestPrescreen*), the
-# staged pipeline, the parallel figure sweeps and the fanned-out synth
+# pack-time impute table vs live-path twins (TestImpute*), the staged
+# pipeline, the parallel figure sweeps and the fanned-out synth
 # generator (*Workers*/*Determinism* tests) all match the filter.
+# Allocation-budget tests are deliberately named outside it: the race
+# runtime inflates AllocsPerRun.
 race:
-	$(GO) test -race -run 'Determinism|Concurrent|Workers|Serve|Router|Prescreen' ./internal/...
+	$(GO) test -race -run 'Determinism|Concurrent|Workers|Serve|Router|Prescreen|Impute' ./internal/...
 
 # bench-smoke runs every serve benchmark once (-benchtime=1x) as part of
 # make ci — not for numbers, but so the bench harness itself (fixtures,
@@ -91,13 +94,22 @@ bench-bundle:
 
 # bench-json trains a small model through the staged pipeline, persists
 # it both ways and benchmarks the restored engines, writing a machine-
-# readable BENCH_PR7.json snapshot (cold-start world vs bundle, v2 vs v3
+# readable BENCH_PR8.json snapshot (cold-start world vs bundle, v2 vs v3
 # bundle bytes + decode, steady-state query latency + allocs/op, router
-# scatter-gather top-k over 4 in-process shards, hot-swap pause p99, and
-# the two-tier prescreen's recall-vs-speedup curve on wide shards) so
-# the perf trajectory has a mechanical data point per PR.
+# scatter-gather top-k over 4 in-process shards, hot-swap pause p99, the
+# two-tier prescreen's recall-vs-speedup curve on wide shards, and the
+# pack-time impute table's table-on/table-off pair with table bytes and
+# hit ratio) so the perf trajectory has a mechanical data point per PR.
 bench-json:
-	$(GO) run ./cmd/hydra-servebench -prev BENCH_PR6.json -json BENCH_PR7.json
+	$(GO) run ./cmd/hydra-servebench -prev BENCH_PR7.json -json BENCH_PR8.json
+
+# profile-topk captures a CPU profile of the wide-shard top-k serving
+# path (the impute-dominated workload the pack-time table attacks).
+# Inspect with `go tool pprof -top topk.prof` or -http=:8088.
+profile-topk:
+	$(GO) test -run '^$$' -bench 'ServeTopKImputeTable' -benchtime 2s \
+		-cpuprofile topk.prof -o topk.test ./internal/serve/
+	$(GO) tool pprof -top -nodecount 15 topk.test topk.prof
 
 # figures regenerates every figure table (the full experiment suite).
 figures:

@@ -38,16 +38,21 @@ import (
 
 func main() {
 	var (
-		model      = flag.String("model", "", "model artifact JSON (from hydra-link -save-model)")
-		world      = flag.String("world", "", "world JSON the model was trained on (from hydra-gen)")
-		inBundle   = flag.String("bundle", "", "existing bundle to (re-)shard instead of packing from -model/-world")
-		out        = flag.String("o", "", "output bundle path (with -shards, the base name for name.shardK.ext files)")
-		workers    = flag.Int("workers", 0, "worker-pool size for the index rebuild; 0 = all cores (identical bundle at any setting)")
-		shards     = flag.Int("shards", 1, "split the bundle into this many self-contained shards (1 = no split)")
-		seed       = flag.Uint64("hash-seed", 0, "seed of the consistent hash that assigns B-side accounts to shards")
-		generation = flag.Uint64("generation", 1, "bundle generation stamped on each shard; hot swap requires strictly newer")
+		model       = flag.String("model", "", "model artifact JSON (from hydra-link -save-model)")
+		world       = flag.String("world", "", "world JSON the model was trained on (from hydra-gen)")
+		inBundle    = flag.String("bundle", "", "existing bundle to (re-)shard instead of packing from -model/-world")
+		out         = flag.String("o", "", "output bundle path (with -shards, the base name for name.shardK.ext files)")
+		workers     = flag.Int("workers", 0, "worker-pool size for the index rebuild; 0 = all cores (identical bundle at any setting)")
+		shards      = flag.Int("shards", 1, "split the bundle into this many self-contained shards (1 = no split)")
+		seed        = flag.Uint64("hash-seed", 0, "seed of the consistent hash that assigns B-side accounts to shards")
+		generation  = flag.Uint64("generation", 1, "bundle generation stamped on each shard; hot swap requires strictly newer")
+		imputeTable = flag.String("impute-table", "on", "pack-time Eqn-18 impute table: on|off; off strips the table so serving imputes through the live friend walk (bit-identical answers, smaller bundle)")
 	)
 	flag.Parse()
+	if *imputeTable != "on" && *imputeTable != "off" {
+		fmt.Fprintf(os.Stderr, "hydra-pack: -impute-table must be on or off, got %q\n", *imputeTable)
+		os.Exit(2)
+	}
 	if *out == "" || (*inBundle == "" && (*model == "" || *world == "")) {
 		fmt.Fprintln(os.Stderr, "usage: hydra-pack -model model.json -world world.json -o bundle.json [-shards N]")
 		fmt.Fprintln(os.Stderr, "       hydra-pack -bundle bundle.bin -shards N [-generation G] -o bundle.bin")
@@ -78,6 +83,10 @@ func main() {
 		if b, err = pipeline.BundleFromArtifact(art, ds, *workers); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *imputeTable == "off" {
+		b.ImputeTable = nil
 	}
 
 	if *shards <= 1 {
@@ -122,6 +131,10 @@ func report(path string, b *pipeline.Bundle) {
 	if b.Shard != nil {
 		suffix = fmt.Sprintf("shard %d/%d", b.Shard.Index, b.Shard.Count)
 	}
-	fmt.Fprintf(os.Stderr, "packed %s: %d platforms, %d views, %d indexed pairs, top-%d friends, %d bytes — %s\n",
-		path, len(b.Views), views, len(b.Indexes), b.FriendsK, info.Size(), suffix)
+	tbl := ""
+	if b.ImputeTable != nil {
+		tbl = fmt.Sprintf(", %d impute-table entries", b.ImputeTable.NumEntries())
+	}
+	fmt.Fprintf(os.Stderr, "packed %s: %d platforms, %d views, %d indexed pairs, top-%d friends%s, %d bytes — %s\n",
+		path, len(b.Views), views, len(b.Indexes), b.FriendsK, tbl, info.Size(), suffix)
 }

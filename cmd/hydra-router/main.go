@@ -76,6 +76,35 @@ func main() {
 		log.Fatal(err)
 	}
 
+	metrics := obs.NewMetrics()
+	// Every successful shard health probe (startup refresh, SIGHUP, and
+	// each /healthz live-probe) republished as per-shard prescreen and
+	// impute gauges, so one router /metrics page shows pruning and
+	// imputation health fleet-wide. Registered before the first refresh
+	// so the startup probe already populates the gauges.
+	rt.SetHealthObserver(func(shard int, h router.Health) {
+		s := obs.ShardPrescreen{}
+		if ph := h.Prescreen; ph != nil {
+			s = obs.ShardPrescreen{
+				Enabled: ph.Enabled, Features: ph.Features, Eps: ph.Eps,
+				Queries: ph.Queries, Survivors: ph.Survivors,
+				Pruned: ph.Pruned, Skipped: ph.Skipped,
+				FoldHits: ph.FoldHits, FoldMisses: ph.FoldMisses,
+			}
+		}
+		metrics.SetShardPrescreen(strconv.Itoa(shard), s)
+		im := obs.ImputeStats{}
+		if ih := h.Impute; ih != nil {
+			im = obs.ImputeStats{
+				Enabled: ih.Enabled, TableEntries: ih.TableEntries,
+				TableHits: ih.TableHits, TableMisses: ih.TableMisses,
+				PairCacheSize: ih.PairCacheSize,
+				PairCacheHits: ih.PairCacheHits, PairCacheMisses: ih.PairCacheMisses,
+			}
+		}
+		metrics.SetShardImpute(strconv.Itoa(shard), im)
+	})
+
 	refresh := func() error {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*(*timeout)*time.Duration(rt.NumShards()))
 		defer cancel()
@@ -86,21 +115,6 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "routing over %d shards, %d platform pairs\n", rt.NumShards(), len(rt.Pairs()))
 
-	metrics := obs.NewMetrics()
-	// Every successful shard health probe (startup refresh, SIGHUP, and
-	// each /healthz live-probe) republished as per-shard prescreen
-	// gauges, so one router /metrics page shows pruning health fleet-wide.
-	rt.SetHealthObserver(func(shard int, h router.Health) {
-		s := obs.ShardPrescreen{}
-		if ph := h.Prescreen; ph != nil {
-			s = obs.ShardPrescreen{
-				Enabled: ph.Enabled, Features: ph.Features, Eps: ph.Eps,
-				Queries: ph.Queries, Survivors: ph.Survivors,
-				Pruned: ph.Pruned, Skipped: ph.Skipped,
-			}
-		}
-		metrics.SetShardPrescreen(strconv.Itoa(shard), s)
-	})
 	mux := http.NewServeMux()
 	mux.Handle("/", rt.Handler())
 	mux.Handle("/metrics", metrics.Handler())

@@ -62,11 +62,16 @@ func main() {
 		httpAddr     = flag.String("http", "", "serve HTTP on this address (e.g. :8080) instead of the stdin REPL")
 		logRequests  = flag.Bool("log-requests", false, "write one JSON log line per HTTP request to stderr")
 		prescreen    = flag.String("prescreen", "on", "two-tier approximate prescreen for top-k queries: on|off; off forces exact-only scoring (answers are bit-identical either way, off just skips the pruning)")
+		imputeTable  = flag.String("impute-table", "on", "pack-time Eqn-18 impute table: on|off; off routes missing-dimension candidates through the live friend walk (answers are bit-identical either way, off just skips the lookup)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long in-flight requests get to finish on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 	if *prescreen != "on" && *prescreen != "off" {
 		fmt.Fprintf(os.Stderr, "hydra-serve: -prescreen must be on or off, got %q\n", *prescreen)
+		os.Exit(2)
+	}
+	if *imputeTable != "on" && *imputeTable != "off" {
+		fmt.Fprintf(os.Stderr, "hydra-serve: -impute-table must be on or off, got %q\n", *imputeTable)
 		os.Exit(2)
 	}
 
@@ -107,6 +112,9 @@ func main() {
 	if *prescreen == "off" {
 		eng.SetPrescreenEnabled(false)
 	}
+	if *imputeTable == "off" {
+		eng.SetImputeTableEnabled(false)
+	}
 
 	if *httpAddr == "" {
 		if err := eng.REPL(os.Stdin, os.Stdout); err != nil {
@@ -118,6 +126,21 @@ func main() {
 	metrics := obs.NewMetrics()
 	eng.SetPrescreenObserver(metrics)
 	holder := serve.NewSwappable(eng)
+	// Pull-style: each /metrics scrape snapshots the *current* engine's
+	// impute-layer counters, so a hot swap is reflected automatically.
+	metrics.SetImputeSource(func() obs.ImputeStats {
+		cur, _ := holder.Current()
+		h := cur.ImputeHealth()
+		return obs.ImputeStats{
+			Enabled:         h.Enabled,
+			TableEntries:    h.TableEntries,
+			TableHits:       h.TableHits,
+			TableMisses:     h.TableMisses,
+			PairCacheSize:   h.PairCacheSize,
+			PairCacheHits:   h.PairCacheHits,
+			PairCacheMisses: h.PairCacheMisses,
+		}
+	})
 	mux := http.NewServeMux()
 	mux.Handle("/", holder.Handler())
 	mux.Handle("/metrics", metrics.Handler())
@@ -165,6 +188,9 @@ func main() {
 				}
 				if *prescreen == "off" {
 					next.SetPrescreenEnabled(false)
+				}
+				if *imputeTable == "off" {
+					next.SetImputeTableEnabled(false)
 				}
 				next.SetPrescreenObserver(metrics)
 				if _, err := holder.Swap(next); err != nil {

@@ -88,6 +88,10 @@ type snapshot struct {
 	// prescreen+rescore top-k over production-shaped (full cross product)
 	// shards, with the recall-vs-speedup curve across ε safety factors.
 	Prescreen *prescreenSection `json:"prescreen,omitempty"`
+	// Impute is the pack-time Eqn-18 table benchmark: wide top-k with
+	// the table consulted vs the live friend-walk fallback, plus the
+	// table's wire size and measured hit ratio.
+	Impute *imputeSection `json:"impute,omitempty"`
 	// Before carries the headline numbers of the previous PR's snapshot
 	// (-prev) so one file shows the delta.
 	Before *beforeBlock `json:"before,omitempty"`
@@ -123,6 +127,25 @@ type prescreenSection struct {
 	MeanSurvivors float64               `json:"mean_survivors"`
 	RecallAt5     float64               `json:"recall_at_5"`
 	Curve         []prescreenCurvePoint `json:"speedup_curve"`
+}
+
+// imputeSection is the pack-time impute-table block of the snapshot:
+// the same wide (full cross-product) top-k, measured with the table
+// consulted and with it disabled (the live Eqn-18 friend walk), with
+// the shipped bundle's table wire size and the measured lookup hit
+// ratio. RecallAt5 compares table-on rows to table-off rows and is
+// asserted to be exactly 1.0 before the snapshot is written — the
+// table is a precomputation of the identical float sequence, so any
+// difference is a bug, not a tradeoff.
+type imputeSection struct {
+	TableEntries int        `json:"table_entries"`
+	TableBytes   int        `json:"table_bytes"`
+	WideShard    float64    `json:"wide_shard_size"`
+	TableOn      benchPoint `json:"wide_topk5_table_on"`
+	TableOff     benchPoint `json:"wide_topk5_table_off"`
+	Speedup      float64    `json:"speedup_table_on_vs_off"`
+	HitRatio     float64    `json:"table_hit_ratio"`
+	RecallAt5    float64    `json:"recall_at_5"`
 }
 
 // beforeBlock is the previous snapshot's headline numbers, lifted via
@@ -259,6 +282,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	impute, err := benchImpute(env.bundle, pa, pb, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	snap := snapshot{
 		Bench:          "serve-bundle",
@@ -279,6 +306,7 @@ func main() {
 		RouterTopK:     point(routerTopK),
 		SwapPauseP99Ms: swapP99,
 		Prescreen:      prescreen,
+		Impute:         impute,
 	}
 	snap.BundleV2DecodeMs, err = coldStart(5, func() error {
 		_, err := pipeline.ReadBundle(bytes.NewReader(env.bundleV2Bytes))
@@ -330,6 +358,10 @@ func main() {
 		fmt.Printf("  safety %4.2f: %9.0f ns/op  %5.2fx  survivors %5.1f  recall %.3f  (%s)\n",
 			cp.Safety, cp.TopK.NsPerOp, cp.Speedup, cp.MeanSurvivors, cp.Recall, cert)
 	}
+	fmt.Printf("wide topk(5) table-on:  %9.0f ns/op  (%d entries, %d table bytes, hit ratio %.3f, recall %.3f)\n",
+		impute.TableOn.NsPerOp, impute.TableEntries, impute.TableBytes, impute.HitRatio, impute.RecallAt5)
+	fmt.Printf("wide topk(5) table-off: %9.0f ns/op  (%.2fx slower without the pack-time Eqn-18 table)\n",
+		impute.TableOff.NsPerOp, impute.Speedup)
 
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
@@ -595,8 +627,10 @@ func buildEnv(persons int, seed int64, workers int) (*benchEnv, error) {
 // full A×B cross product — production-shaped shards, where a top-k
 // query actually has candidates to prune. The blocked indexes of the
 // benchmark world average ~3 candidates per shard, below the two-tier
-// path's engagement floor.
-func wideIndexBundle(b *pipeline.Bundle) *pipeline.Bundle {
+// path's engagement floor. The pack-time impute table is rebuilt for
+// the widened indexes (it is keyed by candidate pair, so the packed
+// table covers only the original narrow shards).
+func wideIndexBundle(b *pipeline.Bundle, workers int) (*pipeline.Bundle, error) {
 	c := *b
 	c.Indexes = make([]blocking.IndexParts, len(b.Indexes))
 	for i, ix := range b.Indexes {
@@ -612,7 +646,12 @@ func wideIndexBundle(b *pipeline.Bundle) *pipeline.Bundle {
 		}
 		c.Indexes[i] = blocking.IndexParts{PA: ix.PA, PB: ix.PB, Rules: ix.Rules, ByA: byA}
 	}
-	return &c
+	tbl, err := pipeline.BuildBundleImputeTable(&c, workers)
+	if err != nil {
+		return nil, err
+	}
+	c.ImputeTable = tbl
+	return &c, nil
 }
 
 // benchPrescreen prices the two-tier scorer against the exact engine on
@@ -624,7 +663,10 @@ func benchPrescreen(b *pipeline.Bundle, pa, pb platform.ID, workers int) (*presc
 	if b.Prescreen == nil {
 		return nil, fmt.Errorf("bundle carries no prescreen — packBundle should have built one")
 	}
-	wb := wideIndexBundle(b)
+	wb, err := wideIndexBundle(b, workers)
+	if err != nil {
+		return nil, err
+	}
 	na := len(wb.Views[pa])
 	nb := len(wb.Views[pb])
 
@@ -729,6 +771,108 @@ func benchPrescreen(b *pipeline.Bundle, pa, pb platform.ID, workers int) (*presc
 	if sec.RecallAt5 != 1.0 {
 		return nil, fmt.Errorf("shipped prescreen (safety %g) measured recall %.4f ≠ 1.0 — the certified margin is broken",
 			b.Prescreen.Safety, sec.RecallAt5)
+	}
+	return sec, nil
+}
+
+// benchImpute prices the pack-time Eqn-18 table on the wide (full
+// cross-product) shards: the same engine configuration measured with
+// the table consulted and with the -impute-table=off escape hatch, with
+// every returned row asserted bit-identical between the two. TableBytes
+// is the table's cost in the shipped v3 bundle (encoded with minus
+// encoded without).
+func benchImpute(b *pipeline.Bundle, pa, pb platform.ID, workers int) (*imputeSection, error) {
+	wb, err := wideIndexBundle(b, workers)
+	if err != nil {
+		return nil, err
+	}
+	if wb.ImputeTable == nil {
+		return nil, fmt.Errorf("wide bundle carries no impute table — BuildBundleImputeTable built nothing")
+	}
+	na := len(wb.Views[pa])
+
+	var withBuf, withoutBuf bytes.Buffer
+	if err := pipeline.WriteBundle(&withBuf, b); err != nil {
+		return nil, err
+	}
+	stripped := *b
+	stripped.ImputeTable = nil
+	if err := pipeline.WriteBundle(&withoutBuf, &stripped); err != nil {
+		return nil, err
+	}
+
+	engOn, err := serve.NewEngineFromBundle(wb, workers)
+	if err != nil {
+		return nil, err
+	}
+	engOff, err := serve.NewEngineFromBundle(wb, workers)
+	if err != nil {
+		return nil, err
+	}
+	engOff.SetImputeTableEnabled(false)
+
+	// Bit-identity sweep (doubles as warm-up for both engines): every
+	// wide shard's top-5, table lookup vs live friend walk.
+	matched, total := 0, 0
+	for a := 0; a < na; a++ {
+		on, err := engOn.TopK(pa, a, pb, 5)
+		if err != nil {
+			return nil, err
+		}
+		off, err := engOff.TopK(pa, a, pb, 5)
+		if err != nil {
+			return nil, err
+		}
+		if len(on) != len(off) {
+			return nil, fmt.Errorf("impute table changed top-k shape for a=%d: %d vs %d rows", a, len(on), len(off))
+		}
+		for i := range on {
+			total++
+			if on[i] == off[i] {
+				matched++
+			}
+		}
+	}
+	recall := 1.0
+	if total > 0 {
+		recall = float64(matched) / float64(total)
+	}
+	if recall != 1.0 {
+		return nil, fmt.Errorf("impute table measured recall %.4f ≠ 1.0 — table-backed rows differ from the live path", recall)
+	}
+
+	var dst []serve.Scored
+	on := testing.Benchmark(func(bb *testing.B) {
+		bb.ReportAllocs()
+		for i := 0; i < bb.N; i++ {
+			if dst, err = engOn.TopKAppend(dst[:0], pa, i%na, pb, 5); err != nil {
+				bb.Fatal(err)
+			}
+		}
+	})
+	off := testing.Benchmark(func(bb *testing.B) {
+		bb.ReportAllocs()
+		for i := 0; i < bb.N; i++ {
+			if dst, err = engOff.TopKAppend(dst[:0], pa, i%na, pb, 5); err != nil {
+				bb.Fatal(err)
+			}
+		}
+	})
+
+	sec := &imputeSection{
+		TableEntries: wb.ImputeTable.NumEntries(),
+		TableBytes:   withBuf.Len() - withoutBuf.Len(),
+		WideShard:    float64(len(wb.Views[pb])),
+		TableOn:      point(on),
+		TableOff:     point(off),
+		RecallAt5:    recall,
+	}
+	if sec.TableOn.NsPerOp > 0 {
+		sec.Speedup = sec.TableOff.NsPerOp / sec.TableOn.NsPerOp
+	}
+	ih := engOn.ImputeHealth()
+	if lookups := ih.TableHits + ih.TableMisses; lookups > 0 {
+		sec.HitRatio = float64(ih.TableHits) / float64(lookups)
 	}
 	return sec, nil
 }

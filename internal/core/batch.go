@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sync"
 
+	"hydra/internal/features"
 	"hydra/internal/graph"
 	"hydra/internal/kernel"
 	"hydra/internal/linalg"
@@ -29,14 +30,49 @@ import (
 )
 
 // prepareServing readies a model for queries: it compacts the support
-// set, packs the support vectors, and pins the pass-through friend
-// resolver. Called once from train and ModelFromParts; Parts() still
-// serializes the full candidate set, so compaction never changes the
-// wire format.
+// set, packs the support vectors, pins the pass-through resolver and
+// adopts the source's pack-time impute table when it carries one.
+// Called once from train and ModelFromParts; Parts() still serializes
+// the full candidate set, so compaction never changes the wire format.
 func (m *Model) prepareServing() {
-	m.directFriends = sourceFriends{m.src}
+	m.direct = sourceResolver{m.src}
+	if c, ok := m.src.(imputeTableCarrier); ok {
+		m.tbl = c.ImputeTable()
+	}
 	m.compactSupport()
 }
+
+// imputeTableCarrier is the optional Source upgrade prepareServing
+// probes for: a snapshot Store restored from a bundle with a pack-time
+// Eqn-18 table implements it; the training System does not.
+type imputeTableCarrier interface {
+	ImputeTable() *ImputeTable
+}
+
+// servingTable returns the impute table scoring should consult — nil
+// when none is attached or the escape hatch turned it off.
+func (m *Model) servingTable() *ImputeTable {
+	if m.tbl == nil || m.tblOff.Load() {
+		return nil
+	}
+	return m.tbl
+}
+
+// SetImputeTableEnabled toggles the pack-time impute table (the
+// `-impute-table=off` escape hatch). Output is bit-identical either
+// way; only the work per missing-dimension candidate changes.
+func (m *Model) SetImputeTableEnabled(on bool) { m.tblOff.Store(!on) }
+
+// HasImputeTable reports whether a pack-time impute table is attached
+// (regardless of the enabled toggle).
+func (m *Model) HasImputeTable() bool { return m.tbl != nil }
+
+// ImputeTableEnabled reports whether a table is attached AND the
+// runtime toggle leaves it on (the state /healthz publishes).
+func (m *Model) ImputeTableEnabled() bool { return m.servingTable() != nil }
+
+// ImputeTable returns the attached table (nil without one).
+func (m *Model) ImputeTable() *ImputeTable { return m.tbl }
 
 // compactSupport drops α=0 candidates once — the scalar Decision loop
 // re-checked every candidate on every call — and packs the survivors
@@ -124,6 +160,68 @@ func (fm *friendMemo) resolveFriends(id platform.ID, local, k int) ([]graph.Frie
 	return fr, nil
 }
 
+// rawPairMemo caches friend-pair raw vectors across the rows of one
+// batch. A top-k query's candidates share the A side — so they share
+// its top friends — and neighboring B candidates overlap in theirs, so
+// the same (fa, fb) raw pair is requested many times per query. The
+// memo resolves each once through the Source (and its global, mutexed
+// pairCache) and answers the rest locally, cutting the hot path's
+// global-cache traffic to one lookup per distinct friend pair. Raw pair
+// vectors are pure memos of a deterministic computation, so memoization
+// never changes a result; the map is reset per batch but keeps its
+// capacity, preserving the warm path's zero-allocation steady state.
+type rawPairMemo struct {
+	src Source
+	mu  sync.Mutex
+	m   map[pairKey]features.PairVector
+}
+
+func (rm *rawPairMemo) reset(src Source) {
+	rm.src = src
+	if rm.m == nil {
+		rm.m = make(map[pairKey]features.PairVector, 16)
+	} else {
+		clear(rm.m)
+	}
+}
+
+func (rm *rawPairMemo) resolveRawPair(pa platform.ID, a int, pb platform.ID, b int) (features.PairVector, error) {
+	key := pairKey{pa, pb, a, b}
+	rm.mu.Lock()
+	if pv, ok := rm.m[key]; ok {
+		rm.mu.Unlock()
+		return pv, nil
+	}
+	rm.mu.Unlock()
+	// Resolve outside the lock (the Source may compute the pair); racing
+	// resolutions compute identical vectors and the first stored wins.
+	pv, err := rm.src.RawPair(pa, a, pb, b)
+	if err != nil {
+		return features.PairVector{}, err
+	}
+	rm.mu.Lock()
+	if prev, ok := rm.m[key]; ok {
+		pv = prev
+	} else {
+		rm.m[key] = pv
+	}
+	rm.mu.Unlock()
+	return pv, nil
+}
+
+// batchMemo bundles the two per-batch memos into the imputeResolver one
+// imputation pass shares across its workers.
+type batchMemo struct {
+	friendMemo
+	rawPairMemo
+}
+
+func (bm *batchMemo) reset(src Source, pa platform.ID) *batchMemo {
+	bm.friendMemo.reset(src, pa)
+	bm.rawPairMemo.reset(src)
+	return bm
+}
+
 // scoreScratch is the per-query reusable state of the serving fast path.
 // Instances recycle through Model.scratch; every buffer grows to the
 // largest query seen and stays, so a warm server's steady state
@@ -134,7 +232,16 @@ type scoreScratch struct {
 	sub   []linalg.Vector // row-header views for subset rescoring
 	kdata []float64       // backing array of the kernel value matrix
 	km    linalg.Matrix   // header over kdata, reshaped per query
-	memo  friendMemo      // A-side friend memo
+	memo  batchMemo       // A-side friend memo + friend-pair raw memo
+
+	// The two-tier lazy-impute buffers: which leased rows are
+	// materialized, and the gather slots for the subset that is not yet
+	// (fold-memo hits skip imputation until the exact rescore needs the
+	// row — most never do).
+	rowOK  []bool
+	miss   []int
+	mpairs [][2]int
+	mrows  []linalg.Vector
 }
 
 // ensureRows returns n per-row buffers, keeping previously grown ones.
@@ -162,6 +269,31 @@ func (sc *scoreScratch) ensureSub(n int) []linalg.Vector {
 		sc.sub = make([]linalg.Vector, n)
 	}
 	return sc.sub[:n]
+}
+
+// ensureRowOK returns an n-slot materialization flag buffer (contents
+// unspecified — BeginTwoTier writes every slot).
+func (sc *scoreScratch) ensureRowOK(n int) []bool {
+	if cap(sc.rowOK) < n {
+		sc.rowOK = make([]bool, n)
+	}
+	return sc.rowOK[:n]
+}
+
+// ensureMissPairs / ensureMissRows return n-slot gather buffers for the
+// lazily imputed subset of a two-tier batch.
+func (sc *scoreScratch) ensureMissPairs(n int) [][2]int {
+	if cap(sc.mpairs) < n {
+		sc.mpairs = make([][2]int, n)
+	}
+	return sc.mpairs[:n]
+}
+
+func (sc *scoreScratch) ensureMissRows(n int) []linalg.Vector {
+	if cap(sc.mrows) < n {
+		sc.mrows = make([]linalg.Vector, n)
+	}
+	return sc.mrows[:n]
 }
 
 // ensureKmat reshapes the pooled kernel matrix to rows×cols.
@@ -224,20 +356,23 @@ func (m *Model) ScoreBatchInto(pa platform.ID, pb platform.ID, pairs [][2]int, w
 }
 
 // imputeBatch fills rows[i] with the imputed feature vector of pairs[i],
-// memoizing A-side friend resolution across the batch. With one worker
-// it runs inline on pooled scratch (no goroutines, no closures — zero
-// allocations); with more it fans contiguous chunks over the pool, each
-// chunk with its own accumulator, and reports the lowest-index error.
+// consulting the pack-time impute table first and memoizing A-side
+// friend resolution plus friend-pair raw vectors across the batch for
+// the pairs the table misses. With one worker it runs inline on pooled
+// scratch (no goroutines, no closures — zero allocations); with more it
+// fans contiguous chunks over the pool, each chunk with its own
+// accumulator, and reports the lowest-index error.
 func (m *Model) imputeBatch(sc *scoreScratch, rows []linalg.Vector, pa, pb platform.ID, pairs [][2]int, workers int) error {
 	n := len(pairs)
 	memo := sc.memo.reset(m.src, pa)
+	tbl := m.servingTable()
 	w := parallel.Workers(workers)
 	if w > n {
 		w = n
 	}
 	if w == 1 {
 		for i := range pairs {
-			x, err := sc.imp.imputePairInto(rows[i][:0], m.src, memo,
+			x, err := sc.imp.imputePairInto(rows[i][:0], m.src, memo, tbl,
 				pa, pairs[i][0], pb, pairs[i][1], m.cfg.Variant, m.cfg.TopFriends)
 			if err != nil {
 				return err
@@ -249,7 +384,7 @@ func (m *Model) imputeBatch(sc *scoreScratch, rows []linalg.Vector, pa, pb platf
 	errs := parallel.MapChunks(w, n, func(lo, hi int) []error {
 		var isc imputeScratch
 		for i := lo; i < hi; i++ {
-			x, err := isc.imputePairInto(rows[i][:0], m.src, memo,
+			x, err := isc.imputePairInto(rows[i][:0], m.src, memo, tbl,
 				pa, pairs[i][0], pb, pairs[i][1], m.cfg.Variant, m.cfg.TopFriends)
 			if err != nil {
 				// First error of the chunk wins; chunks are contiguous

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"hydra/internal/blocking"
 	"hydra/internal/kernel"
@@ -150,12 +151,20 @@ type Model struct {
 	// Serving fast path, prepared once by prepareServing (see batch.go):
 	// the α≠0 support set packed into one dense row-major matrix (svXs
 	// are row views into svMat, svAlpha the matching coefficients), the
-	// pass-through friend resolver, and the pooled per-query scratch.
-	svMat         *linalg.Matrix
-	svXs          []linalg.Vector
-	svAlpha       []float64
-	directFriends friendResolver
-	scratch       sync.Pool
+	// pass-through resolver, and the pooled per-query scratch.
+	svMat   *linalg.Matrix
+	svXs    []linalg.Vector
+	svAlpha []float64
+	direct  imputeResolver
+	scratch sync.Pool
+
+	// tbl is the optional pack-time Eqn-18 table (see imputetable.go),
+	// adopted from a snapshot Store that carries one; tblOff is the
+	// runtime escape hatch (`-impute-table=off`). Like the prescreen,
+	// the table never changes a served bit — a hit just skips the live
+	// friend walk.
+	tbl    *ImputeTable
+	tblOff atomic.Bool
 
 	// pre is the optional approximate prescreen (see prescreen.go):
 	// attached from a bundle's prescreen section via SetPrescreen, nil
@@ -522,7 +531,7 @@ func (m *Model) Decision(x linalg.Vector) float64 {
 func (m *Model) Score(pa platform.ID, a int, pb platform.ID, b int) (float64, error) {
 	sc := m.getScratch()
 	defer m.scratch.Put(sc)
-	x, err := sc.imp.imputePairInto(sc.single(), m.src, m.directFriends,
+	x, err := sc.imp.imputePairInto(sc.single(), m.src, m.direct, m.servingTable(),
 		pa, a, pb, b, m.cfg.Variant, m.cfg.TopFriends)
 	if err != nil {
 		return 0, err

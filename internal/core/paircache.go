@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"hydra/internal/features"
 	"hydra/internal/platform"
@@ -21,14 +22,27 @@ type pairCache struct {
 	m  map[pairKey]features.PairVector
 	// cap, when positive, bounds the cache (see limit).
 	cap int
+	// hits/misses count lookups since process start — imputation health
+	// for /metrics, atomic so stats reads never take the cache mutex.
+	hits, misses atomic.Uint64
 }
 
 // lookup returns the cached vector for key, if present.
 func (c *pairCache) lookup(key pairKey) (features.PairVector, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	pv, ok := c.m[key]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
 	return pv, ok
+}
+
+// stats reports the lookup counters since process start.
+func (c *pairCache) stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
 }
 
 // store memoizes one computed pair vector, evicting arbitrary entries

@@ -37,6 +37,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"hydra/internal/kernel"
 	"hydra/internal/linalg"
@@ -366,6 +368,64 @@ func BuildPrescreen(p ModelParts, opts PrescreenOpts) (*PrescreenParts, error) {
 	return &out, nil
 }
 
+// foldCacheEntries bounds the per-model fold memo: at ~50 bytes per
+// entry the cap keeps a long-lived server under ~16 MB of memoized fold
+// values even across an adversarial sweep of the full pair space.
+const foldCacheEntries = 1 << 18
+
+// foldCache memoizes the certified fold value f̃ per account pair. For a
+// served model the fold is a pure function of the pair — the source
+// views are immutable and the prescreen is fixed at SetPrescreen — so a
+// memoized value IS the bits a fresh fold would produce, and eviction
+// only ever costs a recompute. Profiling after the pack-time impute
+// table landed showed the fold itself (one exp + full-dim SqDist per
+// bump per candidate, every candidate, every query) as the next top-k
+// floor; the memo collapses a warm query's tier-1 pass to one map hit
+// per candidate, and the two-tier lease then only materializes imputed
+// rows for candidates that actually reach the exact rescore.
+type foldCache struct {
+	mu sync.Mutex
+	m  map[pairKey]float64
+	// hits/misses count BeginTwoTier lookups since the prescreen was
+	// attached — atomic so stats reads never take the mutex.
+	hits, misses atomic.Uint64
+}
+
+func (fc *foldCache) evictLocked(incoming int) {
+	for len(fc.m) > foldCacheEntries-incoming {
+		evicted := false
+		for k := range fc.m {
+			delete(fc.m, k)
+			evicted = true
+			break
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+func (fc *foldCache) stats() (hits, misses uint64) {
+	return fc.hits.Load(), fc.misses.Load()
+}
+
+func (fc *foldCache) size() int {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return len(fc.m)
+}
+
+// PrescreenFoldStats reports the fold memo's hit/miss counters and
+// current size (all zero without a prescreen) — prescreen health for
+// /healthz and /metrics.
+func (m *Model) PrescreenFoldStats() (hits, misses uint64, size int) {
+	if m.pre == nil {
+		return 0, 0, 0
+	}
+	h, mi := m.pre.cache.stats()
+	return h, mi, m.pre.cache.size()
+}
+
 // prescreenState is the query-time form of PrescreenParts: plain slices
 // the hot fold walks without re-validating shapes.
 type prescreenState struct {
@@ -375,6 +435,7 @@ type prescreenState struct {
 	w, b, c, v []float64
 	sigma2     float64
 	eps        float64
+	cache      foldCache
 }
 
 func newPrescreenState(p *PrescreenParts) *prescreenState {

@@ -43,17 +43,38 @@ type Source interface {
 
 // friendResolver resolves the top-k most-interacting friends of a local
 // account. The plain Impute path reads straight through the Source; the
-// serving fast path plugs in a per-batch memo (friendMemo) that caches
+// serving fast path plugs in a per-batch memo (batchMemo) that caches
 // the A side across rows sharing an account.
 type friendResolver interface {
 	resolveFriends(id platform.ID, local, k int) ([]graph.Friend, error)
 }
 
-// sourceFriends adapts a Source's Friends method as a friendResolver.
-type sourceFriends struct{ src Source }
+// rawPairResolver resolves an unimputed pair vector — the Eqn-18
+// friend-pair lookups go through it. The plain path reads straight
+// through the Source (and its global, mutexed pairCache); the serving
+// fast path plugs in a per-batch memo so one query resolves each
+// (fa, fb) raw pair once without re-contending on the global cache.
+type rawPairResolver interface {
+	resolveRawPair(pa platform.ID, a int, pb platform.ID, b int) (features.PairVector, error)
+}
 
-func (sf sourceFriends) resolveFriends(id platform.ID, local, k int) ([]graph.Friend, error) {
-	return sf.src.Friends(id, local, k)
+// imputeResolver is what one imputation pass needs around the Source:
+// friend resolution plus friend-pair raw vectors.
+type imputeResolver interface {
+	friendResolver
+	rawPairResolver
+}
+
+// sourceResolver adapts a Source's Friends/RawPair methods as the
+// pass-through imputeResolver.
+type sourceResolver struct{ src Source }
+
+func (sr sourceResolver) resolveFriends(id platform.ID, local, k int) ([]graph.Friend, error) {
+	return sr.src.Friends(id, local, k)
+}
+
+func (sr sourceResolver) resolveRawPair(pa platform.ID, a int, pb platform.ID, b int) (features.PairVector, error) {
+	return sr.src.RawPair(pa, a, pb, b)
 }
 
 // imputeScratch holds the reusable buffers of pair imputation: the
@@ -66,14 +87,19 @@ type imputeScratch struct {
 
 // imputePairInto is the shared Impute implementation of both Source
 // halves: the variant dispatch and the friend-based imputation of Eqn 18,
-// with the friend lookup abstracted so the builder reads the live graph
-// and the store reads its precomputed top-friends slices. The imputed
-// vector is appended to dst[:0] (pass nil to allocate a fresh, caller-
-// owned vector) and returned, possibly regrown. topFriends is the
+// with the friend and friend-pair lookups abstracted so the builder
+// reads the live graph, the store reads its precomputed top-friends
+// slices, and the serving fast path memoizes both per batch. When tbl is
+// non-nil and keyed at the same topFriends depth, a pair with missing
+// dimensions is filled from the table's precomputed sums instead of the
+// live friend walk — bit-identical by construction, since the table was
+// accumulated by the same accumFriendPairSums loop. The imputed vector
+// is appended to dst[:0] (pass nil to allocate a fresh, caller-owned
+// vector) and returned, possibly regrown. topFriends is the
 // core-structure size (the paper uses the top-3 most-interacting friends
 // on each side); when fewer friends exist the average runs over the pairs
 // that do (the natural generalization of Eqn 18's fixed /9).
-func (sc *imputeScratch) imputePairInto(dst linalg.Vector, src Source, fr friendResolver,
+func (sc *imputeScratch) imputePairInto(dst linalg.Vector, src Source, res imputeResolver, tbl *ImputeTable,
 	pa platform.ID, a int, pb platform.ID, b int, v Variant, topFriends int) (linalg.Vector, error) {
 
 	pv, err := src.RawPair(pa, a, pb, b)
@@ -97,11 +123,25 @@ func (sc *imputeScratch) imputePairInto(dst linalg.Vector, src Source, fr friend
 	if topFriends <= 0 {
 		topFriends = DefaultTopFriends
 	}
-	friendsA, err := fr.resolveFriends(pa, a, topFriends)
+	if tbl != nil && tbl.k == topFriends && tbl.dim == len(x) {
+		if sums, count, ok := tbl.lookup(pa, a, pb, b); ok {
+			// count 0 is the recorded "no social context" verdict: the
+			// missing dimensions stay zero, as the live path leaves them.
+			if count != 0 {
+				for d := range x {
+					if !pv.Mask[d] {
+						x[d] = sums[d] / count
+					}
+				}
+			}
+			return x, nil
+		}
+	}
+	friendsA, err := res.resolveFriends(pa, a, topFriends)
 	if err != nil {
 		return nil, err
 	}
-	friendsB, err := fr.resolveFriends(pb, b, topFriends)
+	friendsB, err := res.resolveFriends(pb, b, topFriends)
 	if err != nil {
 		return nil, err
 	}
@@ -118,18 +158,8 @@ func (sc *imputeScratch) imputePairInto(dst linalg.Vector, src Source, fr friend
 	}
 	sc.sums = sums
 	count := float64(len(friendsA) * len(friendsB))
-	for _, fa := range friendsA {
-		for _, fb := range friendsB {
-			fpv, err := src.RawPair(pa, fa.ID, pb, fb.ID)
-			if err != nil {
-				return nil, err
-			}
-			for d := range sums {
-				if fpv.Mask[d] {
-					sums[d] += fpv.X[d]
-				}
-			}
-		}
+	if err := accumFriendPairSums(sums, res, pa, friendsA, pb, friendsB); err != nil {
+		return nil, err
 	}
 	for d := range x {
 		if !pv.Mask[d] {
@@ -140,11 +170,12 @@ func (sc *imputeScratch) imputePairInto(dst linalg.Vector, src Source, fr friend
 }
 
 // imputePair is the one-shot, allocating form of imputePairInto — the
-// Impute implementation behind both Source halves.
-func imputePair(src Source, pa platform.ID, a int, pb platform.ID, b int,
+// Impute implementation behind both Source halves (the Store passes its
+// attached table, the System nil).
+func imputePair(src Source, tbl *ImputeTable, pa platform.ID, a int, pb platform.ID, b int,
 	v Variant, topFriends int) (linalg.Vector, error) {
 	var sc imputeScratch
-	return sc.imputePairInto(nil, src, sourceFriends{src}, pa, a, pb, b, v, topFriends)
+	return sc.imputePairInto(nil, src, sourceResolver{src}, tbl, pa, a, pb, b, v, topFriends)
 }
 
 // checkPairRange validates a pair's local account ids against the view

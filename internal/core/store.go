@@ -38,6 +38,11 @@ type Store struct {
 	// else fail here, loudly, instead of scoring a zeroed view.
 	present map[platform.ID][]bool
 	pairs   pairCache
+	// tbl is the optional pack-time Eqn-18 table attached at restore
+	// time (before any queries, so the field needs no locking); see
+	// imputetable.go. Impute consults it first and the Model adopts it
+	// through the imputeTableCarrier upgrade in prepareServing.
+	tbl *ImputeTable
 }
 
 var _ Source = (*Store)(nil)
@@ -150,11 +155,21 @@ func (st *Store) RawPair(pa platform.ID, a int, pb platform.ID, b int) (features
 	return pv, nil
 }
 
+// SetImputeTable attaches a pack-time Eqn-18 table (the bundle restore
+// path). Must be called before any queries — the store is otherwise
+// immutable and the field is read without locking.
+func (st *Store) SetImputeTable(t *ImputeTable) { st.tbl = t }
+
+// ImputeTable returns the attached table, nil without one — the
+// imputeTableCarrier upgrade Model.prepareServing probes for.
+func (st *Store) ImputeTable() *ImputeTable { return st.tbl }
+
 // Impute returns the pair vector with missing dimensions filled according
-// to the variant, resolving friends from the snapshot's adjacency slices
-// (see imputePairInto for the shared Eqn-18 implementation).
+// to the variant, consulting the pack-time table first and otherwise
+// resolving friends from the snapshot's adjacency slices (see
+// imputePairInto for the shared Eqn-18 implementation).
 func (st *Store) Impute(pa platform.ID, a int, pb platform.ID, b int, v Variant, topFriends int) (linalg.Vector, error) {
-	return imputePair(st, pa, a, pb, b, v, topFriends)
+	return imputePair(st, st.tbl, pa, a, pb, b, v, topFriends)
 }
 
 // Friends returns the top-k prefix of an account's persisted friend
@@ -187,3 +202,7 @@ func (st *Store) LimitPairCache(n int) { st.pairs.limit(n) }
 
 // CacheSize reports the number of cached pair vectors (diagnostics).
 func (st *Store) CacheSize() int { return st.pairs.size() }
+
+// PairCacheStats reports the pair-cache hit/miss counters since process
+// start (imputation health for /metrics).
+func (st *Store) PairCacheStats() (hits, misses uint64) { return st.pairs.stats() }

@@ -160,7 +160,7 @@ func (s *System) LimitPairCache(n int) { s.pairs.limit(n) }
 // to the variant, resolving friends through the live interaction graph
 // (see imputePairInto for the shared Eqn-18 implementation).
 func (s *System) Impute(pa platform.ID, a int, pb platform.ID, b int, v Variant, topFriends int) (linalg.Vector, error) {
-	return imputePair(s, pa, a, pb, b, v, topFriends)
+	return imputePair(s, nil, pa, a, pb, b, v, topFriends)
 }
 
 // Friends reads the top-k most-interacting friends off the dataset's
@@ -175,6 +175,10 @@ func (s *System) Friends(id platform.ID, local, k int) ([]graph.Friend, error) {
 
 // CacheSize reports the number of cached pair vectors (diagnostics).
 func (s *System) CacheSize() int { return s.pairs.size() }
+
+// PairCacheStats reports the pair-cache hit/miss counters since process
+// start (imputation health for /metrics).
+func (s *System) PairCacheStats() (hits, misses uint64) { return s.pairs.stats() }
 
 // LabeledProfilePairs assembles attribute-importance training pairs from
 // ground truth: for the given persons, the true cross-platform profile pair

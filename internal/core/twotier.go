@@ -10,6 +10,14 @@ package core
 // by construction — imputation is a pure per-pair function, so the
 // retained row IS the row a fresh ScoreBatchInto would rebuild, and the
 // kernel fold below runs the identical float sequence on it.
+//
+// With the fold memo (see foldCache) the lease goes one step further:
+// a candidate whose fold value is already memoized is not imputed at
+// BeginTwoTier at all — its leased row stays unmaterialized until an
+// exact rescore chunk actually needs it, and the pruned majority never
+// pays imputation again. ScoreSubset materializes on demand through the
+// same imputeBatch, so the rows (and with them every served score) stay
+// bit-identical to the eager path's.
 
 import (
 	"fmt"
@@ -22,22 +30,29 @@ import (
 
 // TwoTier is a leased two-tier scoring batch: the pairs' imputed
 // feature rows, held on pooled scratch from BeginTwoTier until End, so
-// the exact rescore of any candidate subset skips re-imputation. The
-// zero value is inert; a value is only usable between a successful
-// BeginTwoTier and the matching End.
+// the exact rescore of any candidate subset skips re-imputation. Rows
+// whose fold value came from the memo are materialized lazily by
+// ScoreSubset. The zero value is inert; a value is only usable between
+// a successful BeginTwoTier and the matching End.
 type TwoTier struct {
-	m    *Model
-	sc   *scoreScratch
-	rows []linalg.Vector
+	m      *Model
+	sc     *scoreScratch
+	rows   []linalg.Vector
+	rowOK  []bool
+	pa, pb platform.ID
+	pairs  [][2]int
 }
 
-// BeginTwoTier imputes the batch once, folds the approximate prescreen
-// scores into pre (len(pre) must equal len(pairs)), and parks the
-// imputed rows in t for exact subset rescoring. The prescreen values
-// obey the same contract as PrescreenBatchInto: bit-identical at any
-// worker count, bounded by ε only in the certified sense, never served.
-// Every successful call must be paired with t.End(), which returns the
-// lease to the model's scratch pool.
+// BeginTwoTier fills pre (len(pre) must equal len(pairs)) with the
+// approximate prescreen score of every pair and parks the batch's
+// imputed rows in t for exact subset rescoring. Pairs with a memoized
+// fold value are answered from the memo without imputing; only the
+// misses pay one impute pass plus the fold, and their values join the
+// memo. The prescreen values obey the same contract as
+// PrescreenBatchInto: bit-identical at any worker count, bounded by ε
+// only in the certified sense, never served. Every successful call must
+// be paired with t.End(), which returns the lease to the model's
+// scratch pool.
 func (m *Model) BeginTwoTier(t *TwoTier, pa platform.ID, pb platform.ID, pairs [][2]int, workers int, pre []float64) error {
 	if m.pre == nil {
 		return fmt.Errorf("core: model has no prescreen attached")
@@ -48,31 +63,74 @@ func (m *Model) BeginTwoTier(t *TwoTier, pa platform.ID, pb platform.ID, pairs [
 	n := len(pairs)
 	sc := m.getScratch()
 	rows := sc.ensureRows(n)
-	if err := m.imputeBatch(sc, rows, pa, pb, pairs, workers); err != nil {
-		m.scratch.Put(sc)
-		return err
-	}
-	ps, bias := m.pre, m.bias
-	if w := parallel.Workers(workers); w == 1 || n <= 1 {
-		for i := 0; i < n; i++ {
-			pre[i] = ps.score(rows[i], bias)
+	rowOK := sc.ensureRowOK(n)
+	ps := m.pre
+	fc := &ps.cache
+	miss := sc.miss[:0]
+	fc.mu.Lock()
+	for i, p := range pairs {
+		v, hit := fc.m[pairKey{pa, pb, p[0], p[1]}]
+		rowOK[i] = false
+		if hit {
+			pre[i] = v
+		} else {
+			miss = append(miss, i)
 		}
-	} else {
-		parallel.For(workers, n, func(i int) {
-			pre[i] = ps.score(rows[i], bias)
-		})
 	}
-	t.m, t.sc, t.rows = m, sc, rows
+	fc.mu.Unlock()
+	sc.miss = miss
+	fc.hits.Add(uint64(n - len(miss)))
+	fc.misses.Add(uint64(len(miss)))
+
+	if len(miss) > 0 {
+		mp := sc.ensureMissPairs(len(miss))
+		mr := sc.ensureMissRows(len(miss))
+		for j, i := range miss {
+			mp[j] = pairs[i]
+			mr[j] = rows[i]
+		}
+		if err := m.imputeBatch(sc, mr, pa, pb, mp, workers); err != nil {
+			m.scratch.Put(sc)
+			return err
+		}
+		for j, i := range miss {
+			rows[i] = mr[j]
+			rowOK[i] = true
+		}
+		bias := m.bias
+		if w := parallel.Workers(workers); w == 1 || len(miss) <= 1 {
+			for _, i := range miss {
+				pre[i] = ps.score(rows[i], bias)
+			}
+		} else {
+			parallel.For(workers, len(miss), func(j int) {
+				i := miss[j]
+				pre[i] = ps.score(rows[i], bias)
+			})
+		}
+		fc.mu.Lock()
+		if fc.m == nil {
+			fc.m = make(map[pairKey]float64, 1024)
+		}
+		fc.evictLocked(len(miss))
+		for _, i := range miss {
+			fc.m[pairKey{pa, pb, pairs[i][0], pairs[i][1]}] = pre[i]
+		}
+		fc.mu.Unlock()
+	}
+	t.m, t.sc, t.rows, t.rowOK = m, sc, rows, rowOK
+	t.pa, t.pb, t.pairs = pa, pb, pairs
 	return nil
 }
 
 // ScoreSubset exactly scores the leased rows idx (indices into the
-// BeginTwoTier batch) into out, len(out) = len(idx). It runs the same
-// blocked kernel pass and α/bias fold as ScoreBatchInto — and each
-// output slot depends only on its own row, never on the batch around it
-// — so the values are bit-identical to what ScoreBatchInto would
-// return for those pairs, at any worker count and any chunking. These
-// ARE the served scores.
+// BeginTwoTier batch) into out, len(out) = len(idx), materializing any
+// rows the fold memo let BeginTwoTier skip. It runs the same blocked
+// kernel pass and α/bias fold as ScoreBatchInto — and each output slot
+// depends only on its own row, never on the batch around it — so the
+// values are bit-identical to what ScoreBatchInto would return for
+// those pairs, at any worker count and any chunking. These ARE the
+// served scores.
 func (t *TwoTier) ScoreSubset(idx []int, workers int, out []float64) error {
 	if t.sc == nil {
 		return fmt.Errorf("core: ScoreSubset outside a BeginTwoTier lease")
@@ -85,11 +143,33 @@ func (t *TwoTier) ScoreSubset(idx []int, workers int, out []float64) error {
 		return nil
 	}
 	m := t.m
-	sub := t.sc.ensureSub(n)
-	for i, id := range idx {
+	miss := t.sc.miss[:0]
+	for _, id := range idx {
 		if id < 0 || id >= len(t.rows) {
 			return fmt.Errorf("core: ScoreSubset row %d outside the leased batch of %d", id, len(t.rows))
 		}
+		if !t.rowOK[id] {
+			miss = append(miss, id)
+		}
+	}
+	t.sc.miss = miss
+	if len(miss) > 0 {
+		mp := t.sc.ensureMissPairs(len(miss))
+		mr := t.sc.ensureMissRows(len(miss))
+		for j, id := range miss {
+			mp[j] = t.pairs[id]
+			mr[j] = t.rows[id]
+		}
+		if err := m.imputeBatch(t.sc, mr, t.pa, t.pb, mp, workers); err != nil {
+			return err
+		}
+		for j, id := range miss {
+			t.rows[id] = mr[j]
+			t.rowOK[id] = true
+		}
+	}
+	sub := t.sc.ensureSub(n)
+	for i, id := range idx {
 		sub[i] = t.rows[id]
 	}
 	km := t.sc.ensureKmat(len(m.svXs), n)
@@ -112,5 +192,5 @@ func (t *TwoTier) End() {
 	if t.sc != nil {
 		t.m.scratch.Put(t.sc)
 	}
-	t.m, t.sc, t.rows = nil, nil, nil
+	t.m, t.sc, t.rows, t.rowOK, t.pairs = nil, nil, nil, nil, nil
 }

@@ -65,6 +65,12 @@ type Metrics struct {
 	preBuckets     []atomic.Uint64
 	shardMu        sync.Mutex
 	shardPrescreen map[string]ShardPrescreen
+
+	// Imputation telemetry (see impute.go): a pull-style snapshot
+	// source evaluated per scrape on the serve side, per-shard gauges
+	// fed by the router's health scrapes.
+	imputeSource func() ImputeStats
+	shardImpute  map[string]ImputeStats
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -138,6 +144,7 @@ func (m *Metrics) Render(w io.Writer) {
 	m.mu.RUnlock()
 
 	m.renderPrescreen(w)
+	m.renderImpute(w)
 }
 
 // formatBound renders a bucket bound the way Prometheus expects

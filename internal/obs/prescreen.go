@@ -47,13 +47,15 @@ func (m *Metrics) ObservePrescreenSkipped() {
 // ShardPrescreen is one shard's prescreen health as scraped from its
 // /healthz by the router.
 type ShardPrescreen struct {
-	Enabled   bool
-	Features  int
-	Eps       float64
-	Queries   uint64
-	Survivors uint64
-	Pruned    uint64
-	Skipped   uint64
+	Enabled    bool
+	Features   int
+	Eps        float64
+	Queries    uint64
+	Survivors  uint64
+	Pruned     uint64
+	Skipped    uint64
+	FoldHits   uint64
+	FoldMisses uint64
 }
 
 // SetShardPrescreen publishes a shard's latest prescreen health
@@ -106,6 +108,8 @@ func (m *Metrics) renderPrescreen(w io.Writer) {
 			fmt.Fprintf(w, "hydra_shard_prescreen{shard=%q,stat=\"survivors\"} %d\n", name, s.Survivors)
 			fmt.Fprintf(w, "hydra_shard_prescreen{shard=%q,stat=\"pruned\"} %d\n", name, s.Pruned)
 			fmt.Fprintf(w, "hydra_shard_prescreen{shard=%q,stat=\"skipped\"} %d\n", name, s.Skipped)
+			fmt.Fprintf(w, "hydra_shard_prescreen{shard=%q,stat=\"fold_hits\"} %d\n", name, s.FoldHits)
+			fmt.Fprintf(w, "hydra_shard_prescreen{shard=%q,stat=\"fold_misses\"} %d\n", name, s.FoldMisses)
 		}
 	}
 	m.shardMu.Unlock()

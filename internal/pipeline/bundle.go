@@ -83,6 +83,15 @@ type Bundle struct {
 	// either way the served bits are identical, only top-k work varies.
 	Prescreen *core.PrescreenParts `json:"prescreen,omitempty"`
 
+	// ImputeTable is the optional pack-time Eqn-18 table (see
+	// core.BuildImputeTable): the precomputed friend-pair sums of every
+	// index-shard candidate with missing dimensions, keyed at the
+	// model's resolved TopFriends. nil — older bundles, HYDRA-Z models,
+	// the `-impute-table=off` pack flag, or the legacy v2 encoding,
+	// which drops it — means live imputation; the served bits are
+	// identical either way, only per-candidate work varies.
+	ImputeTable *core.ImputeTableParts `json:"impute_table,omitempty"`
+
 	// Serving surface: the indexed platform pairs and the prebuilt
 	// candidate indexes (one per pair, in Pairs order, deduplicated).
 	// Each index carries the blocking rules it was filtered with, so
@@ -201,7 +210,45 @@ func packBundle(sys *core.System, ds *platform.Dataset, a *Artifact, workers int
 		}
 		b.Prescreen = ps
 	}
+	tbl, err := BuildBundleImputeTable(b, workers)
+	if err != nil {
+		return nil, err
+	}
+	b.ImputeTable = tbl
 	return b, nil
+}
+
+// BuildBundleImputeTable computes the pack-time Eqn-18 table over the
+// bundle's current index shards — every candidate pair the indexes can
+// present, imputed through the bundle's own restored Store so the
+// recorded sums are exactly what a serving store would compute live.
+// Exposed (rather than private to packBundle) so tooling that rewrites
+// a bundle's indexes — the bench harness widens them to the full cross
+// product — can rebuild the table to match. Returns nil for HYDRA-Z
+// models (zero-filled imputation never reads friends) and models
+// without support vectors; bit-identical output at any worker count.
+func BuildBundleImputeTable(b *Bundle, workers int) (*core.ImputeTableParts, error) {
+	if b.Model.Cfg.Variant != core.HydraM || len(b.Model.Xs) == 0 {
+		return nil, nil
+	}
+	c := *b
+	c.ImputeTable = nil // accumulate through the live path, never an older table
+	st, err := c.Store()
+	if err != nil {
+		return nil, err
+	}
+	dim := len(b.Model.Xs[0])
+	inputs := make([]core.ImputeTableInput, 0, len(b.Indexes))
+	for _, ix := range b.Indexes {
+		in := core.ImputeTableInput{PA: ix.PA, PB: ix.PB}
+		for _, row := range ix.ByA {
+			for _, cand := range row {
+				in.Pairs = append(in.Pairs, [2]int{cand.A, cand.B})
+			}
+		}
+		inputs = append(inputs, in)
+	}
+	return core.BuildImputeTable(st, b.FriendsK, dim, workers, inputs)
 }
 
 // prescreenSamplePairs caps, per serving platform pair, how many pairs
@@ -307,6 +354,13 @@ func (b *Bundle) Store() (*core.Store, error) {
 	if present := b.PresentViews(); present != nil {
 		st.Restrict(present)
 	}
+	if b.ImputeTable != nil {
+		tbl, err := core.ImputeTableFromParts(b.ImputeTable)
+		if err != nil {
+			return nil, err
+		}
+		st.SetImputeTable(tbl)
+	}
 	return st, nil
 }
 
@@ -321,13 +375,15 @@ func WriteBundle(w io.Writer, b *Bundle) error {
 	case BundleVersion:
 		return writeBundleV3(w, b)
 	case BundleVersionJSON:
-		if b.Prescreen != nil {
-			// The legacy JSON format predates the prescreen; strip it
-			// (on a copy — the caller's bundle is not ours to edit) so
-			// v2 bytes stay exactly what v2-era readers were pinned on.
-			// A v2-restored engine simply serves exact-only.
+		if b.Prescreen != nil || b.ImputeTable != nil {
+			// The legacy JSON format predates the prescreen and the
+			// impute table; strip both (on a copy — the caller's bundle
+			// is not ours to edit) so v2 bytes stay exactly what v2-era
+			// readers were pinned on. A v2-restored engine serves
+			// exact-only with live imputation — same bits, more work.
 			c := *b
 			c.Prescreen = nil
+			c.ImputeTable = nil
 			b = &c
 		}
 		return json.NewEncoder(w).Encode(b)

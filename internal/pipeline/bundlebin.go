@@ -73,6 +73,13 @@ type bundleHeaderV3 struct {
 	// serves exact-only, so old bundles decode unchanged.
 	Prescreen *prescreenMetaV3 `json:"prescreen,omitempty"`
 
+	// ImputeTable announces the optional trailing impute-table section
+	// (its scalars here, its ids/counts/sums there), after the prescreen
+	// section when both are present. Omitted means no such section
+	// follows and the engine imputes live, so old bundles decode
+	// unchanged.
+	ImputeTable *imputeTableMetaV3 `json:"impute_table,omitempty"`
+
 	WorldPersons     int    `json:"world_persons"`
 	WorldFingerprint string `json:"world_fingerprint"`
 }
@@ -88,6 +95,22 @@ type prescreenMetaV3 struct {
 	EpsRaw   float64 `json:"eps_raw"`
 	Safety   float64 `json:"safety"`
 	Eps      float64 `json:"eps"`
+}
+
+// imputeTableMetaV3 is a core.ImputeTableParts minus its id, count and
+// sum arrays, which live in the impute-table section. Entries pins each
+// platform pair's entry count so a truncated section fails shape checks
+// at load time.
+type imputeTableMetaV3 struct {
+	K     int                     `json:"k"`
+	Dim   int                     `json:"dim"`
+	Pairs []imputeTablePairMetaV3 `json:"pairs"`
+}
+
+type imputeTablePairMetaV3 struct {
+	PA      platform.ID `json:"pa"`
+	PB      platform.ID `json:"pb"`
+	Entries int         `json:"entries"`
 }
 
 // viewMetaV3 is the stringly half of a features.ViewParts; the numeric
@@ -157,6 +180,16 @@ func writeBundleV3(w io.Writer, b *Bundle) error {
 			Sigma: p.Sigma, EpsRaw: p.EpsRaw, Safety: p.Safety, Eps: p.Eps,
 		}
 	}
+	if t := b.ImputeTable; t != nil {
+		meta := &imputeTableMetaV3{K: t.K, Dim: t.Dim}
+		for i := range t.Pairs {
+			pp := &t.Pairs[i]
+			meta.Pairs = append(meta.Pairs, imputeTablePairMetaV3{
+				PA: pp.PA, PB: pp.PB, Entries: len(pp.A),
+			})
+		}
+		header.ImputeTable = meta
+	}
 	headerJSON, err := json.Marshal(header)
 	if err != nil {
 		return fmt.Errorf("pipeline: encode v3 header: %w", err)
@@ -212,6 +245,19 @@ func writeBundleV3(w io.Writer, b *Bundle) error {
 		prescreen.putVec(p.C)
 		prescreen.putVec(p.V)
 		secs = append(secs, &prescreen)
+	}
+	if t := b.ImputeTable; t != nil {
+		// The impute-table section trails the prescreen (when present) in
+		// fixed order, announced by the header like the prescreen is.
+		var table binSection
+		for i := range t.Pairs {
+			pp := &t.Pairs[i]
+			table.putI32s(pp.A)
+			table.putI32s(pp.B)
+			table.putVec(pp.Counts)
+			table.putVec(pp.Sums)
+		}
+		secs = append(secs, &table)
 	}
 	for _, sec := range secs {
 		if sec.err != nil {
@@ -346,6 +392,28 @@ func readBundleV3(r io.Reader) (*Bundle, error) {
 		}
 		secList = append(secList, prescreen)
 	}
+	if ht := header.ImputeTable; ht != nil {
+		p, err := readBlock("impute-table section")
+		if err != nil {
+			return nil, err
+		}
+		table := &binSection{buf: p}
+		t := &core.ImputeTableParts{K: ht.K, Dim: ht.Dim}
+		for _, pm := range ht.Pairs {
+			pp := core.ImputeTablePairParts{
+				PA: pm.PA, PB: pm.PB,
+				A: table.i32s(), B: table.i32s(),
+				Counts: table.vec(), Sums: table.vec(),
+			}
+			if table.err == nil && len(pp.A) != pm.Entries {
+				return nil, fmt.Errorf("pipeline: v3 impute-table section has %d entries for %s/%s, header lists %d",
+					len(pp.A), pm.PA, pm.PB, pm.Entries)
+			}
+			t.Pairs = append(t.Pairs, pp)
+		}
+		b.ImputeTable = t
+		secList = append(secList, table)
+	}
 	for i, sec := range secList {
 		if sec.err != nil {
 			return nil, fmt.Errorf("pipeline: decode v3 section %d: %w", i, sec.err)
@@ -359,6 +427,13 @@ func readBundleV3(r io.Reader) (*Bundle, error) {
 		// a truncated or hand-edited prescreen fails at load time rather
 		// than mis-pruning a top-k later.
 		if err := b.Prescreen.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if b.ImputeTable != nil {
+		// Same load-time shape check for the impute table, so corruption
+		// fails here instead of mis-filling a feature vector later.
+		if err := b.ImputeTable.Validate(); err != nil {
 			return nil, err
 		}
 	}
@@ -448,6 +523,19 @@ func (s *binSection) putFriends(fs []graph.Friend) {
 	for _, f := range fs {
 		s.putI64(int64(f.ID))
 		s.putF64(f.Weight)
+	}
+}
+
+// putI32s writes non-negative int32 ids as u32s (the id width the index
+// section already commits to), presence-prefixed like every slice.
+func (s *binSection) putI32s(vs []int32) {
+	s.putLen(len(vs), vs == nil)
+	for _, v := range vs {
+		if v < 0 {
+			s.fail(fmt.Errorf("account id %d out of the u32 range the impute-table section encodes", v))
+			return
+		}
+		s.putU32(uint32(v))
 	}
 }
 
@@ -591,6 +679,18 @@ func (s *binSection) friends() []graph.Friend {
 		fs[i] = graph.Friend{ID: int(s.i64()), Weight: s.f64()}
 	}
 	return fs
+}
+
+func (s *binSection) i32s() []int32 {
+	n, ok := s.sliceLen()
+	if !ok || s.err != nil {
+		return nil
+	}
+	vs := make([]int32, n)
+	for i := range vs {
+		vs[i] = int32(s.u32())
+	}
+	return vs
 }
 
 func (s *binSection) shards() [][]blocking.Candidate {

@@ -29,6 +29,7 @@ import (
 	"sort"
 
 	"hydra/internal/blocking"
+	"hydra/internal/core"
 	"hydra/internal/features"
 	"hydra/internal/graph"
 	"hydra/internal/platform"
@@ -236,6 +237,14 @@ func SplitBundle(b *Bundle, count int, seed, generation uint64) ([]*Bundle, erro
 			sb.Indexes = append(sb.Indexes, ix.RestrictB(func(bb int) bool {
 				return desc.Owns(ix.PB, bb)
 			}))
+		}
+		if b.ImputeTable != nil {
+			// The table is keyed by candidate pair, so it shards exactly
+			// as the index rows do: keep an entry iff this shard owns its
+			// B-side account. The sums themselves stay valid verbatim —
+			// they depend only on the pair and the friend closure, which
+			// travels with the owner.
+			sb.ImputeTable = core.RestrictImputeTable(b.ImputeTable, desc.Owns)
 		}
 		out[i] = &sb
 	}

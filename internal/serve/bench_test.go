@@ -64,6 +64,40 @@ func BenchmarkServeTopK(b *testing.B) {
 	}
 }
 
+// BenchmarkServeTopKImputeTableOn / ...Off price the pack-time Eqn-18
+// table on the same top-k stream: identical engines from the same
+// bundle, one with the table consulted and one with the
+// -impute-table=off escape hatch, so the delta is exactly the cost of
+// re-deriving friend-pair sums live per scored pair with missing dims.
+func BenchmarkServeTopKImputeTableOn(b *testing.B) {
+	benchTopKImputeTable(b, true)
+}
+
+func BenchmarkServeTopKImputeTableOff(b *testing.B) {
+	benchTopKImputeTable(b, false)
+}
+
+func benchTopKImputeTable(b *testing.B, on bool) {
+	e, pairs := benchEnv(b)
+	if !e.beng.Model.HasImputeTable() {
+		b.Fatal("fixture bundle carries no impute table")
+	}
+	eng, err := NewEngineFromBundle(e.bundle, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.SetImputeTableEnabled(on)
+	var dst []Scored
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := pairs[i%len(pairs)][0]
+		if dst, err = eng.TopKAppend(dst[:0], platform.Twitter, a, platform.Facebook, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkServeBatch measures batched score throughput over the whole
 // candidate set (pairs/op = len(pairs)) into a reused output slice.
 func BenchmarkServeBatch(b *testing.B) {

@@ -64,6 +64,9 @@ func HandlerFor(src EngineSource) http.Handler {
 		if ph := eng.PrescreenHealth(); ph != nil {
 			resp["prescreen"] = ph
 		}
+		// Imputation telemetry rides along the same way: table and
+		// pair-cache hit rates, never a query response.
+		resp["impute"] = eng.ImputeHealth()
 		writeJSON(w, resp)
 	})
 	mux.HandleFunc("/score", handleScore(src, false))

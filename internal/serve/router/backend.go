@@ -28,6 +28,9 @@ type Health struct {
 	// bundle carries no prescreen) — scraped into per-shard gauges on
 	// the router's /metrics.
 	Prescreen *serve.PrescreenHealth `json:"prescreen,omitempty"`
+	// Impute is the shard's imputation-layer telemetry (pack-time table
+	// and pair-cache hit rates), scraped the same way.
+	Impute *serve.ImputeHealth `json:"impute,omitempty"`
 }
 
 // Backend is one shard replica the router can fan a query out to. Both
@@ -40,6 +43,16 @@ type Backend interface {
 	Health(ctx context.Context) (Health, error)
 	ScoreBatch(ctx context.Context, pa, pb platform.ID, pairs [][2]int) ([]float64, uint64, error)
 	TopK(ctx context.Context, pa platform.ID, a int, pb platform.ID, k int) ([]serve.Scored, uint64, error)
+}
+
+// TopKAppender is the allocation-free upgrade of Backend.TopK: results
+// append into a caller-recycled buffer instead of a fresh slice. Only
+// in-process backends implement it — the call is synchronous and never
+// blocks on I/O, so the router also skips the per-attempt timeout
+// context (and its allocations) for these; context cancellation is
+// still honored between failover attempts.
+type TopKAppender interface {
+	TopKAppend(ctx context.Context, dst []serve.Scored, pa platform.ID, a int, pb platform.ID, k int) ([]serve.Scored, uint64, error)
 }
 
 // queryError marks an error as belonging to the query itself (bad
@@ -78,7 +91,8 @@ func (l *Local) Name() string {
 
 func (l *Local) Health(ctx context.Context) (Health, error) {
 	eng, gen := l.Src.Current()
-	return Health{OK: true, Generation: gen, Shard: eng.ShardDesc(), Pairs: eng.Pairs(), Prescreen: eng.PrescreenHealth()}, nil
+	return Health{OK: true, Generation: gen, Shard: eng.ShardDesc(), Pairs: eng.Pairs(),
+		Prescreen: eng.PrescreenHealth(), Impute: eng.ImputeHealth()}, nil
 }
 
 func (l *Local) ScoreBatch(ctx context.Context, pa, pb platform.ID, pairs [][2]int) ([]float64, uint64, error) {
@@ -91,10 +105,16 @@ func (l *Local) ScoreBatch(ctx context.Context, pa, pb platform.ID, pairs [][2]i
 }
 
 func (l *Local) TopK(ctx context.Context, pa platform.ID, a int, pb platform.ID, k int) ([]serve.Scored, uint64, error) {
+	return l.TopKAppend(ctx, nil, pa, a, pb, k)
+}
+
+// TopKAppend implements TopKAppender: the engine's own append form does
+// the work, so a warm query with a recycled dst allocates nothing.
+func (l *Local) TopKAppend(ctx context.Context, dst []serve.Scored, pa platform.ID, a int, pb platform.ID, k int) ([]serve.Scored, uint64, error) {
 	eng, gen := l.Src.Current()
-	res, err := eng.TopK(pa, a, pb, k)
+	res, err := eng.TopKAppend(dst, pa, a, pb, k)
 	if err != nil {
-		return nil, gen, queryError{err}
+		return res, gen, queryError{err}
 	}
 	return res, gen, nil
 }

@@ -69,6 +69,10 @@ type Router struct {
 	// on every query.
 	pref []atomic.Int32
 
+	// gather pools the top-k scatter/merge state (see topkGather) so the
+	// warm fan-out path allocates nothing.
+	gather sync.Pool
+
 	// healthObs, when set (before serving; see SetHealthObserver), is
 	// invoked with every successful per-shard health probe — the hook
 	// cmd/hydra-router uses to publish per-shard prescreen gauges.
@@ -348,57 +352,143 @@ type TopKResult struct {
 	FailedShards []int `json:"failed_shards,omitempty"`
 }
 
-// TopK returns account a's k best-scoring B-side candidates across the
-// whole sharded candidate space: every live shard ranks its own slice
-// and the router merges the heaps with the engine's exact (score desc,
-// B asc) tie-break — bit-identical to a single engine over the unsplit
-// bundle when all shards answer. k ≤ 0 returns the full merged ranking.
-// One bundle generation answers the whole fan-out: a scatter straddling
-// a hot swap is re-fanned-out, and if generations still differ (a
-// rolling swap in progress), the answer comes from the newest-generation
-// shards alone, with the stale ones flagged in FailedShards — a response
-// never mixes generations. A shard that stays down after replica
-// failover likewise makes the response Degraded instead of an error.
-func (r *Router) TopK(ctx context.Context, pa platform.ID, a int, pb platform.ID, k int) (TopKResult, error) {
-	type shardAnswer struct {
-		res []serve.Scored
-		gen uint64
-		err error
-	}
-	for attempt := 0; ; attempt++ {
-		answers := make([]shardAnswer, len(r.shards))
-		var wg sync.WaitGroup
-		for si := range r.shards {
-			wg.Add(1)
-			go func(si int) {
-				defer wg.Done()
-				answers[si].err = r.callShard(ctx, si, func(cctx context.Context, b Backend) error {
-					res, gen, err := b.TopK(cctx, pa, a, pb, k)
-					if err != nil {
-						return err
-					}
-					answers[si].res, answers[si].gen = res, gen
-					r.noteGen(si, gen)
-					return nil
-				})
-			}(si)
+// topkJob is one shard's slot in a pooled top-k fan-out: the query, the
+// shard's reusable answer buffer, and the outcome. Jobs run as a plain
+// method goroutine (go r.runTopKJob(&jobs[si])) so the scatter spawns
+// no closures.
+type topkJob struct {
+	ctx   context.Context
+	owner *topkGather // the gather whose WaitGroup the job signals
+	pa    platform.ID
+	pb    platform.ID
+	a     int
+	k     int
+	si    int
+	res   []serve.Scored // reused across queries; only its storage persists
+	gen   uint64
+	err   error
+}
+
+// topkGather is the pooled scatter/merge state of one top-k fan-out:
+// per-shard job slots (each keeping its answer buffer), the generation
+// list, and a reusable sorter over the merged rows. One gather serves
+// one query at a time; the pool recycles them across queries so the
+// warm scatter-gather path allocates nothing.
+type topkGather struct {
+	jobs   []topkJob
+	wg     sync.WaitGroup
+	gens   []uint64
+	sorter mergeSorter
+}
+
+// mergeSorter sorts the merged rows by the engine's exact (score
+// descending, B ascending) order — a pooled sort.Interface, because a
+// sort.Slice closure would allocate on every query.
+type mergeSorter struct{ s []serve.Scored }
+
+func (ms *mergeSorter) Len() int           { return len(ms.s) }
+func (ms *mergeSorter) Swap(i, j int)      { ms.s[i], ms.s[j] = ms.s[j], ms.s[i] }
+func (ms *mergeSorter) Less(i, j int) bool { return serve.ScoredLess(ms.s[i], ms.s[j]) }
+
+// runTopKJob answers one shard's slice of a top-k fan-out, with the
+// same replica failover discipline as callShard (preferred replica
+// first, per-attempt timeout, opts.Rings passes, query errors
+// propagate immediately). It is inlined rather than routed through
+// callShard so the hot path carries no per-query closures: in-process
+// TopKAppender backends append into the job's recycled buffer and skip
+// the timeout context entirely (the call cannot block on I/O).
+func (r *Router) runTopKJob(j *topkJob) {
+	defer j.owner.wg.Done()
+	reps := r.shards[j.si]
+	start := int(r.pref[j.si].Load())
+	var lastErr error
+	for ring := 0; ring < r.opts.rings(); ring++ {
+		for i := 0; i < len(reps); i++ {
+			if j.ctx.Err() != nil {
+				j.err = fmt.Errorf("router: shard %d: %w", j.si, j.ctx.Err())
+				return
+			}
+			idx := (start + i) % len(reps)
+			b := reps[idx]
+			var err error
+			if ta, ok := b.(TopKAppender); ok {
+				j.res, j.gen, err = ta.TopKAppend(j.ctx, j.res[:0], j.pa, j.a, j.pb, j.k)
+			} else {
+				cctx, cancel := context.WithTimeout(j.ctx, r.opts.timeout())
+				var res []serve.Scored
+				res, j.gen, err = b.TopK(cctx, j.pa, j.a, j.pb, j.k)
+				cancel()
+				j.res = append(j.res[:0], res...)
+			}
+			if err == nil {
+				r.pref[j.si].Store(int32(idx))
+				r.noteGen(j.si, j.gen)
+				j.err = nil
+				return
+			}
+			if IsQueryError(err) {
+				j.err = err
+				return
+			}
+			lastErr = fmt.Errorf("%s: %w", b.Name(), err)
 		}
-		wg.Wait()
-		var gens []uint64
-		for _, ans := range answers {
-			if ans.err != nil {
-				if IsQueryError(ans.err) {
-					return TopKResult{}, ans.err
+	}
+	j.err = fmt.Errorf("router: shard %d down (%d replicas, %d rings): %w", j.si, len(reps), r.opts.rings(), lastErr)
+}
+
+// TopK returns account a's k best-scoring B-side candidates across the
+// whole sharded candidate space — TopKAppend with a fresh result slice.
+func (r *Router) TopK(ctx context.Context, pa platform.ID, a int, pb platform.ID, k int) (TopKResult, error) {
+	return r.TopKAppend(ctx, nil, pa, a, pb, k)
+}
+
+// TopKAppend is TopK appending the merged rows into dst (which may be
+// nil) — the allocation-free form the HTTP front-end recycles buffers
+// through. Every live shard ranks its own slice and the router merges
+// the heaps with the engine's exact (score desc, B asc) tie-break —
+// bit-identical to a single engine over the unsplit bundle when all
+// shards answer. k ≤ 0 returns the full merged ranking. One bundle
+// generation answers the whole fan-out: a scatter straddling a hot
+// swap is re-fanned-out, and if generations still differ (a rolling
+// swap in progress), the answer comes from the newest-generation
+// shards alone, with the stale ones flagged in FailedShards — a
+// response never mixes generations. A shard that stays down after
+// replica failover likewise makes the response Degraded instead of an
+// error. The scatter state (per-shard answer buffers, generation list,
+// merge sorter) comes from a pool, so a warm query with a recycled dst
+// allocates nothing on the all-shards-healthy path.
+func (r *Router) TopKAppend(ctx context.Context, dst []serve.Scored, pa platform.ID, a int, pb platform.ID, k int) (TopKResult, error) {
+	g, _ := r.gather.Get().(*topkGather)
+	if g == nil {
+		g = &topkGather{jobs: make([]topkJob, len(r.shards))}
+	}
+	defer r.gather.Put(g)
+	for attempt := 0; ; attempt++ {
+		jobs := g.jobs
+		g.wg.Add(len(jobs))
+		for si := range jobs {
+			j := &jobs[si]
+			j.ctx, j.pa, j.a, j.pb, j.k, j.si = ctx, pa, a, pb, k, si
+			j.owner = g
+			go r.runTopKJob(j)
+		}
+		g.wg.Wait()
+		gens := g.gens[:0]
+		for i := range jobs {
+			if jobs[i].err != nil {
+				if IsQueryError(jobs[i].err) {
+					return TopKResult{}, jobs[i].err
 				}
 				continue
 			}
-			gens = append(gens, ans.gen)
+			gens = append(gens, jobs[i].gen)
 		}
+		g.gens = gens
 		if len(gens) == 0 {
 			var firstErr error
-			for _, ans := range answers {
-				if ans.err != nil {
-					firstErr = ans.err
+			for i := range jobs {
+				if jobs[i].err != nil {
+					firstErr = jobs[i].err
 					break
 				}
 			}
@@ -410,23 +500,23 @@ func (r *Router) TopK(ctx context.Context, pa platform.ID, a int, pb platform.ID
 		// Merge the newest generation's answers; anything older (a rolling
 		// swap's stragglers) degrades rather than mixes.
 		target := gens[0]
-		for _, g := range gens {
-			if g > target {
-				target = g
+		for _, gen := range gens {
+			if gen > target {
+				target = gen
 			}
 		}
-		var (
-			merged []serve.Scored
-			failed []int
-		)
-		for si, ans := range answers {
-			if ans.err != nil || ans.gen != target {
+		merged := dst[:0]
+		var failed []int // allocated only on the degraded path
+		for si := range jobs {
+			if jobs[si].err != nil || jobs[si].gen != target {
 				failed = append(failed, si)
 				continue
 			}
-			merged = append(merged, ans.res...)
+			merged = append(merged, jobs[si].res...)
 		}
-		sort.Slice(merged, func(i, j int) bool { return serve.ScoredLess(merged[i], merged[j]) })
+		g.sorter.s = merged
+		sort.Sort(&g.sorter)
+		g.sorter.s = nil
 		if k > 0 && len(merged) > k {
 			merged = merged[:k]
 		}
@@ -449,6 +539,9 @@ type ShardStatus struct {
 	// Prescreen relays the shard's two-tier pruning telemetry (nil for
 	// prescreen-less bundles).
 	Prescreen *serve.PrescreenHealth `json:"prescreen,omitempty"`
+	// Impute relays the shard's imputation-layer telemetry (pack-time
+	// table and pair-cache hit rates).
+	Impute *serve.ImputeHealth `json:"impute,omitempty"`
 }
 
 // Status live-probes every shard (through replica failover) and reports
@@ -469,6 +562,7 @@ func (r *Router) Status(ctx context.Context) []ShardStatus {
 				st.Healthy = h.OK
 				st.Generation = h.Generation
 				st.Prescreen = h.Prescreen
+				st.Impute = h.Impute
 				r.observeHealth(si, h)
 				return nil
 			})

@@ -623,3 +623,82 @@ func TestRouterRelaysPrescreenHealth(t *testing.T) {
 		t.Fatalf("prescreen-less shard leaked health %+v (err %v)", h.Prescreen, err)
 	}
 }
+
+// TestRouterRelaysImputeHealth asserts the imputation telemetry travels
+// the same road as the prescreen block: the Local backend reports the
+// engine's impute health (table entries, pair-cache counters), Status
+// relays it per shard, and the health observer sees every probe.
+func TestRouterRelaysImputeHealth(t *testing.T) {
+	e := getEnv(t)
+	if e.bundle.ImputeTable == nil {
+		t.Fatal("fixture bundle carries no impute table")
+	}
+	shards, engines := shardBackends(t, 2, 1)
+	r := newRouter(t, shards)
+	var seenMu sync.Mutex
+	seen := make(map[int]*serve.ImputeHealth)
+	r.SetHealthObserver(func(shard int, h Health) {
+		seenMu.Lock()
+		seen[shard] = h.Impute
+		seenMu.Unlock()
+	})
+	ctx := context.Background()
+	if _, err := r.TopK(ctx, e.pair[0], 0, e.pair[1], 3); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range r.Status(ctx) {
+		if !st.Healthy {
+			t.Fatalf("shard %d unhealthy: %s", st.Shard, st.Error)
+		}
+		if st.Impute == nil {
+			t.Fatalf("shard %d status relayed no impute health", st.Shard)
+		}
+		if !st.Impute.Enabled || st.Impute.TableEntries == 0 {
+			t.Fatalf("shard %d impute health malformed: %+v", st.Shard, st.Impute)
+		}
+		if seen[st.Shard] == nil {
+			t.Fatalf("health observer missed shard %d", st.Shard)
+		}
+	}
+	// The runtime toggle shows up in the health block (answers are
+	// bit-identical either way; only the reported state flips).
+	engines[0].SetImputeTableEnabled(false)
+	if h, err := (&Local{Src: engines[0]}).Health(ctx); err != nil || h.Impute == nil || h.Impute.Enabled {
+		t.Fatalf("disabled impute table not reflected in health: %+v (err %v)", h.Impute, err)
+	}
+}
+
+// TestScatterGatherSteadyStateAllocs pins the pooled scatter/merge
+// path: a warm top-k fan-out over in-process shards, appending into a
+// recycled result buffer, allocates nothing beyond one 24-byte
+// goroutine-spawn wrapper per shard (the compiler boxes the arguments
+// of any `go` statement; everything else — per-shard answer buffers,
+// generation list, merge sorter, timeout contexts — is pooled or
+// elided). (Named outside the race filter on purpose: the race runtime
+// inflates AllocsPerRun.)
+func TestScatterGatherSteadyStateAllocs(t *testing.T) {
+	e := getEnv(t)
+	shards, _ := shardBackends(t, 4, 1)
+	r := newRouter(t, shards)
+	ctx := context.Background()
+	var dst []serve.Scored
+	for i := 0; i < 8; i++ { // warm the pools and the shard engines
+		res, err := r.TopKAppend(ctx, dst[:0], e.pair[0], i%e.nA, e.pair[1], 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Degraded {
+			t.Fatalf("degraded response from healthy shards: %+v", res)
+		}
+		dst = res.Results
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		res, err := r.TopKAppend(ctx, dst[:0], e.pair[0], 3, e.pair[1], 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst = res.Results
+	}); avg > 4.5 { // 4 shards → 4 spawn wrappers
+		t.Fatalf("warm scatter-gather top-k allocates %.1f allocs/op, want ≤ 4 (one goroutine spawn per shard)", avg)
+	}
+}

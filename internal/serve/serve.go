@@ -541,6 +541,12 @@ type PrescreenHealth struct {
 	Survivors uint64  `json:"survivors"`
 	Pruned    uint64  `json:"pruned"`
 	Skipped   uint64  `json:"skipped"`
+	// The fold memo's counters: a hit answers a candidate's tier-1 pass
+	// from one map lookup and defers its imputation until (unless) the
+	// exact rescore needs the row.
+	FoldHits    uint64 `json:"fold_hits"`
+	FoldMisses  uint64 `json:"fold_misses"`
+	FoldEntries int    `json:"fold_entries"`
 }
 
 // PrescreenHealth snapshots the prescreen state and counters (nil for
@@ -550,7 +556,7 @@ func (e *Engine) PrescreenHealth() *PrescreenHealth {
 	if p == nil {
 		return nil
 	}
-	return &PrescreenHealth{
+	h := &PrescreenHealth{
 		Enabled:   !e.prescreenOff.Load(),
 		Features:  p.Features,
 		Eps:       p.Eps,
@@ -559,6 +565,54 @@ func (e *Engine) PrescreenHealth() *PrescreenHealth {
 		Pruned:    e.prePruned.Load(),
 		Skipped:   e.preSkipped.Load(),
 	}
+	h.FoldHits, h.FoldMisses, h.FoldEntries = e.Model.PrescreenFoldStats()
+	return h
+}
+
+// SetImputeTableEnabled toggles the pack-time Eqn-18 impute table at
+// runtime (the hydra-serve -impute-table=off escape hatch). Like the
+// prescreen toggle it never changes a served bit — the table is built
+// through the exact live accumulation, so turning it off only routes
+// missing-dimension candidates back through the per-query friend walk.
+func (e *Engine) SetImputeTableEnabled(on bool) { e.Model.SetImputeTableEnabled(on) }
+
+// ImputeHealth is the engine's imputation block on /healthz: the
+// pack-time table's size and hit/miss counters plus the pair-vector
+// cache counters — the two layers that decide how much Eqn-18 work a
+// missing-dimension candidate costs. The router scrapes this into
+// per-shard gauges like the prescreen block. Unlike PrescreenHealth it
+// is never nil: the pair cache exists on every engine, so a table-less
+// engine still reports cache health (TableEntries 0, Enabled false).
+type ImputeHealth struct {
+	Enabled         bool   `json:"enabled"`
+	TableEntries    int    `json:"table_entries"`
+	TableHits       uint64 `json:"table_hits"`
+	TableMisses     uint64 `json:"table_misses"`
+	PairCacheSize   int    `json:"pair_cache_size"`
+	PairCacheHits   uint64 `json:"pair_cache_hits"`
+	PairCacheMisses uint64 `json:"pair_cache_misses"`
+}
+
+// pairCacheStatser is the optional Source upgrade both core.System and
+// core.Store implement; the interface itself stays narrow.
+type pairCacheStatser interface {
+	PairCacheStats() (hits, misses uint64)
+}
+
+// ImputeHealth snapshots the imputation-layer counters.
+func (e *Engine) ImputeHealth() *ImputeHealth {
+	h := &ImputeHealth{
+		Enabled:       e.Model.ImputeTableEnabled(),
+		PairCacheSize: e.Sys.CacheSize(),
+	}
+	if t := e.Model.ImputeTable(); t != nil {
+		h.TableEntries = t.NumEntries()
+		h.TableHits, h.TableMisses = t.Stats()
+	}
+	if pc, ok := e.Sys.(pairCacheStatser); ok {
+		h.PairCacheHits, h.PairCacheMisses = pc.PairCacheStats()
+	}
+	return h
 }
 
 // ScoredLess is the engine's exact result order — (score descending,
