@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke bench-linalg bench-save bench-compare bench-serve bench-bundle bench-json profile-topk figures
+.PHONY: ci fmt vet build test race bench bench-smoke bench-load bench-linalg bench-save bench-compare bench-serve bench-bundle bench-json bench-micro profile-topk figures world-50k
 
-ci: fmt vet build test bench-smoke
+ci: fmt vet build test bench-smoke bench-load
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -43,6 +43,15 @@ race:
 # two-tier prescreen pair) cannot rot between perf PRs.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Serve' -benchtime=1x ./internal/serve/
+
+# bench-load is the closed-loop harness's ci smoke: train a small model
+# in-process, serve it over real loopback HTTP through the mmap-backed
+# engine and the scatter-gather router (in-process shards), drive each
+# for a short burst, and fail on any request error or a mapped/heap
+# checksum mismatch. Short on purpose — it keeps the harness honest,
+# the numbers come from bench-json.
+bench-load:
+	$(GO) run ./cmd/hydra-loadgen -persons 40 -clients 4 -duration 1s
 
 # bench runs the parallel hot-path microbenchmarks at 1 and 4 cores so the
 # worker-pool speedup (and the pinned sequential baseline) is visible.
@@ -92,16 +101,22 @@ bench-serve:
 bench-bundle:
 	$(GO) test -run '^$$' -bench 'BundleColdStart' -benchmem -benchtime 1x ./internal/serve/
 
-# bench-json trains a small model through the staged pipeline, persists
-# it both ways and benchmarks the restored engines, writing a machine-
-# readable BENCH_PR8.json snapshot (cold-start world vs bundle, v2 vs v3
-# bundle bytes + decode, steady-state query latency + allocs/op, router
-# scatter-gather top-k over 4 in-process shards, hot-swap pause p99, the
-# two-tier prescreen's recall-vs-speedup curve on wide shards, and the
-# pack-time impute table's table-on/table-off pair with table bytes and
-# hit ratio) so the perf trajectory has a mechanical data point per PR.
+# bench-json is this PR's machine-readable snapshot: the out-of-RAM
+# serving benchmark. It tiles a trained model to a 50k-account bundle
+# on disk (~300 MB), measures cold start + RSS for the decoded and
+# mapped engines in separate child processes (open / after-touch /
+# after-cache-drop), asserts their top-k answers hash identically and
+# the mapped cold start is ≥ 10× faster, then drives both front-ends
+# with the closed-loop load harness (p50/p99/p999) and writes
+# BENCH_PR9.json with the PR 8 numbers embedded as the before block.
 bench-json:
-	$(GO) run ./cmd/hydra-servebench -prev BENCH_PR7.json -json BENCH_PR8.json
+	$(GO) run ./cmd/hydra-loadgen -bench-50k -dir bench50k -duration 3s -clients 4 -prev BENCH_PR8.json -json BENCH_PR9.json
+
+# bench-micro is the previous per-PR snapshot tool (microbenchmarks:
+# cold starts, steady-state latency + allocs/op, prescreen and impute-
+# table curves), still runnable for spot checks.
+bench-micro:
+	$(GO) run ./cmd/hydra-servebench -prev BENCH_PR7.json -json BENCH_MICRO.json
 
 # profile-topk captures a CPU profile of the wide-shard top-k serving
 # path (the impute-dominated workload the pack-time table attacks).
@@ -114,3 +129,9 @@ profile-topk:
 # figures regenerates every figure table (the full experiment suite).
 figures:
 	$(GO) run ./cmd/hydra-bench
+
+# world-50k streams a 50 000-account (25k persons × 2 platforms) world
+# to disk without ever holding it in RAM — the hydra-gen -stream path,
+# byte-identical to the in-memory encoder at any -workers setting.
+world-50k:
+	$(GO) run ./cmd/hydra-gen -stream -persons 25000 -o world50k.json

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
@@ -28,6 +29,7 @@ func main() {
 		out     = flag.String("o", "", "output path (default stdout)")
 		missing = flag.Float64("missing-scale", 1, "missingness multiplier (1 = Figure 2(a) regime)")
 		workers = flag.Int("workers", 0, "worker-pool size for person/account generation; 0 = all cores — the world is byte-identical at any setting")
+		stream  = flag.Bool("stream", false, "stream accounts to the output as they render instead of building the world in RAM first — byte-identical output; use for worlds larger than memory")
 	)
 	flag.Parse()
 
@@ -46,12 +48,8 @@ func main() {
 	cfg := synth.DefaultConfig(*persons, plats, *seed)
 	cfg.MissingScale = *missing
 	cfg.Workers = *workers
-	world, err := synth.Generate(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
 
-	w := os.Stdout
+	var w *os.File = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -60,8 +58,23 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := platform.Encode(w, world.Dataset); err != nil {
-		log.Fatal(err)
+
+	if *stream {
+		bw := bufio.NewWriterSize(w, 1<<20)
+		if err := synth.GenerateStream(cfg, bw); err != nil {
+			log.Fatal(err)
+		}
+		if err := bw.Flush(); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		world, err := synth.Generate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := platform.Encode(w, world.Dataset); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "wrote %d persons × %d platforms to %s\n",

@@ -1,0 +1,686 @@
+// Command hydra-loadgen drives the serving tier with concurrent load
+// and reports throughput and latency percentiles. Three modes:
+//
+//   - Smoke (default): trains a small model in-process, serves it over
+//     real loopback HTTP through both front-ends — a single mmap-backed
+//     hydra-serve engine and a scatter-gather router over in-process
+//     shards — and drives each for a short closed-loop burst. Wired
+//     into `make ci` as bench-load so the harness cannot rot.
+//
+//   - External (-target): drives an already-running hydra-serve or
+//     hydra-router at the given base URL.
+//
+//   - 50k bench (-bench-50k): builds a tiled ~50k-account bundle on
+//     disk, measures cold start and resident memory for the decoded
+//     and mapped engines in separate child processes (clean RSS), then
+//     runs the closed-loop load against both front-ends and writes the
+//     BENCH_PR9.json snapshot:
+//
+//     go run ./cmd/hydra-loadgen -bench-50k -prev BENCH_PR8.json -json BENCH_PR9.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"hydra/internal/blocking"
+	"hydra/internal/core"
+	"hydra/internal/features"
+	"hydra/internal/loadgen"
+	"hydra/internal/pipeline"
+	"hydra/internal/platform"
+	"hydra/internal/serve"
+	"hydra/internal/serve/router"
+	"hydra/internal/synth"
+)
+
+func main() {
+	var (
+		target   = flag.String("target", "", "drive an external hydra-serve/hydra-router at this base URL instead of in-process servers")
+		bench50k = flag.Bool("bench-50k", false, "run the out-of-RAM serving benchmark on a tiled ~50k-account bundle and write -json")
+		jsonPath = flag.String("json", "", "write the benchmark snapshot to this path (e.g. BENCH_PR9.json)")
+		prevPath = flag.String("prev", "", "embed this previous snapshot's headline numbers as a before block (e.g. BENCH_PR8.json)")
+		dir      = flag.String("dir", "bench50k", "cache directory for the tiled benchmark bundle")
+		accounts = flag.Int("accounts", 50000, "total account count of the tiled bundle (split across the platforms)")
+		candsA   = flag.Int("cands-per-a", 64, "mean candidate-set size per A-side account in the tiled indexes")
+		persons  = flag.Int("persons", 60, "world size of the trained base model")
+		seed     = flag.Int64("seed", 1, "seed for the base model and the query streams")
+		workers  = flag.Int("workers", 0, "engine worker pool (0 = all cores)")
+		clients  = flag.Int("clients", 8, "concurrent load clients")
+		duration = flag.Duration("duration", 0, "measured window per phase (default 1s smoke, 4s bench)")
+		rate     = flag.Float64("rate", 0, "open-loop target rate in requests/sec (0 = closed loop)")
+		topkW    = flag.Int("topk", 6, "mix weight: GET /topk")
+		scoreW   = flag.Int("score", 3, "mix weight: POST /score, one pair")
+		batchW   = flag.Int("batch", 1, "mix weight: POST /score, 16-pair batch")
+		k        = flag.Int("k", 5, "top-k depth")
+		numA     = flag.Int("na", 0, "A-side account count (external mode; required with -target)")
+		numB     = flag.Int("nb", 0, "B-side account count (external mode; defaults to -na)")
+		pa       = flag.String("pa", string(platform.Twitter), "A-side platform id")
+		pb       = flag.String("pb", string(platform.Facebook), "B-side platform id")
+		shards   = flag.Int("router-shards", 4, "in-process shard count behind the router phase")
+
+		// Internal: cold-start measurement child (forked by -bench-50k so
+		// each engine's RSS is read in a process that built nothing else).
+		measureCold = flag.String("measure-cold", "", "internal: measure cold start in this process (decoded|mapped); requires -bundle")
+		bundlePath  = flag.String("bundle", "", "internal: bundle file for -measure-cold")
+		touch       = flag.Int("touch", 64, "top-k queries issued after cold start to touch a working set (-bench-50k and -measure-cold)")
+	)
+	flag.Parse()
+
+	if *measureCold != "" {
+		if err := runMeasureCold(*measureCold, *bundlePath, *touch, *k, *workers); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	mix := loadgen.Mix{TopK: *topkW, Score: *scoreW, Batch: *batchW}
+	switch {
+	case *target != "":
+		if *numA <= 0 {
+			log.Fatal("hydra-loadgen: -target mode needs -na (the A-side account count)")
+		}
+		nb := *numB
+		if nb <= 0 {
+			nb = *numA
+		}
+		if *duration == 0 {
+			*duration = 4 * time.Second
+		}
+		res, err := loadgen.Run(loadgen.Config{
+			BaseURL: *target, Clients: *clients, Duration: *duration, Rate: *rate,
+			Mix: mix, PA: *pa, PB: *pb, NumA: *numA, NumB: nb, K: *k, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		printResult(*target, res)
+	case *bench50k:
+		if *duration == 0 {
+			*duration = 4 * time.Second
+		}
+		if err := runBench50k(*dir, *accounts, *candsA, *persons, *seed, *workers,
+			*clients, *duration, *rate, mix, *k, *touch, *shards, *jsonPath, *prevPath); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		if *duration == 0 {
+			*duration = time.Second
+		}
+		if err := runSmoke(*persons, *seed, *workers, *clients, *duration, mix, *k, *shards); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// printResult renders one phase's outcome for humans.
+func printResult(label string, r loadgen.Result) {
+	fmt.Printf("%-22s %8.0f req/s  (%d requests, %d clients, %s loop, %d errors)\n",
+		label+":", r.Throughput, r.Requests, r.Clients, r.Mode, r.Errors)
+	fmt.Printf("%-22s p50 %.3f ms  p99 %.3f ms  p999 %.3f ms  max %.3f ms\n",
+		"", r.P50Ms, r.P99Ms, r.P999Ms, r.MaxMs)
+}
+
+// serveHTTP exposes a handler on an ephemeral loopback port; the
+// returned stop function shuts the server down.
+func serveHTTP(h http.Handler) (string, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		srv.Shutdown(ctx)
+		cancel()
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+// buildTrainedBundle trains a small model through the staged pipeline
+// (the hydra-servebench recipe) and packs it as a serving bundle.
+func buildTrainedBundle(persons int, seed int64, workers int) (*pipeline.Bundle, error) {
+	world, err := synth.Generate(synth.DefaultConfig(persons, platform.EnglishPlatforms, seed))
+	if err != nil {
+		return nil, err
+	}
+	var people []int
+	for i := 0; i < persons/2; i++ {
+		people = append(people, i)
+	}
+	sysState, err := pipeline.Systemize(world.Dataset, pipeline.SystemizeOpts{
+		LabelPA:      platform.Twitter,
+		LabelPB:      platform.Facebook,
+		LabelPersons: people,
+		Lexicons:     features.Lexicons{Genre: world.Lexicons.Genre, Sentiment: world.Lexicons.Sentiment},
+		FeatCfg:      features.DefaultConfig(seed),
+	})
+	if err != nil {
+		return nil, err
+	}
+	rules := blocking.DefaultRules()
+	rules.Workers = workers
+	blocked, err := pipeline.Block(sysState, pipeline.BlockOpts{
+		Pairs: [][2]platform.ID{{platform.Twitter, platform.Facebook}},
+		Rules: rules,
+		Label: core.LabelOpts{LabelFraction: 0.3, NegPerPos: 2, UsePreMatched: true, Seed: seed},
+	})
+	if err != nil {
+		return nil, err
+	}
+	hcfg := core.DefaultConfig(seed)
+	hcfg.Workers = workers
+	fitted, err := pipeline.Fit(blocked, hcfg)
+	if err != nil {
+		return nil, err
+	}
+	return fitted.Bundle(workers)
+}
+
+// buildRouterHandler splits the bundle into in-process shard engines
+// and fronts them with the scatter-gather router's HTTP handler.
+func buildRouterHandler(b *pipeline.Bundle, count, workers int, seed int64) (http.Handler, func() []*serve.Engine, error) {
+	subs, err := pipeline.SplitBundle(b, count, uint64(seed)+6, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	engines := make([]*serve.Engine, count)
+	backends := make([][]router.Backend, count)
+	for i, sb := range subs {
+		eng, err := serve.NewEngineFromBundle(sb, workers)
+		if err != nil {
+			return nil, nil, err
+		}
+		engines[i] = eng
+		backends[i] = []router.Backend{&router.Local{Src: eng, Label: fmt.Sprintf("local-%d", i)}}
+	}
+	rt, err := router.New(backends, router.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := rt.Refresh(context.Background()); err != nil {
+		return nil, nil, err
+	}
+	return rt.Handler(), func() []*serve.Engine { return engines }, nil
+}
+
+// topkChecksum hashes the exact bits of top-k answers over the first
+// touch A-side accounts — the cross-backing identity probe the bench
+// compares between the decoded and mapped child processes.
+func topkChecksum(eng *serve.Engine, pa, pb platform.ID, na, touch, k int) (string, error) {
+	h := fnv.New64a()
+	var dst []serve.Scored
+	var err error
+	if touch > na {
+		touch = na
+	}
+	for a := 0; a < touch; a++ {
+		if dst, err = eng.TopKAppend(dst[:0], pa, a, pb, k); err != nil {
+			return "", err
+		}
+		for _, sc := range dst {
+			fmt.Fprintf(h, "%d:%d:%x:%v;", a, sc.B, math.Float64bits(sc.Score), sc.Linked)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// rssBytes reads the process's resident set from /proc/self/statm
+// (0 where proc is unavailable).
+func rssBytes() int64 {
+	raw, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	var size, resident int64
+	if _, err := fmt.Sscan(string(raw), &size, &resident); err != nil {
+		return 0
+	}
+	return resident * int64(os.Getpagesize())
+}
+
+// coldReport is the child → parent wire format of -measure-cold.
+type coldReport struct {
+	Kind         string  `json:"kind"`
+	OpenMs       float64 `json:"open_ms"`
+	TouchMs      float64 `json:"touch_ms"`
+	RSSOpenBytes int64   `json:"rss_open_bytes"`
+	RSSBytes     int64   `json:"rss_bytes"`
+	// RSSDroppedBytes is the resident set after DropMappedCaches — what a
+	// mapped engine falls back to under memory pressure (unchanged for a
+	// decoded engine, which has nothing to discard).
+	RSSDroppedBytes int64  `json:"rss_dropped_bytes"`
+	Accounts        int    `json:"accounts"`
+	Checksum        string `json:"checksum"`
+}
+
+// runMeasureCold is the forked child: build one engine flavor from the
+// bundle file, report cold-start time, post-touch RSS and the top-k
+// checksum as one JSON line on stdout.
+func runMeasureCold(kind, path string, touch, k, workers int) error {
+	if path == "" {
+		return fmt.Errorf("hydra-loadgen: -measure-cold needs -bundle")
+	}
+	var (
+		eng *serve.Engine
+		err error
+	)
+	t0 := time.Now()
+	switch kind {
+	case "decoded":
+		var b *pipeline.Bundle
+		if b, err = pipeline.LoadBundle(path); err != nil {
+			return err
+		}
+		if eng, err = serve.NewEngineFromBundle(b, workers); err != nil {
+			return err
+		}
+	case "mapped":
+		var mb *pipeline.MappedBundle
+		if mb, err = pipeline.OpenBundleMapped(path, pipeline.MapOptions{}); err != nil {
+			return err
+		}
+		if eng, err = serve.NewEngineFromMapped(mb, workers); err != nil {
+			mb.Close()
+			return err
+		}
+	default:
+		return fmt.Errorf("hydra-loadgen: -measure-cold must be decoded or mapped, got %q", kind)
+	}
+	openMs := float64(time.Since(t0).Nanoseconds()) / 1e6
+	// Scrub decode garbage before each RSS read so the number is live
+	// memory, not GC headroom (the parent runs us with
+	// GODEBUG=madvdontneed=1 so freed pages actually leave the RSS).
+	debug.FreeOSMemory()
+	rssOpen := rssBytes()
+
+	pp := eng.Pairs()
+	if len(pp) == 0 {
+		return fmt.Errorf("hydra-loadgen: bundle has no indexed pairs")
+	}
+	pa, pb := pp[0][0], pp[0][1]
+	na := eng.NumAccounts(pa)
+	t1 := time.Now()
+	sum, err := topkChecksum(eng, pa, pb, na, touch, k)
+	if err != nil {
+		return err
+	}
+	touchMs := float64(time.Since(t1).Nanoseconds()) / 1e6
+	debug.FreeOSMemory()
+	rep := coldReport{
+		Kind:         kind,
+		OpenMs:       openMs,
+		TouchMs:      touchMs,
+		RSSOpenBytes: rssOpen,
+		RSSBytes:     rssBytes(),
+		Accounts:     na,
+		Checksum:     sum,
+	}
+	eng.DropMappedCaches()
+	debug.FreeOSMemory()
+	rep.RSSDroppedBytes = rssBytes()
+	return json.NewEncoder(os.Stdout).Encode(rep)
+}
+
+// forkMeasureCold runs one -measure-cold child and parses its report.
+func forkMeasureCold(kind, path string, touch, k, workers int) (*coldReport, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(self,
+		"-measure-cold", kind, "-bundle", path,
+		"-touch", fmt.Sprint(touch), "-k", fmt.Sprint(k), "-workers", fmt.Sprint(workers))
+	// madvdontneed makes freed heap leave the RSS immediately, so the
+	// child's statm readings mean live memory.
+	cmd.Env = append(os.Environ(), "GODEBUG=madvdontneed=1")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("measure-cold %s child: %w", kind, err)
+	}
+	var rep coldReport
+	if err := json.Unmarshal(out, &rep); err != nil {
+		return nil, fmt.Errorf("measure-cold %s child output %q: %w", kind, out, err)
+	}
+	return &rep, nil
+}
+
+// runSmoke is the ci gate: small trained bundle, mapped engine over
+// loopback HTTP, router over in-process shards, a short closed-loop
+// burst each, with the mapped-vs-heap checksum asserted before any
+// load runs.
+func runSmoke(persons int, seed int64, workers, clients int, duration time.Duration, mix loadgen.Mix, k, shardCount int) error {
+	base, err := buildTrainedBundle(persons, seed, workers)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "hydra-loadgen")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "bundle.bin")
+	if err := pipeline.SaveBundle(path, base); err != nil {
+		return err
+	}
+
+	mb, err := pipeline.OpenBundleMapped(path, pipeline.MapOptions{})
+	if err != nil {
+		return err
+	}
+	mapped, err := serve.NewEngineFromMapped(mb, workers)
+	if err != nil {
+		mb.Close()
+		return err
+	}
+	defer mapped.Close()
+	heap, err := serve.NewEngineFromBundle(base, workers)
+	if err != nil {
+		return err
+	}
+	pp := mapped.Pairs()[0]
+	na := mapped.NumAccounts(pp[0])
+	nb := mapped.NumAccounts(pp[1])
+	sumM, err := topkChecksum(mapped, pp[0], pp[1], na, na, k)
+	if err != nil {
+		return err
+	}
+	sumH, err := topkChecksum(heap, pp[0], pp[1], na, na, k)
+	if err != nil {
+		return err
+	}
+	if sumM != sumH {
+		return fmt.Errorf("mapped and heap engines disagree: checksum %s vs %s", sumM, sumH)
+	}
+	fmt.Fprintf(os.Stderr, "mapped/heap top-k checksums agree (%s) over %d accounts; mmap=%v\n", sumM, na, mb.Mapped())
+
+	serveURL, stopServe, err := serveHTTP(mapped.Handler())
+	if err != nil {
+		return err
+	}
+	defer stopServe()
+	res, err := loadgen.Run(loadgen.Config{
+		BaseURL: serveURL, Clients: clients, Duration: duration,
+		Mix: mix, PA: string(pp[0]), PB: string(pp[1]), NumA: na, NumB: nb, K: k, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	printResult("serve (mmap)", res)
+	if res.Errors > 0 {
+		return fmt.Errorf("serve phase saw %d request errors", res.Errors)
+	}
+
+	rtHandler, _, err := buildRouterHandler(base, shardCount, workers, seed)
+	if err != nil {
+		return err
+	}
+	routerURL, stopRouter, err := serveHTTP(rtHandler)
+	if err != nil {
+		return err
+	}
+	defer stopRouter()
+	rres, err := loadgen.Run(loadgen.Config{
+		BaseURL: routerURL, Clients: clients, Duration: duration,
+		Mix: mix, PA: string(pp[0]), PB: string(pp[1]), NumA: na, NumB: nb, K: k, Seed: seed + 1,
+	})
+	if err != nil {
+		return err
+	}
+	printResult(fmt.Sprintf("router (%d shards)", shardCount), rres)
+	if rres.Errors > 0 {
+		return fmt.Errorf("router phase saw %d request errors", rres.Errors)
+	}
+	return nil
+}
+
+// snapshot is the BENCH_PR9.json schema.
+type snapshot struct {
+	Bench               string  `json:"bench"`
+	Accounts            int     `json:"accounts"`
+	AccountsPerPlatform int     `json:"accounts_per_platform"`
+	CandsPerA           int     `json:"cands_per_a"`
+	Clients             int     `json:"clients"`
+	GoMaxProcs          int     `json:"gomaxprocs"`
+	BundleBytes         int64   `json:"bundle_bytes"`
+	ColdDecodedMs       float64 `json:"cold_start_decoded_ms"`
+	ColdMappedMs        float64 `json:"cold_start_mapped_ms"`
+	ColdSpeedup         float64 `json:"cold_start_speedup"`
+	RSSOpenDecodedBytes int64   `json:"rss_open_decoded_bytes"`
+	RSSOpenMappedBytes  int64   `json:"rss_open_mapped_bytes"`
+	RSSDecodedBytes     int64   `json:"rss_decoded_bytes"`
+	RSSMappedBytes      int64   `json:"rss_mapped_bytes"`
+	RSSDroppedMapped    int64   `json:"rss_mapped_after_drop_bytes"`
+	MappedRSSOverBundle float64 `json:"mapped_rss_over_bundle"`
+	TouchedAccounts     int     `json:"touched_accounts"`
+	TouchDecodedMs      float64 `json:"touch_decoded_ms"`
+	TouchMappedMs       float64 `json:"touch_mapped_ms"`
+	Checksum            string  `json:"topk_checksum"`
+
+	Serve       loadgen.Result        `json:"serve_closed_loop"`
+	ServeMapped *pipeline.MappedStats `json:"serve_mapped_stats,omitempty"`
+
+	RouterShards int            `json:"router_shards"`
+	Router       loadgen.Result `json:"router_closed_loop"`
+
+	Before *beforeBlock `json:"before,omitempty"`
+}
+
+// beforeBlock lifts the PR 8 snapshot's headline numbers so before and
+// after live in one file.
+type beforeBlock struct {
+	Source        string  `json:"source"`
+	ColdBundleMs  float64 `json:"cold_start_bundle_ms"`
+	BundleBytes   int     `json:"bundle_bytes"`
+	SingleNsPerOp float64 `json:"single_pair_score_ns_per_op"`
+	TopK5NsPerOp  float64 `json:"topk5_ns_per_op"`
+	RouterNsPerOp float64 `json:"router_topk5_ns_per_op"`
+}
+
+func loadBefore(path string) (*beforeBlock, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var old struct {
+		ColdBundleMs float64 `json:"cold_start_bundle_ms"`
+		BundleV3     int     `json:"bundle_v3_bytes"`
+		Single       struct {
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"single_pair_score"`
+		TopK struct {
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"topk5"`
+		Router struct {
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"router_topk5"`
+	}
+	if err := json.Unmarshal(raw, &old); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", path, err)
+	}
+	return &beforeBlock{
+		Source:        path,
+		ColdBundleMs:  old.ColdBundleMs,
+		BundleBytes:   old.BundleV3,
+		SingleNsPerOp: old.Single.NsPerOp,
+		TopK5NsPerOp:  old.TopK.NsPerOp,
+		RouterNsPerOp: old.Router.NsPerOp,
+	}, nil
+}
+
+// runBench50k is the out-of-RAM serving benchmark.
+func runBench50k(dir string, accounts, candsA, persons int, seed int64, workers, clients int,
+	duration time.Duration, rate float64, mix loadgen.Mix, k, touch, shardCount int, jsonPath, prevPath string) error {
+
+	base, err := buildTrainedBundle(persons, seed, workers)
+	if err != nil {
+		return err
+	}
+	perPlat := accounts / len(base.Views)
+	tiled, err := pipeline.TiledBundle(base, perPlat, candsA, uint64(seed))
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("bundle%dk.bin", accounts/1000))
+	if err := pipeline.SaveBundle(path, tiled); err != nil {
+		return err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tiled bundle: %d accounts over %d platforms, ~%d cands/account, %d bytes at %s\n",
+		perPlat*len(base.Views), len(base.Views), candsA, info.Size(), path)
+
+	decoded, err := forkMeasureCold("decoded", path, touch, k, workers)
+	if err != nil {
+		return err
+	}
+	mapped, err := forkMeasureCold("mapped", path, touch, k, workers)
+	if err != nil {
+		return err
+	}
+	if decoded.Checksum != mapped.Checksum {
+		return fmt.Errorf("decoded and mapped engines disagree: checksum %s vs %s", decoded.Checksum, mapped.Checksum)
+	}
+
+	snap := snapshot{
+		Bench:               "out-of-ram-serving",
+		Accounts:            perPlat * len(base.Views),
+		AccountsPerPlatform: perPlat,
+		CandsPerA:           candsA,
+		Clients:             clients,
+		GoMaxProcs:          runtime.GOMAXPROCS(0),
+		BundleBytes:         info.Size(),
+		ColdDecodedMs:       decoded.OpenMs,
+		ColdMappedMs:        mapped.OpenMs,
+		TouchDecodedMs:      decoded.TouchMs,
+		TouchMappedMs:       mapped.TouchMs,
+		RSSOpenDecodedBytes: decoded.RSSOpenBytes,
+		RSSOpenMappedBytes:  mapped.RSSOpenBytes,
+		RSSDecodedBytes:     decoded.RSSBytes,
+		RSSMappedBytes:      mapped.RSSBytes,
+		RSSDroppedMapped:    mapped.RSSDroppedBytes,
+		TouchedAccounts:     touch,
+		Checksum:            decoded.Checksum,
+		RouterShards:        shardCount,
+	}
+	if mapped.OpenMs > 0 {
+		snap.ColdSpeedup = decoded.OpenMs / mapped.OpenMs
+	}
+	if info.Size() > 0 {
+		snap.MappedRSSOverBundle = float64(mapped.RSSBytes) / float64(info.Size())
+	}
+
+	// Serve phase: the mapped engine under concurrent load.
+	mb, err := pipeline.OpenBundleMapped(path, pipeline.MapOptions{})
+	if err != nil {
+		return err
+	}
+	eng, err := serve.NewEngineFromMapped(mb, workers)
+	if err != nil {
+		mb.Close()
+		return err
+	}
+	pp := eng.Pairs()[0]
+	serveURL, stopServe, err := serveHTTP(eng.Handler())
+	if err != nil {
+		return err
+	}
+	snap.Serve, err = loadgen.Run(loadgen.Config{
+		BaseURL: serveURL, Clients: clients, Duration: duration, Rate: rate,
+		Mix: mix, PA: string(pp[0]), PB: string(pp[1]), NumA: perPlat, NumB: perPlat, K: k, Seed: seed,
+	})
+	stopServe()
+	if err != nil {
+		return err
+	}
+	snap.ServeMapped = eng.MappedStats()
+	if err := eng.Close(); err != nil {
+		return err
+	}
+	if snap.Serve.Errors > 0 {
+		return fmt.Errorf("serve phase saw %d request errors", snap.Serve.Errors)
+	}
+
+	// Router phase: scatter-gather over in-process heap shards split
+	// from the tiled bundle (shared numerics keep this cheap in RAM).
+	rtHandler, _, err := buildRouterHandler(tiled, shardCount, workers, seed)
+	if err != nil {
+		return err
+	}
+	routerURL, stopRouter, err := serveHTTP(rtHandler)
+	if err != nil {
+		return err
+	}
+	snap.Router, err = loadgen.Run(loadgen.Config{
+		BaseURL: routerURL, Clients: clients, Duration: duration, Rate: rate,
+		Mix: mix, PA: string(pp[0]), PB: string(pp[1]), NumA: perPlat, NumB: perPlat, K: k, Seed: seed + 1,
+	})
+	stopRouter()
+	if err != nil {
+		return err
+	}
+	if snap.Router.Errors > 0 {
+		return fmt.Errorf("router phase saw %d request errors", snap.Router.Errors)
+	}
+
+	if prevPath != "" {
+		if snap.Before, err = loadBefore(prevPath); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("bundle:             %12d bytes (%d accounts, ~%d cands/account)\n", snap.BundleBytes, snap.Accounts, snap.CandsPerA)
+	fmt.Printf("cold start decoded: %12.1f ms   (RSS %d MB at open, %d MB after %d-account touch)\n",
+		snap.ColdDecodedMs, snap.RSSOpenDecodedBytes>>20, snap.RSSDecodedBytes>>20, touch)
+	fmt.Printf("cold start mapped:  %12.1f ms   (RSS %d MB at open, %d MB after touch, %d MB after cache drop) — %.1fx faster, RSS %.2fx of bundle\n",
+		snap.ColdMappedMs, snap.RSSOpenMappedBytes>>20, snap.RSSMappedBytes>>20, snap.RSSDroppedMapped>>20,
+		snap.ColdSpeedup, snap.MappedRSSOverBundle)
+	printResult("serve (mmap)", snap.Serve)
+	if s := snap.ServeMapped; s != nil {
+		fmt.Printf("%-22s resident views %d/%d, friends %d/%d, index rows %d/%d; vecs aliased %d copied %d\n",
+			"", s.ResidentViews, s.TotalViews, s.ResidentFriends, s.TotalFriends, s.ResidentRows, s.TotalRows,
+			s.AliasedVecs, s.CopiedVecs)
+	}
+	printResult(fmt.Sprintf("router (%d shards)", shardCount), snap.Router)
+
+	if snap.ColdSpeedup < 10 {
+		return fmt.Errorf("mapped cold start is only %.1fx faster than full decode (want ≥ 10x)", snap.ColdSpeedup)
+	}
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+	}
+	return nil
+}

@@ -33,6 +33,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"hydra/internal/blocking"
 	"hydra/internal/pipeline"
 )
 
@@ -137,4 +138,16 @@ func report(path string, b *pipeline.Bundle) {
 	}
 	fmt.Fprintf(os.Stderr, "packed %s: %d platforms, %d views, %d indexed pairs, top-%d friends%s, %d bytes — %s\n",
 		path, len(b.Views), views, len(b.Indexes), b.FriendsK, tbl, info.Size(), suffix)
+	// The candidate-set fan-out decides serving latency: every top-k
+	// query scores its whole shard, so a ballooned tail is visible here
+	// before it is visible in p99s.
+	for _, ix := range b.Indexes {
+		sizes := make([]int, len(ix.ByA))
+		for i, row := range ix.ByA {
+			sizes[i] = len(row)
+		}
+		f := blocking.FanoutOf(sizes)
+		fmt.Fprintf(os.Stderr, "  blocking fan-out %s → %s: %d rows, %d candidates, mean %.1f / p99 %d / max %d per account\n",
+			ix.PA, ix.PB, f.Rows, f.Total, f.Mean, f.P99, f.Max)
+	}
 }

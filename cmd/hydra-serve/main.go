@@ -7,6 +7,10 @@
 //     carries precomputed account views, friend slices and candidate
 //     indexes, so startup is a decode — no world file, no feature
 //     rebuild, and the raw behavior data never ships to the server.
+//     With -mmap the bundle file is memory-mapped instead of decoded:
+//     startup reads only the header, sections materialize on first
+//     touch, and resident memory tracks the working set — bundles
+//     larger than RAM serve fine. Answers are bit-identical either way.
 //   - Artifact + world: -model loads a v1 artifact plus the -world file
 //     the model was trained on, rebuilding the feature pipeline and the
 //     per-A-side candidate indexes from the raw dataset at startup.
@@ -56,6 +60,7 @@ import (
 func main() {
 	var (
 		bundle       = flag.String("bundle", "", "self-contained serving bundle (from hydra-link -save-bundle or hydra-pack); replaces -model and -world")
+		mmapBundle   = flag.Bool("mmap", false, "memory-map the -bundle file instead of decoding it up front: O(header) startup, sections materialize on first touch (falls back to a heap copy where mmap is unavailable; answers are bit-identical)")
 		model        = flag.String("model", "", "model artifact JSON (from hydra-link -save-model); needs -world")
 		world        = flag.String("world", "", "world JSON the model was trained on (from hydra-gen)")
 		workers      = flag.Int("workers", 0, "worker-pool size for query batches and index building; 0 = all cores")
@@ -85,11 +90,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "hydra-serve: -bundle is self-contained; do not combine it with -model/-world")
 			os.Exit(2)
 		}
-		eng, err = loadBundleEngine(*bundle, *workers)
+		eng, err = loadBundleEngine(*bundle, *workers, *mmapBundle)
 		if err != nil {
 			log.Fatal(err)
 		}
 	case *model != "" && *world != "":
+		if *mmapBundle {
+			fmt.Fprintln(os.Stderr, "hydra-serve: -mmap needs -bundle (the artifact+world path rebuilds features in RAM)")
+			os.Exit(2)
+		}
 		var art *pipeline.Artifact
 		if art, err = pipeline.LoadArtifact(*model); err != nil {
 			log.Fatal(err)
@@ -120,6 +129,9 @@ func main() {
 		if err := eng.REPL(os.Stdin, os.Stdout); err != nil {
 			log.Fatal(err)
 		}
+		if err := eng.Close(); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 
@@ -140,6 +152,40 @@ func main() {
 			PairCacheHits:   h.PairCacheHits,
 			PairCacheMisses: h.PairCacheMisses,
 		}
+	})
+	// Mapped-bundle residency and blocking fan-out ride the same
+	// pull-style pattern; both are free to snapshot (atomic loads and
+	// length-table sums, no section materialization).
+	metrics.SetMappedSource(func() (obs.MappedStats, bool) {
+		cur, _ := holder.Current()
+		s := cur.MappedStats()
+		if s == nil {
+			return obs.MappedStats{}, false
+		}
+		return obs.MappedStats{
+			Mapped:          s.Mapped,
+			Bytes:           s.Bytes,
+			AliasedVecs:     s.AliasedVecs,
+			CopiedVecs:      s.CopiedVecs,
+			ResidentViews:   s.ResidentViews,
+			TotalViews:      s.TotalViews,
+			ResidentFriends: s.ResidentFriends,
+			TotalFriends:    s.TotalFriends,
+			ResidentRows:    s.ResidentRows,
+			TotalRows:       s.TotalRows,
+		}, true
+	})
+	metrics.SetFanoutSource(func() []obs.PairFanout {
+		cur, _ := holder.Current()
+		fans := cur.Fanout()
+		out := make([]obs.PairFanout, 0, len(fans))
+		for pp, f := range fans {
+			out = append(out, obs.PairFanout{
+				PA: string(pp[0]), PB: string(pp[1]),
+				Rows: f.Rows, Total: f.Total, Mean: f.Mean, P99: f.P99, Max: f.Max,
+			})
+		}
+		return out
 	})
 	mux := http.NewServeMux()
 	mux.Handle("/", holder.Handler())
@@ -181,7 +227,7 @@ func main() {
 					fmt.Fprintln(os.Stderr, "SIGHUP ignored: hot swap needs -bundle (world-backed engines rebuild on restart)")
 					continue
 				}
-				next, err := loadBundleEngine(*bundle, *workers)
+				next, err := loadBundleEngine(*bundle, *workers, *mmapBundle)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "swap refused: %v — keeping current generation\n", err)
 					continue
@@ -193,10 +239,15 @@ func main() {
 					next.SetImputeTableEnabled(false)
 				}
 				next.SetPrescreenObserver(metrics)
-				if _, err := holder.Swap(next); err != nil {
+				old, err := holder.Swap(next)
+				if err != nil {
 					fmt.Fprintf(os.Stderr, "swap refused: %v — keeping current generation\n", err)
+					next.Close() // release the rejected engine's mapping
 					continue
 				}
+				// The old mapping unmaps only after its last pinned
+				// request drains; a no-op for heap-decoded engines.
+				old.Retire()
 				_, gen := holder.Current()
 				fmt.Fprintf(os.Stderr, "swapped in generation %d from %s; in-flight queries finish on the old generation\n", gen, *bundle)
 			default:
@@ -207,6 +258,10 @@ func main() {
 				if err != nil {
 					log.Fatalf("drain incomplete after %s: %v", *drainTimeout, err)
 				}
+				cur, _ := holder.Current()
+				if err := cur.Close(); err != nil {
+					log.Fatalf("closing bundle mapping: %v", err)
+				}
 				fmt.Fprintln(os.Stderr, "drained; bye")
 				return
 			}
@@ -215,8 +270,33 @@ func main() {
 }
 
 // loadBundleEngine reads a bundle file and builds its engine — startup
-// and every SIGHUP swap go through the same path.
-func loadBundleEngine(path string, workers int) (*serve.Engine, error) {
+// and every SIGHUP swap go through the same path. With mapped set the
+// file is memory-mapped and sections stay lazy; otherwise the whole
+// bundle is decoded onto the heap.
+func loadBundleEngine(path string, workers int, mapped bool) (*serve.Engine, error) {
+	if mapped {
+		mb, err := pipeline.OpenBundleMapped(path, pipeline.MapOptions{})
+		if err != nil {
+			return nil, err
+		}
+		eng, err := serve.NewEngineFromMapped(mb, workers)
+		if err != nil {
+			mb.Close()
+			return nil, err
+		}
+		shard := ""
+		if d := mb.Shard(); d != nil {
+			shard = fmt.Sprintf(", shard %d/%d gen %d", d.Index, d.Count, d.Generation)
+		}
+		mode := "mapped"
+		if !mb.Mapped() {
+			mode = "heap copy (mmap unavailable)"
+		}
+		mp := mb.ModelParts()
+		fmt.Fprintf(os.Stderr, "bundle %s (%d bytes): %s kernel, %d candidate vectors, %d platforms; indexes for %d platform pairs%s\n",
+			mode, mb.Stats().Bytes, mp.KernelKind, len(mp.Xs), len(mb.Platforms()), len(eng.Pairs()), shard)
+		return eng, nil
+	}
 	b, err := pipeline.LoadBundle(path)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,48 @@
+package blocking
+
+import "sort"
+
+// Fanout summarizes an index's candidate-set size distribution — how
+// many B-side candidates each A-side account fans out to. At small
+// world sizes the rules keep shards near TopK; at scale the MinScore and
+// pre-match tails can balloon them, and a ballooned fan-out is a serving
+// latency problem long before it is a memory one. hydra-pack prints this
+// at pack time and hydra-serve exports it on /metrics so the distribution
+// is visible before it hurts.
+type Fanout struct {
+	// Rows is the A-side account count (shards, including empty ones).
+	Rows int
+	// Total is the summed candidate count across all shards.
+	Total int
+	// Mean is Total/Rows (0 for an empty index).
+	Mean float64
+	// P99 is the 99th-percentile shard size.
+	P99 int
+	// Max is the largest shard size.
+	Max int
+}
+
+// FanoutOf computes the distribution over per-shard sizes.
+func FanoutOf(sizes []int) Fanout {
+	f := Fanout{Rows: len(sizes)}
+	if len(sizes) == 0 {
+		return f
+	}
+	sorted := append([]int(nil), sizes...)
+	sort.Ints(sorted)
+	for _, n := range sorted {
+		f.Total += n
+	}
+	f.Mean = float64(f.Total) / float64(f.Rows)
+	f.Max = sorted[len(sorted)-1]
+	p99 := (99 * len(sorted)) / 100
+	if p99 >= len(sorted) {
+		p99 = len(sorted) - 1
+	}
+	f.P99 = sorted[p99]
+	return f
+}
+
+// Fanout computes the index's candidate-set size distribution. On a lazy
+// index this reads the length table only — nothing materializes.
+func (ix *Index) Fanout() Fanout { return FanoutOf(ix.ShardSizes()) }

@@ -1,0 +1,39 @@
+package blocking
+
+import "testing"
+
+// TestFanoutOf pins the distribution arithmetic against hand-computed
+// values, including the empty-index and single-row edges.
+func TestFanoutOf(t *testing.T) {
+	if f := FanoutOf(nil); f.Rows != 0 || f.Total != 0 || f.Mean != 0 || f.P99 != 0 || f.Max != 0 {
+		t.Fatalf("empty fan-out not zero: %+v", f)
+	}
+	if f := FanoutOf([]int{7}); f.Rows != 1 || f.Total != 7 || f.Mean != 7 || f.P99 != 7 || f.Max != 7 {
+		t.Fatalf("single row: %+v", f)
+	}
+
+	// 100 rows of size 1 plus a ballooned tail of 2×50 — p99 must land on
+	// the tail, not the body.
+	sizes := make([]int, 102)
+	for i := 0; i < 100; i++ {
+		sizes[i] = 1
+	}
+	sizes[100], sizes[101] = 50, 50
+	f := FanoutOf(sizes)
+	if f.Rows != 102 || f.Total != 200 || f.Max != 50 {
+		t.Fatalf("tail distribution: %+v", f)
+	}
+	if f.P99 != 50 {
+		t.Fatalf("p99 = %d, want 50 (the ballooned tail)", f.P99)
+	}
+	if f.Mean < 1.9 || f.Mean > 2.0 {
+		t.Fatalf("mean = %v, want ≈1.96", f.Mean)
+	}
+
+	// FanoutOf must not mutate its input.
+	in := []int{3, 1, 2}
+	FanoutOf(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}

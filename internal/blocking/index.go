@@ -16,6 +16,11 @@ import (
 // MinScore/pre-match tail, so a query is O(shard) model evaluations.
 //
 // An Index is immutable after BuildIndex and safe for concurrent readers.
+//
+// An index comes in two backings: eager (byA holds every shard, the
+// BuildIndex / IndexFromParts form) and lazy (rows are fetched on demand
+// from a mapped bundle — see LazyIndex). Both answer Candidates
+// identically; only where the rows live differs.
 type Index struct {
 	// PA and PB identify the platform pair (queries run A → B).
 	PA, PB platform.ID
@@ -23,6 +28,30 @@ type Index struct {
 	Rules Rules
 
 	byA [][]Candidate
+
+	// Lazy backing: rowLens holds every shard's length (sizing and
+	// fan-out stats without materialization), fetch materializes one
+	// shard. fetch must be safe for concurrent callers and return stable
+	// results; nil fetch means the index is eager.
+	rowLens []int
+	fetch   func(a int) []Candidate
+}
+
+// LazyIndex builds an index whose rows materialize on first touch:
+// rowLens pins every shard's candidate count up front, fetch resolves a
+// shard when a query actually lands on it. Validation mirrors
+// IndexFromParts.
+func LazyIndex(pa, pb platform.ID, rules Rules, rowLens []int, fetch func(a int) []Candidate) (*Index, error) {
+	if pa == "" || pb == "" {
+		return nil, fmt.Errorf("blocking: index parts missing platform pair (%q, %q)", pa, pb)
+	}
+	if len(rowLens) == 0 {
+		return nil, fmt.Errorf("blocking: index parts for %s → %s have no shards", pa, pb)
+	}
+	if fetch == nil {
+		return nil, fmt.Errorf("blocking: lazy index for %s → %s needs a fetch function", pa, pb)
+	}
+	return &Index{PA: pa, PB: pb, Rules: rules, rowLens: rowLens, fetch: fetch}, nil
 }
 
 // BuildIndex scans the O(N_A · N_B) pair space once and shards the kept
@@ -56,20 +85,42 @@ func BuildIndex(pa, pb *platform.Platform, faces *vision.Matcher, rules Rules) (
 // candidates in rank order (best cheap score first, pre-match stragglers
 // last). The slice is shared read-only state — callers must not modify it.
 func (ix *Index) Candidates(a int) ([]Candidate, error) {
-	if a < 0 || a >= len(ix.byA) {
-		return nil, fmt.Errorf("blocking: account %d out of range (%s has %d accounts)", a, ix.PA, len(ix.byA))
+	if a < 0 || a >= ix.NumShards() {
+		return nil, fmt.Errorf("blocking: account %d out of range (%s has %d accounts)", a, ix.PA, ix.NumShards())
+	}
+	if ix.fetch != nil {
+		return ix.fetch(a), nil
 	}
 	return ix.byA[a], nil
 }
 
 // NumShards returns the A-side account count (one shard per account).
-func (ix *Index) NumShards() int { return len(ix.byA) }
+func (ix *Index) NumShards() int {
+	if ix.fetch != nil {
+		return len(ix.rowLens)
+	}
+	return len(ix.byA)
+}
 
 // Len returns the total candidate count across all shards.
 func (ix *Index) Len() int {
 	n := 0
-	for _, s := range ix.byA {
-		n += len(s)
+	for _, s := range ix.ShardSizes() {
+		n += s
 	}
 	return n
+}
+
+// ShardSizes returns every shard's candidate count, indexed by A-side
+// account. On a lazy index this reads the length table — no shard
+// materializes. The returned slice is freshly allocated.
+func (ix *Index) ShardSizes() []int {
+	if ix.fetch != nil {
+		return append([]int(nil), ix.rowLens...)
+	}
+	sizes := make([]int, len(ix.byA))
+	for i, s := range ix.byA {
+		sizes[i] = len(s)
+	}
+	return sizes
 }

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"hydra/internal/features"
+	"hydra/internal/graph"
+	"hydra/internal/linalg"
+	"hydra/internal/platform"
+	"hydra/internal/vision"
+)
+
+// LazySnapshot is the storage contract behind LazyStore: per-account
+// views and friend slices materialized on demand, plus the counts and
+// header-level strings that never need a section touch. It is the
+// core-side face of pipeline.MappedBundle (core cannot import pipeline),
+// but any snapshot that answers account-at-a-time works.
+//
+// View and Friends must return stable results: repeated calls for the
+// same account must be safe under concurrency (the mapped implementation
+// caches the first materialization behind an atomic pointer).
+type LazySnapshot interface {
+	// Platforms lists the snapshotted platform ids in sorted order.
+	Platforms() []platform.ID
+	// NumAccounts returns a platform's account count, -1 if absent.
+	NumAccounts(id platform.ID) int
+	// View materializes one account view.
+	View(id platform.ID, local int) (*features.AccountView, error)
+	// Friends materializes one account's full persisted friend slice
+	// (rank order, cut at the snapshot's friendsK).
+	Friends(id platform.ID, local int) ([]graph.Friend, error)
+	// Username returns an account's profile username without
+	// materializing the view (false when out of range or absent).
+	Username(id platform.ID, local int) (string, bool)
+}
+
+// LazyStore is the mapped-backed sibling of Store: the same Source
+// contract — same checks, same error text, bit-identical answers — but
+// account state is pulled from a LazySnapshot on first touch instead of
+// being decoded up front. Construction is O(platform count); nothing
+// proportional to the snapshot's size happens until queries ask for it.
+//
+// Like Store, it is immutable after construction apart from the
+// mutex-guarded pair cache and the lazily-filled full-platform view
+// slices (Views — a compatibility path; the hot paths are per-account).
+type LazyStore struct {
+	pipe     *features.Pipeline
+	snap     LazySnapshot
+	plats    []platform.ID
+	counts   map[platform.ID]int
+	friendsK int
+	faces    *vision.Matcher
+	present  map[platform.ID][]bool
+	pairs    pairCache
+	tbl      *ImputeTable
+
+	// viewsMu guards the full-platform materializations built by Views.
+	// Per-account paths (RawPair, Friends, Username) never take it.
+	viewsMu  sync.Mutex
+	viewsAll map[platform.ID][]*features.AccountView
+}
+
+var _ Source = (*LazyStore)(nil)
+
+// NewLazyStore assembles a lazy store over a snapshot, mirroring
+// NewStore's validation.
+func NewLazyStore(pipe *features.Pipeline, snap LazySnapshot, friendsK int, faces *vision.Matcher) (*LazyStore, error) {
+	if pipe == nil {
+		return nil, fmt.Errorf("core: NewLazyStore needs a pipeline")
+	}
+	if snap == nil {
+		return nil, fmt.Errorf("core: NewLazyStore needs a snapshot")
+	}
+	plats := snap.Platforms()
+	if len(plats) == 0 {
+		return nil, fmt.Errorf("core: NewLazyStore needs at least one platform of views")
+	}
+	if friendsK <= 0 {
+		return nil, fmt.Errorf("core: NewLazyStore needs a positive friendsK, got %d", friendsK)
+	}
+	if faces == nil {
+		return nil, fmt.Errorf("core: NewLazyStore needs the face-matcher state")
+	}
+	counts := make(map[platform.ID]int, len(plats))
+	for _, id := range plats {
+		n := snap.NumAccounts(id)
+		if n < 0 {
+			return nil, fmt.Errorf("core: snapshot lists platform %s but has no accounts for it", id)
+		}
+		counts[id] = n
+	}
+	return &LazyStore{
+		pipe:     pipe,
+		snap:     snap,
+		plats:    append([]platform.ID(nil), plats...),
+		counts:   counts,
+		friendsK: friendsK,
+		faces:    faces,
+	}, nil
+}
+
+// Restrict marks the store as a partial snapshot (see Store.Restrict).
+// Called once at restore time, before any queries.
+func (st *LazyStore) Restrict(present map[platform.ID][]bool) { st.present = present }
+
+// Platforms lists the snapshotted platform ids in sorted order.
+func (st *LazyStore) Platforms() []platform.ID {
+	return append([]platform.ID(nil), st.plats...)
+}
+
+// FriendsK returns the per-account friend-slice depth of the snapshot.
+func (st *LazyStore) FriendsK() int { return st.friendsK }
+
+// Faces exposes the restored face matcher.
+func (st *LazyStore) Faces() *vision.Matcher { return st.faces }
+
+// numAccounts resolves a platform's account count with the same error a
+// heap Store reports for an unknown platform.
+func (st *LazyStore) numAccounts(id platform.ID) (int, error) {
+	n, ok := st.counts[id]
+	if !ok {
+		return 0, fmt.Errorf("core: platform %s not in snapshot (have %v)", id, st.Platforms())
+	}
+	return n, nil
+}
+
+// Views materializes (and caches) a platform's full view slice. This is
+// the Source-compatibility path — it defeats laziness for that platform,
+// so serving code prefers the per-account accessors; the REPL and tests
+// are the expected callers.
+func (st *LazyStore) Views(id platform.ID) ([]*features.AccountView, error) {
+	n, err := st.numAccounts(id)
+	if err != nil {
+		return nil, err
+	}
+	st.viewsMu.Lock()
+	defer st.viewsMu.Unlock()
+	if vs, ok := st.viewsAll[id]; ok {
+		return vs, nil
+	}
+	vs := make([]*features.AccountView, n)
+	for i := range vs {
+		v, err := st.snap.View(id, i)
+		if err != nil {
+			return nil, err
+		}
+		vs[i] = v
+	}
+	if st.viewsAll == nil {
+		st.viewsAll = make(map[platform.ID][]*features.AccountView)
+	}
+	st.viewsAll[id] = vs
+	return vs, nil
+}
+
+// Username answers from the snapshot's header state without
+// materializing the view — the REPL's per-result lookup.
+func (st *LazyStore) Username(id platform.ID, local int) string {
+	name, _ := st.snap.Username(id, local)
+	return name
+}
+
+// RawPair returns the (cached) unimputed pair vector, materializing
+// exactly the two views it needs. Check order and error text mirror
+// Store.RawPair.
+func (st *LazyStore) RawPair(pa platform.ID, a int, pb platform.ID, b int) (features.PairVector, error) {
+	key := pairKey{pa, pb, a, b}
+	if pv, ok := st.pairs.lookup(key); ok {
+		return pv, nil
+	}
+	na, err := st.numAccounts(pa)
+	if err != nil {
+		return features.PairVector{}, err
+	}
+	nb, err := st.numAccounts(pb)
+	if err != nil {
+		return features.PairVector{}, err
+	}
+	if err := checkPairRangeN(pa, a, pb, b, na, nb); err != nil {
+		return features.PairVector{}, err
+	}
+	if err := checkPresentIn(st.present, pa, a); err != nil {
+		return features.PairVector{}, err
+	}
+	if err := checkPresentIn(st.present, pb, b); err != nil {
+		return features.PairVector{}, err
+	}
+	va, err := st.snap.View(pa, a)
+	if err != nil {
+		return features.PairVector{}, err
+	}
+	vb, err := st.snap.View(pb, b)
+	if err != nil {
+		return features.PairVector{}, err
+	}
+	pv := st.pipe.Pair(va, vb)
+	st.pairs.store(key, pv)
+	return pv, nil
+}
+
+// SetImputeTable attaches a pack-time Eqn-18 table (see
+// Store.SetImputeTable). Must be called before any queries.
+func (st *LazyStore) SetImputeTable(t *ImputeTable) { st.tbl = t }
+
+// ImputeTable returns the attached table, nil without one.
+func (st *LazyStore) ImputeTable() *ImputeTable { return st.tbl }
+
+// Impute fills missing dimensions per the variant (see Store.Impute).
+func (st *LazyStore) Impute(pa platform.ID, a int, pb platform.ID, b int, v Variant, topFriends int) (linalg.Vector, error) {
+	return imputePair(st, st.tbl, pa, a, pb, b, v, topFriends)
+}
+
+// Friends returns the top-k prefix of an account's persisted friend
+// slice, materializing it on first touch. Check order and error text
+// mirror Store.Friends.
+func (st *LazyStore) Friends(id platform.ID, local, k int) ([]graph.Friend, error) {
+	n, err := st.numAccounts(id)
+	if err != nil {
+		return nil, err
+	}
+	if local < 0 || local >= n {
+		return nil, fmt.Errorf("core: account %d out of range (%s snapshot has %d)", local, id, n)
+	}
+	if err := checkPresentIn(st.present, id, local); err != nil {
+		return nil, err
+	}
+	if k > st.friendsK {
+		return nil, fmt.Errorf("core: imputation wants top-%d friends but the snapshot stores top-%d — repack the bundle with a larger TopFriends", k, st.friendsK)
+	}
+	f, err := st.snap.Friends(id, local)
+	if err != nil {
+		return nil, err
+	}
+	if k < len(f) {
+		f = f[:k]
+	}
+	return f, nil
+}
+
+// LimitPairCache bounds the pair-vector cache (n ≤ 0 = unbounded).
+func (st *LazyStore) LimitPairCache(n int) { st.pairs.limit(n) }
+
+// CacheSize reports the number of cached pair vectors (diagnostics).
+func (st *LazyStore) CacheSize() int { return st.pairs.size() }
+
+// PairCacheStats reports the pair-cache hit/miss counters since process
+// start (imputation health for /metrics).
+func (st *LazyStore) PairCacheStats() (hits, misses uint64) { return st.pairs.stats() }

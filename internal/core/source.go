@@ -181,9 +181,29 @@ func imputePair(src Source, tbl *ImputeTable, pa platform.ID, a int, pb platform
 // checkPairRange validates a pair's local account ids against the view
 // slices, with the same error both Source halves report.
 func checkPairRange(pa platform.ID, a int, pb platform.ID, b int, va, vb []*features.AccountView) error {
-	if a < 0 || a >= len(va) || b < 0 || b >= len(vb) {
+	return checkPairRangeN(pa, a, pb, b, len(va), len(vb))
+}
+
+// checkPairRangeN is the count-based form of checkPairRange — the lazy
+// store knows its account counts without materializing any views.
+func checkPairRangeN(pa platform.ID, a int, pb platform.ID, b int, na, nb int) error {
+	if a < 0 || a >= na || b < 0 || b >= nb {
 		return fmt.Errorf("core: pair (%d,%d) out of range (%s has %d, %s has %d)",
-			a, b, pa, len(va), pb, len(vb))
+			a, b, pa, na, pb, nb)
 	}
 	return nil
+}
+
+// checkPresentIn rejects a query touching an account a partial snapshot
+// does not carry — the shared restriction check of the snapshot-backed
+// stores (nil map / missing platform = everything present).
+func checkPresentIn(present map[platform.ID][]bool, id platform.ID, local int) error {
+	if present == nil {
+		return nil
+	}
+	p, ok := present[id]
+	if !ok || (local >= 0 && local < len(p) && p[local]) {
+		return nil
+	}
+	return fmt.Errorf("core: %s account %d is not packed in this shard — route it by the bundle's shard descriptor", id, local)
 }

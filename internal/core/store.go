@@ -90,14 +90,7 @@ func (st *Store) Restrict(present map[platform.ID][]bool) {
 // checkPresent rejects a query touching an account this partial
 // snapshot does not carry.
 func (st *Store) checkPresent(id platform.ID, local int) error {
-	if st.present == nil {
-		return nil
-	}
-	p, ok := st.present[id]
-	if !ok || (local >= 0 && local < len(p) && p[local]) {
-		return nil
-	}
-	return fmt.Errorf("core: %s account %d is not packed in this shard — route it by the bundle's shard descriptor", id, local)
+	return checkPresentIn(st.present, id, local)
 }
 
 // Platforms lists the snapshotted platform ids in sorted order.

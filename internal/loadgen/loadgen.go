@@ -1,0 +1,253 @@
+// Package loadgen is a closed-loop (optionally rate-paced) HTTP load
+// harness for the serving tier: N concurrent clients drive a
+// hydra-serve or hydra-router front-end with a configurable mix of
+// top-k, single-pair score and batched score queries, and the run
+// reports throughput plus latency percentiles (p50/p99/p999). It exists
+// so "the mmap'd engine serves under concurrent load at such-and-such
+// p99" is a measured number in BENCH_PR9.json, not a claim.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Mix weights the query types a client draws from. All-zero defaults to
+// top-k only.
+type Mix struct {
+	TopK  int `json:"topk"`
+	Score int `json:"score"`
+	Batch int `json:"batch"`
+}
+
+// Config parameterizes one load run against one base URL.
+type Config struct {
+	// BaseURL is the front-end root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Clients is the number of concurrent closed-loop clients.
+	Clients int
+	// Duration is the measured wall-clock window.
+	Duration time.Duration
+	// Rate, when positive, paces the run as an open loop at this many
+	// total requests per second (spread over the clients; a client that
+	// falls behind fires immediately rather than queueing). Zero means
+	// closed loop: every client issues its next request as soon as the
+	// previous one returns.
+	Rate float64
+	// Mix weights the query types.
+	Mix Mix
+	// PA, PB name the platform pair; A-side ids are drawn from
+	// [0, NumA), B-side ids (score/batch bodies) from [0, NumB).
+	PA, PB     string
+	NumA, NumB int
+	// K is the top-k depth (default 5); BatchSize the pairs per batched
+	// score request (default 16).
+	K         int
+	BatchSize int
+	// Seed derives every client's query stream — same seed, same load.
+	Seed int64
+	// Client overrides the HTTP client (default: pooled transport sized
+	// to Clients).
+	Client *http.Client
+}
+
+// Result is one run's outcome. Latency percentiles are over successful
+// requests only; Errors counts transport failures and non-200 statuses.
+type Result struct {
+	Mode        string  `json:"mode"` // "closed" or "open"
+	Clients     int     `json:"clients"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	DurationSec float64 `json:"duration_sec"`
+	Throughput  float64 `json:"requests_per_sec"`
+	MeanMs      float64 `json:"mean_ms"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	P999Ms      float64 `json:"p999_ms"`
+	MaxMs       float64 `json:"max_ms"`
+}
+
+type scoreBody struct {
+	PA    string   `json:"pa"`
+	PB    string   `json:"pb"`
+	Pairs [][2]int `json:"pairs"`
+}
+
+// Run drives the configured load and reports the aggregate.
+func Run(cfg Config) (Result, error) {
+	if cfg.BaseURL == "" {
+		return Result{}, fmt.Errorf("loadgen: BaseURL is required")
+	}
+	if cfg.NumA <= 0 || cfg.NumB <= 0 {
+		return Result{}, fmt.Errorf("loadgen: NumA and NumB must be positive, got %d and %d", cfg.NumA, cfg.NumB)
+	}
+	if cfg.Duration <= 0 {
+		return Result{}, fmt.Errorf("loadgen: Duration must be positive, got %s", cfg.Duration)
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.K <= 0 {
+		cfg.K = 5
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.Mix.TopK+cfg.Mix.Score+cfg.Mix.Batch <= 0 {
+		cfg.Mix = Mix{TopK: 1}
+	}
+	client := cfg.Client
+	if client == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConns = cfg.Clients + 4
+		tr.MaxIdleConnsPerHost = cfg.Clients + 4
+		client = &http.Client{Transport: tr, Timeout: 30 * time.Second}
+	}
+
+	type clientStats struct {
+		lat    []float64 // ms, successful requests
+		errors int
+	}
+	stats := make([]clientStats, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	for ci := 0; ci < cfg.Clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			st := &stats[ci]
+			rng := rand.New(rand.NewSource(cfg.Seed*0x9E3779B9 + int64(ci) + 1))
+			var next time.Time
+			var interval time.Duration
+			if cfg.Rate > 0 {
+				interval = time.Duration(float64(time.Second) * float64(cfg.Clients) / cfg.Rate)
+				// Staggered start so the open-loop clients don't phase-lock.
+				next = start.Add(time.Duration(ci) * interval / time.Duration(cfg.Clients))
+			}
+			for {
+				now := time.Now()
+				if !now.Before(deadline) {
+					return
+				}
+				if cfg.Rate > 0 {
+					if wait := next.Sub(now); wait > 0 {
+						time.Sleep(wait)
+						if !time.Now().Before(deadline) {
+							return
+						}
+					}
+					next = next.Add(interval)
+				}
+				t0 := time.Now()
+				err := issueOne(client, cfg, rng)
+				ms := float64(time.Since(t0).Nanoseconds()) / 1e6
+				if err != nil {
+					st.errors++
+				} else {
+					st.lat = append(st.lat, ms)
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := Result{Mode: "closed", Clients: cfg.Clients, DurationSec: elapsed.Seconds()}
+	if cfg.Rate > 0 {
+		res.Mode = "open"
+	}
+	var all []float64
+	for i := range stats {
+		res.Errors += stats[i].errors
+		all = append(all, stats[i].lat...)
+	}
+	res.Requests = len(all) + res.Errors
+	if res.DurationSec > 0 {
+		res.Throughput = float64(res.Requests) / res.DurationSec
+	}
+	if len(all) > 0 {
+		sort.Float64s(all)
+		sum := 0.0
+		for _, v := range all {
+			sum += v
+		}
+		res.MeanMs = sum / float64(len(all))
+		res.P50Ms = percentile(all, 0.50)
+		res.P99Ms = percentile(all, 0.99)
+		res.P999Ms = percentile(all, 0.999)
+		res.MaxMs = all[len(all)-1]
+	}
+	return res, nil
+}
+
+// percentile reads the p-quantile out of an ascending-sorted sample.
+func percentile(sorted []float64, p float64) float64 {
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// issueOne draws one query from the mix and executes it, returning an
+// error for transport failures and non-200 responses.
+func issueOne(client *http.Client, cfg Config, rng *rand.Rand) error {
+	total := cfg.Mix.TopK + cfg.Mix.Score + cfg.Mix.Batch
+	r := rng.Intn(total)
+	switch {
+	case r < cfg.Mix.TopK:
+		url := fmt.Sprintf("%s/topk?pa=%s&a=%d&pb=%s&k=%d",
+			cfg.BaseURL, cfg.PA, rng.Intn(cfg.NumA), cfg.PB, cfg.K)
+		return get(client, url)
+	case r < cfg.Mix.TopK+cfg.Mix.Score:
+		return postScore(client, cfg, [][2]int{{rng.Intn(cfg.NumA), rng.Intn(cfg.NumB)}})
+	default:
+		pairs := make([][2]int, cfg.BatchSize)
+		for i := range pairs {
+			pairs[i] = [2]int{rng.Intn(cfg.NumA), rng.Intn(cfg.NumB)}
+		}
+		return postScore(client, cfg, pairs)
+	}
+}
+
+func get(client *http.Client, url string) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	return drain(resp)
+}
+
+func postScore(client *http.Client, cfg Config, pairs [][2]int) error {
+	body, err := json.Marshal(scoreBody{PA: cfg.PA, PB: cfg.PB, Pairs: pairs})
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(cfg.BaseURL+"/score", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	return drain(resp)
+}
+
+// drain consumes the response body (so the connection is reused) and
+// maps non-200 statuses to errors.
+func drain(resp *http.Response) error {
+	_, copyErr := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if copyErr != nil {
+		return copyErr
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: status %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package loadgen
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunClosedLoop drives a stub front-end and checks the aggregate:
+// every request lands on a known endpoint, percentiles are ordered and
+// the throughput accounting adds up.
+func TestRunClosedLoop(t *testing.T) {
+	var topk, score atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case strings.HasPrefix(r.URL.Path, "/topk"):
+			topk.Add(1)
+		case strings.HasPrefix(r.URL.Path, "/score"):
+			score.Add(1)
+		default:
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+
+	res, err := Run(Config{
+		BaseURL:  srv.URL,
+		Clients:  3,
+		Duration: 150 * time.Millisecond,
+		Mix:      Mix{TopK: 1, Score: 1, Batch: 1},
+		PA:       "twitter", PB: "facebook",
+		NumA: 10, NumB: 10,
+		Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "closed" || res.Clients != 3 {
+		t.Fatalf("bad run shape: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors against a 200-only server", res.Errors)
+	}
+	if res.Requests == 0 || res.Throughput <= 0 {
+		t.Fatalf("no load driven: %+v", res)
+	}
+	if got := topk.Load() + score.Load(); got != int64(res.Requests) {
+		t.Fatalf("server saw %d requests, result claims %d", got, res.Requests)
+	}
+	if topk.Load() == 0 || score.Load() == 0 {
+		t.Fatalf("mix not exercised: topk=%d score=%d", topk.Load(), score.Load())
+	}
+	if res.P50Ms > res.P99Ms || res.P99Ms > res.P999Ms || res.P999Ms > res.MaxMs {
+		t.Fatalf("percentiles out of order: %+v", res)
+	}
+}
+
+// TestRunCountsErrors maps non-200 responses to the error counter, not
+// the latency sample.
+func TestRunCountsErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	res, err := Run(Config{
+		BaseURL: srv.URL, Duration: 60 * time.Millisecond,
+		PA: "a", PB: "b", NumA: 1, NumB: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 || res.Errors != res.Requests {
+		t.Fatalf("500s not counted as errors: %+v", res)
+	}
+	if res.P50Ms != 0 {
+		t.Fatalf("failed requests leaked into the latency sample: %+v", res)
+	}
+}
+
+// TestRunOpenLoopPacing checks the open-loop mode paces rather than
+// saturates: against a fast server, 100 req/s for 300 ms cannot be far
+// off ~30 requests.
+func TestRunOpenLoopPacing(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+	res, err := Run(Config{
+		BaseURL: srv.URL, Clients: 2, Duration: 300 * time.Millisecond, Rate: 100,
+		PA: "a", PB: "b", NumA: 5, NumB: 5, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "open" {
+		t.Fatalf("mode = %q, want open", res.Mode)
+	}
+	if res.Requests < 10 || res.Requests > 60 {
+		t.Fatalf("open loop at 100 req/s for 300ms issued %d requests", res.Requests)
+	}
+}
+
+// TestRunValidation pins the config gates.
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Duration: time.Second, NumA: 1, NumB: 1}); err == nil {
+		t.Fatal("missing BaseURL accepted")
+	}
+	if _, err := Run(Config{BaseURL: "http://x", Duration: time.Second}); err == nil {
+		t.Fatal("zero account counts accepted")
+	}
+	if _, err := Run(Config{BaseURL: "http://x", NumA: 1, NumB: 1}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}

@@ -71,6 +71,11 @@ type Metrics struct {
 	// fed by the router's health scrapes.
 	imputeSource func() ImputeStats
 	shardImpute  map[string]ImputeStats
+
+	// Mapped-serving and blocking fan-out telemetry (see mapped.go):
+	// pull-style snapshot sources evaluated per scrape.
+	mappedSource func() (MappedStats, bool)
+	fanoutSource func() []PairFanout
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -145,6 +150,7 @@ func (m *Metrics) Render(w io.Writer) {
 
 	m.renderPrescreen(w)
 	m.renderImpute(w)
+	m.renderMapped(w)
 }
 
 // formatBound renders a bucket bound the way Prometheus expects

@@ -1,0 +1,741 @@
+package pipeline
+
+// Out-of-RAM serving: OpenBundleMapped reads a v3 bundle without
+// decoding it. The file is memory-mapped (read-only, shared), only the
+// JSON header is parsed eagerly, and each length-prefixed binary
+// section is exposed as a lazy view: account views, friend slices and
+// index rows are located by a cheap skip-scan at open time (offsets
+// only — no allocation proportional to payload) and materialized on
+// first touch. Vector payloads that land 8-byte aligned on a
+// little-endian host are reinterpreted in place (see aliasFloat64s);
+// everything else copy-decodes to the identical bits. Cold start is
+// therefore O(header + offsets) instead of O(bundle), and resident
+// memory tracks the working set, not the file.
+//
+// Lifetime: anything materialized from the mapping may alias it, so the
+// mapping must outlive every reader. Close unmaps; callers (the serve
+// engine) must drain in-flight queries first — see serve.Engine.Retire.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync/atomic"
+
+	"hydra/internal/blocking"
+	"hydra/internal/core"
+	"hydra/internal/features"
+	"hydra/internal/graph"
+	"hydra/internal/linalg"
+	"hydra/internal/platform"
+)
+
+// MapOptions tunes OpenBundleMapped.
+type MapOptions struct {
+	// NoMmap skips the memory map and reads the whole file into heap
+	// memory instead. Sections still decode lazily; only the backing
+	// storage changes. This is also the silent fallback when the
+	// platform cannot mmap.
+	NoMmap bool
+
+	// NoZeroCopy forces every vector to copy-decode instead of aliasing
+	// the mapping. Bit-identical output either way; this exists for the
+	// equivalence tests and as an operational escape hatch.
+	NoZeroCopy bool
+}
+
+// MappedStats reports what a mapped bundle has materialized so far.
+type MappedStats struct {
+	Mapped      bool // true when backed by an OS memory map (false = heap fallback)
+	Bytes       int  // file size
+	AliasedVecs uint64
+	CopiedVecs  uint64
+
+	ResidentViews   int
+	ResidentFriends int
+	ResidentRows    int
+	TotalViews      int
+	TotalFriends    int
+	TotalRows       int
+}
+
+// MappedBundle is a v3 bundle opened without decoding: header parsed,
+// sections mapped, payloads materialized on first touch. It implements
+// core.LazySnapshot, so core.NewLazyStore can serve straight off it.
+type MappedBundle struct {
+	data    []byte
+	unmap   func() error
+	mapped  bool
+	noAlias bool
+	closed  atomic.Bool
+
+	header bundleHeaderV3
+	plats  []platform.ID
+
+	modelParts     core.ModelParts
+	prescreenParts *core.PrescreenParts
+	tableParts     *core.ImputeTableParts
+
+	views   map[platform.ID]*mappedViews
+	friends map[platform.ID]*mappedFriends
+	indexes []*mappedIndex
+
+	aliased, copied                atomic.Uint64
+	resViews, resFriends, resRows  atomic.Int64
+	totalViews, totalFriends, rows int
+}
+
+// mappedViews is one platform's slice of the view section: the header
+// metas, each account's byte offset into the section, and a per-account
+// cache filled on first touch.
+type mappedViews struct {
+	metas []viewMetaV3
+	buf   []byte
+	off   []int
+	cache []atomic.Pointer[features.AccountView]
+}
+
+type mappedFriends struct {
+	buf   []byte
+	off   []int
+	cache []atomic.Pointer[[]graph.Friend]
+}
+
+type mappedIndex struct {
+	mb     *MappedBundle
+	meta   indexMetaV3
+	buf    []byte
+	rowOff []int
+	rowLen []int
+	cache  []atomic.Pointer[[]blocking.Candidate]
+}
+
+// OpenBundleMapped opens a v3 bundle lazily. Only the binary format
+// qualifies — a legacy v2 JSON bundle has no sections to map, so it is
+// rejected here (read it with LoadBundle instead). The returned bundle
+// holds an OS mapping until Close; nothing materialized from it may be
+// used afterwards.
+func OpenBundleMapped(path string, opts MapOptions) (*MappedBundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	mb := &MappedBundle{noAlias: opts.NoZeroCopy}
+	if size := st.Size(); !opts.NoMmap && mmapSupported && size > 0 && size <= math.MaxInt {
+		if data, unmap, err := mmapFile(f, int(size)); err == nil {
+			mb.data, mb.unmap, mb.mapped = data, unmap, true
+		}
+	}
+	if mb.data == nil {
+		data, err := io.ReadAll(f)
+		if err != nil {
+			return nil, err
+		}
+		mb.data = data
+	}
+	if err := mb.open(); err != nil {
+		mb.Close()
+		return nil, err
+	}
+	if mb.mapped {
+		// The skip-scan just streamed through every page once; give the
+		// residency back so cold-start RSS is O(header + offset tables),
+		// not O(bundle). Queries fault back exactly what they touch.
+		dropResident(mb.data)
+	}
+	return mb, nil
+}
+
+// open parses the header, bounds-checks every section against the file
+// size, eagerly decodes the small sections (model, prescreen, impute
+// table — their vectors alias the mapping where possible) and skip-scans
+// the bulky ones (views, friends, indexes) into per-entry offset tables.
+func (mb *MappedBundle) open() error {
+	data := mb.data
+	if len(data) < len(bundleMagic) || string(data[:len(bundleMagic)]) != bundleMagic {
+		n := min(len(data), len(bundleMagic))
+		return fmt.Errorf("pipeline: bad bundle magic %q", data[:n])
+	}
+	off := len(bundleMagic)
+	block := func(what string) ([]byte, error) {
+		if len(data)-off < 8 {
+			return nil, fmt.Errorf("pipeline: read v3 %s length: file truncated at byte %d", what, off)
+		}
+		n := binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		const maxSection = 1 << 33
+		if n > maxSection {
+			return nil, fmt.Errorf("pipeline: v3 %s claims %d bytes — corrupt bundle", what, n)
+		}
+		if int(n) > len(data)-off {
+			return nil, fmt.Errorf("pipeline: v3 %s wants %d bytes, file has %d left — truncated bundle", what, n, len(data)-off)
+		}
+		p := data[off : off+int(n)]
+		off += int(n)
+		return p, nil
+	}
+
+	headerJSON, err := block("header")
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(headerJSON, &mb.header); err != nil {
+		return fmt.Errorf("pipeline: decode v3 header: %w", err)
+	}
+	if mb.header.Version != BundleVersion {
+		return fmt.Errorf("pipeline: binary bundle version %d, this build reads version %d", mb.header.Version, BundleVersion)
+	}
+	if err := mb.header.Shard.Validate(); err != nil {
+		return err
+	}
+
+	var secs [4][]byte
+	for i, what := range []string{"model section", "view section", "friend section", "index section"} {
+		if secs[i], err = block(what); err != nil {
+			return err
+		}
+	}
+	var prescreenBuf, tableBuf []byte
+	if mb.header.Prescreen != nil {
+		if prescreenBuf, err = block("prescreen section"); err != nil {
+			return err
+		}
+	}
+	if mb.header.ImputeTable != nil {
+		if tableBuf, err = block("impute-table section"); err != nil {
+			return err
+		}
+	}
+	if off != len(data) {
+		return fmt.Errorf("pipeline: v3 bundle has %d trailing bytes — corrupt bundle", len(data)-off)
+	}
+
+	if err := mb.decodeModel(secs[0]); err != nil {
+		return err
+	}
+	if err := mb.decodePrescreen(prescreenBuf); err != nil {
+		return err
+	}
+	if err := mb.decodeImputeTable(tableBuf); err != nil {
+		return err
+	}
+	if err := mb.scanViews(secs[1]); err != nil {
+		return err
+	}
+	if err := mb.scanFriends(secs[2]); err != nil {
+		return err
+	}
+	return mb.scanIndexes(secs[3])
+}
+
+func (mb *MappedBundle) decodeModel(buf []byte) error {
+	r := mb.reader(buf)
+	mb.modelParts = core.ModelParts{
+		Cfg:         mb.header.Model.Cfg,
+		KernelKind:  mb.header.Model.KernelKind,
+		KernelSigma: mb.header.Model.KernelSigma,
+		Bias:        mb.header.Model.Bias,
+		Diag:        mb.header.Model.Diag,
+	}
+	mb.modelParts.Xs = r.vecs()
+	mb.modelParts.Alpha = r.vec()
+	return r.finish("model section")
+}
+
+func (mb *MappedBundle) decodePrescreen(buf []byte) error {
+	hp := mb.header.Prescreen
+	if hp == nil {
+		return nil
+	}
+	r := mb.reader(buf)
+	mb.prescreenParts = &core.PrescreenParts{
+		Features: hp.Features, RFF: hp.RFF, Dim: hp.Dim, Seed: hp.Seed,
+		Sigma: hp.Sigma, EpsRaw: hp.EpsRaw, Safety: hp.Safety, Eps: hp.Eps,
+		W: r.vec(), B: r.vec(), C: r.vec(), V: r.vec(),
+	}
+	if err := r.finish("prescreen section"); err != nil {
+		return err
+	}
+	return mb.prescreenParts.Validate()
+}
+
+func (mb *MappedBundle) decodeImputeTable(buf []byte) error {
+	ht := mb.header.ImputeTable
+	if ht == nil {
+		return nil
+	}
+	r := mb.reader(buf)
+	t := &core.ImputeTableParts{K: ht.K, Dim: ht.Dim}
+	for _, pm := range ht.Pairs {
+		pp := core.ImputeTablePairParts{
+			PA: pm.PA, PB: pm.PB,
+			A: r.i32s(), B: r.i32s(),
+			Counts: r.vec(), Sums: r.vec(),
+		}
+		if r.err == nil && len(pp.A) != pm.Entries {
+			return fmt.Errorf("pipeline: v3 impute-table section has %d entries for %s/%s, header lists %d",
+				len(pp.A), pm.PA, pm.PB, pm.Entries)
+		}
+		t.Pairs = append(t.Pairs, pp)
+	}
+	if err := r.finish("impute-table section"); err != nil {
+		return err
+	}
+	mb.tableParts = t
+	return t.Validate()
+}
+
+func (mb *MappedBundle) scanViews(buf []byte) error {
+	mb.plats = sortedPlatformIDs(mb.header.Views)
+	mb.views = make(map[platform.ID]*mappedViews, len(mb.plats))
+	r := mb.reader(buf)
+	for _, id := range mb.plats {
+		metas := mb.header.Views[id]
+		nv := int(r.u32())
+		if r.err != nil {
+			break
+		}
+		if nv != len(metas) {
+			return fmt.Errorf("pipeline: v3 view section has %d accounts for %s, header lists %d", nv, id, len(metas))
+		}
+		mv := &mappedViews{
+			metas: metas,
+			buf:   buf,
+			off:   make([]int, nv),
+			cache: make([]atomic.Pointer[features.AccountView], nv),
+		}
+		for i := 0; i < nv && r.err == nil; i++ {
+			mv.off[i] = r.off
+			r.skipSlice(32) // events
+			r.skipSlice(8)  // post times
+			r.skipVecs()    // topic dists
+			r.skipVecs()    // genre dists
+			r.skipVecs()    // sentiment dists
+			r.skipSlice(8)  // embedding
+		}
+		mb.views[id] = mv
+		mb.totalViews += nv
+	}
+	return r.finish("view section")
+}
+
+func (mb *MappedBundle) scanFriends(buf []byte) error {
+	mb.friends = make(map[platform.ID]*mappedFriends, len(mb.plats))
+	r := mb.reader(buf)
+	for _, id := range mb.plats {
+		nf := int(r.u32())
+		if r.err != nil {
+			break
+		}
+		if nv := len(mb.views[id].off); nf != nv {
+			return fmt.Errorf("pipeline: v3 friend section has %d accounts for %s, view section has %d", nf, id, nv)
+		}
+		mf := &mappedFriends{
+			buf:   buf,
+			off:   make([]int, nf),
+			cache: make([]atomic.Pointer[[]graph.Friend], nf),
+		}
+		for i := 0; i < nf && r.err == nil; i++ {
+			mf.off[i] = r.off
+			r.skipSlice(16)
+		}
+		mb.friends[id] = mf
+		mb.totalFriends += nf
+	}
+	return r.finish("friend section")
+}
+
+func (mb *MappedBundle) scanIndexes(buf []byte) error {
+	r := mb.reader(buf)
+	for _, meta := range mb.header.Indexes {
+		mi := &mappedIndex{mb: mb, meta: meta, buf: buf}
+		nrows, ok := r.sliceLen()
+		if ok && r.err == nil {
+			mi.rowOff = make([]int, nrows)
+			mi.rowLen = make([]int, nrows)
+			mi.cache = make([]atomic.Pointer[[]blocking.Candidate], nrows)
+			for i := 0; i < nrows && r.err == nil; i++ {
+				mi.rowOff[i] = r.off
+				if m, ok := r.sliceLen(); ok {
+					r.take(17 * m)
+					mi.rowLen[i] = m
+				}
+			}
+			mb.rows += nrows
+		}
+		mb.indexes = append(mb.indexes, mi)
+	}
+	return r.finish("index section")
+}
+
+// View materializes (and caches) one account view. Concurrent first
+// touches race benignly: decode is deterministic, and the CAS keeps one
+// canonical pointer.
+func (mb *MappedBundle) View(id platform.ID, local int) (*features.AccountView, error) {
+	mv := mb.views[id]
+	if mv == nil {
+		return nil, fmt.Errorf("pipeline: platform %s not in mapped bundle", id)
+	}
+	if local < 0 || local >= len(mv.off) {
+		return nil, fmt.Errorf("pipeline: account %d out of range (%s mapped bundle has %d)", local, id, len(mv.off))
+	}
+	if v := mv.cache[local].Load(); v != nil {
+		return v, nil
+	}
+	r := mb.readerAt(mv.buf, mv.off[local])
+	meta := &mv.metas[local]
+	parts := features.ViewParts{
+		Username: meta.Username, Attrs: meta.Attrs, AvatarID: meta.AvatarID, Unique: meta.Unique,
+		Events: r.events(), PostTimes: r.times(),
+		TopicDists: r.vecs(), GenreDists: r.vecs(), SentDists: r.vecs(),
+		Embedding: r.vec(),
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("pipeline: decode mapped view %s/%d: %w", id, local, r.err)
+	}
+	v := features.RestoreView(parts, id, local)
+	if mv.cache[local].CompareAndSwap(nil, v) {
+		mb.resViews.Add(1)
+	} else {
+		v = mv.cache[local].Load()
+	}
+	return v, nil
+}
+
+// Friends materializes (and caches) one account's top-friends slice.
+func (mb *MappedBundle) Friends(id platform.ID, local int) ([]graph.Friend, error) {
+	mf := mb.friends[id]
+	if mf == nil {
+		return nil, fmt.Errorf("pipeline: platform %s not in mapped bundle", id)
+	}
+	if local < 0 || local >= len(mf.off) {
+		return nil, fmt.Errorf("pipeline: account %d out of range (%s mapped bundle has %d)", local, id, len(mf.off))
+	}
+	if p := mf.cache[local].Load(); p != nil {
+		return *p, nil
+	}
+	r := mb.readerAt(mf.buf, mf.off[local])
+	fr := r.friends()
+	if r.err != nil {
+		return nil, fmt.Errorf("pipeline: decode mapped friends %s/%d: %w", id, local, r.err)
+	}
+	p := &fr
+	if mf.cache[local].CompareAndSwap(nil, p) {
+		mb.resFriends.Add(1)
+	} else {
+		p = mf.cache[local].Load()
+	}
+	return *p, nil
+}
+
+// Username answers from the header metas alone — no section touch.
+func (mb *MappedBundle) Username(id platform.ID, local int) (string, bool) {
+	mv := mb.views[id]
+	if mv == nil || local < 0 || local >= len(mv.metas) {
+		return "", false
+	}
+	return mv.metas[local].Username, true
+}
+
+// Platforms lists the bundle's platforms in sorted order. The returned
+// slice is shared — callers must not modify it.
+func (mb *MappedBundle) Platforms() []platform.ID { return mb.plats }
+
+// NumAccounts returns the platform's account count, or -1 if the
+// platform is not in the bundle.
+func (mb *MappedBundle) NumAccounts(id platform.ID) int {
+	mv := mb.views[id]
+	if mv == nil {
+		return -1
+	}
+	return len(mv.off)
+}
+
+func (mi *mappedIndex) fetch(a int) []blocking.Candidate {
+	if p := mi.cache[a].Load(); p != nil {
+		return *p
+	}
+	r := mi.mb.readerAt(mi.buf, mi.rowOff[a])
+	row := r.candidates()
+	if r.err != nil {
+		// Unreachable: the open-time scan walked this exact row.
+		return nil
+	}
+	p := &row
+	if mi.cache[a].CompareAndSwap(nil, p) {
+		mi.mb.resRows.Add(1)
+	} else {
+		p = mi.cache[a].Load()
+	}
+	return *p
+}
+
+// LazyIndexes builds one lazily-materializing blocking.Index per packed
+// index. Row caches are shared across calls.
+func (mb *MappedBundle) LazyIndexes() ([]*blocking.Index, error) {
+	out := make([]*blocking.Index, 0, len(mb.indexes))
+	for _, mi := range mb.indexes {
+		ix, err := blocking.LazyIndex(mi.meta.PA, mi.meta.PB, mi.meta.Rules, mi.rowLen, mi.fetch)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ix)
+	}
+	return out, nil
+}
+
+// Store restores the mapped bundle into a lazy core.Store answering the
+// identical core.Source contract as Bundle.Store — same checks, same
+// error text, same restriction for sharded sub-bundles.
+func (mb *MappedBundle) Store() (*core.LazyStore, error) {
+	if need := mb.modelParts.Cfg.ResolvedTopFriends(); mb.header.FriendsK < need {
+		return nil, fmt.Errorf("pipeline: bundle packs top-%d friends but its model imputes with top-%d — repack the bundle", mb.header.FriendsK, need)
+	}
+	pipe, err := features.PipelineFromParts(mb.header.Pipeline)
+	if err != nil {
+		return nil, err
+	}
+	faces := mb.header.Faces
+	st, err := core.NewLazyStore(pipe, mb, mb.header.FriendsK, &faces)
+	if err != nil {
+		return nil, err
+	}
+	if present := mb.PresentViews(); present != nil {
+		st.Restrict(present)
+	}
+	if mb.tableParts != nil {
+		tbl, err := core.ImputeTableFromParts(mb.tableParts)
+		if err != nil {
+			return nil, err
+		}
+		st.SetImputeTable(tbl)
+	}
+	return st, nil
+}
+
+// PresentViews mirrors Bundle.PresentViews for a sharded sub-bundle: the
+// owned B-side accounts plus their friend closure. It materializes the
+// friend slices of owned accounts (they are about to be hot anyway);
+// unsharded bundles return nil without touching any section.
+func (mb *MappedBundle) PresentViews() map[platform.ID][]bool {
+	d := mb.header.Shard
+	if d == nil {
+		return nil
+	}
+	present := make(map[platform.ID][]bool, len(d.BSide))
+	for _, id := range d.BSide {
+		mf := mb.friends[id]
+		if mf == nil {
+			continue
+		}
+		p := make([]bool, len(mf.off))
+		for j := range p {
+			if d.ShardOf(id, j) != d.Index {
+				continue
+			}
+			p[j] = true
+			fr, err := mb.Friends(id, j)
+			if err != nil {
+				continue
+			}
+			for _, f := range fr {
+				if f.ID >= 0 && f.ID < len(p) {
+					p[f.ID] = true
+				}
+			}
+		}
+		present[id] = p
+	}
+	return present
+}
+
+// ModelParts returns the model parts (slices may alias the mapping).
+func (mb *MappedBundle) ModelParts() core.ModelParts { return mb.modelParts }
+
+// Prescreen returns the packed prescreen parts, nil when absent.
+func (mb *MappedBundle) Prescreen() *core.PrescreenParts { return mb.prescreenParts }
+
+// Shard returns the shard descriptor, nil when unsharded.
+func (mb *MappedBundle) Shard() *ShardDesc { return mb.header.Shard }
+
+// Pairs returns the bundle's serving platform pairs.
+func (mb *MappedBundle) Pairs() [][2]platform.ID { return mb.header.Pairs }
+
+// Stats snapshots what has been materialized so far.
+func (mb *MappedBundle) Stats() MappedStats {
+	return MappedStats{
+		Mapped:          mb.mapped,
+		Bytes:           len(mb.data),
+		AliasedVecs:     mb.aliased.Load(),
+		CopiedVecs:      mb.copied.Load(),
+		ResidentViews:   int(mb.resViews.Load()),
+		ResidentFriends: int(mb.resFriends.Load()),
+		ResidentRows:    int(mb.resRows.Load()),
+		TotalViews:      mb.totalViews,
+		TotalFriends:    mb.totalFriends,
+		TotalRows:       mb.rows,
+	}
+}
+
+// DropCaches releases every materialized view, friend slice and index
+// row; the next touch re-materializes from the mapping. Safe to call
+// concurrently with queries — in-flight holders keep their references
+// alive, the GC reclaims the rest.
+func (mb *MappedBundle) DropCaches() {
+	for _, mv := range mb.views {
+		for i := range mv.cache {
+			if mv.cache[i].Swap(nil) != nil {
+				mb.resViews.Add(-1)
+			}
+		}
+	}
+	for _, mf := range mb.friends {
+		for i := range mf.cache {
+			if mf.cache[i].Swap(nil) != nil {
+				mb.resFriends.Add(-1)
+			}
+		}
+	}
+	for _, mi := range mb.indexes {
+		for i := range mi.cache {
+			if mi.cache[i].Swap(nil) != nil {
+				mb.resRows.Add(-1)
+			}
+		}
+	}
+	if mb.mapped {
+		dropResident(mb.data)
+	}
+}
+
+// Mapped reports whether the bundle is backed by an OS memory map.
+func (mb *MappedBundle) Mapped() bool { return mb.mapped }
+
+// Close unmaps the file. Everything materialized from the bundle —
+// views, vectors, the engine serving off it — must be out of use first;
+// the serve tier guarantees that by draining in-flight requests before
+// closing. Idempotent.
+func (mb *MappedBundle) Close() error {
+	if mb.closed.Swap(true) {
+		return nil
+	}
+	if mb.unmap != nil {
+		return mb.unmap()
+	}
+	return nil
+}
+
+// mapReader reads one section of the mapping: binSection's primitives
+// plus alias-aware vector decoding and skip-scanning. Aliased vectors
+// point into the mapping and share its lifetime.
+type mapReader struct {
+	binSection
+	mb *MappedBundle
+}
+
+func (mb *MappedBundle) reader(buf []byte) *mapReader {
+	return &mapReader{binSection: binSection{buf: buf}, mb: mb}
+}
+
+func (mb *MappedBundle) readerAt(buf []byte, off int) *mapReader {
+	r := mb.reader(buf)
+	r.off = off
+	return r
+}
+
+// vec decodes one vector, aliasing the payload in place when the host
+// byte order, alignment and options allow, copy-decoding otherwise.
+// Shadowing binSection.vec is deliberate; vecs below re-dispatches to
+// this method.
+func (r *mapReader) vec() linalg.Vector {
+	n, ok := r.sliceLen()
+	if !ok || r.err != nil {
+		return nil
+	}
+	p := r.take(8 * n)
+	if r.err != nil {
+		return nil
+	}
+	if !r.mb.noAlias {
+		if v, ok := aliasFloat64s(p, n); ok {
+			r.mb.aliased.Add(1)
+			return v
+		}
+	}
+	r.mb.copied.Add(1)
+	v := make(linalg.Vector, n)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:]))
+	}
+	return v
+}
+
+func (r *mapReader) vecs() []linalg.Vector {
+	n, ok := r.sliceLen()
+	if !ok || r.err != nil {
+		return nil
+	}
+	vs := make([]linalg.Vector, n)
+	for i := range vs {
+		vs[i] = r.vec()
+	}
+	return vs
+}
+
+func (r *mapReader) candidates() []blocking.Candidate {
+	m, ok := r.sliceLen()
+	if !ok || r.err != nil {
+		return nil
+	}
+	row := make([]blocking.Candidate, m)
+	for j := range row {
+		row[j] = blocking.Candidate{
+			A:          int(r.u32()),
+			B:          int(r.u32()),
+			Score:      r.f64(),
+			PreMatched: r.u8() == 1,
+		}
+	}
+	return row
+}
+
+// skipSlice advances past one presence-prefixed slice of fixed-width
+// elements, returning its element count.
+func (r *mapReader) skipSlice(elemSize int) int {
+	n, ok := r.sliceLen()
+	if !ok || r.err != nil {
+		return 0
+	}
+	r.take(elemSize * n)
+	return n
+}
+
+func (r *mapReader) skipVecs() {
+	n, ok := r.sliceLen()
+	if !ok || r.err != nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		r.skipSlice(8)
+	}
+}
+
+// finish reports a stuck decode error or trailing bytes, matching the
+// eager reader's corruption diagnostics.
+func (r *mapReader) finish(what string) error {
+	if r.err != nil {
+		return fmt.Errorf("pipeline: decode v3 %s: %w", what, r.err)
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("pipeline: v3 %s has %d trailing bytes — corrupt bundle", what, len(r.buf)-r.off)
+	}
+	return nil
+}

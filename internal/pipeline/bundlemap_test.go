@@ -1,0 +1,236 @@
+package pipeline
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"unsafe"
+
+	"hydra/internal/platform"
+)
+
+// fullFixtureBundle is the golden fixture plus both optional sections,
+// so mapped-open exercises every section kind.
+func fullFixtureBundle() *Bundle {
+	b := fixtureBundle(BundleVersion)
+	b.Prescreen = fixturePrescreen()
+	b.ImputeTable = fixtureImputeTable()
+	return b
+}
+
+func writeBundleFile(t *testing.T, b *Bundle) (string, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteBundle(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bundle.bin")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, buf.Bytes()
+}
+
+// TestOpenBundleMappedMatchesDecode diffs every accessor of the mapped
+// bundle against the heap decoder, under all three backing modes: the
+// real mapping with zero-copy aliasing, the mapping with aliasing
+// disabled, and the no-mmap heap fallback. All must produce identical
+// values.
+func TestOpenBundleMappedMatchesDecode(t *testing.T) {
+	b := fullFixtureBundle()
+	path, raw := writeBundleFile(t, b)
+	want, err := ReadBundle(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStore, err := want.Store()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		opts MapOptions
+	}{
+		{"mapped", MapOptions{}},
+		{"mapped-nozerocopy", MapOptions{NoZeroCopy: true}},
+		{"heap-fallback", MapOptions{NoMmap: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mb, err := OpenBundleMapped(path, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer mb.Close()
+			if wantMapped := !tc.opts.NoMmap && mmapSupported; mb.Mapped() != wantMapped {
+				t.Fatalf("Mapped() = %v, want %v", mb.Mapped(), wantMapped)
+			}
+			if got := mb.NumAccounts("orkut"); got != -1 {
+				t.Fatalf("NumAccounts(absent) = %d, want -1", got)
+			}
+			if !reflect.DeepEqual(mb.ModelParts(), want.Model) {
+				t.Fatal("ModelParts differs from the decoded bundle")
+			}
+			if !reflect.DeepEqual(mb.Prescreen(), want.Prescreen) {
+				t.Fatal("Prescreen differs from the decoded bundle")
+			}
+			if !reflect.DeepEqual(mb.Pairs(), want.Pairs) {
+				t.Fatal("Pairs differs from the decoded bundle")
+			}
+			for _, id := range mb.Platforms() {
+				views, err := wantStore.Views(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := mb.NumAccounts(id); got != len(views) {
+					t.Fatalf("%s: NumAccounts = %d, want %d", id, got, len(views))
+				}
+				for local := range views {
+					got, err := mb.View(id, local)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, views[local]) {
+						t.Fatalf("%s[%d]: mapped view differs:\n%+v\nvs\n%+v", id, local, got, views[local])
+					}
+					fr, err := mb.Friends(id, local)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wfr, err := wantStore.Friends(id, local, want.FriendsK)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(fr, wfr) {
+						t.Fatalf("%s[%d]: mapped friends %v, want %v", id, local, fr, wfr)
+					}
+					name, ok := mb.Username(id, local)
+					if !ok || name != want.Views[id][local].Username {
+						t.Fatalf("%s[%d]: Username = %q,%v want %q", id, local, name, ok, want.Views[id][local].Username)
+					}
+				}
+			}
+
+			// Index rows, via the lazy indexes.
+			ixs, err := mb.LazyIndexes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ixs) != len(want.Indexes) {
+				t.Fatalf("%d lazy indexes, want %d", len(ixs), len(want.Indexes))
+			}
+			for i, ix := range ixs {
+				for a, wrow := range want.Indexes[i].ByA {
+					got, err := ix.Candidates(a)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, wrow) {
+						t.Fatalf("index %d row %d: %v, want %v", i, a, got, wrow)
+					}
+				}
+			}
+
+			st := mb.Stats()
+			if st.ResidentViews == 0 || st.ResidentRows == 0 {
+				t.Fatalf("touched sections not counted resident: %+v", st)
+			}
+			if tc.opts.NoZeroCopy && st.AliasedVecs != 0 {
+				t.Fatalf("NoZeroCopy still aliased %d vectors", st.AliasedVecs)
+			}
+			mb.DropCaches()
+			if st := mb.Stats(); st.ResidentViews != 0 || st.ResidentFriends != 0 || st.ResidentRows != 0 {
+				t.Fatalf("DropCaches left residents: %+v", st)
+			}
+			// Re-touch after the drop: same values again.
+			v, err := mb.View(platform.Twitter, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wv, _ := wantStore.Views(platform.Twitter)
+			if !reflect.DeepEqual(v, wv[0]) {
+				t.Fatal("re-materialized view differs after DropCaches")
+			}
+		})
+	}
+}
+
+// TestOpenBundleMappedTruncationGates opens every proper prefix of a
+// valid bundle file: each must fail with an error, never panic and
+// never succeed.
+func TestOpenBundleMappedTruncationGates(t *testing.T) {
+	_, raw := writeBundleFile(t, fullFixtureBundle())
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cut.bin")
+	step := 1
+	if len(raw) > 2048 {
+		// Cut byte-by-byte through the magic, lengths and header, then
+		// sparsely through the bulk payloads.
+		step = 7
+	}
+	for cut := 0; cut < len(raw); cut += step {
+		if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mb, err := OpenBundleMapped(path, MapOptions{})
+		if err == nil {
+			mb.Close()
+			t.Fatalf("truncation at byte %d of %d opened successfully", cut, len(raw))
+		}
+	}
+	// Corrupt section length: claims more than the format allows.
+	bad := append([]byte(nil), raw...)
+	copy(bad[len(bundleMagic):], []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if mb, err := OpenBundleMapped(path, MapOptions{}); err == nil {
+		mb.Close()
+		t.Fatal("oversized header length opened successfully")
+	}
+	// Trailing garbage after the last section.
+	long := append(append([]byte(nil), raw...), 0xAA)
+	if err := os.WriteFile(path, long, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if mb, err := OpenBundleMapped(path, MapOptions{}); err == nil {
+		mb.Close()
+		t.Fatal("trailing bytes opened successfully")
+	}
+}
+
+// TestAliasFloat64sAlignmentGate pins the zero-copy reinterpretation's
+// refusal rules: misaligned payloads and empty vectors must fall back
+// to copy-decoding (checkptr faults on a misaligned unsafe.Slice, so a
+// wrong answer here is a crash under -race, not a wrong float).
+func TestAliasFloat64sAlignmentGate(t *testing.T) {
+	buf := make([]byte, 64)
+	// Find an 8-aligned base inside the buffer.
+	al := 0
+	for ; alignOf(buf[al:]) != 0; al++ {
+	}
+	if !hostLittleEndian {
+		if _, ok := aliasFloat64s(buf[al:al+16], 2); ok {
+			t.Fatal("aliased on a big-endian host")
+		}
+		t.Skip("big-endian host: aliasing is always refused")
+	}
+	if v, ok := aliasFloat64s(buf[al:al+16], 2); !ok || len(v) != 2 {
+		t.Fatalf("aligned alias refused: ok=%v len=%d", ok, len(v))
+	}
+	if _, ok := aliasFloat64s(buf[al+1:al+17], 2); ok {
+		t.Fatal("aliased a misaligned payload")
+	}
+	if _, ok := aliasFloat64s(buf[al:al], 0); ok {
+		t.Fatal("aliased an empty vector")
+	}
+}
+
+func alignOf(p []byte) uintptr {
+	if len(p) == 0 {
+		return 0
+	}
+	return uintptr(unsafe.Pointer(&p[0])) % 8
+}

@@ -1,0 +1,33 @@
+package pipeline
+
+import (
+	"unsafe"
+
+	"hydra/internal/linalg"
+)
+
+// hostLittleEndian reports whether this host's float64 byte order matches
+// the v3 wire format (little-endian), i.e. whether a raw section payload
+// can be reinterpreted in place instead of copy-decoded.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// aliasFloat64s reinterprets an 8n-byte little-endian float64 payload as
+// a vector without copying. It refuses (ok=false) on big-endian hosts and
+// on payloads that are not 8-byte aligned: unsafe.Slice requires natural
+// alignment (checkptr faults on violations under -race), and the v3
+// format aligns sections to no particular boundary — presence bytes and
+// u32 counts shift payloads arbitrarily mod 8 — so only payloads that
+// happen to land on a multiple of 8 qualify. Callers fall back to
+// copy-decoding, which produces the identical bits.
+func aliasFloat64s(p []byte, n int) (linalg.Vector, bool) {
+	if n == 0 || !hostLittleEndian {
+		return nil, false
+	}
+	if uintptr(unsafe.Pointer(&p[0]))%8 != 0 {
+		return nil, false
+	}
+	return linalg.Vector(unsafe.Slice((*float64)(unsafe.Pointer(&p[0])), n)), true
+}

@@ -1,0 +1,37 @@
+//go:build linux || darwin
+
+package pipeline
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this build can memory-map bundle files.
+// On unsupported platforms OpenBundleMapped silently falls back to
+// reading the file into heap memory (still lazily decoded).
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only. The returned closer unmaps;
+// the mapping (and anything aliasing into it) must not be touched after
+// it runs.
+func mmapFile(f *os.File, size int) ([]byte, func() error, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}
+
+// dropResident tells the kernel this process no longer needs data's
+// pages resident. For a clean read-only MAP_SHARED file mapping the
+// pages re-fault from the page cache (or disk) on the next touch with
+// identical contents, so this only trims RSS accounting — it can never
+// change what a reader sees. Called after the open-time skip-scan,
+// whose one sequential pass would otherwise leave the whole bundle
+// counted against the process.
+func dropResident(data []byte) {
+	if len(data) > 0 {
+		syscall.Madvise(data, syscall.MADV_DONTNEED)
+	}
+}

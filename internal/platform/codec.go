@@ -52,6 +52,41 @@ type wireDataset struct {
 	Platforms []wirePlatform `json:"platforms"`
 }
 
+// renderAccount flattens one account into its wire form — shared by
+// Encode and StreamEncoder so the two serialization paths cannot drift.
+func renderAccount(acc *Account) wireAccount {
+	wa := wireAccount{
+		Local:    acc.Local,
+		Person:   acc.Person,
+		Username: acc.Profile.Username,
+		Attrs:    acc.Profile.Attrs,
+		AvatarID: acc.Profile.AvatarID,
+	}
+	for _, post := range acc.Posts {
+		wa.Posts = append(wa.Posts, wirePost{Time: post.Time, Text: post.Text})
+	}
+	for _, ev := range acc.Events {
+		wa.Events = append(wa.Events, wireEvent{Time: ev.Time, Lat: ev.Lat, Lon: ev.Lon, MediaID: ev.MediaID})
+	}
+	return wa
+}
+
+// forEachWireEdge visits a platform graph's edges in the canonical wire
+// order (ascending u, then adjacency order, u < v once per edge) —
+// shared by Encode and StreamEncoder.
+func forEachWireEdge(g *graph.Graph, fn func(wireEdge) error) error {
+	for u := 0; u < g.Len(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				if err := fn(wireEdge{U: u, V: v, W: g.Weight(u, v)}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // Encode writes the dataset as JSON to w.
 func Encode(w io.Writer, d *Dataset) error {
 	wd := wireDataset{SpanStart: d.Span.Start, SpanEnd: d.Span.End}
@@ -64,28 +99,12 @@ func Encode(w io.Writer, d *Dataset) error {
 		p := d.Platforms[id]
 		wp := wirePlatform{ID: p.ID}
 		for _, acc := range p.Accounts {
-			wa := wireAccount{
-				Local:    acc.Local,
-				Person:   acc.Person,
-				Username: acc.Profile.Username,
-				Attrs:    acc.Profile.Attrs,
-				AvatarID: acc.Profile.AvatarID,
-			}
-			for _, post := range acc.Posts {
-				wa.Posts = append(wa.Posts, wirePost{Time: post.Time, Text: post.Text})
-			}
-			for _, ev := range acc.Events {
-				wa.Events = append(wa.Events, wireEvent{Time: ev.Time, Lat: ev.Lat, Lon: ev.Lon, MediaID: ev.MediaID})
-			}
-			wp.Accounts = append(wp.Accounts, wa)
+			wp.Accounts = append(wp.Accounts, renderAccount(acc))
 		}
-		for u := 0; u < p.Graph.Len(); u++ {
-			for _, v := range p.Graph.Neighbors(u) {
-				if u < v {
-					wp.Edges = append(wp.Edges, wireEdge{U: u, V: v, W: p.Graph.Weight(u, v)})
-				}
-			}
-		}
+		forEachWireEdge(p.Graph, func(e wireEdge) error {
+			wp.Edges = append(wp.Edges, e)
+			return nil
+		})
 		wd.Platforms = append(wd.Platforms, wp)
 	}
 	enc := json.NewEncoder(w)

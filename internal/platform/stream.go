@@ -1,0 +1,173 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hydra/internal/graph"
+	"hydra/internal/temporal"
+)
+
+// StreamEncoder writes a dataset in Encode's exact wire format without
+// ever holding more than one account in memory: the container
+// punctuation is written by hand, each element goes through the same
+// wire structs and json.Marshal as Encode, so the output is
+// byte-for-byte what Encode would produce for the same dataset —
+// including `null` for arrays Encode leaves nil. hydra-gen -stream uses
+// it to write worlds much larger than RAM.
+//
+// Call order: BeginPlatform, WriteAccount×N, EndPlatform — repeated per
+// platform in ascending ID order (Encode sorts) — then Close. Errors
+// are sticky; every call after a failure returns the first error.
+type StreamEncoder struct {
+	w      io.Writer
+	err    error
+	nPlat  int
+	nAcc   int
+	inPlat bool
+	closed bool
+}
+
+// NewStreamEncoder starts a dataset stream on w, writing the span
+// header immediately.
+func NewStreamEncoder(w io.Writer, span temporal.Range) (*StreamEncoder, error) {
+	e := &StreamEncoder{w: w}
+	e.writeString(`{"span_start":`)
+	e.writeJSON(span.Start)
+	e.writeString(`,"span_end":`)
+	e.writeJSON(span.End)
+	e.writeString(`,"platforms":`)
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e, nil
+}
+
+// BeginPlatform opens the next platform object. Platforms must arrive
+// in ascending ID order to match Encode's sorted output.
+func (e *StreamEncoder) BeginPlatform(id ID) error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.closed {
+		return e.fail(fmt.Errorf("platform: BeginPlatform after Close"))
+	}
+	if e.inPlat {
+		return e.fail(fmt.Errorf("platform: BeginPlatform without EndPlatform"))
+	}
+	if e.nPlat == 0 {
+		e.writeString(`[`)
+	} else {
+		e.writeString(`,`)
+	}
+	e.writeString(`{"id":`)
+	e.writeJSON(id)
+	e.writeString(`,"accounts":`)
+	e.nPlat++
+	e.nAcc = 0
+	e.inPlat = true
+	return e.err
+}
+
+// WriteAccount appends one account to the open platform. Accounts must
+// arrive in local-id order (Encode emits them that way).
+func (e *StreamEncoder) WriteAccount(acc *Account) error {
+	if e.err != nil {
+		return e.err
+	}
+	if !e.inPlat {
+		return e.fail(fmt.Errorf("platform: WriteAccount outside a platform"))
+	}
+	if e.nAcc == 0 {
+		e.writeString(`[`)
+	} else {
+		e.writeString(`,`)
+	}
+	e.writeJSON(renderAccount(acc))
+	e.nAcc++
+	return e.err
+}
+
+// EndPlatform closes the open platform, writing its friendship edges
+// from g in the canonical wire order.
+func (e *StreamEncoder) EndPlatform(g *graph.Graph) error {
+	if e.err != nil {
+		return e.err
+	}
+	if !e.inPlat {
+		return e.fail(fmt.Errorf("platform: EndPlatform outside a platform"))
+	}
+	if e.nAcc == 0 {
+		e.writeString(`null`)
+	} else {
+		e.writeString(`]`)
+	}
+	e.writeString(`,"edges":`)
+	nEdges := 0
+	forEachWireEdge(g, func(we wireEdge) error {
+		if nEdges == 0 {
+			e.writeString(`[`)
+		} else {
+			e.writeString(`,`)
+		}
+		e.writeJSON(we)
+		nEdges++
+		return e.err
+	})
+	if nEdges == 0 {
+		e.writeString(`null`)
+	} else {
+		e.writeString(`]`)
+	}
+	e.writeString(`}`)
+	e.inPlat = false
+	return e.err
+}
+
+// Close terminates the stream (trailing newline included, matching
+// json.Encoder).
+func (e *StreamEncoder) Close() error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.inPlat {
+		return e.fail(fmt.Errorf("platform: Close with an open platform"))
+	}
+	if e.closed {
+		return nil
+	}
+	if e.nPlat == 0 {
+		e.writeString(`null`)
+	} else {
+		e.writeString(`]`)
+	}
+	e.writeString("}\n")
+	e.closed = true
+	return e.err
+}
+
+func (e *StreamEncoder) fail(err error) error {
+	e.err = err
+	return err
+}
+
+func (e *StreamEncoder) writeString(s string) {
+	if e.err == nil {
+		_, e.err = io.WriteString(e.w, s)
+	}
+}
+
+// writeJSON marshals one element exactly as json.Encoder would (Marshal
+// and Encoder share escaping rules), so element bytes match Encode.
+func (e *StreamEncoder) writeJSON(v any) {
+	if e.err != nil {
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		e.err = err
+		return
+	}
+	_, e.err = e.w.Write(b)
+}

@@ -1,0 +1,155 @@
+package platform
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"hydra/internal/graph"
+	"hydra/internal/temporal"
+)
+
+func testSpan() temporal.Range {
+	t0 := time.Date(2012, 6, 1, 0, 0, 0, 0, time.UTC)
+	return temporal.Range{Start: t0, End: t0.AddDate(1, 0, 0)}
+}
+
+// TestStreamEncoderMatchesEncode drives both writers over the same
+// small dataset — including the awkward shapes: a platform with no
+// accounts, no edges, and nil slices that must come out as `null`.
+func TestStreamEncoderMatchesEncode(t *testing.T) {
+	span := testSpan()
+	d := NewDataset(span)
+
+	fb := &Platform{ID: Facebook, Graph: graph.New(2)}
+	fb.Accounts = []*Account{
+		{Local: 0, Person: 1,
+			Profile: Profile{Username: "ann", Attrs: map[AttrName]string{AttrGender: "f"}, AvatarID: 3},
+			Posts:   []Post{{Time: span.Start.Add(time.Hour), Text: "hello <world> & \"friends\""}}},
+		{Local: 1, Person: 2, Profile: Profile{Username: "bob"}},
+	}
+	fb.Graph.AddEdge(0, 1, 2.5)
+	d.Platforms[Facebook] = fb
+
+	tw := &Platform{ID: Twitter, Graph: graph.New(0)}
+	d.Platforms[Twitter] = tw
+
+	var want bytes.Buffer
+	if err := Encode(&want, d); err != nil {
+		t.Fatal(err)
+	}
+
+	var got bytes.Buffer
+	enc, err := NewStreamEncoder(&got, span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Encode emits platforms sorted by ID: facebook before twitter.
+	if err := enc.BeginPlatform(Facebook); err != nil {
+		t.Fatal(err)
+	}
+	for _, acc := range fb.Accounts {
+		if err := enc.WriteAccount(acc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.EndPlatform(fb.Graph); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.BeginPlatform(Twitter); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.EndPlatform(tw.Graph); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("streamed bytes differ from Encode:\nstream: %s\nencode: %s", got.String(), want.String())
+	}
+	if !strings.Contains(got.String(), `"accounts":null`) {
+		t.Fatal("empty platform did not stream accounts as null")
+	}
+
+	// Round trip: the streamed bytes decode to the same dataset shape.
+	d2, err := Decode(bytes.NewReader(got.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Platforms) != 2 || d2.Platforms[Facebook].NumAccounts() != 2 {
+		t.Fatalf("streamed world decoded wrong: %d platforms", len(d2.Platforms))
+	}
+}
+
+// TestStreamEncoderEmptyDataset pins the degenerate stream: no
+// platforms at all still matches Encode.
+func TestStreamEncoderEmptyDataset(t *testing.T) {
+	span := testSpan()
+	var want bytes.Buffer
+	if err := Encode(&want, NewDataset(span)); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	enc, err := NewStreamEncoder(&got, span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("empty stream differs:\nstream: %s\nencode: %s", got.String(), want.String())
+	}
+}
+
+// TestStreamEncoderMisuse pins the call-order gates; a misuse error is
+// sticky and every later call keeps returning it.
+func TestStreamEncoderMisuse(t *testing.T) {
+	var buf bytes.Buffer
+	enc, err := NewStreamEncoder(&buf, testSpan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.WriteAccount(&Account{}); err == nil {
+		t.Fatal("WriteAccount outside a platform accepted")
+	}
+	if err := enc.BeginPlatform(Twitter); err == nil {
+		t.Fatal("call after a sticky error accepted")
+	}
+
+	buf.Reset()
+	enc, _ = NewStreamEncoder(&buf, testSpan())
+	if err := enc.EndPlatform(graph.New(0)); err == nil {
+		t.Fatal("EndPlatform outside a platform accepted")
+	}
+
+	buf.Reset()
+	enc, _ = NewStreamEncoder(&buf, testSpan())
+	if err := enc.BeginPlatform(Twitter); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.BeginPlatform(Facebook); err == nil {
+		t.Fatal("nested BeginPlatform accepted")
+	}
+
+	buf.Reset()
+	enc, _ = NewStreamEncoder(&buf, testSpan())
+	enc.BeginPlatform(Twitter)
+	if err := enc.Close(); err == nil {
+		t.Fatal("Close with an open platform accepted")
+	}
+
+	buf.Reset()
+	enc, _ = NewStreamEncoder(&buf, testSpan())
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatalf("second Close not idempotent: %v", err)
+	}
+	if err := enc.BeginPlatform(Twitter); err == nil {
+		t.Fatal("BeginPlatform after Close accepted")
+	}
+}

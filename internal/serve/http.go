@@ -49,11 +49,27 @@ func (e *Engine) Handler() http.Handler { return HandlerFor(e) }
 // currently installed — the hot-swappable form cmd/hydra-serve runs.
 func (s *Swappable) Handler() http.Handler { return HandlerFor(s) }
 
+// acquireEngine resolves the current engine and pins it for one request,
+// so a hot swap cannot unmap a mapped engine's backing file mid-query.
+// The retry loop covers the race where the engine retires between the
+// Current load and the Acquire; it converges because a retired engine
+// has already been replaced in its source. Atomic ops only — the serving
+// steady state stays allocation-free.
+func acquireEngine(src EngineSource) (*Engine, uint64) {
+	for {
+		eng, gen := src.Current()
+		if eng.Acquire() {
+			return eng, gen
+		}
+	}
+}
+
 // HandlerFor builds the HTTP front-end over an EngineSource.
 func HandlerFor(src EngineSource) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		eng, gen := src.Current()
+		eng, gen := acquireEngine(src)
+		defer eng.Release()
 		resp := map[string]any{"ok": true, "pairs": eng.Pairs(), "generation": gen}
 		if d := eng.ShardDesc(); d != nil {
 			resp["shard"] = d
@@ -97,7 +113,8 @@ func handleScore(src EngineSource, decide bool) http.HandlerFunc {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("empty pairs"))
 			return
 		}
-		eng, gen := src.Current()
+		eng, gen := acquireEngine(src)
+		defer eng.Release()
 		scores, err := eng.ScoreBatch(req.PA, req.PB, req.Pairs)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
@@ -135,7 +152,8 @@ func handleTopK(src EngineSource) http.HandlerFunc {
 				return
 			}
 		}
-		eng, gen := src.Current()
+		eng, gen := acquireEngine(src)
+		defer eng.Release()
 		res, err := eng.TopK(platform.ID(q.Get("pa")), a, platform.ID(q.Get("pb")), k)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)

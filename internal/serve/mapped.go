@@ -1,0 +1,166 @@
+package serve
+
+// Mapped serving: NewEngineFromMapped answers the same query surface as
+// NewEngineFromBundle but off a pipeline.MappedBundle — O(header) cold
+// start, resident memory tracking the working set — plus the
+// Acquire/Release/Retire lifecycle that keeps the OS mapping alive until
+// the last in-flight request drains.
+
+import (
+	"fmt"
+	"time"
+
+	"hydra/internal/blocking"
+	"hydra/internal/core"
+	"hydra/internal/pipeline"
+	"hydra/internal/platform"
+)
+
+// NewEngineFromMapped restores a serving engine over a mapped bundle:
+// the lazy store answers feature queries account-at-a-time and the
+// candidate indexes materialize rows on first touch, so startup cost is
+// the bundle header plus offset scans, not the payload. The engine owns
+// the mapping — Retire (after a swap) or Close releases it; until then
+// mb must not be closed by the caller.
+func NewEngineFromMapped(mb *pipeline.MappedBundle, workers int) (*Engine, error) {
+	store, err := mb.Store()
+	if err != nil {
+		return nil, err
+	}
+	store.LimitPairCache(DefaultPairCacheEntries)
+	model, err := core.ModelFromParts(store, mb.ModelParts())
+	if err != nil {
+		return nil, err
+	}
+	if p := mb.Prescreen(); p != nil {
+		if err := model.SetPrescreen(p); err != nil {
+			return nil, err
+		}
+	}
+	e := &Engine{
+		Sys:     store,
+		Model:   model,
+		Workers: workers,
+		shard:   mb.Shard(),
+		indexes: make(map[[2]platform.ID]*blocking.Index),
+		closer:  mb.Close,
+		mapped:  mb,
+	}
+	if d := mb.Shard(); d != nil {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+		e.generation = d.Generation
+	}
+	ixs, err := mb.LazyIndexes()
+	if err != nil {
+		return nil, err
+	}
+	for _, ix := range ixs {
+		e.indexes[[2]platform.ID{ix.PA, ix.PB}] = ix
+	}
+	for _, pp := range mb.Pairs() {
+		if _, ok := e.indexes[pp]; !ok {
+			return nil, fmt.Errorf("serve: bundle lists pair %s → %s but carries no index for it", pp[0], pp[1])
+		}
+	}
+	return e, nil
+}
+
+// Acquire pins the engine for one request. It returns false when the
+// engine has been retired — the caller must re-resolve the current
+// engine (a swap just happened) instead of serving off state whose
+// backing mapping is about to unmap. Heap-decoded engines never retire,
+// so Acquire always succeeds on them.
+func (e *Engine) Acquire() bool {
+	e.inflight.Add(1)
+	if e.retired.Load() {
+		e.Release()
+		return false
+	}
+	return true
+}
+
+// Release unpins the engine after Acquire.
+func (e *Engine) Release() { e.inflight.Add(-1) }
+
+// Retire marks a swapped-out engine as draining and releases its backing
+// resources (the bundle mapping) once the last pinned request finishes.
+// Asynchronous and idempotent; a no-op for engines that own no resources,
+// which therefore stay acquirable forever. The ordering argument: Retire
+// stores retired before polling inflight, Acquire increments inflight
+// before loading retired (both sequentially consistent), so a request the
+// drain loop misses is one that saw retired=true and bailed.
+func (e *Engine) Retire() {
+	if e.closer == nil {
+		return
+	}
+	if e.retired.Swap(true) {
+		return
+	}
+	go func() {
+		for e.inflight.Load() != 0 {
+			time.Sleep(time.Millisecond)
+		}
+		e.closeOnce.Do(func() { e.closeErr = e.closer() })
+	}()
+}
+
+// Close is the synchronous Retire: it waits for in-flight requests to
+// drain, then releases the mapping. For shutdown paths and tests; a
+// serving handler must never call it.
+func (e *Engine) Close() error {
+	if e.closer == nil {
+		return nil
+	}
+	e.retired.Store(true)
+	for e.inflight.Load() != 0 {
+		time.Sleep(time.Millisecond)
+	}
+	e.closeOnce.Do(func() { e.closeErr = e.closer() })
+	return e.closeErr
+}
+
+// MappedStats snapshots the mapped bundle's residency and decode
+// counters, nil for a heap-decoded engine.
+func (e *Engine) MappedStats() *pipeline.MappedStats {
+	if e.mapped == nil {
+		return nil
+	}
+	s := e.mapped.Stats()
+	return &s
+}
+
+// DropMappedCaches releases every materialized section entry of a mapped
+// engine (memory pressure relief); the next queries re-materialize what
+// they touch. No-op on heap-decoded engines.
+func (e *Engine) DropMappedCaches() {
+	if e.mapped != nil {
+		e.mapped.DropCaches()
+	}
+}
+
+// NumAccounts reports how many accounts platform id carries, -1 when
+// the platform is absent. A mapped engine answers from the bundle
+// header without materializing any views; a heap engine measures the
+// decoded view slice.
+func (e *Engine) NumAccounts(id platform.ID) int {
+	if e.mapped != nil {
+		return e.mapped.NumAccounts(id)
+	}
+	vs, err := e.Sys.Views(id)
+	if err != nil {
+		return -1
+	}
+	return len(vs)
+}
+
+// Fanout reports each indexed pair's candidate-set size distribution.
+// Free on both backings: lazy indexes answer from their length tables.
+func (e *Engine) Fanout() map[[2]platform.ID]blocking.Fanout {
+	out := make(map[[2]platform.ID]blocking.Fanout, len(e.indexes))
+	for pp, ix := range e.indexes {
+		out[pp] = ix.Fanout()
+	}
+	return out
+}

@@ -91,14 +91,23 @@ func (e *Engine) serveLine(line string, w io.Writer) {
 			return
 		}
 		// Usernames come from the views, so the lookup works identically
-		// over a world-backed System and a world-free snapshot Store.
-		views, _ := e.Sys.Views(pb)
-		for rank, sc := range res {
-			name := ""
-			if sc.B >= 0 && sc.B < len(views) {
-				name = views[sc.B].Acc.Profile.Username
+		// over a world-backed System and a world-free snapshot Store. A
+		// lazy (mapped) source instead answers them from its header
+		// through the usernamer upgrade — same strings, since both read
+		// the packed profile — without materializing the whole platform.
+		name := func(b int) string { return "" }
+		if un, ok := e.Sys.(usernamer); ok {
+			name = func(b int) string { return un.Username(pb, b) }
+		} else if views, err := e.Sys.Views(pb); err == nil {
+			name = func(b int) string {
+				if b >= 0 && b < len(views) {
+					return views[b].Acc.Profile.Username
+				}
+				return ""
 			}
-			fmt.Fprintf(w, "%2d. b=%d score=%+.6f linked=%v %q\n", rank+1, sc.B, sc.Score, sc.Linked, name)
+		}
+		for rank, sc := range res {
+			fmt.Fprintf(w, "%2d. b=%d score=%+.6f linked=%v %q\n", rank+1, sc.B, sc.Score, sc.Linked, name(sc.B))
 		}
 	case "batch":
 		if len(f) < 4 {
@@ -131,4 +140,11 @@ func (e *Engine) serveLine(line string, w io.Writer) {
 	default:
 		fmt.Fprintf(w, "error: unknown command %q (score|link|topk|batch|pairs|quit)\n", f[0])
 	}
+}
+
+// usernamer is the optional Source upgrade a lazy snapshot store
+// implements: username lookups that bypass full-platform view
+// materialization (core.LazyStore answers from the bundle header).
+type usernamer interface {
+	Username(id platform.ID, local int) string
 }

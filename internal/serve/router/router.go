@@ -353,12 +353,16 @@ type TopKResult struct {
 }
 
 // topkJob is one shard's slot in a pooled top-k fan-out: the query, the
-// shard's reusable answer buffer, and the outcome. Jobs run as a plain
-// method goroutine (go r.runTopKJob(&jobs[si])) so the scatter spawns
-// no closures.
+// shard's reusable answer buffer, and the outcome. run is the job's
+// goroutine body, bound once when the gather is built: spawning a method
+// goroutine (go r.runTopKJob(&jobs[si])) boxes the argument on every
+// scatter — one allocation per shard per query — while `go j.run()`
+// launches a funcval that already exists, so the warm scatter allocates
+// nothing.
 type topkJob struct {
 	ctx   context.Context
 	owner *topkGather // the gather whose WaitGroup the job signals
+	run   func()      // () => r.runTopKJob(job), prebound at gather build
 	pa    platform.ID
 	pb    platform.ID
 	a     int
@@ -461,6 +465,10 @@ func (r *Router) TopKAppend(ctx context.Context, dst []serve.Scored, pa platform
 	g, _ := r.gather.Get().(*topkGather)
 	if g == nil {
 		g = &topkGather{jobs: make([]topkJob, len(r.shards))}
+		for si := range g.jobs {
+			j := &g.jobs[si]
+			j.run = func() { r.runTopKJob(j) }
+		}
 	}
 	defer r.gather.Put(g)
 	for attempt := 0; ; attempt++ {
@@ -470,7 +478,7 @@ func (r *Router) TopKAppend(ctx context.Context, dst []serve.Scored, pa platform
 			j := &jobs[si]
 			j.ctx, j.pa, j.a, j.pb, j.k, j.si = ctx, pa, a, pb, k, si
 			j.owner = g
-			go r.runTopKJob(j)
+			go j.run()
 		}
 		g.wg.Wait()
 		gens := g.gens[:0]

@@ -58,6 +58,19 @@ type Engine struct {
 	indexes map[[2]platform.ID]*blocking.Index
 	scratch sync.Pool
 
+	// Lifecycle. A mapped engine (NewEngineFromMapped) aliases an OS
+	// memory map that must outlive every in-flight query: handlers pin
+	// the engine with Acquire/Release, and after a hot swap the old
+	// engine's Retire closes the mapping only once the last pinned
+	// request drains. Heap-decoded engines have a nil closer and all of
+	// this degenerates to no-ops.
+	inflight  atomic.Int64
+	retired   atomic.Bool
+	closeOnce sync.Once
+	closeErr  error
+	closer    func() error
+	mapped    *pipeline.MappedBundle
+
 	// Prescreen state: prescreenOff is the runtime escape hatch
 	// (hydra-serve -prescreen=off), prescreenObs an optional metrics
 	// sink wired before serving starts, and the counters feed both the

@@ -267,37 +267,53 @@ func projectPlatform(pid platform.ID, pIdx int, persons []*Person,
 
 	p := &platform.Platform{ID: pid, Graph: graph.New(n), Accounts: make([]*platform.Account, n)}
 	parallel.For(cfg.Workers, n, func(person int) {
-		rng := subRNG(cfg.Seed, streamAccount, uint64(pIdx), uint64(person))
-		pe := persons[person]
 		local := localOf[person]
-		acc := &platform.Account{
-			Platform: pid,
-			Local:    local,
-			Person:   person,
-			Profile:  renderProfile(rng, pe, lang, corruption, cfg),
-		}
-		activity := 1.0
-		if pe.Primary == pIdx {
-			activity = cfg.PrimaryBoost
-		} else {
-			activity = 0.7
-		}
-		acc.Posts = renderPosts(rng, pe, tilt, lx, cfg, activity)
-		acc.Events = renderEvents(rng, pe, cfg, activity)
-		p.Accounts[local] = acc
+		p.Accounts[local] = renderAccount(pid, pIdx, person, local, persons[person], tilt, lx, cfg, lang, corruption)
 	})
 
-	// Project friendships.
+	projectEdges(pIdx, localOf, real, cfg, p.Graph)
+	return p, nil
+}
+
+// renderAccount draws one person's account on one platform from its own
+// (platform, person) seeded stream — the per-entity unit both Generate
+// and GenerateStream fan out over, so the two paths render identical
+// accounts in any order.
+func renderAccount(pid platform.ID, pIdx, person, local int, pe *Person,
+	tilt linalg.Vector, lx *Lexicons, cfg Config, lang string, corruption float64) *platform.Account {
+
+	rng := subRNG(cfg.Seed, streamAccount, uint64(pIdx), uint64(person))
+	acc := &platform.Account{
+		Platform: pid,
+		Local:    local,
+		Person:   person,
+		Profile:  renderProfile(rng, pe, lang, corruption, cfg),
+	}
+	activity := 1.0
+	if pe.Primary == pIdx {
+		activity = cfg.PrimaryBoost
+	} else {
+		activity = 0.7
+	}
+	acc.Posts = renderPosts(rng, pe, tilt, lx, cfg, activity)
+	acc.Events = renderEvents(rng, pe, cfg, activity)
+	return acc
+}
+
+// projectEdges materializes the real-world friendships on one platform
+// into g (local ids) from the platform's sequential edge stream —
+// shared by Generate and GenerateStream.
+func projectEdges(pIdx int, localOf []int, real *graph.Graph, cfg Config, g *graph.Graph) {
+	n := len(localOf)
 	rng := subRNG(cfg.Seed, streamEdges, uint64(pIdx))
 	for u := 0; u < n; u++ {
 		for _, v := range real.Neighbors(u) {
 			if u < v && rng.Float64() < cfg.EdgeCoverage {
 				w := real.Weight(u, v) * (0.5 + rng.Float64())
-				p.Graph.AddEdge(localOf[u], localOf[v], w)
+				g.AddEdge(localOf[u], localOf[v], w)
 			}
 		}
 	}
-	return p, nil
 }
 
 // renderProfile produces the account's profile with platform-dependent

@@ -1,0 +1,57 @@
+package synth
+
+import (
+	"bytes"
+	"testing"
+
+	"hydra/internal/platform"
+)
+
+// TestGenerateStreamMatchesEncodeWorkers asserts the streamed writer
+// produces byte-for-byte the file Generate+Encode produces — at both
+// worker-pool settings, since the chunked render fan-out must not
+// perturb the per-account seeded streams.
+func TestGenerateStreamMatchesEncodeWorkers(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		cfg := DefaultConfig(40, platform.EnglishPlatforms, 7)
+		cfg.Workers = workers
+		w, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want bytes.Buffer
+		if err := platform.Encode(&want, w.Dataset); err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		if err := GenerateStream(cfg, &got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			i := 0
+			for i < len(got.Bytes()) && i < len(want.Bytes()) && got.Bytes()[i] == want.Bytes()[i] {
+				i++
+			}
+			lo, hi := max(0, i-60), min(i+60, min(got.Len(), want.Len()))
+			t.Fatalf("workers=%d: streamed world differs from Encode at byte %d:\nstream: …%s…\nencode: …%s…",
+				workers, i, got.Bytes()[lo:hi], want.Bytes()[lo:hi])
+		}
+		if got.Len() == 0 {
+			t.Fatal("streamed world is empty")
+		}
+	}
+}
+
+// TestGenerateStreamValidation pins the streamed generator to Generate's
+// exact refusals.
+func TestGenerateStreamValidation(t *testing.T) {
+	var sink bytes.Buffer
+	cfg := DefaultConfig(0, platform.EnglishPlatforms, 1)
+	if err := GenerateStream(cfg, &sink); err == nil {
+		t.Fatal("zero persons accepted")
+	}
+	cfg = DefaultConfig(10, []platform.ID{platform.Twitter}, 1)
+	if err := GenerateStream(cfg, &sink); err == nil {
+		t.Fatal("single platform accepted")
+	}
+}
