@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke bench-load bench-linalg bench-save bench-compare bench-serve bench-bundle bench-json bench-micro profile-topk figures world-50k
+.PHONY: ci fmt vet build test race chaos fuzz-smoke bench bench-smoke bench-load bench-chaos bench-linalg bench-save bench-compare bench-serve bench-bundle bench-json bench-micro profile-topk figures world-50k
 
-ci: fmt vet build test bench-smoke bench-load
+ci: fmt vet build test chaos bench-smoke bench-load
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -35,7 +35,22 @@ test:
 # Allocation-budget tests are deliberately named outside it: the race
 # runtime inflates AllocsPerRun.
 race:
-	$(GO) test -race -run 'Determinism|Concurrent|Workers|Serve|Router|Prescreen|Impute' ./internal/...
+	$(GO) test -race -run 'Determinism|Concurrent|Workers|Serve|Router|Prescreen|Impute|Faults|Chaos|Hedge|Breaker' ./internal/...
+
+# chaos runs the certification suite: seeded fault scripts (flapping,
+# dead shard, uniform slowness, straggler tail, swap storms, overload)
+# against the hardened router, every answer asserted byte-identical to
+# the fault-free single engine or truthfully degraded. Deterministic —
+# a failure replays with `go test -run Chaos ./internal/faults/`.
+chaos:
+	$(GO) test -run 'Faults|Chaos' -count=1 ./internal/faults/
+
+# fuzz-smoke gives each native fuzz target a short budget on top of the
+# checked-in corpus — long runs are manual (`go test -fuzz FuzzReadBundle
+# -fuzztime 10m ./internal/pipeline/`).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzReadBundle -fuzztime 10s ./internal/pipeline/
+	$(GO) test -run '^$$' -fuzz FuzzOpenBundleMapped -fuzztime 10s ./internal/pipeline/
 
 # bench-smoke runs every serve benchmark once (-benchtime=1x) as part of
 # make ci — not for numbers, but so the bench harness itself (fixtures,
@@ -111,6 +126,16 @@ bench-bundle:
 # BENCH_PR9.json with the PR 8 numbers embedded as the before block.
 bench-json:
 	$(GO) run ./cmd/hydra-loadgen -bench-50k -dir bench50k -duration 3s -clients 4 -prev BENCH_PR8.json -json BENCH_PR9.json
+
+# bench-chaos drives the chaos scripts against live loopback processes
+# (real HTTP replicas, fault middleware at the wire): fault-free
+# baseline, preferred replica hard-down (p99 must hold within 2x,
+# breaker-capped probe traffic), seeded straggler tail (tied hedging),
+# and overload against a bounded admission gate — every phase swept
+# against the single engine, 0 wrong answers required. Writes
+# BENCH_PR10.json.
+bench-chaos:
+	$(GO) run ./cmd/hydra-loadgen -chaos -json BENCH_PR10.json
 
 # bench-micro is the previous per-PR snapshot tool (microbenchmarks:
 # cold starts, steady-state latency + allocs/op, prescreen and impute-

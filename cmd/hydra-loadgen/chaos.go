@@ -1,0 +1,385 @@
+package main
+
+// The -chaos mode: the certification suite's fault scripts driven
+// against live loopback processes — real HTTP servers per replica, the
+// scatter-gather router in front, seeded fault injection at the wire —
+// with the answers swept against the fault-free single engine after
+// every phase. Zero wrong answers is a hard gate; the phase latencies,
+// hedge outcomes, breaker traffic and shed counts land in the JSON
+// snapshot (BENCH_PR10.json).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"hydra/internal/faults"
+	"hydra/internal/loadgen"
+	"hydra/internal/obs"
+	"hydra/internal/pipeline"
+	"hydra/internal/serve"
+	"hydra/internal/serve/router"
+)
+
+// chaosCluster is one live deployment: per-replica HTTP servers over
+// shard engines (each optionally wrapped with a fault middleware), the
+// router over HTTP backends, and its own front-end server.
+type chaosCluster struct {
+	rt       *router.Router
+	frontURL string
+	stops    []func()
+}
+
+func (c *chaosCluster) Close() {
+	for i := len(c.stops) - 1; i >= 0; i-- {
+		c.stops[i]()
+	}
+}
+
+// startChaosCluster serves each shard engine on two loopback replicas,
+// wrapping replica handlers via wrap (nil = clean), and fronts them
+// with a router configured by opts. front wraps the router's own
+// handler (admission gates go there).
+func startChaosCluster(engines []*serve.Engine, opts router.Options,
+	wrap func(shard, replica int, h http.Handler) http.Handler,
+	front func(h http.Handler) http.Handler) (*chaosCluster, error) {
+
+	c := &chaosCluster{}
+	const replicas = 2
+	backends := make([][]router.Backend, len(engines))
+	for si, eng := range engines {
+		for ri := 0; ri < replicas; ri++ {
+			h := http.Handler(eng.Handler())
+			if wrap != nil {
+				h = wrap(si, ri, h)
+			}
+			url, stop, err := serveHTTP(h)
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			c.stops = append(c.stops, stop)
+			backends[si] = append(backends[si], &router.HTTP{URL: url})
+		}
+	}
+	rt, err := router.New(backends, opts)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	if err := rt.Refresh(context.Background()); err != nil {
+		c.Close()
+		return nil, err
+	}
+	h := http.Handler(rt.Handler())
+	if front != nil {
+		h = front(h)
+	}
+	url, stop, err := serveHTTP(h)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.stops = append(c.stops, stop)
+	c.rt, c.frontURL = rt, url
+	return c, nil
+}
+
+// sweepAnswers queries every A-side account through the cluster's front
+// door and diffs each answer against the single engine: exact matches,
+// truthfully-degraded responses (rows = single minus failed shards) and
+// wrong answers are counted separately. Wrong must stay zero under
+// every script.
+func sweepAnswers(url string, single *serve.Engine, desc *pipeline.ShardDesc, na, k int) (exact, degraded, wrong int, err error) {
+	pp := single.Pairs()[0]
+	for a := 0; a < na; a++ {
+		resp, err := http.Get(fmt.Sprintf("%s/topk?pa=%s&a=%d&pb=%s&k=%d", url, pp[0], a, pp[1], k))
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		var out router.TopKResult
+		decErr := json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			wrong++ // a hard failure during a sweep is an availability bug here
+			continue
+		}
+		if decErr != nil {
+			return 0, 0, 0, decErr
+		}
+		if !out.Degraded {
+			want, err := single.TopK(pp[0], a, pp[1], k)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			if equalScored(out.Results, want) {
+				exact++
+			} else {
+				wrong++
+			}
+			continue
+		}
+		failed := make(map[int]bool, len(out.FailedShards))
+		for _, si := range out.FailedShards {
+			failed[si] = true
+		}
+		full, err := single.TopK(pp[0], a, pp[1], 0)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		var want []serve.Scored
+		for _, s := range full {
+			if !failed[desc.ShardOf(pp[1], s.B)] {
+				want = append(want, s)
+			}
+		}
+		if len(want) > k {
+			want = want[:k]
+		}
+		if equalScored(out.Results, want) {
+			degraded++
+		} else {
+			wrong++
+		}
+	}
+	return exact, degraded, wrong, nil
+}
+
+func equalScored(got, want []serve.Scored) bool {
+	if len(got) == 0 && len(want) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(got, want)
+}
+
+// chaosPhase is one scripted phase's row in the snapshot.
+type chaosPhase struct {
+	Name     string         `json:"name"`
+	Load     loadgen.Result `json:"load"`
+	Exact    int            `json:"sweep_exact"`
+	Degraded int            `json:"sweep_degraded"`
+	Wrong    int            `json:"sweep_wrong"`
+
+	DeadReplicaCalls uint64  `json:"dead_replica_calls,omitempty"`
+	P99Ratio         float64 `json:"p99_over_faultfree,omitempty"`
+	HedgeFired       uint64  `json:"hedge_fired,omitempty"`
+	HedgeWon         uint64  `json:"hedge_won,omitempty"`
+	HedgeCancelled   uint64  `json:"hedge_cancelled,omitempty"`
+	FailFast         uint64  `json:"breaker_failfast,omitempty"`
+	RetryExhausted   uint64  `json:"retry_budget_exhausted,omitempty"`
+	Shed             uint64  `json:"shed,omitempty"`
+	MaxInflight      int     `json:"max_inflight,omitempty"`
+}
+
+// chaosSnapshot is the BENCH_PR10.json schema.
+type chaosSnapshot struct {
+	Bench      string       `json:"bench"`
+	Seed       int64        `json:"seed"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Clients    int          `json:"clients"`
+	Shards     int          `json:"shards"`
+	Replicas   int          `json:"replicas"`
+	Accounts   int          `json:"accounts"`
+	Phases     []chaosPhase `json:"phases"`
+	Wrong      int          `json:"wrong_answers_total"`
+}
+
+// runChaos drives the chaos scripts against live processes. Phases:
+// fault-free baseline, preferred replica hard-down (breaker + failover,
+// steady-state p99 must hold within 2x of fault-free), seeded straggler
+// tail (tied hedging covers it), and overload against a bounded
+// admission gate (sheds, never wrong answers).
+func runChaos(persons int, seed int64, workers, clients int, duration time.Duration, k int, jsonPath string) error {
+	bundle, err := buildTrainedBundle(persons, seed, workers)
+	if err != nil {
+		return err
+	}
+	single, err := serve.NewEngineFromBundle(bundle, workers)
+	if err != nil {
+		return err
+	}
+	pp := single.Pairs()[0]
+	na := single.NumAccounts(pp[0])
+
+	const shardCount = 2
+	subs, err := pipeline.SplitBundle(bundle, shardCount, uint64(seed)+6, 1)
+	if err != nil {
+		return err
+	}
+	engines := make([]*serve.Engine, shardCount)
+	for i, sb := range subs {
+		if engines[i], err = serve.NewEngineFromBundle(sb, workers); err != nil {
+			return err
+		}
+	}
+	desc := engines[0].ShardDesc()
+	mix := loadgen.Mix{TopK: 1} // p99 comparisons are per-endpoint; keep one
+
+	snap := chaosSnapshot{
+		Bench: "chaos-serving", Seed: seed, GoMaxProcs: runtime.GOMAXPROCS(0),
+		Clients: clients, Shards: shardCount, Replicas: 2, Accounts: na,
+	}
+	phase := func(name string, c *chaosCluster, loadSeed int64) (*chaosPhase, error) {
+		res, err := loadgen.Run(loadgen.Config{
+			BaseURL: c.frontURL, Clients: clients, Duration: duration,
+			Mix: mix, PA: string(pp[0]), PB: string(pp[1]), NumA: na, NumB: na, K: k, Seed: loadSeed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		exact, degraded, wrong, err := sweepAnswers(c.frontURL, single, desc, na, k)
+		if err != nil {
+			return nil, err
+		}
+		p := &chaosPhase{Name: name, Load: res, Exact: exact, Degraded: degraded, Wrong: wrong}
+		st := c.rt.RobustStats()
+		p.HedgeFired, p.HedgeWon, p.HedgeCancelled = st.HedgeFired, st.HedgeWon, st.HedgeCancelled
+		p.FailFast, p.RetryExhausted = st.FailFast, st.RetryExhausted
+		snap.Phases = append(snap.Phases, *p)
+		snap.Wrong += wrong
+		fmt.Printf("chaos %-16s %8.0f req/s  p50 %.3f ms  p99 %.3f ms  (%d errors; sweep: %d exact, %d degraded, %d wrong)\n",
+			name+":", res.Throughput, res.P50Ms, res.P99Ms, res.Errors, exact, degraded, wrong)
+		return &snap.Phases[len(snap.Phases)-1], nil
+	}
+
+	// Phase 1: fault-free baseline.
+	clean, err := startChaosCluster(engines, router.Options{}, nil, nil)
+	if err != nil {
+		return err
+	}
+	base, err := phase("fault-free", clean, seed)
+	clean.Close()
+	if err != nil {
+		return err
+	}
+	if base.Load.Errors > 0 || base.Degraded > 0 {
+		return fmt.Errorf("fault-free phase saw %d errors, %d degraded answers", base.Load.Errors, base.Degraded)
+	}
+
+	// Phase 2: shard 0's preferred replica hard-down at the wire. The
+	// breaker must cap its probe traffic (recorded from the injector's
+	// call counter) and steady-state p99 must hold within 2x fault-free.
+	deadInj := faults.NewInjector(faults.Script{Seed: seed, Rules: []faults.Rule{
+		{Target: "shard0-r0", Error: true},
+	}})
+	down, err := startChaosCluster(engines, router.Options{},
+		func(si, ri int, h http.Handler) http.Handler {
+			if si == 0 && ri == 0 {
+				return faults.Middleware(h, deadInj, "shard0-r0")
+			}
+			return h
+		}, nil)
+	if err != nil {
+		return err
+	}
+	downP, err := phase("preferred-down", down, seed+1)
+	down.Close()
+	if err != nil {
+		return err
+	}
+	downP.DeadReplicaCalls = deadInj.Calls("shard0-r0")
+	if base.Load.P99Ms > 0 {
+		downP.P99Ratio = downP.Load.P99Ms / base.Load.P99Ms
+	}
+	snap.Phases[len(snap.Phases)-1] = *downP
+	fmt.Printf("chaos %-16s dead replica saw %d calls over %d requests; p99 %.2fx fault-free\n",
+		"preferred-down:", downP.DeadReplicaCalls, downP.Load.Requests+na, downP.P99Ratio)
+	if downP.Wrong > 0 {
+		return fmt.Errorf("preferred-down phase produced %d wrong answers", downP.Wrong)
+	}
+	if downP.P99Ratio > 2.0 {
+		return fmt.Errorf("preferred-down p99 is %.2fx fault-free (budget: 2x)", downP.P99Ratio)
+	}
+
+	// Phase 3: seeded straggler tail on one replica of each shard, tied
+	// hedging on a tight trigger covers it.
+	stragInj := faults.NewInjector(faults.Script{Seed: seed, Rules: []faults.Rule{
+		{Target: "shard0-r0", P: 0.3, Latency: 40 * time.Millisecond},
+		{Target: "shard1-r0", P: 0.3, Latency: 40 * time.Millisecond},
+	}})
+	strag, err := startChaosCluster(engines, router.Options{HedgeAfter: 3 * time.Millisecond},
+		func(si, ri int, h http.Handler) http.Handler {
+			if ri == 0 {
+				return faults.Middleware(h, stragInj, fmt.Sprintf("shard%d-r0", si))
+			}
+			return h
+		}, nil)
+	if err != nil {
+		return err
+	}
+	stragP, err := phase("straggler-tail", strag, seed+2)
+	strag.Close()
+	if err != nil {
+		return err
+	}
+	if stragP.Wrong > 0 {
+		return fmt.Errorf("straggler phase produced %d wrong answers", stragP.Wrong)
+	}
+	if stragP.HedgeFired == 0 {
+		return fmt.Errorf("straggler phase never fired a hedge")
+	}
+
+	// Phase 4: overload against a bounded admission gate — overflow is
+	// shed with 429s (loadgen counts them as errors), answers that get
+	// through stay exact.
+	maxInflight := clients / 2
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	adm := obs.NewAdmission(maxInflight)
+	over, err := startChaosCluster(engines, router.Options{}, nil, adm.Middleware)
+	if err != nil {
+		return err
+	}
+	// Inflate pressure: double the clients against half the capacity.
+	res, err := loadgen.Run(loadgen.Config{
+		BaseURL: over.frontURL, Clients: clients * 2, Duration: duration,
+		Mix: mix, PA: string(pp[0]), PB: string(pp[1]), NumA: na, NumB: na, K: k, Seed: seed + 3,
+	})
+	if err != nil {
+		over.Close()
+		return err
+	}
+	exact, degraded, wrong, err := sweepAnswers(over.frontURL, single, desc, na, k)
+	over.Close()
+	if err != nil {
+		return err
+	}
+	_, _, shed := adm.Stats()
+	overP := chaosPhase{Name: "overload", Load: res, Exact: exact, Degraded: degraded, Wrong: wrong,
+		Shed: shed, MaxInflight: maxInflight}
+	snap.Phases = append(snap.Phases, overP)
+	snap.Wrong += wrong
+	fmt.Printf("chaos %-16s %8.0f req/s  p99 %.3f ms  (%d shed of %d requests; sweep: %d exact, %d wrong)\n",
+		"overload:", res.Throughput, res.P99Ms, shed, res.Requests, exact, wrong)
+	if wrong > 0 {
+		return fmt.Errorf("overload phase produced %d wrong answers", wrong)
+	}
+
+	if snap.Wrong > 0 {
+		return fmt.Errorf("chaos run produced %d wrong answers", snap.Wrong)
+	}
+	fmt.Printf("chaos: 0 wrong answers across %d phases\n", len(snap.Phases))
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+	}
+	return nil
+}

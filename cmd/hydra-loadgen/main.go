@@ -49,28 +49,29 @@ import (
 
 func main() {
 	var (
-		target   = flag.String("target", "", "drive an external hydra-serve/hydra-router at this base URL instead of in-process servers")
-		bench50k = flag.Bool("bench-50k", false, "run the out-of-RAM serving benchmark on a tiled ~50k-account bundle and write -json")
-		jsonPath = flag.String("json", "", "write the benchmark snapshot to this path (e.g. BENCH_PR9.json)")
-		prevPath = flag.String("prev", "", "embed this previous snapshot's headline numbers as a before block (e.g. BENCH_PR8.json)")
-		dir      = flag.String("dir", "bench50k", "cache directory for the tiled benchmark bundle")
-		accounts = flag.Int("accounts", 50000, "total account count of the tiled bundle (split across the platforms)")
-		candsA   = flag.Int("cands-per-a", 64, "mean candidate-set size per A-side account in the tiled indexes")
-		persons  = flag.Int("persons", 60, "world size of the trained base model")
-		seed     = flag.Int64("seed", 1, "seed for the base model and the query streams")
-		workers  = flag.Int("workers", 0, "engine worker pool (0 = all cores)")
-		clients  = flag.Int("clients", 8, "concurrent load clients")
-		duration = flag.Duration("duration", 0, "measured window per phase (default 1s smoke, 4s bench)")
-		rate     = flag.Float64("rate", 0, "open-loop target rate in requests/sec (0 = closed loop)")
-		topkW    = flag.Int("topk", 6, "mix weight: GET /topk")
-		scoreW   = flag.Int("score", 3, "mix weight: POST /score, one pair")
-		batchW   = flag.Int("batch", 1, "mix weight: POST /score, 16-pair batch")
-		k        = flag.Int("k", 5, "top-k depth")
-		numA     = flag.Int("na", 0, "A-side account count (external mode; required with -target)")
-		numB     = flag.Int("nb", 0, "B-side account count (external mode; defaults to -na)")
-		pa       = flag.String("pa", string(platform.Twitter), "A-side platform id")
-		pb       = flag.String("pb", string(platform.Facebook), "B-side platform id")
-		shards   = flag.Int("router-shards", 4, "in-process shard count behind the router phase")
+		target    = flag.String("target", "", "drive an external hydra-serve/hydra-router at this base URL instead of in-process servers")
+		bench50k  = flag.Bool("bench-50k", false, "run the out-of-RAM serving benchmark on a tiled ~50k-account bundle and write -json")
+		chaosMode = flag.Bool("chaos", false, "run the chaos certification scripts against live loopback processes and write -json (e.g. BENCH_PR10.json)")
+		jsonPath  = flag.String("json", "", "write the benchmark snapshot to this path (e.g. BENCH_PR9.json)")
+		prevPath  = flag.String("prev", "", "embed this previous snapshot's headline numbers as a before block (e.g. BENCH_PR8.json)")
+		dir       = flag.String("dir", "bench50k", "cache directory for the tiled benchmark bundle")
+		accounts  = flag.Int("accounts", 50000, "total account count of the tiled bundle (split across the platforms)")
+		candsA    = flag.Int("cands-per-a", 64, "mean candidate-set size per A-side account in the tiled indexes")
+		persons   = flag.Int("persons", 60, "world size of the trained base model")
+		seed      = flag.Int64("seed", 1, "seed for the base model and the query streams")
+		workers   = flag.Int("workers", 0, "engine worker pool (0 = all cores)")
+		clients   = flag.Int("clients", 8, "concurrent load clients")
+		duration  = flag.Duration("duration", 0, "measured window per phase (default 1s smoke, 4s bench)")
+		rate      = flag.Float64("rate", 0, "open-loop target rate in requests/sec (0 = closed loop)")
+		topkW     = flag.Int("topk", 6, "mix weight: GET /topk")
+		scoreW    = flag.Int("score", 3, "mix weight: POST /score, one pair")
+		batchW    = flag.Int("batch", 1, "mix weight: POST /score, 16-pair batch")
+		k         = flag.Int("k", 5, "top-k depth")
+		numA      = flag.Int("na", 0, "A-side account count (external mode; required with -target)")
+		numB      = flag.Int("nb", 0, "B-side account count (external mode; defaults to -na)")
+		pa        = flag.String("pa", string(platform.Twitter), "A-side platform id")
+		pb        = flag.String("pb", string(platform.Facebook), "B-side platform id")
+		shards    = flag.Int("router-shards", 4, "in-process shard count behind the router phase")
 
 		// Internal: cold-start measurement child (forked by -bench-50k so
 		// each engine's RSS is read in a process that built nothing else).
@@ -108,6 +109,13 @@ func main() {
 			log.Fatal(err)
 		}
 		printResult(*target, res)
+	case *chaosMode:
+		if *duration == 0 {
+			*duration = 2 * time.Second
+		}
+		if err := runChaos(*persons, *seed, *workers, *clients, *duration, *k, *jsonPath); err != nil {
+			log.Fatal(err)
+		}
 	case *bench50k:
 		if *duration == 0 {
 			*duration = 4 * time.Second

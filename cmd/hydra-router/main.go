@@ -46,11 +46,14 @@ import (
 
 func main() {
 	var (
-		shardsFlag   = flag.String("shards", "", "comma-separated shard endpoints in shard order; '|' separates replicas of one shard")
-		httpAddr     = flag.String("http", ":8080", "serve HTTP on this address")
-		timeout      = flag.Duration("timeout", 2*time.Second, "per-replica attempt timeout")
-		logRequests  = flag.Bool("log-requests", false, "write one JSON log line per HTTP request to stderr")
-		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long in-flight requests get to finish on SIGINT/SIGTERM")
+		shardsFlag      = flag.String("shards", "", "comma-separated shard endpoints in shard order; '|' separates replicas of one shard")
+		httpAddr        = flag.String("http", ":8080", "serve HTTP on this address")
+		timeout         = flag.Duration("timeout", 2*time.Second, "per-replica attempt timeout")
+		logRequests     = flag.Bool("log-requests", false, "write one JSON log line per HTTP request to stderr")
+		drainTimeout    = flag.Duration("drain-timeout", 30*time.Second, "how long in-flight requests get to finish on SIGINT/SIGTERM")
+		refreshInterval = flag.Duration("refresh-interval", 30*time.Second, "re-probe the serving set in the background on this jittered interval so recovered replicas rejoin without SIGHUP (0 disables; SIGHUP stays the forced path)")
+		hedgeAfter      = flag.Duration("hedge-after", 0, "tied hedged top-k requests: fire the backup replica after this delay (0 = adaptive p99-based, negative disables)")
+		defaultBudget   = flag.Duration("default-budget", 0, "end-to-end deadline budget applied to requests without an "+`X-Hydra-Deadline-Ms`+" header (0 = unbudgeted)")
 	)
 	flag.Parse()
 	if *shardsFlag == "" {
@@ -71,7 +74,11 @@ func main() {
 		}
 		shards = append(shards, replicas)
 	}
-	rt, err := router.New(shards, router.Options{Timeout: *timeout})
+	rt, err := router.New(shards, router.Options{
+		Timeout:       *timeout,
+		HedgeAfter:    *hedgeAfter,
+		DefaultBudget: *defaultBudget,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -114,6 +121,35 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "routing over %d shards, %d platform pairs\n", rt.NumShards(), len(rt.Pairs()))
+
+	// Breaker states, hedge outcomes and retry-budget exhaustion on
+	// /metrics, snapshotted per scrape.
+	metrics.SetRobustSource(func() obs.RouterRobust {
+		st := rt.RobustStats()
+		out := obs.RouterRobust{
+			HedgeFired:     st.HedgeFired,
+			HedgeWon:       st.HedgeWon,
+			HedgeCancelled: st.HedgeCancelled,
+			RetryExhausted: st.RetryExhausted,
+			FailFast:       st.FailFast,
+		}
+		for _, b := range st.Breakers {
+			out.Breakers = append(out.Breakers, obs.BreakerState{
+				Shard: b.Shard, Replica: b.Replica, Name: b.Name,
+				State: b.State, Opens: b.Opens,
+			})
+		}
+		return out
+	})
+
+	// Background re-probe on a jittered interval: a replica that comes
+	// back (or a repaired topology) rejoins without operator action.
+	stopAutoRefresh := rt.StartAutoRefresh(*refreshInterval, func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "background refresh failed: %v — keeping previous view of the serving set\n", err)
+		}
+	})
+	defer stopAutoRefresh()
 
 	mux := http.NewServeMux()
 	mux.Handle("/", rt.Handler())

@@ -69,6 +69,8 @@ func main() {
 		prescreen    = flag.String("prescreen", "on", "two-tier approximate prescreen for top-k queries: on|off; off forces exact-only scoring (answers are bit-identical either way, off just skips the pruning)")
 		imputeTable  = flag.String("impute-table", "on", "pack-time Eqn-18 impute table: on|off; off routes missing-dimension candidates through the live friend walk (answers are bit-identical either way, off just skips the lookup)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long in-flight requests get to finish on SIGINT/SIGTERM")
+		maxInflight  = flag.Int("max-inflight", 0, "bounded admission: max concurrently served requests before shedding with 429 + Retry-After (0 = unbounded; /healthz and /metrics always pass)")
+		prewarmN     = flag.Int("prewarm", 1024, "pre-warm an incoming engine before a SIGHUP hot swap publishes it: top-k per A-side account populating the pair cache and prescreen fold memo, capped at this many accounts per pair (-1 = all, 0 = off)")
 	)
 	flag.Parse()
 	if *prescreen != "on" && *prescreen != "off" {
@@ -194,7 +196,13 @@ func main() {
 	if *logRequests {
 		logs = os.Stderr
 	}
-	handler := obs.Middleware(mux, metrics, logs)
+	// Innermost to outermost: deadline-budget enforcement (504 on spent
+	// budgets, feeds the remaining-budget histogram), bounded admission
+	// (429 + Retry-After past -max-inflight), then request metrics/logs
+	// so shed and expired requests are still counted and logged.
+	admission := obs.NewAdmission(*maxInflight)
+	metrics.SetAdmission(admission)
+	handler := obs.Middleware(admission.Middleware(serve.DeadlineMiddleware(mux, metrics)), metrics, logs)
 
 	fmt.Fprintf(os.Stderr, "serving HTTP on %s (/healthz /score /link /topk /metrics)\n", *httpAddr)
 	srv := &http.Server{
@@ -239,6 +247,19 @@ func main() {
 					next.SetImputeTableEnabled(false)
 				}
 				next.SetPrescreenObserver(metrics)
+				// Pre-warm before publishing: the old generation keeps
+				// serving while the new one's pair cache and prescreen
+				// fold memo fill, so the first post-swap queries don't
+				// pay the cold-cache tail.
+				if *prewarmN != 0 {
+					warmStart := time.Now()
+					if err := next.Prewarm(*prewarmN); err != nil {
+						fmt.Fprintf(os.Stderr, "swap refused: prewarm: %v — keeping current generation\n", err)
+						next.Close()
+						continue
+					}
+					fmt.Fprintf(os.Stderr, "prewarmed incoming generation in %s\n", time.Since(warmStart).Round(time.Millisecond))
+				}
 				old, err := holder.Swap(next)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "swap refused: %v — keeping current generation\n", err)

@@ -462,6 +462,12 @@ func swapPauseP99(b *pipeline.Bundle, pa, pb platform.ID, as []int, workers int)
 		if engines[g], err = serve.NewEngineFromBundle(subs[0], workers); err != nil {
 			return 0, err
 		}
+		// The serve path prewarms an incoming generation before
+		// publishing it, so the pause measured here is the swap itself,
+		// not the new engine's cold caches.
+		if err := engines[g].Prewarm(0); err != nil {
+			return 0, err
+		}
 	}
 	s := serve.NewSwappable(engines[0])
 	done := make(chan error, 1)

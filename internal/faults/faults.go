@@ -1,0 +1,214 @@
+// Package faults is the serving tier's deterministic fault-injection
+// layer: scripted latency, errors, hangs, replica flapping and
+// swap-mid-scatter, reproducible from a single seed, so every chaos
+// scenario in the certification suite is a plain `go test` (and runs
+// under -race).
+//
+// Determinism is the design constraint everything here serves. A fault
+// decision is a pure function of (seed, target, rule index, call
+// index): the injector keeps one atomic call counter per target, and
+// every probabilistic draw hashes those four values through a
+// splitmix64-style mixer — no shared math/rand stream, no wall clock.
+// Two runs with the same seed and the same per-target call interleaving
+// make identical decisions, and concurrent callers only contend on the
+// counter increment, never on a lock around randomness.
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error every scripted failure resolves to (wrapped
+// with the target name), so tests can errors.Is their way to "this was
+// the script, not a real bug".
+var ErrInjected = errors.New("injected fault")
+
+// Rule is one line of a fault script. A rule applies to a call when the
+// target matches, the call index falls in [From, To) (To = 0 means
+// unbounded), and its trigger fires: Every > 0 makes it periodic
+// (deterministic flapping — fires when (idx-From)%Every == 0), P > 0
+// makes it probabilistic under the seed, and neither makes it
+// unconditional. Matching rules compose: latencies add, Error/Hang OR.
+type Rule struct {
+	// Target selects which injection point the rule scripts; "" matches
+	// every target.
+	Target string
+	// From and To bound the call-index window the rule is live in
+	// (half-open; To = 0 means forever).
+	From, To uint64
+	// Every fires the rule on every Every-th call of the window.
+	Every uint64
+	// P fires the rule with probability P per call, deterministically
+	// derived from the seed.
+	P float64
+	// Latency is added before the call proceeds (or fails); Jitter adds
+	// a uniform seeded extra in [0, Jitter).
+	Latency time.Duration
+	Jitter  time.Duration
+	// Error fails the call with ErrInjected after any latency.
+	Error bool
+	// Hang blocks the call until its context is cancelled, then fails
+	// it — the slow-loris shard that never answers.
+	Hang bool
+}
+
+func (r Rule) matches(target string, idx uint64) bool {
+	if r.Target != "" && r.Target != target {
+		return false
+	}
+	if idx < r.From || (r.To > 0 && idx >= r.To) {
+		return false
+	}
+	if r.Every > 0 && (idx-r.From)%r.Every != 0 {
+		return false
+	}
+	return true
+}
+
+// Script is a seeded set of fault rules — one chaos scenario.
+type Script struct {
+	Seed  int64
+	Rules []Rule
+}
+
+// Decision is what the injector resolved one call to.
+type Decision struct {
+	Latency time.Duration
+	Err     bool
+	Hang    bool
+}
+
+// Apply executes the decision: sleep the scripted latency (respecting
+// ctx), hang until cancellation if scripted, and return the injected
+// error if any. The returned error wraps ErrInjected.
+func (d Decision) Apply(ctx context.Context, target string) error {
+	if d.Hang {
+		<-ctx.Done()
+		return fmt.Errorf("%s: hang until %v: %w", target, ctx.Err(), ErrInjected)
+	}
+	if d.Latency > 0 {
+		t := time.NewTimer(d.Latency)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("%s: latency cut short by %v: %w", target, ctx.Err(), ErrInjected)
+		}
+	}
+	if d.Err {
+		return fmt.Errorf("%s: %w", target, ErrInjected)
+	}
+	return nil
+}
+
+// targetState is one injection point's counters: how many calls it has
+// seen and how many faults of each kind were injected into them. The
+// injected counters are what chaos tests assert bounded probe traffic
+// against ("the breaker let at most N calls reach the dead replica").
+type targetState struct {
+	calls    atomic.Uint64
+	errs     atomic.Uint64
+	hangs    atomic.Uint64
+	latApply atomic.Uint64
+}
+
+// Injector resolves fault decisions for named targets under one script.
+// Safe for concurrent use.
+type Injector struct {
+	script Script
+	mu     sync.Mutex
+	states map[string]*targetState
+}
+
+// NewInjector builds an injector over the script.
+func NewInjector(s Script) *Injector {
+	return &Injector{script: s, states: make(map[string]*targetState)}
+}
+
+func (in *Injector) state(target string) *targetState {
+	in.mu.Lock()
+	st := in.states[target]
+	if st == nil {
+		st = &targetState{}
+		in.states[target] = st
+	}
+	in.mu.Unlock()
+	return st
+}
+
+// Decide consumes the target's next call index and resolves the
+// script's decision for it.
+func (in *Injector) Decide(target string) Decision {
+	st := in.state(target)
+	idx := st.calls.Add(1) - 1
+	var d Decision
+	for ri, rule := range in.script.Rules {
+		if !rule.matches(target, idx) {
+			continue
+		}
+		if rule.P > 0 && unit(in.script.Seed, target, uint64(ri), idx) >= rule.P {
+			continue
+		}
+		d.Latency += rule.Latency
+		if rule.Jitter > 0 {
+			d.Latency += time.Duration(unit(in.script.Seed, target, uint64(ri)+1<<32, idx) * float64(rule.Jitter))
+		}
+		d.Err = d.Err || rule.Error
+		d.Hang = d.Hang || rule.Hang
+	}
+	if d.Hang {
+		st.hangs.Add(1)
+	} else if d.Err {
+		st.errs.Add(1)
+	}
+	if d.Latency > 0 {
+		st.latApply.Add(1)
+	}
+	return d
+}
+
+// Calls reports how many calls the target has seen.
+func (in *Injector) Calls(target string) uint64 { return in.state(target).calls.Load() }
+
+// InjectedErrors reports how many of the target's calls were scripted
+// to fail (hangs counted separately).
+func (in *Injector) InjectedErrors(target string) uint64 { return in.state(target).errs.Load() }
+
+// InjectedHangs reports how many of the target's calls were scripted to
+// hang.
+func (in *Injector) InjectedHangs(target string) uint64 { return in.state(target).hangs.Load() }
+
+// Targets returns every target that has seen at least one call.
+func (in *Injector) Targets() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]string, 0, len(in.states))
+	for t := range in.states {
+		out = append(out, t)
+	}
+	return out
+}
+
+// unit hashes (seed, target, salt, idx) to a uniform float64 in [0, 1)
+// — the injector's only source of randomness, so every draw is
+// reproducible from the script seed alone.
+func unit(seed int64, target string, salt, idx uint64) float64 {
+	h := uint64(seed) ^ 0x9e3779b97f4a7c15
+	for i := 0; i < len(target); i++ {
+		h = (h ^ uint64(target[i])) * 0x100000001b3
+	}
+	h ^= salt * 0xbf58476d1ce4e5b9
+	h ^= idx * 0x94d049bb133111eb
+	// splitmix64 finalizer
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return float64(h>>11) / float64(1<<53)
+}

@@ -1,0 +1,197 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFaultsDeterministicAcrossRuns: two injectors over the same script
+// resolve identical decision sequences for every target — the property
+// the whole chaos suite rests on.
+func TestFaultsDeterministicAcrossRuns(t *testing.T) {
+	script := Script{Seed: 42, Rules: []Rule{
+		{Target: "a", P: 0.3, Error: true},
+		{Target: "b", P: 0.5, Latency: time.Millisecond, Jitter: time.Millisecond},
+		{Every: 7, Latency: 2 * time.Millisecond},
+	}}
+	run := func() map[string][]Decision {
+		inj := NewInjector(script)
+		out := make(map[string][]Decision)
+		for _, target := range []string{"a", "b", "c"} {
+			for i := 0; i < 200; i++ {
+				out[target] = append(out[target], inj.Decide(target))
+			}
+		}
+		return out
+	}
+	first, second := run(), run()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("same script, different decision sequences across runs")
+	}
+	// A different seed must actually change the probabilistic draws.
+	other := NewInjector(Script{Seed: 43, Rules: script.Rules})
+	var diff bool
+	for i := 0; i < 200; i++ {
+		if other.Decide("a") != first["a"][i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("seed 43 reproduced seed 42's decisions exactly")
+	}
+}
+
+// TestFaultsConcurrentInterleavingIndependence: a target's decision
+// stream depends only on its own call indices, so concurrent traffic to
+// other targets (any goroutine schedule) cannot perturb it. Verified by
+// multiset equality under -race.
+func TestFaultsConcurrentInterleavingIndependence(t *testing.T) {
+	script := Script{Seed: 7, Rules: []Rule{
+		{Target: "x", P: 0.4, Error: true},
+		{Target: "y", P: 0.4, Error: true},
+	}}
+	sequential := NewInjector(script)
+	var wantX []Decision
+	for i := 0; i < 400; i++ {
+		wantX = append(wantX, sequential.Decide("x"))
+	}
+
+	concurrent := NewInjector(script)
+	var mu sync.Mutex
+	var gotX []Decision
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				d := concurrent.Decide("x")
+				mu.Lock()
+				gotX = append(gotX, d)
+				mu.Unlock()
+			}
+		}()
+		go func() { // interleaved noise on the other target
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				concurrent.Decide("y")
+			}
+		}()
+	}
+	wg.Wait()
+
+	key := func(d Decision) string {
+		if d.Err {
+			return "err"
+		}
+		return "ok"
+	}
+	count := func(ds []Decision) map[string]int {
+		m := make(map[string]int)
+		for _, d := range ds {
+			m[key(d)]++
+		}
+		return m
+	}
+	if !reflect.DeepEqual(count(wantX), count(gotX)) {
+		t.Fatalf("concurrent x decisions %v != sequential %v", count(gotX), count(wantX))
+	}
+	if concurrent.Calls("x") != 400 || concurrent.Calls("y") != 400 {
+		t.Fatalf("call counters: x=%d y=%d, want 400 each", concurrent.Calls("x"), concurrent.Calls("y"))
+	}
+}
+
+// TestFaultsEveryWindow: a windowed periodic rule fires on exactly the
+// scripted call indices — deterministic replica flapping.
+func TestFaultsEveryWindow(t *testing.T) {
+	inj := NewInjector(Script{Rules: []Rule{
+		{Target: "flap", From: 2, To: 11, Every: 3, Error: true},
+	}})
+	var fired []int
+	for i := 0; i < 15; i++ {
+		if inj.Decide("flap").Err {
+			fired = append(fired, i)
+		}
+	}
+	if want := []int{2, 5, 8}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("rule fired at %v, want %v", fired, want)
+	}
+	if inj.InjectedErrors("flap") != 3 {
+		t.Fatalf("injected-error counter = %d, want 3", inj.InjectedErrors("flap"))
+	}
+}
+
+// TestFaultsProbabilisticRate: a P rule's empirical rate lands near P,
+// and identically so on every run with the same seed.
+func TestFaultsProbabilisticRate(t *testing.T) {
+	script := Script{Seed: 99, Rules: []Rule{{P: 0.3, Error: true}}}
+	count := func() uint64 {
+		inj := NewInjector(script)
+		for i := 0; i < 1000; i++ {
+			inj.Decide("t")
+		}
+		return inj.InjectedErrors("t")
+	}
+	n1, n2 := count(), count()
+	if n1 != n2 {
+		t.Fatalf("same seed, different error counts: %d vs %d", n1, n2)
+	}
+	if n1 < 230 || n1 > 370 {
+		t.Fatalf("P=0.3 rule fired %d/1000 times — the unit hash is not uniform", n1)
+	}
+}
+
+// TestFaultsRulesCompose: matching rules add latencies and OR failures.
+func TestFaultsRulesCompose(t *testing.T) {
+	inj := NewInjector(Script{Rules: []Rule{
+		{Latency: 2 * time.Millisecond},
+		{Target: "t", Latency: 3 * time.Millisecond},
+		{Target: "t", Error: true},
+	}})
+	d := inj.Decide("t")
+	if d.Latency != 5*time.Millisecond || !d.Err || d.Hang {
+		t.Fatalf("composed decision = %+v, want 5ms + error", d)
+	}
+}
+
+// TestFaultsApplyHangRespectsContext: a hang blocks until the caller's
+// context dies, then reports an injected fault — never a deadlock.
+func TestFaultsApplyHangRespectsContext(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := Decision{Hang: true}.Apply(ctx, "t")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("hang resolved to %v, want ErrInjected", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("hang outlived its context")
+	}
+	// Latency is likewise cut short by cancellation.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel2()
+	if err := (Decision{Latency: time.Hour}).Apply(ctx2, "t"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("cancelled latency resolved to %v, want ErrInjected", err)
+	}
+	// And a clean decision applies instantly with no error.
+	if err := (Decision{}).Apply(context.Background(), "t"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultsTargets: the injector reports every target it has seen.
+func TestFaultsTargets(t *testing.T) {
+	inj := NewInjector(Script{})
+	inj.Decide("b")
+	inj.Decide("a")
+	got := inj.Targets()
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("targets = %v", got)
+	}
+}

@@ -76,14 +76,24 @@ type Metrics struct {
 	// pull-style snapshot sources evaluated per scrape.
 	mappedSource func() (MappedStats, bool)
 	fanoutSource func() []PairFanout
+
+	// Robustness telemetry (see robust.go): the router's breaker/hedge
+	// snapshot source, the serve tier's admission gate, and the per-hop
+	// deadline-remaining histogram.
+	robustSource    func() RouterRobust
+	admission       *Admission
+	deadlineBuckets []atomic.Uint64
+	deadlineSum     atomic.Uint64
+	deadlineCount   atomic.Uint64
 }
 
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		endpoints:  make(map[string]*endpointStats),
-		start:      time.Now(),
-		preBuckets: make([]atomic.Uint64, len(survivorBuckets)),
+		endpoints:       make(map[string]*endpointStats),
+		start:           time.Now(),
+		preBuckets:      make([]atomic.Uint64, len(survivorBuckets)),
+		deadlineBuckets: make([]atomic.Uint64, len(latencyBuckets)),
 	}
 }
 
@@ -151,6 +161,9 @@ func (m *Metrics) Render(w io.Writer) {
 	m.renderPrescreen(w)
 	m.renderImpute(w)
 	m.renderMapped(w)
+	m.renderRobust(w)
+	m.renderAdmission(w)
+	m.renderDeadline(w)
 }
 
 // formatBound renders a bucket bound the way Prometheus expects

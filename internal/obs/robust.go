@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Robustness telemetry: the router's circuit-breaker / hedging /
+// retry-budget state, the serve tier's admission control (load
+// shedding), and the per-hop deadline-remaining histogram. As
+// everywhere in obs, the router types are mirrored rather than imported
+// so the package stays dependency-free.
+
+// BreakerState mirrors router.BreakerStatus: one replica's circuit
+// breaker.
+type BreakerState struct {
+	Shard   int
+	Replica int
+	Name    string
+	State   string // closed | open | half-open
+	Opens   uint64
+}
+
+// RouterRobust mirrors router.RobustStats.
+type RouterRobust struct {
+	Breakers       []BreakerState
+	HedgeFired     uint64
+	HedgeWon       uint64
+	HedgeCancelled uint64
+	RetryExhausted uint64
+	FailFast       uint64
+}
+
+// SetRobustSource installs the pull-style snapshot the router's
+// /metrics evaluates per scrape (cmd/hydra-router adapts
+// Router.RobustStats into it). Call before serving.
+func (m *Metrics) SetRobustSource(src func() RouterRobust) { m.robustSource = src }
+
+func (m *Metrics) renderRobust(w io.Writer) {
+	if m.robustSource == nil {
+		return
+	}
+	st := m.robustSource()
+	fmt.Fprintf(w, "# HELP hydra_breaker_state Circuit breaker state per shard replica (0=closed, 1=open, 2=half-open).\n")
+	fmt.Fprintf(w, "# TYPE hydra_breaker_state gauge\n")
+	for _, b := range st.Breakers {
+		v := 0
+		switch b.State {
+		case "open":
+			v = 1
+		case "half-open":
+			v = 2
+		}
+		fmt.Fprintf(w, "hydra_breaker_state{shard=\"%d\",replica=\"%d\",name=%q} %d\n", b.Shard, b.Replica, b.Name, v)
+	}
+	fmt.Fprintf(w, "# HELP hydra_breaker_opens_total Times each replica's circuit breaker tripped open.\n")
+	fmt.Fprintf(w, "# TYPE hydra_breaker_opens_total counter\n")
+	for _, b := range st.Breakers {
+		fmt.Fprintf(w, "hydra_breaker_opens_total{shard=\"%d\",replica=\"%d\",name=%q} %d\n", b.Shard, b.Replica, b.Name, b.Opens)
+	}
+	fmt.Fprintf(w, "# HELP hydra_hedge_total Hedged top-k requests by outcome.\n")
+	fmt.Fprintf(w, "# TYPE hydra_hedge_total counter\n")
+	fmt.Fprintf(w, "hydra_hedge_total{outcome=\"fired\"} %d\n", st.HedgeFired)
+	fmt.Fprintf(w, "hydra_hedge_total{outcome=\"won\"} %d\n", st.HedgeWon)
+	fmt.Fprintf(w, "hydra_hedge_total{outcome=\"cancelled\"} %d\n", st.HedgeCancelled)
+	fmt.Fprintf(w, "# HELP hydra_retry_budget_exhausted_total Shard calls that ran out of retry or deadline budget.\n")
+	fmt.Fprintf(w, "# TYPE hydra_retry_budget_exhausted_total counter\n")
+	fmt.Fprintf(w, "hydra_retry_budget_exhausted_total %d\n", st.RetryExhausted)
+	fmt.Fprintf(w, "# HELP hydra_breaker_failfast_total Replica attempts denied by an open circuit breaker.\n")
+	fmt.Fprintf(w, "# TYPE hydra_breaker_failfast_total counter\n")
+	fmt.Fprintf(w, "hydra_breaker_failfast_total %d\n", st.FailFast)
+}
+
+// Admission is bounded in-flight admission control: at most Max
+// requests run concurrently, everything beyond is shed with 429 +
+// Retry-After instead of queueing into latency collapse. /healthz and
+// /metrics always pass — an overloaded server that can't be observed
+// can't be fixed.
+type Admission struct {
+	max        int64
+	retryAfter int // seconds, advertised on shed responses
+	inflight   atomic.Int64
+	shed       atomic.Uint64
+}
+
+// NewAdmission builds an admission gate for at most max in-flight
+// requests; max <= 0 disables the gate (Middleware passes through).
+func NewAdmission(max int) *Admission {
+	return &Admission{max: int64(max), retryAfter: 1}
+}
+
+// Stats reports the gate's current in-flight count, its limit, and the
+// total requests shed.
+func (a *Admission) Stats() (inflight, max int64, shed uint64) {
+	if a == nil {
+		return 0, 0, 0
+	}
+	return a.inflight.Load(), a.max, a.shed.Load()
+}
+
+// Middleware enforces the admission gate around next.
+func (a *Admission) Middleware(next http.Handler) http.Handler {
+	if a == nil || a.max <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		n := a.inflight.Add(1)
+		defer a.inflight.Add(-1)
+		if n > a.max {
+			a.shed.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(a.retryAfter))
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintf(w, "{\"error\":\"overloaded: %d requests in flight (limit %d)\"}\n", n, a.max)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// SetAdmission registers the admission gate for rendering on /metrics.
+func (m *Metrics) SetAdmission(a *Admission) { m.admission = a }
+
+func (m *Metrics) renderAdmission(w io.Writer) {
+	if m.admission == nil {
+		return
+	}
+	inflight, max, shed := m.admission.Stats()
+	fmt.Fprintf(w, "# HELP hydra_inflight_requests Requests currently being served.\n")
+	fmt.Fprintf(w, "# TYPE hydra_inflight_requests gauge\n")
+	fmt.Fprintf(w, "hydra_inflight_requests %d\n", inflight)
+	fmt.Fprintf(w, "# HELP hydra_inflight_limit Admission gate: max in-flight requests before shedding.\n")
+	fmt.Fprintf(w, "# TYPE hydra_inflight_limit gauge\n")
+	fmt.Fprintf(w, "hydra_inflight_limit %d\n", max)
+	fmt.Fprintf(w, "# HELP hydra_shed_total Requests shed with 429 by the admission gate.\n")
+	fmt.Fprintf(w, "# TYPE hydra_shed_total counter\n")
+	fmt.Fprintf(w, "hydra_shed_total %d\n", shed)
+}
+
+// ObserveDeadlineRemaining records how much of its deadline budget a
+// request had left when it arrived at this hop (serve.DeadlineMiddleware
+// feeds it). Exhausted budgets land in the first bucket.
+func (m *Metrics) ObserveDeadlineRemaining(rem time.Duration) {
+	if rem < 0 {
+		rem = 0
+	}
+	m.deadlineCount.Add(1)
+	m.deadlineSum.Add(uint64(rem.Nanoseconds()))
+	sec := rem.Seconds()
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			m.deadlineBuckets[i].Add(1)
+			return
+		}
+	}
+	// Beyond the last bound: counted only in +Inf.
+}
+
+func (m *Metrics) renderDeadline(w io.Writer) {
+	count := m.deadlineCount.Load()
+	if count == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP hydra_deadline_remaining_seconds Deadline budget remaining when a request arrived at this hop.\n")
+	fmt.Fprintf(w, "# TYPE hydra_deadline_remaining_seconds histogram\n")
+	var cum uint64
+	for i, ub := range latencyBuckets {
+		cum += m.deadlineBuckets[i].Load()
+		fmt.Fprintf(w, "hydra_deadline_remaining_seconds_bucket{le=%q} %d\n", formatBound(ub), cum)
+	}
+	fmt.Fprintf(w, "hydra_deadline_remaining_seconds_bucket{le=\"+Inf\"} %d\n", count)
+	fmt.Fprintf(w, "hydra_deadline_remaining_seconds_sum %g\n", float64(m.deadlineSum.Load())/1e9)
+	fmt.Fprintf(w, "hydra_deadline_remaining_seconds_count %d\n", count)
+}

@@ -32,6 +32,7 @@ package pipeline
 // The format is golden-pinned by TestBundleV3GoldenFormat.
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -289,11 +290,23 @@ func readBundleV3(r io.Reader) (*Bundle, error) {
 		if n > maxSection {
 			return nil, fmt.Errorf("pipeline: v3 %s claims %d bytes — corrupt bundle", what, n)
 		}
-		p := make([]byte, n)
-		if _, err := io.ReadFull(r, p); err != nil {
-			return nil, fmt.Errorf("pipeline: read v3 %s: %w", what, err)
+		// Allocate at most a chunk before bytes actually arrive: a
+		// corrupt length on a short file must fail at EOF, not OOM on
+		// the upfront make (a 25-byte input can claim a 4 GiB section).
+		const upfront = 1 << 26 // 64 MiB
+		if n <= upfront {
+			p := make([]byte, n)
+			if _, err := io.ReadFull(r, p); err != nil {
+				return nil, fmt.Errorf("pipeline: read v3 %s: %w", what, err)
+			}
+			return p, nil
 		}
-		return p, nil
+		var buf bytes.Buffer
+		buf.Grow(upfront)
+		if m, err := io.CopyN(&buf, r, int64(n)); err != nil {
+			return nil, fmt.Errorf("pipeline: read v3 %s: %w (got %d of %d bytes)", what, err, m, n)
+		}
+		return buf.Bytes(), nil
 	}
 	headerJSON, err := readBlock("header")
 	if err != nil {

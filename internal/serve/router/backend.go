@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"time"
 
 	"hydra/internal/pipeline"
 	"hydra/internal/platform"
@@ -129,6 +130,12 @@ type HTTP struct {
 	// Client overrides http.DefaultClient; per-attempt deadlines come
 	// from the router's context, not the client timeout.
 	Client *http.Client
+	// HopMargin is subtracted from the request's remaining deadline
+	// budget before it is stamped on the outgoing hop (default 2ms),
+	// reserving time for the reply to travel back and be merged. A
+	// budget-carrying request whose remainder is spent fails before the
+	// wire is touched.
+	HopMargin time.Duration
 }
 
 func (h *HTTP) Name() string { return h.URL }
@@ -187,6 +194,9 @@ func (h *HTTP) get(ctx context.Context, path string, out any) error {
 	if err != nil {
 		return err
 	}
+	if err := h.stampBudget(req); err != nil {
+		return err
+	}
 	return h.do(req, out)
 }
 
@@ -196,7 +206,29 @@ func (h *HTTP) post(ctx context.Context, path string, body []byte, out any) erro
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if err := h.stampBudget(req); err != nil {
+		return err
+	}
 	return h.do(req, out)
+}
+
+// stampBudget propagates the request's deadline budget to the next hop,
+// decremented by HopMargin.
+func (h *HTTP) stampBudget(req *http.Request) error {
+	t, ok := Budget(req.Context())
+	if !ok {
+		return nil
+	}
+	margin := h.HopMargin
+	if margin <= 0 {
+		margin = 2 * time.Millisecond
+	}
+	t = t.Add(-margin)
+	if !time.Now().Before(t) {
+		return fmt.Errorf("router: %s: deadline budget exhausted before the call", h.URL)
+	}
+	serve.SetDeadline(req.Header, t)
+	return nil
 }
 
 func (h *HTTP) do(req *http.Request, out any) error {

@@ -1,0 +1,44 @@
+package router
+
+import (
+	"context"
+	"time"
+)
+
+// The deadline budget is carried as a context VALUE (the absolute wall
+// time the end-to-end answer is due), not as a context deadline on the
+// scatter's parent context. The distinction is the whole point: when the
+// budget runs out mid-scatter, the router must still be alive to merge
+// the shards that did answer and return an honest degraded response —
+// a cancelled parent context would kill the merge along with the
+// stragglers. Per-attempt contexts are capped at the budget, so a shard
+// sleeping past it produces a per-shard timeout entry in failed_shards,
+// never a router-wide failure.
+
+type budgetKey struct{}
+
+// WithBudget returns ctx carrying the absolute deadline t as the
+// request's end-to-end answer budget. Every retry, backoff sleep and
+// downstream hop decrements against it.
+func WithBudget(ctx context.Context, t time.Time) context.Context {
+	return context.WithValue(ctx, budgetKey{}, t)
+}
+
+// Budget reports the deadline budget carried by ctx, if any.
+func Budget(ctx context.Context) (time.Time, bool) {
+	t, ok := ctx.Value(budgetKey{}).(time.Time)
+	return t, ok
+}
+
+// attemptCtx derives one replica attempt's context: the per-attempt
+// timeout, further capped by whatever remains of the request's deadline
+// budget.
+func (r *Router) attemptCtx(ctx context.Context, budgetT time.Time, hasBudget bool) (context.Context, context.CancelFunc) {
+	d := r.opts.timeout()
+	if hasBudget {
+		if rem := time.Until(budgetT); rem < d {
+			d = rem
+		}
+	}
+	return context.WithTimeout(ctx, d)
+}

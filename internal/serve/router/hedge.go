@@ -1,0 +1,211 @@
+package router
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hydra/internal/serve"
+)
+
+// Tied hedged requests for the network top-k scatter: when a replica
+// has not answered after the hedge delay, the same query is fired at a
+// backup replica and the first success wins — the loser's context is
+// cancelled and its outcome is abandoned so it cannot poison the
+// winner's breaker bookkeeping. Only non-TopKAppender (network)
+// backends hedge: an in-process call cannot straggle on I/O, and the
+// zero-alloc scatter guarantee would not survive timers and channels.
+
+// latWindow is a shard's ring of recent successful network-attempt
+// latencies; its p99 drives the adaptive hedge delay ("hedge only when
+// this attempt is already slower than almost everything we've seen").
+type latWindow struct {
+	mu   sync.Mutex
+	buf  [64]time.Duration
+	n    int // filled entries (≤ len(buf))
+	next int
+}
+
+func (w *latWindow) record(d time.Duration) {
+	w.mu.Lock()
+	w.buf[w.next] = d
+	w.next = (w.next + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+	w.mu.Unlock()
+}
+
+// p99 returns the window's 99th-percentile latency, or 0 while fewer
+// than 8 samples exist (not enough signal to hedge on).
+func (w *latWindow) p99() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.n < 8 {
+		return 0
+	}
+	var tmp [64]time.Duration
+	copy(tmp[:w.n], w.buf[:w.n])
+	s := tmp[:w.n]
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := (w.n * 99) / 100
+	if idx >= w.n {
+		idx = w.n - 1
+	}
+	return s[idx]
+}
+
+// hedgeDelay is how long a shard's network attempt may run before the
+// backup fires: a fixed Options.HedgeAfter when set, otherwise the
+// shard's observed p99 clamped to [HedgeMin, timeout/2], falling back
+// to timeout/4 before enough samples exist.
+func (r *Router) hedgeDelay(si int) time.Duration {
+	if d := r.opts.HedgeAfter; d > 0 {
+		return d
+	}
+	d := r.lats[si].p99()
+	if d <= 0 {
+		return r.opts.timeout() / 4
+	}
+	if mn := r.opts.hedgeMin(); d < mn {
+		d = mn
+	}
+	if mx := r.opts.timeout() / 2; d > mx {
+		d = mx
+	}
+	return d
+}
+
+// hedgeFlight is one in-flight timed call's handle: its cancel and the
+// abandoned flag the winner sets (before cancelling) so the loser skips
+// breaker bookkeeping for a cancellation it did not earn.
+type hedgeFlight struct {
+	cancel func()
+	ab     *atomic.Bool
+}
+
+// timedTopK runs one network top-k attempt against reps[idx] with the
+// per-attempt timeout (capped by the deadline budget), hedging to the
+// next breaker-closed replica after the hedge delay. It owns breaker
+// and latency bookkeeping for the calls it fires, bumps *attempts per
+// call fired, and on success copies the winner into j.res/j.gen and
+// returns the winning replica index. The returned error is already
+// wrapped with the replica name (unless it is a query error, which
+// propagates untouched).
+func (r *Router) timedTopK(j *topkJob, idx int, attempts *int, maxAttempts int, budgetT time.Time, hasBudget bool) (int, error) {
+	reps := r.shards[j.si]
+	type outcome struct {
+		idx int
+		res []serve.Scored
+		gen uint64
+		err error
+	}
+	ch := make(chan outcome, 2)
+	launch := func(i int) hedgeFlight {
+		cctx, cancel := r.attemptCtx(j.ctx, budgetT, hasBudget)
+		ab := &atomic.Bool{}
+		go func() {
+			defer cancel()
+			t0 := time.Now()
+			res, gen, err := reps[i].TopK(cctx, j.pa, j.a, j.pb, j.k)
+			dur := time.Since(t0)
+			if ab.Load() {
+				return // abandoned: the winner already answered and cancelled us
+			}
+			switch {
+			case err == nil:
+				r.breakerSuccess(j.si, i)
+				r.lats[j.si].record(dur)
+			case IsQueryError(err):
+				r.breakerSuccess(j.si, i) // the replica answered; the query is at fault
+			default:
+				r.breakerFailure(j.si, i)
+			}
+			ch <- outcome{idx: i, res: res, gen: gen, err: err}
+		}()
+		return hedgeFlight{cancel: cancel, ab: ab}
+	}
+
+	*attempts++
+	prim := launch(idx)
+	var back hedgeFlight
+	defer func() {
+		prim.cancel()
+		if back.cancel != nil {
+			back.cancel()
+		}
+	}()
+
+	// A hedge needs a distinct breaker-closed backup, retry-budget
+	// headroom, and hedging enabled.
+	backup := -1
+	if r.opts.HedgeAfter >= 0 && len(reps) > 1 && *attempts < maxAttempts {
+		for o := 1; o < len(reps); o++ {
+			c := (idx + o) % len(reps)
+			if r.opts.BreakerDisabled || r.breakers[j.si][c].closedNow() {
+				backup = c
+				break
+			}
+		}
+	}
+	var hedgeC <-chan time.Time
+	if backup >= 0 {
+		t := time.NewTimer(r.hedgeDelay(j.si))
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	hedged := false
+	inFlight := 1
+	var firstErr error
+	for {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			hedged = true
+			r.robust.hedgeFired.Add(1)
+			*attempts++
+			back = launch(backup)
+			inFlight++
+		case oc := <-ch:
+			inFlight--
+			loser := prim
+			if oc.idx == idx {
+				loser = back
+			}
+			if oc.err == nil {
+				j.res = append(j.res[:0], oc.res...)
+				j.gen = oc.gen
+				if hedged {
+					if oc.idx == backup {
+						r.robust.hedgeWon.Add(1)
+					}
+					if inFlight > 0 {
+						loser.ab.Store(true)
+						loser.cancel()
+						r.robust.hedgeCancelled.Add(1)
+					}
+				}
+				return oc.idx, nil
+			}
+			if IsQueryError(oc.err) {
+				if inFlight > 0 {
+					loser.ab.Store(true)
+					loser.cancel()
+				}
+				return oc.idx, oc.err
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", reps[oc.idx].Name(), oc.err)
+			}
+			if inFlight == 0 {
+				return -1, firstErr
+			}
+			hedgeC = nil // the pair is down to one flight; no further hedging
+		case <-j.ctx.Done():
+			return -1, fmt.Errorf("router: shard %d: %w", j.si, j.ctx.Err())
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"hydra/internal/platform"
 	"hydra/internal/serve"
@@ -26,14 +27,46 @@ import (
 // a shard down after failover is 502 for score/link (no honest partial
 // answer) but still 200 + degraded flag for top-k.
 
-// Handler returns the router's HTTP front-end.
+// Handler returns the router's HTTP front-end. Every query route runs
+// under the deadline-budget middleware: a request carrying the
+// serve.DeadlineHeader budget gets it installed on its context (the
+// scatter's retries, backoffs and downstream hops all decrement against
+// it), a request without one gets Options.DefaultBudget when set, and a
+// request whose budget is already spent is refused with 504.
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", r.handleHealthz)
 	mux.HandleFunc("/score", r.handleScore(false))
 	mux.HandleFunc("/link", r.handleScore(true))
 	mux.HandleFunc("/topk", r.handleTopK)
-	return mux
+	return r.budgetMiddleware(mux)
+}
+
+// budgetMiddleware installs the request's deadline budget — from the
+// header, or Options.DefaultBudget — as a context value (see budget.go
+// for why a value, not a context deadline).
+func (r *Router) budgetMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		t, ok, err := serve.ParseDeadline(req.Header)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if !ok {
+			if d := r.opts.DefaultBudget; d > 0 {
+				t = time.Now().Add(d)
+			} else {
+				next.ServeHTTP(w, req)
+				return
+			}
+		}
+		if !time.Now().Before(t) {
+			httpError(w, http.StatusGatewayTimeout,
+				fmt.Errorf("deadline budget exhausted before the request was served"))
+			return
+		}
+		next.ServeHTTP(w, req.WithContext(WithBudget(req.Context(), t)))
+	})
 }
 
 func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {

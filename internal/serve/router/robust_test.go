@@ -1,0 +1,450 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hydra/internal/platform"
+	"hydra/internal/serve"
+)
+
+// countingBackend fails every call while down (counting them — the
+// probe-traffic meter the breaker tests assert against) and delegates
+// to inner once revived.
+type countingBackend struct {
+	name  string
+	inner Backend
+	calls atomic.Int64
+	up    atomic.Bool
+}
+
+func (c *countingBackend) Name() string { return c.name }
+
+func (c *countingBackend) Health(ctx context.Context) (Health, error) {
+	c.calls.Add(1)
+	if !c.up.Load() {
+		return Health{}, fmt.Errorf("connection refused")
+	}
+	return c.inner.Health(ctx)
+}
+
+func (c *countingBackend) ScoreBatch(ctx context.Context, pa, pb platform.ID, pairs [][2]int) ([]float64, uint64, error) {
+	c.calls.Add(1)
+	if !c.up.Load() {
+		return nil, 0, fmt.Errorf("connection refused")
+	}
+	return c.inner.ScoreBatch(ctx, pa, pb, pairs)
+}
+
+func (c *countingBackend) TopK(ctx context.Context, pa platform.ID, a int, pb platform.ID, k int) ([]serve.Scored, uint64, error) {
+	c.calls.Add(1)
+	if !c.up.Load() {
+		return nil, 0, fmt.Errorf("connection refused")
+	}
+	return c.inner.TopK(ctx, pa, a, pb, k)
+}
+
+// slowBackend delays every query before delegating — a straggling
+// replica. It intentionally does not implement TopKAppender, so the
+// router treats it as a network replica (timed attempts, hedging).
+type slowBackend struct {
+	name  string
+	inner Backend
+	delay time.Duration
+}
+
+func (s *slowBackend) Name() string { return s.name }
+
+func (s *slowBackend) wait(ctx context.Context) error {
+	t := time.NewTimer(s.delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *slowBackend) Health(ctx context.Context) (Health, error) {
+	return s.inner.Health(ctx) // health stays fast so Refresh passes
+}
+
+func (s *slowBackend) ScoreBatch(ctx context.Context, pa, pb platform.ID, pairs [][2]int) ([]float64, uint64, error) {
+	if err := s.wait(ctx); err != nil {
+		return nil, 0, err
+	}
+	return s.inner.ScoreBatch(ctx, pa, pb, pairs)
+}
+
+func (s *slowBackend) TopK(ctx context.Context, pa platform.ID, a int, pb platform.ID, k int) ([]serve.Scored, uint64, error) {
+	if err := s.wait(ctx); err != nil {
+		return nil, 0, err
+	}
+	return s.inner.TopK(ctx, pa, a, pb, k)
+}
+
+// netBackend strips the TopKAppender fast path off an in-process
+// backend, forcing the router's timed/hedged network path.
+type netBackend struct{ inner Backend }
+
+func (n *netBackend) Name() string                               { return n.inner.Name() }
+func (n *netBackend) Health(ctx context.Context) (Health, error) { return n.inner.Health(ctx) }
+func (n *netBackend) ScoreBatch(ctx context.Context, pa, pb platform.ID, pairs [][2]int) ([]float64, uint64, error) {
+	return n.inner.ScoreBatch(ctx, pa, pb, pairs)
+}
+func (n *netBackend) TopK(ctx context.Context, pa platform.ID, a int, pb platform.ID, k int) ([]serve.Scored, uint64, error) {
+	return n.inner.TopK(ctx, pa, a, pb, k)
+}
+
+// TestBreakerCapsDeadShardTraffic hard-downs every replica of one shard
+// and hammers the router: the circuit breaker must cap the traffic the
+// corpse sees (threshold to trip + at most a few half-open probes),
+// every response must stay honestly degraded, and the fail-fast and
+// breaker-open counters must show up in RobustStats.
+func TestBreakerCapsDeadShardTraffic(t *testing.T) {
+	e := getEnv(t)
+	ctx := context.Background()
+	shards, engines := shardBackends(t, 2, 1)
+	dead := &countingBackend{name: "dead-1"} // down: up stays false
+	desc := engines[1].ShardDesc()
+	shards[1] = []Backend{dead}
+	r, err := New(shards, Options{
+		BreakerOpenFor: time.Hour, // no probes within the test window
+		BackoffBase:    time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No healthy Refresh: the shard is born dead (Refresh would fail).
+
+	const queries = 200
+	for q := 0; q < queries; q++ {
+		a := q % e.nA
+		res, err := r.TopK(ctx, e.pair[0], a, e.pair[1], 5)
+		if err != nil {
+			t.Fatalf("query %d errored instead of degrading: %v", q, err)
+		}
+		if !res.Degraded || !reflect.DeepEqual(res.FailedShards, []int{1}) {
+			t.Fatalf("query %d: degraded=%v failed=%v, want shard 1 down", q, res.Degraded, res.FailedShards)
+		}
+		// Honesty check: present rows are exactly the single engine's
+		// ranking minus the dead shard's slice.
+		full, err := e.single.TopK(e.pair[0], a, e.pair[1], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []serve.Scored
+		for _, s := range full {
+			if desc.ShardOf(e.pair[1], s.B) != 1 {
+				want = append(want, s)
+			}
+		}
+		if len(want) > 5 {
+			want = want[:5]
+		}
+		if len(res.Results) != 0 || len(want) != 0 {
+			if !reflect.DeepEqual(res.Results, want) {
+				t.Fatalf("query %d: degraded rows differ from single engine minus dead shard", q)
+			}
+		}
+	}
+
+	// The bound: without a breaker the corpse would see rings×queries =
+	// 400 calls. With it: threshold (3) trips the breaker, and the
+	// hour-long open window admits nothing after — a couple extra for
+	// races around the trip.
+	if got := dead.calls.Load(); got > 6 {
+		t.Fatalf("dead replica saw %d calls across %d queries; breaker should cap near the trip threshold", got, queries)
+	}
+	st := r.RobustStats()
+	if st.FailFast == 0 {
+		t.Fatal("no fail-fast denials recorded while a breaker was open")
+	}
+	var deadOpens uint64
+	for _, b := range st.Breakers {
+		if b.Shard == 1 {
+			deadOpens = b.Opens
+			if b.State != "open" {
+				t.Fatalf("dead replica's breaker state = %q, want open", b.State)
+			}
+		}
+	}
+	if deadOpens == 0 {
+		t.Fatal("dead replica's breaker never tripped")
+	}
+}
+
+// TestBreakerHalfOpenProbeRecovers trips a replica's breaker, revives
+// the replica, and asserts the half-open probe readmits it: after the
+// open window one real call closes the breaker and responses return to
+// full fidelity.
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	e := getEnv(t)
+	ctx := context.Background()
+	shards, engines := shardBackends(t, 2, 1)
+	flaky := &countingBackend{name: "flaky-1", inner: &Local{Src: engines[1], Label: "inner-1"}}
+	shards[1] = []Backend{flaky}
+	r, err := New(shards, Options{
+		BreakerThreshold: 2,
+		BreakerOpenFor:   20 * time.Millisecond,
+		BackoffBase:      time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Trip it: a few queries against the down replica.
+	for q := 0; q < 4; q++ {
+		if res, err := r.TopK(ctx, e.pair[0], 0, e.pair[1], 5); err != nil || !res.Degraded {
+			t.Fatalf("query %d while down: err=%v degraded=%v", q, err, res.Degraded)
+		}
+	}
+	tripped := flaky.calls.Load()
+	if tripped < 2 {
+		t.Fatalf("breaker tripped after %d calls, threshold is 2", tripped)
+	}
+
+	flaky.up.Store(true)
+	// Past the max jittered open window (20ms base, first trip), the
+	// half-open probe must readmit the replica.
+	deadline := time.Now().Add(2 * time.Second)
+	want, _ := e.single.TopK(e.pair[0], 0, e.pair[1], 5)
+	for {
+		res, err := r.TopK(ctx, e.pair[0], 0, e.pair[1], 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Degraded {
+			if !reflect.DeepEqual(res.Results, want) {
+				t.Fatal("recovered response differs from single engine")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replica revived but breaker never readmitted it")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := r.RobustStats()
+	for _, b := range st.Breakers {
+		if b.Shard == 1 && b.State != "closed" {
+			t.Fatalf("recovered replica's breaker state = %q, want closed", b.State)
+		}
+	}
+}
+
+// TestHedgeStragglerFirstAnswerWins pairs a straggling replica with a
+// fast one: the hedge must fire after the configured delay, the fast
+// backup's answer must win (bit-identical to the single engine), the
+// straggler must be cancelled, and the counters must say so.
+func TestHedgeStragglerFirstAnswerWins(t *testing.T) {
+	e := getEnv(t)
+	ctx := context.Background()
+	shards, engines := shardBackends(t, 1, 1)
+	slow := &slowBackend{name: "slow", inner: shards[0][0], delay: 30 * time.Second}
+	fast := &netBackend{inner: &Local{Src: engines[0], Label: "fast"}}
+	r, err := New([][]Backend{{slow, fast}}, Options{HedgeAfter: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	res, err := r.TopK(ctx, e.pair[0], 0, e.pair[1], 5)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded {
+		t.Fatalf("hedged response degraded: %+v", res)
+	}
+	want, _ := e.single.TopK(e.pair[0], 0, e.pair[1], 5)
+	if !reflect.DeepEqual(res.Results, want) {
+		t.Fatal("hedged answer differs from single engine")
+	}
+	// The straggler sleeps 30s; the hedge fired at 5ms. Give the 1-CPU
+	// CI box two orders of magnitude of slack and it still proves the
+	// backup answered.
+	if elapsed > 5*time.Second {
+		t.Fatalf("hedged query took %v — the backup's answer did not win", elapsed)
+	}
+	st := r.RobustStats()
+	if st.HedgeFired == 0 || st.HedgeWon == 0 || st.HedgeCancelled == 0 {
+		t.Fatalf("hedge counters: fired=%d won=%d cancelled=%d, want all > 0",
+			st.HedgeFired, st.HedgeWon, st.HedgeCancelled)
+	}
+	// The winner becomes the preferred replica: the next query goes to
+	// the fast one directly, no hedge needed.
+	fired := st.HedgeFired
+	if res2, err := r.TopK(ctx, e.pair[0], 1, e.pair[1], 5); err != nil || res2.Degraded {
+		t.Fatalf("post-hedge query: err=%v res=%+v", err, res2)
+	}
+	if got := r.RobustStats().HedgeFired; got != fired {
+		t.Fatalf("preferred replica not updated: hedge fired again (%d -> %d)", fired, got)
+	}
+}
+
+// TestRouterRetryBudgetExhausted caps the retry budget below what a
+// ring walk would need and asserts the shard call stops there, with the
+// exhaustion counted.
+func TestRouterRetryBudgetExhausted(t *testing.T) {
+	e := getEnv(t)
+	ctx := context.Background()
+	d0 := &countingBackend{name: "d0"}
+	d1 := &countingBackend{name: "d1"}
+	r, err := New([][]Backend{{d0, d1}}, Options{
+		MaxAttempts: 1,
+		BackoffBase: time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.TopK(ctx, e.pair[0], 0, e.pair[1], 5); err == nil {
+		t.Fatal("all-dead shard answered")
+	}
+	if got := d0.calls.Load() + d1.calls.Load(); got != 1 {
+		t.Fatalf("retry budget of 1 admitted %d calls", got)
+	}
+	if st := r.RobustStats(); st.RetryExhausted == 0 {
+		t.Fatal("retry-budget exhaustion not counted")
+	}
+}
+
+// TestRouterDeadlineBudgetDegradesSlowShard is the deadline-propagation
+// drill: a shard that sleeps past the propagated budget must show up as
+// a per-shard entry in failed_shards — the other shards' rows still
+// exact — never as a router-wide failure. Run under -race by the
+// Makefile filter.
+func TestRouterDeadlineBudgetDegradesSlowShard(t *testing.T) {
+	e := getEnv(t)
+	shards, engines := shardBackends(t, 2, 1)
+	desc := engines[1].ShardDesc()
+	shards[1] = []Backend{&slowBackend{name: "sleepy", inner: shards[1][0], delay: 30 * time.Second}}
+	r, err := New(shards, Options{BackoffBase: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	budget := 150 * time.Millisecond
+	ctx := WithBudget(context.Background(), time.Now().Add(budget))
+	start := time.Now()
+	res, err := r.TopK(ctx, e.pair[0], 0, e.pair[1], 5)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("budgeted query errored router-wide: %v", err)
+	}
+	if !res.Degraded || !reflect.DeepEqual(res.FailedShards, []int{1}) {
+		t.Fatalf("degraded=%v failed=%v, want the sleeping shard flagged", res.Degraded, res.FailedShards)
+	}
+	full, err := e.single.TopK(e.pair[0], 0, e.pair[1], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []serve.Scored
+	for _, s := range full {
+		if desc.ShardOf(e.pair[1], s.B) != 1 {
+			want = append(want, s)
+		}
+	}
+	if len(want) > 5 {
+		want = want[:5]
+	}
+	if len(res.Results) != 0 || len(want) != 0 {
+		if !reflect.DeepEqual(res.Results, want) {
+			t.Fatal("degraded rows differ from single engine minus the sleeping shard")
+		}
+	}
+	// The answer must arrive near the budget, not the straggler's 30s.
+	if elapsed > 10*time.Second {
+		t.Fatalf("budgeted query took %v, budget was %v", elapsed, budget)
+	}
+	if st := r.RobustStats(); st.RetryExhausted == 0 {
+		t.Fatal("budget exhaustion not counted")
+	}
+
+	// Same drill through the HTTP front-end and the deadline header: the
+	// response is 200 + degraded JSON, not an error.
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	req, _ := http.NewRequest(http.MethodGet,
+		fmt.Sprintf("%s/topk?pa=%s&a=0&pb=%s&k=5", srv.URL, e.pair[0], e.pair[1]), nil)
+	serve.SetDeadline(req.Header, time.Now().Add(budget))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("budgeted HTTP top-k: status %d, want 200 + degraded", resp.StatusCode)
+	}
+	var out TopKResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Degraded || !reflect.DeepEqual(out.FailedShards, []int{1}) {
+		t.Fatalf("HTTP budgeted response: degraded=%v failed=%v", out.Degraded, out.FailedShards)
+	}
+
+	// An already-spent budget is refused outright with 504.
+	req2, _ := http.NewRequest(http.MethodGet,
+		fmt.Sprintf("%s/topk?pa=%s&a=0&pb=%s&k=5", srv.URL, e.pair[0], e.pair[1]), nil)
+	req2.Header.Set(serve.DeadlineHeader, "0")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("spent budget: status %d, want 504", resp2.StatusCode)
+	}
+}
+
+// TestRouterAutoRefresh asserts the background jittered re-probe loop
+// actually probes (the health observer sees repeated rounds) and that
+// stop halts it.
+func TestRouterAutoRefresh(t *testing.T) {
+	e := getEnv(t)
+	_ = e
+	shards, _ := shardBackends(t, 2, 1)
+	r := newRouter(t, shards)
+	var mu sync.Mutex
+	probes := 0
+	r.SetHealthObserver(func(shard int, h Health) {
+		mu.Lock()
+		probes++
+		mu.Unlock()
+	})
+	stop := r.StartAutoRefresh(5*time.Millisecond, nil)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := probes
+		mu.Unlock()
+		if n >= 4 { // ≥ 2 full rounds over 2 shards
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("auto-refresh made %d probes in 5s, want ≥ 4", n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	stop()
+	mu.Lock()
+	after := probes
+	mu.Unlock()
+	time.Sleep(30 * time.Millisecond)
+	mu.Lock()
+	final := probes
+	mu.Unlock()
+	if final > after+2 { // an in-flight round may land; the loop must not continue
+		t.Fatalf("auto-refresh kept probing after stop: %d -> %d", after, final)
+	}
+}

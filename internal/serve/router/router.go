@@ -41,6 +41,43 @@ type Options struct {
 	// before declaring the shard down (default 2: every replica gets a
 	// retry).
 	Rings int
+	// MaxAttempts is the per-request retry budget against one shard:
+	// the hard cap on actual replica calls (breaker denials are free),
+	// hedges included. Default Rings passes' worth (rings × replicas).
+	MaxAttempts int
+	// BackoffBase seeds the exponential backoff slept between ring
+	// passes, with full jitter: pass p sleeps uniform [0, min(BackoffMax,
+	// BackoffBase·2^(p-1))). Defaults 2ms base, 250ms cap.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerThreshold is the consecutive-failure count that trips a
+	// replica's circuit breaker open (default 3). BreakerOpenFor is the
+	// base open window (default 500ms; doubles per consecutive trip up
+	// to BreakerMaxOpen, default 10s). BreakerDisabled turns the
+	// breakers off entirely.
+	BreakerThreshold int
+	BreakerOpenFor   time.Duration
+	BreakerMaxOpen   time.Duration
+	BreakerDisabled  bool
+	// HedgeAfter is the tied-hedged-request delay for network top-k
+	// scatter: after this long without a primary answer, the same query
+	// is fired at a backup replica and the first answer wins (the loser
+	// is cancelled). 0 (the default) adapts the delay to the shard's
+	// observed p99 attempt latency; negative disables hedging. Shards
+	// with in-process replicas never hedge (the call cannot straggle on
+	// I/O, and hedging would cost the zero-alloc path its guarantee).
+	HedgeAfter time.Duration
+	// HedgeMin floors the adaptive hedge delay (default 1ms) so a burst
+	// of fast answers cannot talk the router into hedging every query.
+	HedgeMin time.Duration
+	// DefaultBudget, when positive, is the end-to-end deadline budget
+	// the HTTP front-end applies to requests that carry no deadline
+	// header of their own. 0 means such requests run unbudgeted.
+	DefaultBudget time.Duration
+	// HopMargin is subtracted from the remaining budget at every
+	// downstream hop (header propagation), reserving time for the reply
+	// to travel back and be merged. Default 2ms.
+	HopMargin time.Duration
 }
 
 func (o Options) timeout() time.Duration {
@@ -55,6 +92,62 @@ func (o Options) rings() int {
 		return 2
 	}
 	return o.Rings
+}
+
+func (o Options) maxAttempts(replicas int) int {
+	if o.MaxAttempts > 0 {
+		return o.MaxAttempts
+	}
+	return o.rings() * replicas
+}
+
+func (o Options) backoffBase() time.Duration {
+	if o.BackoffBase <= 0 {
+		return 2 * time.Millisecond
+	}
+	return o.BackoffBase
+}
+
+func (o Options) backoffMax() time.Duration {
+	if o.BackoffMax <= 0 {
+		return 250 * time.Millisecond
+	}
+	return o.BackoffMax
+}
+
+func (o Options) breakerThreshold() int32 {
+	if o.BreakerThreshold <= 0 {
+		return 3
+	}
+	return int32(o.BreakerThreshold)
+}
+
+func (o Options) breakerOpenFor() time.Duration {
+	if o.BreakerOpenFor <= 0 {
+		return 500 * time.Millisecond
+	}
+	return o.BreakerOpenFor
+}
+
+func (o Options) breakerMaxOpen() time.Duration {
+	if o.BreakerMaxOpen <= 0 {
+		return 10 * time.Second
+	}
+	return o.BreakerMaxOpen
+}
+
+func (o Options) hedgeMin() time.Duration {
+	if o.HedgeMin <= 0 {
+		return time.Millisecond
+	}
+	return o.HedgeMin
+}
+
+func (o Options) hopMargin() time.Duration {
+	if o.HopMargin <= 0 {
+		return 2 * time.Millisecond
+	}
+	return o.HopMargin
 }
 
 // Router fans linkage queries out over shard replicas. Construct with
@@ -78,6 +171,13 @@ type Router struct {
 	// cmd/hydra-router uses to publish per-shard prescreen gauges.
 	healthObs func(shard int, h Health)
 
+	// breakers[si][ri] gates shard si's replica ri (see breaker.go).
+	breakers [][]breaker
+	// lats[si] is the shard's recent successful network-attempt latency
+	// window, feeding the adaptive hedge delay.
+	lats   []latWindow
+	robust robustCounters
+
 	mu sync.RWMutex
 	// topo is the canonical split every shard must agree on (its Index
 	// field is meaningless here). nil means a single unsharded backend —
@@ -99,11 +199,17 @@ func New(shards [][]Backend, opts Options) (*Router, error) {
 			return nil, fmt.Errorf("router: shard %d has no replicas", i)
 		}
 	}
+	breakers := make([][]breaker, len(shards))
+	for i, reps := range shards {
+		breakers[i] = make([]breaker, len(reps))
+	}
 	return &Router{
-		shards: shards,
-		opts:   opts,
-		pref:   make([]atomic.Int32, len(shards)),
-		gens:   make([]uint64, len(shards)),
+		shards:   shards,
+		opts:     opts,
+		pref:     make([]atomic.Int32, len(shards)),
+		gens:     make([]uint64, len(shards)),
+		breakers: breakers,
+		lats:     make([]latWindow, len(shards)),
 	}, nil
 }
 
@@ -214,33 +320,70 @@ func (r *Router) shardFor(pb platform.ID, b int) (int, error) {
 
 // callShard runs fn against shard si's replicas until one succeeds:
 // starting at the preferred (last-good) replica, each attempt under its
-// own timeout, walking the ring opts.Rings times. Query errors (see
+// own timeout (capped by the deadline budget), walking the ring
+// opts.Rings times with full-jitter exponential backoff between passes,
+// bounded by the per-request retry budget. Replicas whose circuit
+// breaker is open are skipped without paying a call or an attempt; if a
+// whole pass admits nothing, the shard fails fast. Query errors (see
 // queryError) propagate immediately — another replica would answer the
 // same.
 func (r *Router) callShard(ctx context.Context, si int, fn func(context.Context, Backend) error) error {
 	reps := r.shards[si]
 	start := int(r.pref[si].Load())
+	budgetT, hasBudget := Budget(ctx)
+	maxAttempts := r.opts.maxAttempts(len(reps))
+	attempts := 0
 	var lastErr error
-	for ring := 0; ring < r.opts.rings(); ring++ {
+	for pass := 0; pass < r.opts.rings(); pass++ {
+		if pass > 0 && !r.backoffWait(ctx, pass, budgetT, hasBudget) {
+			r.robust.retryExhausted.Add(1)
+			return fmt.Errorf("router: shard %d: deadline budget exhausted during backoff (%d attempts): %w",
+				si, attempts, afterErr(lastErr))
+		}
+		admitted := 0
 		for j := 0; j < len(reps); j++ {
 			if ctx.Err() != nil {
 				return fmt.Errorf("router: shard %d: %w", si, ctx.Err())
 			}
+			if hasBudget && time.Until(budgetT) <= 0 {
+				r.robust.retryExhausted.Add(1)
+				return fmt.Errorf("router: shard %d: deadline budget exhausted after %d attempts: %w",
+					si, attempts, afterErr(lastErr))
+			}
 			idx := (start + j) % len(reps)
-			cctx, cancel := context.WithTimeout(ctx, r.opts.timeout())
+			if !r.breakerAllow(si, idx) {
+				r.robust.failFast.Add(1)
+				lastErr = fmt.Errorf("%s: circuit breaker open", reps[idx].Name())
+				continue
+			}
+			if attempts >= maxAttempts {
+				r.robust.retryExhausted.Add(1)
+				return fmt.Errorf("router: shard %d: retry budget exhausted (%d attempts): %w",
+					si, attempts, afterErr(lastErr))
+			}
+			admitted++
+			attempts++
+			cctx, cancel := r.attemptCtx(ctx, budgetT, hasBudget)
 			err := fn(cctx, reps[idx])
 			cancel()
 			if err == nil {
+				r.breakerSuccess(si, idx)
 				r.pref[si].Store(int32(idx))
 				return nil
 			}
 			if IsQueryError(err) {
+				r.breakerSuccess(si, idx) // the replica answered; the query is at fault
 				return err
 			}
+			r.breakerFailure(si, idx)
 			lastErr = fmt.Errorf("%s: %w", reps[idx].Name(), err)
 		}
+		if admitted == 0 {
+			return fmt.Errorf("router: shard %d fail-fast: all %d replica breakers open: %w",
+				si, len(reps), afterErr(lastErr))
+		}
 	}
-	return fmt.Errorf("router: shard %d down (%d replicas, %d rings): %w", si, len(reps), r.opts.rings(), lastErr)
+	return fmt.Errorf("router: shard %d down (%d replicas, %d attempts): %w", si, len(reps), attempts, lastErr)
 }
 
 // noteGen records the freshest generation a shard has been seen serving.
@@ -396,36 +539,74 @@ func (ms *mergeSorter) Less(i, j int) bool { return serve.ScoredLess(ms.s[i], ms
 
 // runTopKJob answers one shard's slice of a top-k fan-out, with the
 // same replica failover discipline as callShard (preferred replica
-// first, per-attempt timeout, opts.Rings passes, query errors
-// propagate immediately). It is inlined rather than routed through
-// callShard so the hot path carries no per-query closures: in-process
-// TopKAppender backends append into the job's recycled buffer and skip
-// the timeout context entirely (the call cannot block on I/O).
+// first, breaker-gated attempts under the retry budget, per-attempt
+// timeout capped by the deadline budget, backoff between ring passes,
+// query errors propagate immediately). It is inlined rather than routed
+// through callShard so the hot path carries no per-query closures:
+// in-process TopKAppender backends append into the job's recycled
+// buffer and skip the timeout context entirely (the call cannot block
+// on I/O); network backends go through timedTopK, which adds tied
+// hedging.
 func (r *Router) runTopKJob(j *topkJob) {
 	defer j.owner.wg.Done()
 	reps := r.shards[j.si]
 	start := int(r.pref[j.si].Load())
+	budgetT, hasBudget := Budget(j.ctx)
+	maxAttempts := r.opts.maxAttempts(len(reps))
+	attempts := 0
 	var lastErr error
-	for ring := 0; ring < r.opts.rings(); ring++ {
+	for pass := 0; pass < r.opts.rings(); pass++ {
+		if pass > 0 && !r.backoffWait(j.ctx, pass, budgetT, hasBudget) {
+			r.robust.retryExhausted.Add(1)
+			j.err = fmt.Errorf("router: shard %d: deadline budget exhausted during backoff (%d attempts): %w",
+				j.si, attempts, afterErr(lastErr))
+			return
+		}
+		admitted := 0
 		for i := 0; i < len(reps); i++ {
 			if j.ctx.Err() != nil {
 				j.err = fmt.Errorf("router: shard %d: %w", j.si, j.ctx.Err())
 				return
 			}
+			if hasBudget && time.Until(budgetT) <= 0 {
+				r.robust.retryExhausted.Add(1)
+				j.err = fmt.Errorf("router: shard %d: deadline budget exhausted after %d attempts: %w",
+					j.si, attempts, afterErr(lastErr))
+				return
+			}
 			idx := (start + i) % len(reps)
+			if !r.breakerAllow(j.si, idx) {
+				r.robust.failFast.Add(1)
+				lastErr = fmt.Errorf("%s: circuit breaker open", reps[idx].Name())
+				continue
+			}
+			if attempts >= maxAttempts {
+				r.robust.retryExhausted.Add(1)
+				j.err = fmt.Errorf("router: shard %d: retry budget exhausted (%d attempts): %w",
+					j.si, attempts, afterErr(lastErr))
+				return
+			}
+			admitted++
 			b := reps[idx]
+			winner := idx
 			var err error
 			if ta, ok := b.(TopKAppender); ok {
+				attempts++
 				j.res, j.gen, err = ta.TopKAppend(j.ctx, j.res[:0], j.pa, j.a, j.pb, j.k)
+				switch {
+				case err == nil, IsQueryError(err):
+					r.breakerSuccess(j.si, idx)
+				default:
+					r.breakerFailure(j.si, idx)
+					err = fmt.Errorf("%s: %w", b.Name(), err)
+				}
 			} else {
-				cctx, cancel := context.WithTimeout(j.ctx, r.opts.timeout())
-				var res []serve.Scored
-				res, j.gen, err = b.TopK(cctx, j.pa, j.a, j.pb, j.k)
-				cancel()
-				j.res = append(j.res[:0], res...)
+				// Network replica: timed attempt with tied hedging;
+				// breaker and latency bookkeeping happen inside.
+				winner, err = r.timedTopK(j, idx, &attempts, maxAttempts, budgetT, hasBudget)
 			}
 			if err == nil {
-				r.pref[j.si].Store(int32(idx))
+				r.pref[j.si].Store(int32(winner))
 				r.noteGen(j.si, j.gen)
 				j.err = nil
 				return
@@ -434,10 +615,15 @@ func (r *Router) runTopKJob(j *topkJob) {
 				j.err = err
 				return
 			}
-			lastErr = fmt.Errorf("%s: %w", b.Name(), err)
+			lastErr = err
+		}
+		if admitted == 0 {
+			j.err = fmt.Errorf("router: shard %d fail-fast: all %d replica breakers open: %w",
+				j.si, len(reps), afterErr(lastErr))
+			return
 		}
 	}
-	j.err = fmt.Errorf("router: shard %d down (%d replicas, %d rings): %w", j.si, len(reps), r.opts.rings(), lastErr)
+	j.err = fmt.Errorf("router: shard %d down (%d replicas, %d attempts): %w", j.si, len(reps), attempts, lastErr)
 }
 
 // TopK returns account a's k best-scoring B-side candidates across the

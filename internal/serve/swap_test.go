@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"net/http/httptest"
 	"reflect"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"hydra/internal/pipeline"
 )
@@ -205,6 +207,96 @@ func TestServeSwapConcurrentQueries(t *testing.T) {
 	}
 	if _, g := s.Current(); g != 4 {
 		t.Fatalf("final generation = %d, want 4", g)
+	}
+}
+
+// TestServeSwapPrewarmKillsColdTail pins the prewarm contract on the
+// hot-swap path: an engine prewarmed before Swappable publishes it pays
+// zero pair-cache and fold misses on the first post-swap sweep (the
+// misses that made the PR 6 swap pause p99 11.5 ms), its answers are
+// bit-identical to a cold engine's, and the post-swap query p99 stays
+// far below the old cold-warmup tail.
+func TestServeSwapPrewarmKillsColdTail(t *testing.T) {
+	e := getEnv(t)
+	pair := e.eng.Pairs()[0]
+	nA := len(e.bundle.Views[pair[0]])
+
+	cold := shardEngines(t, 1, 1)[0]
+	warm := shardEngines(t, 1, 2)[0]
+	if err := warm.Prewarm(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// The first full sweep after prewarm must add no misses: prewarm
+	// already walked every account.
+	preIm := warm.ImputeHealth()
+	prePre := warm.PrescreenHealth()
+	for a := 0; a < nA; a++ {
+		if _, err := warm.TopK(pair[0], a, pair[1], 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	postIm := warm.ImputeHealth()
+	if postIm.PairCacheMisses != preIm.PairCacheMisses {
+		t.Fatalf("prewarmed sweep added %d pair-cache misses",
+			postIm.PairCacheMisses-preIm.PairCacheMisses)
+	}
+	if prePre != nil {
+		postPre := warm.PrescreenHealth()
+		if postPre.FoldMisses != prePre.FoldMisses {
+			t.Fatalf("prewarmed sweep added %d fold misses", postPre.FoldMisses-prePre.FoldMisses)
+		}
+	}
+
+	// The cold twin pays those misses on the same sweep — proof the
+	// counters are live and prewarm removed real work, and the purity
+	// check: warm answers are bit-identical to cold ones.
+	coldIm0 := cold.ImputeHealth()
+	for a := 0; a < nA; a++ {
+		got, err := warm.TopK(pair[0], a, pair[1], 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := cold.TopK(pair[0], a, pair[1], 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 0 || len(want) != 0 {
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("a=%d: prewarmed engine answers differently from cold", a)
+			}
+		}
+	}
+	coldIm1 := cold.ImputeHealth()
+	if coldIm1.PairCacheMisses == coldIm0.PairCacheMisses {
+		t.Fatal("cold sweep added no pair-cache misses — the miss counters prove nothing")
+	}
+
+	// The swap-path p99: publish the prewarmed engine through a
+	// Swappable and time the first post-swap queries. With the caches
+	// hot the tail must sit far under the 11.5 ms cold-warmup pause —
+	// bounded loosely enough for a loaded 1-CPU CI box.
+	s := NewSwappable(shardEngines(t, 1, 3)[0])
+	next := shardEngines(t, 1, 4)[0]
+	if err := next.Prewarm(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Swap(next); err != nil {
+		t.Fatal(err)
+	}
+	lats := make([]time.Duration, 0, nA)
+	for a := 0; a < nA; a++ {
+		eng, _ := s.Current()
+		start := time.Now()
+		if _, err := eng.TopK(pair[0], a, pair[1], 5); err != nil {
+			t.Fatal(err)
+		}
+		lats = append(lats, time.Since(start))
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p99 := lats[len(lats)*99/100]
+	if p99 > 100*time.Millisecond {
+		t.Fatalf("post-swap query p99 = %v on a prewarmed engine", p99)
 	}
 }
 
